@@ -1,0 +1,199 @@
+// Shared infrastructure for the paper-reproduction benches: CLI flags
+// (--quick / --full / --runs=N / --scale=X), the standard aligner roster of
+// Table III, and small aggregation helpers. Every bench binary prints the
+// corresponding paper table/figure as fixed-width text.
+#pragma once
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <cctype>
+
+#include "align/pipeline.h"
+#include "baselines/cenalp.h"
+#include "baselines/deeplink.h"
+#include "baselines/final.h"
+#include "baselines/ione.h"
+#include "baselines/isorank.h"
+#include "baselines/naive.h"
+#include "baselines/netalign.h"
+#include "baselines/pale.h"
+#include "baselines/regal.h"
+#include "baselines/unialign.h"
+#include "core/galign.h"
+
+namespace galign {
+namespace bench {
+
+/// Parsed bench options.
+struct BenchOptions {
+  bool full = false;    ///< paper-scale sizes (default: quick)
+  int runs = 1;         ///< repetitions averaged per cell
+  double scale = 0.0;   ///< explicit down-scale factor override (0 = auto)
+  bool extended = false;  ///< include extra methods beyond the paper roster
+  std::string csv;      ///< non-empty: write each table as <csv>_<tag>.csv
+
+  /// Down-scale factor for dataset specs: 1 (paper scale) in --full mode,
+  /// otherwise the default quick factor (or the --scale override).
+  double ScaleFactor(double quick_default) const {
+    if (full) return 1.0;
+    return scale > 0.0 ? scale : quick_default;
+  }
+};
+
+inline BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) opt.full = true;
+    if (std::strcmp(argv[i], "--quick") == 0) opt.full = false;
+    if (std::strncmp(argv[i], "--runs=", 7) == 0) opt.runs = std::atoi(argv[i] + 7);
+    if (std::strncmp(argv[i], "--scale=", 8) == 0) opt.scale = std::atof(argv[i] + 8);
+    if (std::strcmp(argv[i], "--extended") == 0) opt.extended = true;
+    if (std::strncmp(argv[i], "--csv=", 6) == 0) opt.csv = argv[i] + 6;
+  }
+  if (opt.runs < 1) opt.runs = 1;
+  return opt;
+}
+
+/// GAlign configuration used across the benches (paper §VII-A defaults,
+/// shrunk in quick mode where it only changes cost, not behaviour shape).
+inline GAlignConfig BenchGAlignConfig(const BenchOptions& opt) {
+  GAlignConfig cfg;
+  cfg.epochs = 30;
+  cfg.embedding_dim = opt.full ? 200 : 100;
+  cfg.refinement_iterations = opt.full ? 20 : 8;
+  return cfg;
+}
+
+/// The baseline roster of Table III. CENALP gets a bounded walk budget in
+/// quick mode (it is by far the slowest method, as in the paper).
+struct AlignerSet {
+  std::unique_ptr<GAlignAligner> galign;
+  std::unique_ptr<CenalpAligner> cenalp;
+  std::unique_ptr<PaleAligner> pale;
+  std::unique_ptr<RegalAligner> regal;
+  std::unique_ptr<IsoRankAligner> isorank;
+  std::unique_ptr<FinalAligner> final_aligner;
+  // Extended roster (beyond the paper's Table III).
+  std::unique_ptr<DeepLinkAligner> deeplink;
+  std::unique_ptr<IoneAligner> ione;
+  std::unique_ptr<NetAlignAligner> netalign;
+  std::unique_ptr<UniAlignAligner> unialign;
+  std::unique_ptr<DegreeRankAligner> degree_rank;
+  std::unique_ptr<AttributeOnlyAligner> attribute_only;
+  std::unique_ptr<RandomAligner> random_aligner;
+
+  bool extended = false;
+
+  /// The paper's roster, plus the extended methods when --extended is set.
+  std::vector<Aligner*> all() {
+    std::vector<Aligner*> out{galign.get(), cenalp.get(),  pale.get(),
+                              regal.get(),  isorank.get(), final_aligner.get()};
+    if (extended) {
+      out.push_back(deeplink.get());
+      out.push_back(ione.get());
+      out.push_back(netalign.get());
+      out.push_back(unialign.get());
+      out.push_back(degree_rank.get());
+      out.push_back(attribute_only.get());
+      out.push_back(random_aligner.get());
+    }
+    return out;
+  }
+};
+
+inline AlignerSet MakeAlignerSet(const BenchOptions& opt) {
+  AlignerSet set;
+  set.galign = std::make_unique<GAlignAligner>(BenchGAlignConfig(opt));
+  CenalpConfig cenalp;
+  cenalp.walks.walks_per_node = opt.full ? 10 : 5;
+  cenalp.walks.walk_length = opt.full ? 20 : 15;
+  cenalp.skipgram.epochs = opt.full ? 2 : 1;
+  cenalp.skipgram.dim = opt.full ? 64 : 32;
+  cenalp.expansion_rounds = opt.full ? 3 : 2;
+  set.cenalp = std::make_unique<CenalpAligner>(cenalp);
+  PaleConfig pale;
+  pale.embedding_epochs = opt.full ? 100 : 80;
+  pale.embedding_dim = opt.full ? 64 : 32;
+  set.pale = std::make_unique<PaleAligner>(pale);
+  set.regal = std::make_unique<RegalAligner>();
+  set.isorank = std::make_unique<IsoRankAligner>();
+  set.final_aligner = std::make_unique<FinalAligner>();
+
+  set.extended = opt.extended;
+  DeepLinkConfig deeplink;
+  deeplink.walks.walks_per_node = opt.full ? 10 : 6;
+  deeplink.walks.walk_length = opt.full ? 20 : 15;
+  deeplink.skipgram.epochs = opt.full ? 3 : 2;
+  deeplink.skipgram.dim = opt.full ? 64 : 32;
+  set.deeplink = std::make_unique<DeepLinkAligner>(deeplink);
+  IoneConfig ione;
+  ione.epochs = opt.full ? 200 : 100;
+  ione.dim = opt.full ? 64 : 32;
+  set.ione = std::make_unique<IoneAligner>(ione);
+  set.netalign = std::make_unique<NetAlignAligner>();
+  set.unialign = std::make_unique<UniAlignAligner>();
+  set.degree_rank = std::make_unique<DegreeRankAligner>();
+  set.attribute_only = std::make_unique<AttributeOnlyAligner>();
+  set.random_aligner = std::make_unique<RandomAligner>();
+  return set;
+}
+
+/// Element-wise mean of metric bundles (used when --runs > 1).
+inline AlignmentMetrics MeanMetrics(const std::vector<AlignmentMetrics>& ms) {
+  AlignmentMetrics out;
+  if (ms.empty()) return out;
+  for (const auto& m : ms) {
+    out.success_at_1 += m.success_at_1;
+    out.success_at_5 += m.success_at_5;
+    out.success_at_10 += m.success_at_10;
+    out.map += m.map;
+    out.auc += m.auc;
+    out.seconds += m.seconds;
+    out.num_anchors += m.num_anchors;
+  }
+  double n = static_cast<double>(ms.size());
+  out.success_at_1 /= n;
+  out.success_at_5 /= n;
+  out.success_at_10 /= n;
+  out.map /= n;
+  out.auc /= n;
+  out.seconds /= n;
+  out.num_anchors = static_cast<int64_t>(out.num_anchors / ms.size());
+  return out;
+}
+
+inline void PrintHeader(const char* what, const BenchOptions& opt) {
+  std::printf("=== %s ===\n", what);
+  std::printf("mode: %s, runs per cell: %d\n\n",
+              opt.full ? "FULL (paper scale)" : "QUICK (down-scaled)",
+              opt.runs);
+}
+
+/// Prints the table and, when --csv=<prefix> was passed, also writes it to
+/// <prefix>_<tag>.csv (tag sanitized to [A-Za-z0-9_-]).
+inline void EmitTable(const TextTable& table, const BenchOptions& opt,
+                      const std::string& tag) {
+  std::printf("%s\n", table.ToString().c_str());
+  if (opt.csv.empty()) return;
+  std::string clean;
+  for (char c : tag) {
+    clean += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+              c == '_')
+                 ? c
+                 : '_';
+  }
+  std::string path = opt.csv + "_" + clean + ".csv";
+  Status st = table.WriteCsv(path);
+  if (st.ok()) {
+    std::printf("(wrote %s)\n\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "csv write failed: %s\n", st.ToString().c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace galign

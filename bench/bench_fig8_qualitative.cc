@@ -1,0 +1,151 @@
+// Reproduces Fig. 8: qualitative study on a toy subset of 10 movie pairs
+// from the Allmovie/Imdb-like dataset. Three t-SNE projections are dumped
+// as coordinate tables:
+//   (a) final-layer embeddings only (the traditional single-order view)
+//   (b) multi-order embeddings (all layers concatenated)
+//   (c) multi-order embeddings after stability refinement
+//
+// Expected shape (paper): anchor pairs sit closer together in (b) than in
+// (a), and (c) makes pairs more distinctive from other movies. The bench
+// quantifies this with the mean anchor-pair distance / mean non-pair
+// distance ratio (lower = better).
+#include "bench/bench_common.h"
+
+#include <cmath>
+
+#include "align/datasets.h"
+#include "core/refinement.h"
+#include "core/trainer.h"
+#include "la/ops.h"
+#include "manifold/tsne.h"
+
+using namespace galign;
+using namespace galign::bench;
+
+namespace {
+
+// Stacks the 10 source rows then the 10 matched target rows.
+Matrix StackPairs(const Matrix& s, const Matrix& t,
+                  const std::vector<int64_t>& toy,
+                  const std::vector<int64_t>& gt) {
+  Matrix out(2 * static_cast<int64_t>(toy.size()), s.cols());
+  for (size_t i = 0; i < toy.size(); ++i) {
+    for (int64_t c = 0; c < s.cols(); ++c) {
+      out(static_cast<int64_t>(i), c) = s(toy[i], c);
+      out(static_cast<int64_t>(toy.size() + i), c) = t(gt[toy[i]], c);
+    }
+  }
+  return out;
+}
+
+// Anchor-pair distance over mean non-pair distance in the 2-D projection.
+double PairSeparationRatio(const Matrix& y) {
+  const int64_t n = y.rows() / 2;
+  double pair_dist = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    pair_dist += std::sqrt(RowSquaredDistance(y, i, y, n + i));
+  }
+  pair_dist /= static_cast<double>(n);
+  double other = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < y.rows(); ++i) {
+    for (int64_t j = i + 1; j < y.rows(); ++j) {
+      if (j == i + n) continue;
+      other += std::sqrt(RowSquaredDistance(y, i, y, j));
+      ++count;
+    }
+  }
+  other /= static_cast<double>(count);
+  return pair_dist / other;
+}
+
+void PrintProjection(const char* title, const Matrix& y, int64_t pairs) {
+  std::printf("%s (pair-distance ratio = %.3f; lower is better)\n", title,
+              PairSeparationRatio(y));
+  for (int64_t i = 0; i < pairs; ++i) {
+    std::printf("  pair %2lld: A=(%7.2f, %7.2f)  B=(%7.2f, %7.2f)\n",
+                (long long)i, y(i, 0), y(i, 1), y(pairs + i, 0),
+                y(pairs + i, 1));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt = ParseOptions(argc, argv);
+  PrintHeader("Fig. 8: qualitative study (t-SNE of 10 movie pairs)", opt);
+
+  DatasetSpec spec = AllmovieImdbSpec().Scaled(opt.ScaleFactor(15.0));
+  Rng rng(9000);
+  auto pair_result = SynthesizePair(spec, &rng);
+  if (!pair_result.ok()) {
+    std::fprintf(stderr, "%s\n", pair_result.status().ToString().c_str());
+    return 1;
+  }
+  AlignmentPair pair = pair_result.MoveValueOrDie();
+
+  GAlignConfig cfg = BenchGAlignConfig(opt);
+  MultiOrderGcn gcn(cfg.num_layers, pair.source.num_attributes(),
+                    cfg.embedding_dim, &rng);
+  Trainer trainer(cfg);
+  if (!trainer.Train(&gcn, pair.source, pair.target, &rng).ok()) {
+    std::fprintf(stderr, "training failed\n");
+    return 1;
+  }
+
+  auto lap_s = pair.source.NormalizedAdjacency().MoveValueOrDie();
+  auto lap_t = pair.target.NormalizedAdjacency().MoveValueOrDie();
+  auto hs = gcn.ForwardInference(lap_s, pair.source.attributes());
+  auto ht = gcn.ForwardInference(lap_t, pair.target.attributes());
+
+  // Pick 10 anchored movies.
+  std::vector<int64_t> toy;
+  for (int64_t v = 0; v < pair.source.num_nodes() && toy.size() < 10; ++v) {
+    if (pair.ground_truth[v] != -1) toy.push_back(v);
+  }
+  const int64_t pairs = static_cast<int64_t>(toy.size());
+
+  TsneConfig tsne_cfg;
+  tsne_cfg.iterations = 500;
+  tsne_cfg.learning_rate = 20.0;
+
+  // (a) traditional final-layer embeddings.
+  Matrix last = StackPairs(hs.back(), ht.back(), toy, pair.ground_truth);
+  auto ya = Tsne(last, tsne_cfg);
+  if (ya.ok()) PrintProjection("(a) final-layer embeddings", ya.ValueOrDie(), pairs);
+
+  // (b) multi-order embeddings (concatenation of all layers).
+  std::vector<const Matrix*> parts_s, parts_t;
+  for (const Matrix& h : hs) parts_s.push_back(&h);
+  for (const Matrix& h : ht) parts_t.push_back(&h);
+  Matrix multi = StackPairs(ConcatCols(parts_s), ConcatCols(parts_t), toy,
+                            pair.ground_truth);
+  auto yb = Tsne(multi, tsne_cfg);
+  if (yb.ok()) PrintProjection("(b) multi-order embeddings", yb.ValueOrDie(), pairs);
+
+  // (c) multi-order embeddings after refinement: Alg. 2's best iteration
+  // returns the influence-adjusted layer embeddings directly. A lower
+  // stability threshold is used for this toy demo so the refinement has
+  // stable nodes to amplify even at reduced scale.
+  GAlignConfig refine_cfg = cfg;
+  refine_cfg.stability_threshold = 0.85;
+  refine_cfg.refinement_iterations = 15;
+  auto refined = RefineAlignment(gcn, pair.source, pair.target, refine_cfg);
+  if (refined.ok()) {
+    const RefinementResult& r = refined.ValueOrDie();
+    std::printf("refinement: g(S) %.2f -> %.2f (best iteration %d)\n\n",
+                r.score_history.front(), r.best_score, r.best_iteration);
+    std::vector<const Matrix*> ps, pt;
+    for (const Matrix& h : r.source_embeddings) ps.push_back(&h);
+    for (const Matrix& h : r.target_embeddings) pt.push_back(&h);
+    Matrix refined_multi =
+        StackPairs(ConcatCols(ps), ConcatCols(pt), toy, pair.ground_truth);
+    auto yc = Tsne(refined_multi, tsne_cfg);
+    if (yc.ok()) {
+      PrintProjection("(c) multi-order embeddings after refinement",
+                      yc.ValueOrDie(), pairs);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Hyper-parameter sensitivity beyond the paper's Figs. 6-7 (the paper
+// omits these sweeps "due to space limitation", §VII-E): gamma (loss
+// balance, Eq. 10), lambda (stability threshold, Eq. 13), and beta
+// (influence accumulation, Eq. 14), on a Douban-like pair with moderate
+// noise where both loss terms and refinement are exercised.
+//
+// Expected shape: a broad plateau around the paper defaults (gamma 0.8,
+// lambda 0.94, beta 1.1) — the model should not be knife-edge sensitive.
+#include "bench/bench_common.h"
+
+#include "align/datasets.h"
+
+using namespace galign;
+using namespace galign::bench;
+
+namespace {
+
+AlignmentMetrics RunWithConfig(const GAlignConfig& cfg,
+                               const AlignmentPair& pair) {
+  GAlignAligner aligner(cfg);
+  auto s = aligner.Align(pair.source, pair.target, {});
+  if (!s.ok()) return {};
+  return ComputeMetrics(s.ValueOrDie(), pair.ground_truth);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions opt = ParseOptions(argc, argv);
+  PrintHeader("Hyper-parameter sensitivity (gamma / lambda / beta)", opt);
+
+  DatasetSpec spec = DoubanSpec().Scaled(opt.ScaleFactor(8.0));
+  Rng rng(11000);
+  auto pair_result = SynthesizePair(spec, &rng);
+  if (!pair_result.ok()) {
+    std::fprintf(stderr, "%s\n", pair_result.status().ToString().c_str());
+    return 1;
+  }
+  AlignmentPair pair = pair_result.MoveValueOrDie();
+  GAlignConfig base = BenchGAlignConfig(opt);
+
+  {
+    TextTable table({"gamma", "Success@1", "MAP"});
+    for (double gamma : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+      GAlignConfig cfg = base;
+      cfg.gamma = gamma;
+      AlignmentMetrics m = RunWithConfig(cfg, pair);
+      table.AddRow({TextTable::Num(gamma, 1), TextTable::Num(m.success_at_1),
+                    TextTable::Num(m.map)});
+    }
+    std::printf("--- gamma: consistency-vs-adaptivity balance (Eq. 10) ---\n");
+    EmitTable(table, opt, "hyper_gamma");
+  }
+
+  {
+    TextTable table({"lambda", "Success@1", "MAP"});
+    for (double lambda : {0.80, 0.85, 0.90, 0.94, 0.98}) {
+      GAlignConfig cfg = base;
+      cfg.stability_threshold = lambda;
+      AlignmentMetrics m = RunWithConfig(cfg, pair);
+      table.AddRow({TextTable::Num(lambda, 2),
+                    TextTable::Num(m.success_at_1), TextTable::Num(m.map)});
+    }
+    std::printf("--- lambda: stability threshold (Eq. 13) ---\n");
+    EmitTable(table, opt, "hyper_lambda");
+  }
+
+  {
+    TextTable table({"beta", "Success@1", "MAP"});
+    for (double beta : {1.05, 1.1, 1.25, 1.5, 2.0}) {
+      GAlignConfig cfg = base;
+      cfg.accumulation_factor = beta;
+      AlignmentMetrics m = RunWithConfig(cfg, pair);
+      table.AddRow({TextTable::Num(beta, 2), TextTable::Num(m.success_at_1),
+                    TextTable::Num(m.map)});
+    }
+    std::printf("--- beta: influence accumulation (Eq. 14) ---\n");
+    EmitTable(table, opt, "hyper_beta");
+  }
+
+  {
+    TextTable table({"augmentations", "Success@1", "MAP"});
+    for (int n_aug : {0, 1, 2, 4, 6}) {
+      GAlignConfig cfg = base;
+      cfg.num_augmentations = n_aug;
+      cfg.use_augmentation = n_aug > 0;
+      AlignmentMetrics m = RunWithConfig(cfg, pair);
+      table.AddRow({std::to_string(n_aug), TextTable::Num(m.success_at_1),
+                    TextTable::Num(m.map)});
+    }
+    std::printf("--- number of augmented copies per network (§V-C) ---\n");
+    EmitTable(table, opt, "hyper_augmentations");
+  }
+  return 0;
+}

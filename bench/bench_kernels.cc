@@ -1,0 +1,145 @@
+// Google-benchmark microbenchmarks for the kernels behind the paper's
+// complexity analysis (§VI-C): SpMM (the O(ed) propagation), GEMM (the
+// O(nd^2) projection), the fused consistency loss (O(ed + nd^2) instead of
+// O(n^2 d)), the full GCN forward pass, the chunked stability scan, and a
+// full training epoch. Run with --benchmark_filter=... to narrow.
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "core/gcn.h"
+#include "core/refinement.h"
+#include "core/trainer.h"
+#include "graph/generators.h"
+#include "la/ops.h"
+
+namespace galign {
+namespace {
+
+AttributedGraph BenchGraph(int64_t n, int64_t deg) {
+  Rng rng(42);
+  auto g = PowerLawGraph(n, n * deg / 2, 2.5, &rng).MoveValueOrDie();
+  return g.WithAttributes(BinaryAttributes(n, 16, 0.2, &rng))
+      .MoveValueOrDie();
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  AttributedGraph g = BenchGraph(n, 8);
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  Rng rng(1);
+  Matrix h = Matrix::Gaussian(n, 128, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lap.Multiply(h));
+  }
+  state.SetItemsProcessed(state.iterations() * lap.nnz() * 128);
+}
+BENCHMARK(BM_SpMM)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_Gemm(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Matrix a = Matrix::Gaussian(n, 128, &rng);
+  Matrix w = Matrix::Gaussian(128, 128, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, w));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 128 * 128);
+}
+BENCHMARK(BM_Gemm)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_AlignmentKernel(benchmark::State& state) {
+  // S^(l) = H_s H_t^T (Eq. 11) — the quadratic part of instantiation.
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  Matrix hs = Matrix::Gaussian(n, 128, &rng);
+  Matrix ht = Matrix::Gaussian(n, 128, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransposedB(hs, ht));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 128);
+}
+BENCHMARK(BM_AlignmentKernel)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_ConsistencyLossFused(benchmark::State& state) {
+  // The fused O(ed + nd^2) loss: compare its growth to n^2 d by eye.
+  const int64_t n = state.range(0);
+  AttributedGraph g = BenchGraph(n, 8);
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  Rng rng(4);
+  Matrix h = Matrix::Gaussian(n, 128, &rng, 0.1);
+  for (auto _ : state) {
+    Tape tape;
+    Var hv = tape.Leaf(h, true);
+    Var loss = ag::ConsistencyLoss(&tape, &lap, hv);
+    tape.Backward(loss);
+    benchmark::DoNotOptimize(tape.grad(hv));
+  }
+}
+BENCHMARK(BM_ConsistencyLossFused)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_GcnForward(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  AttributedGraph g = BenchGraph(n, 8);
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  Rng rng(5);
+  MultiOrderGcn gcn(2, g.num_attributes(), 128, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gcn.ForwardInference(lap, g.attributes()));
+  }
+}
+BENCHMARK(BM_GcnForward)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_TrainingEpoch(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  AttributedGraph g = BenchGraph(n, 8);
+  Rng rng(6);
+  GAlignConfig cfg;
+  cfg.epochs = 1;
+  cfg.embedding_dim = 64;
+  for (auto _ : state) {
+    Rng run_rng(7);
+    MultiOrderGcn gcn(cfg.num_layers, g.num_attributes(), cfg.embedding_dim,
+                      &run_rng);
+    Trainer trainer(cfg);
+    trainer.Train(&gcn, g, g, &run_rng).CheckOK();
+    benchmark::DoNotOptimize(gcn.weights());
+  }
+}
+BENCHMARK(BM_TrainingEpoch)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_StabilityScan(benchmark::State& state) {
+  // The chunked scan of Alg. 2: O(n1 n2 d) time but O(n) extra space.
+  const int64_t n = state.range(0);
+  Rng rng(8);
+  std::vector<Matrix> hs, ht;
+  for (int l = 0; l < 3; ++l) {
+    Matrix a = Matrix::Gaussian(n, 64, &rng);
+    a.NormalizeRows();
+    hs.push_back(a);
+    Matrix b = Matrix::Gaussian(n, 64, &rng);
+    b.NormalizeRows();
+    ht.push_back(b);
+  }
+  std::vector<double> theta{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScanStability(hs, ht, theta, 0.94));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 64 * 3);
+}
+BENCHMARK(BM_StabilityScan)->Arg(500)->Arg(1000)->Arg(2000);
+
+void BM_NormalizedAdjacency(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  AttributedGraph g = BenchGraph(n, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.NormalizedAdjacency().ValueOrDie());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_NormalizedAdjacency)->Arg(1000)->Arg(10000)->Arg(100000);
+
+}  // namespace
+}  // namespace galign
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Scalability of alignment methods with network size (the paper's §I
+// efficiency motivation: spectral methods' cost grows super-linearly with n
+// — cubically for FINAL in the worst case — while GAlign's training is
+// O(ed + nd^2)). Runs each method on noisy-copy pairs of doubling size and
+// reports wall-clock seconds; the quadratic alignment-instantiation step is
+// shared by all methods, so the interesting signal is the growth *rate*
+// per method.
+#include "bench/bench_common.h"
+
+#include "graph/generators.h"
+#include "graph/noise.h"
+
+using namespace galign;
+using namespace galign::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions opt = ParseOptions(argc, argv);
+  PrintHeader("Scalability: run time (seconds) vs network size", opt);
+
+  const std::vector<int64_t> sizes =
+      opt.full ? std::vector<int64_t>{500, 1000, 2000, 4000, 8000}
+               : std::vector<int64_t>{250, 500, 1000, 2000};
+
+  AlignerSet set = MakeAlignerSet(opt);
+  // CENALP is excluded by default: its cost explodes with size exactly as
+  // in the paper (Table III reports 57401s on Allmovie); include it with
+  // --extended to see that.
+  std::vector<Aligner*> methods{set.galign.get(), set.pale.get(),
+                                set.regal.get(), set.isorank.get(),
+                                set.final_aligner.get()};
+  if (opt.extended) methods.push_back(set.cenalp.get());
+
+  std::vector<std::string> header{"Method"};
+  for (int64_t n : sizes) header.push_back("n=" + std::to_string(n));
+  TextTable table(header);
+
+  std::vector<std::vector<std::string>> rows(methods.size());
+  for (size_t mi = 0; mi < methods.size(); ++mi) {
+    rows[mi].push_back(methods[mi]->name());
+  }
+  for (int64_t n : sizes) {
+    Rng rng(12000 + n);
+    auto g = PowerLawGraph(n, 4 * n, 2.5, &rng);
+    if (!g.ok()) continue;
+    auto attributed =
+        g.ValueOrDie().WithAttributes(BinaryAttributes(n, 16, 0.2, &rng));
+    NoisyCopyOptions opts;
+    opts.structural_noise = 0.1;
+    auto pair = MakeNoisyCopyPair(attributed.ValueOrDie(), opts, &rng);
+    if (!pair.ok()) continue;
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      Rng run_rng(42);
+      RunResult r = RunAligner(methods[mi], pair.ValueOrDie(), 0.1, &run_rng);
+      rows[mi].push_back(r.status.ok() ? TextTable::Num(r.metrics.seconds, 2)
+                                       : "failed");
+    }
+    std::printf("completed n=%lld\n", (long long)n);
+  }
+  for (auto& row : rows) table.AddRow(std::move(row));
+  EmitTable(table, opt, "scalability");
+  return 0;
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Regenerates every paper table/figure (quick mode by default). Pass --full
+# for paper-scale sizes, --extended for the extra-baselines roster, and/or
+# --csv=<prefix> to also dump CSV series for plotting. Extra flags are
+# forwarded to every bench binary.
+#
+#   ./bench/run_all.sh                      # quick sweep (~10 min)
+#   ./bench/run_all.sh --full --runs=5      # paper-scale, averaged
+set -u
+BENCH_DIR="$(dirname "$0")/../build/bench"
+ARGS=("$@")
+
+for b in \
+    bench_table3_end_to_end \
+    bench_table4_ablation \
+    bench_table5_layer_weights \
+    bench_fig3_structural_noise \
+    bench_fig4_attribute_noise \
+    bench_fig5_isomorphic_level \
+    bench_fig6_gcn_layers \
+    bench_fig7_embedding_dim \
+    bench_fig8_qualitative \
+    bench_scalability \
+    bench_hyperparams; do
+  echo "### $b"
+  "${BENCH_DIR}/${b}" "${ARGS[@]}" || echo "(FAILED: $b)"
+  echo
+done
+
+echo "### bench_kernels"
+"${BENCH_DIR}/bench_kernels" --benchmark_min_time=0.2 || echo "(FAILED: bench_kernels)"

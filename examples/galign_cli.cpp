@@ -1,0 +1,215 @@
+// Command-line network alignment tool: the adoption path for users with
+// their own data. Reads edge lists (and optional TSV attributes) for two
+// networks, runs any of the implemented methods, and writes anchor links
+// and/or the full alignment matrix.
+//
+// Usage:
+//   galign_cli --source=s.edges --target=t.edges
+//              [--source-attrs=s.tsv --target-attrs=t.tsv]
+//              [--method=galign|final|isorank|regal|pale|cenalp|unialign|netalign|deeplink|ione]
+//              [--seeds=seeds.txt]            # "source target" pairs
+//              [--anchors-out=anchors.txt]    # greedy 1-1 anchor links
+//              [--matrix-out=matrix.tsv]      # full alignment matrix
+//              [--hungarian]                  # optimal 1-1 instead of greedy
+//              [--epochs=30] [--dim=128]
+//
+// With no --*-out flags, the top anchors are printed to stdout.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "align/alignment_io.h"
+#include "align/hungarian.h"
+#include "baselines/cenalp.h"
+#include "baselines/deeplink.h"
+#include "baselines/final.h"
+#include "baselines/ione.h"
+#include "baselines/isorank.h"
+#include "baselines/netalign.h"
+#include "baselines/pale.h"
+#include "baselines/regal.h"
+#include "baselines/unialign.h"
+#include "core/galign.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+
+using namespace galign;
+
+namespace {
+
+struct CliOptions {
+  std::string source, target;
+  std::string source_attrs, target_attrs;
+  std::string method = "galign";
+  std::string seeds_path;
+  std::string anchors_out, matrix_out;
+  bool hungarian = false;
+  int epochs = 30;
+  int64_t dim = 128;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+Result<AttributedGraph> LoadNetwork(const std::string& edges,
+                                    const std::string& attrs) {
+  auto g = LoadEdgeList(edges);
+  GALIGN_RETURN_NOT_OK(g.status());
+  if (attrs.empty()) return g;
+  auto f = LoadAttributes(attrs);
+  GALIGN_RETURN_NOT_OK(f.status());
+  return g.ValueOrDie().WithAttributes(f.MoveValueOrDie());
+}
+
+std::unique_ptr<Aligner> MakeAligner(const CliOptions& opt) {
+  if (opt.method == "galign") {
+    GAlignConfig cfg;
+    cfg.epochs = opt.epochs;
+    cfg.embedding_dim = opt.dim;
+    return std::make_unique<GAlignAligner>(cfg);
+  }
+  if (opt.method == "final") return std::make_unique<FinalAligner>();
+  if (opt.method == "isorank") return std::make_unique<IsoRankAligner>();
+  if (opt.method == "regal") return std::make_unique<RegalAligner>();
+  if (opt.method == "pale") return std::make_unique<PaleAligner>();
+  if (opt.method == "cenalp") return std::make_unique<CenalpAligner>();
+  if (opt.method == "unialign") return std::make_unique<UniAlignAligner>();
+  if (opt.method == "netalign") return std::make_unique<NetAlignAligner>();
+  if (opt.method == "deeplink") return std::make_unique<DeepLinkAligner>();
+  if (opt.method == "ione") return std::make_unique<IoneAligner>();
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  std::string flag;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--source", &opt.source)) continue;
+    if (ParseFlag(argv[i], "--target", &opt.target)) continue;
+    if (ParseFlag(argv[i], "--source-attrs", &opt.source_attrs)) continue;
+    if (ParseFlag(argv[i], "--target-attrs", &opt.target_attrs)) continue;
+    if (ParseFlag(argv[i], "--method", &opt.method)) continue;
+    if (ParseFlag(argv[i], "--seeds", &opt.seeds_path)) continue;
+    if (ParseFlag(argv[i], "--anchors-out", &opt.anchors_out)) continue;
+    if (ParseFlag(argv[i], "--matrix-out", &opt.matrix_out)) continue;
+    if (std::strcmp(argv[i], "--hungarian") == 0) {
+      opt.hungarian = true;
+      continue;
+    }
+    if (ParseFlag(argv[i], "--epochs", &flag)) {
+      opt.epochs = std::atoi(flag.c_str());
+      continue;
+    }
+    if (ParseFlag(argv[i], "--dim", &flag)) {
+      opt.dim = std::atoll(flag.c_str());
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    return 2;
+  }
+  if (opt.source.empty() || opt.target.empty()) {
+    std::fprintf(stderr,
+                 "usage: galign_cli --source=<edges> --target=<edges> "
+                 "[--method=galign|final|isorank|regal|pale|cenalp|unialign|netalign|deeplink|ione] "
+                 "[--source-attrs=<tsv>] [--target-attrs=<tsv>] "
+                 "[--seeds=<pairs>] [--anchors-out=<file>] "
+                 "[--matrix-out=<file>] [--hungarian]\n");
+    return 2;
+  }
+
+  auto src = LoadNetwork(opt.source, opt.source_attrs);
+  if (!src.ok()) {
+    std::fprintf(stderr, "source: %s\n", src.status().ToString().c_str());
+    return 1;
+  }
+  auto tgt = LoadNetwork(opt.target, opt.target_attrs);
+  if (!tgt.ok()) {
+    std::fprintf(stderr, "target: %s\n", tgt.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("source: %s\n",
+              StatsToString(ComputeStats(src.ValueOrDie())).c_str());
+  std::printf("target: %s\n",
+              StatsToString(ComputeStats(tgt.ValueOrDie())).c_str());
+
+  Supervision sup;
+  if (!opt.seeds_path.empty()) {
+    auto seeds = LoadGroundTruth(opt.seeds_path,
+                                 src.ValueOrDie().num_nodes());
+    if (!seeds.ok()) {
+      std::fprintf(stderr, "seeds: %s\n", seeds.status().ToString().c_str());
+      return 1;
+    }
+    for (size_t v = 0; v < seeds.ValueOrDie().size(); ++v) {
+      if (seeds.ValueOrDie()[v] != -1) {
+        sup.seeds.emplace_back(static_cast<int64_t>(v),
+                               seeds.ValueOrDie()[v]);
+      }
+    }
+    std::printf("loaded %zu seed anchors\n", sup.seeds.size());
+  }
+
+  auto aligner = MakeAligner(opt);
+  if (!aligner) {
+    std::fprintf(stderr, "unknown method: %s\n", opt.method.c_str());
+    return 2;
+  }
+  std::printf("aligning with %s...\n", aligner->name().c_str());
+  auto s = aligner->Align(src.ValueOrDie(), tgt.ValueOrDie(), sup);
+  if (!s.ok()) {
+    std::fprintf(stderr, "alignment failed: %s\n",
+                 s.status().ToString().c_str());
+    return 1;
+  }
+
+  std::vector<int64_t> anchors;
+  if (opt.hungarian) {
+    auto h = HungarianMatch(s.ValueOrDie());
+    if (!h.ok()) {
+      std::fprintf(stderr, "matching failed: %s\n",
+                   h.status().ToString().c_str());
+      return 1;
+    }
+    anchors = h.MoveValueOrDie();
+  } else {
+    anchors = GreedyOneToOneAnchors(s.ValueOrDie());
+  }
+
+  if (!opt.matrix_out.empty()) {
+    auto st = SaveAlignmentMatrix(s.ValueOrDie(), opt.matrix_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote alignment matrix to %s\n", opt.matrix_out.c_str());
+  }
+  if (!opt.anchors_out.empty()) {
+    auto st = SaveAnchors(s.ValueOrDie(), anchors, opt.anchors_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote anchors to %s\n", opt.anchors_out.c_str());
+  }
+  if (opt.anchors_out.empty() && opt.matrix_out.empty()) {
+    std::printf("top anchor links (source -> target, score):\n");
+    int64_t shown = 0;
+    for (size_t v = 0; v < anchors.size() && shown < 20; ++v) {
+      if (anchors[v] == -1) continue;
+      std::printf("  %zu -> %lld  (%.4f)\n", v, (long long)anchors[v],
+                  s.ValueOrDie()(static_cast<int64_t>(v), anchors[v]));
+      ++shown;
+    }
+  }
+  return 0;
+}

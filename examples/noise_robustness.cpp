@@ -1,0 +1,54 @@
+// Adaptivity demo (the paper's R2 requirement): sweep structural noise on
+// an email-like network and watch how GAlign with and without its data
+// augmentation (the GAlign-1 ablation) degrades. Shows the augmented model
+// holding up better as consistency violations grow.
+#include <cstdio>
+
+#include "align/datasets.h"
+#include "align/metrics.h"
+#include "align/pipeline.h"
+#include "core/galign.h"
+
+using namespace galign;
+
+int main() {
+  Rng rng(13);
+  auto base = MakeEmailLike(&rng, /*scale=*/4.0).MoveValueOrDie();
+  std::printf("base network: %lld nodes, %lld edges\n\n",
+              (long long)base.num_nodes(), (long long)base.num_edges());
+
+  GAlignConfig cfg;
+  cfg.epochs = 30;
+  cfg.embedding_dim = 64;
+  cfg.refinement_iterations = 6;
+
+  TextTable table({"noise", "GAlign S@1", "GAlign MAP",
+                   "no-augment S@1", "no-augment MAP"});
+  for (double noise : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    Rng pair_rng(100 + static_cast<uint64_t>(noise * 100));
+    NoisyCopyOptions opts;
+    opts.structural_noise = noise;
+    AlignmentPair pair =
+        MakeNoisyCopyPair(base, opts, &pair_rng).MoveValueOrDie();
+
+    GAlignAligner with_aug(cfg, "GAlign");
+    GAlignAligner without_aug(GAlignAligner::WithoutAugmentation(cfg),
+                              "GAlign-1");
+    auto s1 = with_aug.Align(pair.source, pair.target, {});
+    auto s2 = without_aug.Align(pair.source, pair.target, {});
+    if (!s1.ok() || !s2.ok()) {
+      std::fprintf(stderr, "alignment failed at noise %.1f\n", noise);
+      return 1;
+    }
+    AlignmentMetrics m1 = ComputeMetrics(s1.ValueOrDie(), pair.ground_truth);
+    AlignmentMetrics m2 = ComputeMetrics(s2.ValueOrDie(), pair.ground_truth);
+    table.AddRow({TextTable::Num(noise, 1), TextTable::Num(m1.success_at_1),
+                  TextTable::Num(m1.map), TextTable::Num(m2.success_at_1),
+                  TextTable::Num(m2.map)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "expected shape: both degrade with noise; the augmented model "
+      "degrades more slowly (paper Fig. 3 / Table IV).\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Protein-protein interaction (PPI) network alignment — the bioinformatics
+// application from the paper's introduction (cross-species gene
+// prioritization). PPI edges carry interaction-confidence weights, so this
+// example exercises the weighted-graph path: two "species" whose
+// interactomes descend from a common ancestor network with divergence
+// modeled as edge turnover + confidence jitter.
+#include <cstdio>
+
+#include "align/metrics.h"
+#include "align/hungarian.h"
+#include "core/galign.h"
+#include "graph/generators.h"
+#include "graph/stats.h"
+
+using namespace galign;
+
+namespace {
+
+// Builds a weighted "interactome" by decorating a power-law topology with
+// confidence weights in (0, 1].
+AttributedGraph MakeInteractome(int64_t proteins, int64_t interactions,
+                                Rng* rng) {
+  auto topo = PowerLawGraph(proteins, interactions, 2.3, rng).MoveValueOrDie();
+  std::vector<WeightedEdge> weighted;
+  weighted.reserve(topo.edges().size());
+  for (const auto& [u, v] : topo.edges()) {
+    weighted.push_back({u, v, rng->Uniform(0.2, 1.0)});
+  }
+  // Attributes = coarse functional annotation (GO-term-like one-hot).
+  Matrix go_terms = OneHotAttributes(proteins, 12, 1.2, rng);
+  return AttributedGraph::CreateWeighted(proteins, std::move(weighted),
+                                         std::move(go_terms))
+      .MoveValueOrDie();
+}
+
+// "Species divergence": each edge survives with probability keep_rate (new
+// edges appear to compensate), surviving confidences are jittered, and the
+// node labels are shuffled.
+struct Divergence {
+  AttributedGraph network;
+  std::vector<int64_t> orthologs;  // ancestor protein -> descendant protein
+};
+
+Divergence Diverge(const AttributedGraph& ancestor, double keep_rate,
+                   Rng* rng) {
+  std::vector<WeightedEdge> edges;
+  int64_t dropped = 0;
+  for (size_t i = 0; i < ancestor.edges().size(); ++i) {
+    const auto& [u, v] = ancestor.edges()[i];
+    if (rng->Bernoulli(keep_rate)) {
+      double w = ancestor.EdgeWeight(u, v) * rng->Uniform(0.8, 1.25);
+      edges.push_back({u, v, std::min(1.0, std::max(0.05, w))});
+    } else {
+      ++dropped;
+    }
+  }
+  // Edge turnover: new interactions replace the lost ones.
+  const int64_t n = ancestor.num_nodes();
+  for (int64_t i = 0; i < dropped; ++i) {
+    int64_t u = rng->UniformInt(n), v = rng->UniformInt(n);
+    if (u != v) edges.push_back({u, v, rng->Uniform(0.2, 1.0)});
+  }
+  Matrix attrs = ancestor.attributes();
+  auto network = AttributedGraph::CreateWeighted(n, std::move(edges),
+                                                 std::move(attrs))
+                     .MoveValueOrDie();
+  std::vector<int64_t> perm = rng->Permutation(n);
+  Divergence d;
+  d.network = network.Permuted(perm).MoveValueOrDie();
+  d.orthologs = perm;
+  return d;
+}
+
+}  // namespace
+
+int main() {
+  Rng rng(99);
+  AttributedGraph ancestor = MakeInteractome(300, 1200, &rng);
+  std::printf("ancestral interactome: %s\n",
+              StatsToString(ComputeStats(ancestor)).c_str());
+
+  // Two species diverge independently from the ancestor.
+  Divergence species_a = Diverge(ancestor, 0.92, &rng);
+  Divergence species_b = Diverge(ancestor, 0.85, &rng);
+  std::printf("species A: %s\n",
+              StatsToString(ComputeStats(species_a.network)).c_str());
+  std::printf("species B: %s\n\n",
+              StatsToString(ComputeStats(species_b.network)).c_str());
+
+  // Ground-truth orthology: ancestor protein p lives at species_a.orthologs[p]
+  // in A and species_b.orthologs[p] in B.
+  std::vector<int64_t> orthology(species_a.network.num_nodes(), -1);
+  for (int64_t p = 0; p < ancestor.num_nodes(); ++p) {
+    orthology[species_a.orthologs[p]] = species_b.orthologs[p];
+  }
+
+  GAlignConfig cfg;
+  cfg.epochs = 40;
+  cfg.embedding_dim = 64;
+  cfg.refinement_iterations = 8;
+  GAlignAligner aligner(cfg);
+  auto s = aligner.Align(species_a.network, species_b.network, {});
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.status().ToString().c_str());
+    return 1;
+  }
+
+  AlignmentMetrics m = ComputeMetrics(s.ValueOrDie(), orthology);
+  std::printf("orthology detection (unsupervised): %s\n", m.ToString().c_str());
+
+  // Optimal one-to-one ortholog table.
+  auto matching = HungarianMatch(s.ValueOrDie());
+  if (matching.ok()) {
+    int64_t correct = 0;
+    for (size_t p = 0; p < matching.ValueOrDie().size(); ++p) {
+      if (matching.ValueOrDie()[p] == orthology[p]) ++correct;
+    }
+    std::printf("Hungarian ortholog table: %lld/%lld correct pairs\n",
+                (long long)correct,
+                (long long)matching.ValueOrDie().size());
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: align a network with a noisy permuted copy of itself using
+// GAlign, fully unsupervised, and score the result against the known
+// ground truth.
+//
+//   $ ./quickstart
+//
+// Walks through the three core API calls: build graphs, construct a
+// GAlignAligner, read metrics off the alignment matrix.
+#include <cstdio>
+
+#include "align/metrics.h"
+#include "core/galign.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
+
+using namespace galign;
+
+int main() {
+  // 1. Build an attributed network: 200 users, power-law friendships, and a
+  //    12-dimensional binary profile per user.
+  Rng rng(42);
+  auto graph_result = BarabasiAlbert(200, 3, &rng);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
+    return 1;
+  }
+  AttributedGraph network = graph_result.MoveValueOrDie()
+                                .WithAttributes(BinaryAttributes(
+                                    200, 12, 0.25, &rng))
+                                .MoveValueOrDie();
+
+  // 2. Make the alignment task: the "other platform" is a randomly permuted
+  //    copy with 10% structural noise and 10% attribute noise.
+  NoisyCopyOptions noise;
+  noise.structural_noise = 0.10;
+  noise.attribute_noise = 0.10;
+  AlignmentPair pair =
+      MakeNoisyCopyPair(network, noise, &rng).MoveValueOrDie();
+
+  std::printf("source: %lld nodes, %lld edges | target: %lld nodes, %lld edges\n",
+              (long long)pair.source.num_nodes(),
+              (long long)pair.source.num_edges(),
+              (long long)pair.target.num_nodes(),
+              (long long)pair.target.num_edges());
+
+  // 3. Align. GAlign needs no anchor seeds - pass empty supervision.
+  GAlignConfig config;
+  config.epochs = 30;
+  config.embedding_dim = 64;
+  config.refinement_iterations = 10;
+  GAlignAligner aligner(config);
+  auto alignment = aligner.Align(pair.source, pair.target, /*supervision=*/{});
+  if (!alignment.ok()) {
+    std::fprintf(stderr, "alignment failed: %s\n",
+                 alignment.status().ToString().c_str());
+    return 1;
+  }
+
+  // 4. Score against ground truth.
+  AlignmentMetrics metrics =
+      ComputeMetrics(alignment.ValueOrDie(), pair.ground_truth);
+  std::printf("GAlign (unsupervised): %s\n", metrics.ToString().c_str());
+
+  // 5. Extract hard anchor links with the greedy 1-1 matcher.
+  auto anchors = GreedyOneToOneAnchors(alignment.ValueOrDie());
+  int64_t correct = 0;
+  for (size_t v = 0; v < anchors.size(); ++v) {
+    if (anchors[v] == pair.ground_truth[v]) ++correct;
+  }
+  std::printf("greedy 1-1 matching: %lld/%lld exact anchor links\n",
+              (long long)correct, (long long)anchors.size());
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Social-network account linking (the paper's motivating application §I):
+// a Douban-like scenario where a large "online" network must be aligned
+// with a much smaller "offline" network of the same community — size
+// imbalance, sparse structure, rich binary profiles.
+//
+// Compares the unsupervised GAlign against the supervised baselines
+// (FINAL, IsoRank, PALE get 10% of the true anchors) and the unsupervised
+// REGAL, reproducing the Table III protocol at example scale.
+#include <cstdio>
+
+#include "align/bootstrap.h"
+#include "align/datasets.h"
+#include "align/pipeline.h"
+#include "baselines/final.h"
+#include "baselines/isorank.h"
+#include "baselines/pale.h"
+#include "baselines/regal.h"
+#include "core/galign.h"
+#include "graph/stats.h"
+
+using namespace galign;
+
+int main() {
+  // Douban-like pair at 1/6 scale: ~650 online users, ~190 offline, every
+  // offline user has an online counterpart.
+  DatasetSpec spec = DoubanSpec().Scaled(6.0);
+  Rng rng(7);
+  auto pair_result = SynthesizePair(spec, &rng);
+  if (!pair_result.ok()) {
+    std::fprintf(stderr, "%s\n", pair_result.status().ToString().c_str());
+    return 1;
+  }
+  AlignmentPair pair = pair_result.MoveValueOrDie();
+
+  std::printf("online  network: %s\n",
+              StatsToString(ComputeStats(pair.source)).c_str());
+  std::printf("offline network: %s\n",
+              StatsToString(ComputeStats(pair.target)).c_str());
+  std::printf("anchor links: %lld\n\n", (long long)pair.NumAnchors());
+
+  GAlignConfig cfg;
+  cfg.epochs = 30;
+  cfg.embedding_dim = 100;
+  cfg.refinement_iterations = 10;
+  GAlignAligner galign_aligner(cfg);
+  FinalAligner final_aligner;
+  IsoRankAligner isorank_aligner;
+  RegalAligner regal_aligner;
+  PaleConfig pale_cfg;
+  pale_cfg.embedding_epochs = 80;
+  PaleAligner pale_aligner(pale_cfg);
+
+  std::vector<Aligner*> aligners{&galign_aligner, &final_aligner,
+                                 &isorank_aligner, &regal_aligner,
+                                 &pale_aligner};
+  auto results = RunAll(aligners, pair, /*seed_fraction=*/0.1, &rng);
+
+  TextTable table({"Method", "MAP", "AUC", "S@1", "S@10", "Time(s)"});
+  for (const RunResult& r : results) {
+    if (!r.status.ok()) {
+      table.AddRow({r.method, "failed: " + r.status.ToString()});
+      continue;
+    }
+    table.AddRow({r.method, TextTable::Num(r.metrics.map),
+                  TextTable::Num(r.metrics.auc),
+                  TextTable::Num(r.metrics.success_at_1),
+                  TextTable::Num(r.metrics.success_at_10),
+                  TextTable::Num(r.metrics.seconds, 2)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "note: FINAL/IsoRank/PALE consume 10%% seed anchors; GAlign and REGAL "
+      "are fully unsupervised.\n");
+
+  // How solid is the GAlign number? Bootstrap the anchor set.
+  auto s = galign_aligner.Align(pair.source, pair.target, {});
+  if (s.ok()) {
+    auto ci = BootstrapEvaluate(s.ValueOrDie(), pair.ground_truth, 1000);
+    if (ci.ok()) {
+      std::printf("GAlign bootstrap (90%% CI): %s\n",
+                  ci.ValueOrDie().ToString().c_str());
+    }
+  }
+  return 0;
+}

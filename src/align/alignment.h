@@ -1,0 +1,74 @@
+// The network-alignment problem surface (paper §II-B): aligners consume a
+// source/target pair of attributed graphs and produce an alignment matrix
+// S in R^{n1 x n2} whose (v, v') entry is the matching degree.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/noise.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// \brief Optional supervision available to an aligner.
+///
+/// GAlign is fully unsupervised and ignores this. FINAL/IsoRank consume a
+/// prior alignment matrix derived from the seeds; PALE/CENALP consume the
+/// seed anchor links directly (paper §VII-A gives baselines 10% of the
+/// ground truth to respect their original settings).
+struct Supervision {
+  /// (source node, target node) seed anchor links. Empty = unsupervised.
+  std::vector<std::pair<int64_t, int64_t>> seeds;
+};
+
+/// \brief Interface implemented by every alignment technique in the repo.
+class Aligner {
+ public:
+  virtual ~Aligner() = default;
+
+  /// Human-readable method name ("GAlign", "FINAL", ...).
+  virtual std::string name() const = 0;
+
+  /// Computes the alignment matrix S (n_source x n_target). Implementations
+  /// must return finite entries; higher = better match.
+  virtual Result<Matrix> Align(const AttributedGraph& source,
+                               const AttributedGraph& target,
+                               const Supervision& supervision) = 0;
+};
+
+/// Greedy anchor extraction: for each source node, the argmax target
+/// (paper §VI-A one-to-one instantiation by ranking).
+std::vector<int64_t> Top1Anchors(const Matrix& s);
+
+/// One-to-one greedy matching: repeatedly takes the globally largest entry
+/// whose row and column are both unused. Useful for strict 1-1 settings.
+std::vector<int64_t> GreedyOneToOneAnchors(const Matrix& s);
+
+/// One-to-many instantiation (paper §VI-A mentions this setting): for each
+/// source node, the top-k candidate targets in descending score order.
+std::vector<std::vector<int64_t>> TopKAnchors(const Matrix& s, int64_t k);
+
+/// Soft one-to-many instantiation: all target nodes whose score exceeds
+/// `threshold`, per source node, descending. Rows may be empty.
+std::vector<std::vector<int64_t>> AnchorsAboveThreshold(const Matrix& s,
+                                                        double threshold);
+
+/// Draws `fraction` of the true anchors as supervision seeds.
+Supervision SampleSeeds(const std::vector<int64_t>& ground_truth,
+                        double fraction, Rng* rng);
+
+/// Builds a prior alignment matrix H (n1 x n2) from seeds: 1 at seed pairs,
+/// uniform 1/n2 elsewhere, rows normalized (used by FINAL/IsoRank).
+Matrix PriorFromSeeds(int64_t n1, int64_t n2, const Supervision& supervision);
+
+/// Row-normalized attribute-similarity prior: N(v, v') = cosine between
+/// attribute rows, clamped at 0 (used when no seeds are supplied).
+Matrix AttributePrior(const AttributedGraph& source,
+                      const AttributedGraph& target);
+
+}  // namespace galign

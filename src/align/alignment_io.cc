@@ -1,0 +1,88 @@
+#include "align/alignment_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace galign {
+
+Status SaveAlignmentMatrix(const Matrix& s, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.precision(17);
+  out << "# alignment rows=" << s.rows() << " cols=" << s.cols() << "\n";
+  for (int64_t r = 0; r < s.rows(); ++r) {
+    const double* row = s.row_data(r);
+    for (int64_t c = 0; c < s.cols(); ++c) {
+      if (c) out << "\t";
+      out << row[c];
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Matrix> LoadAlignmentMatrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string line;
+  std::vector<std::vector<double>> rows;
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::vector<double> row;
+    double v;
+    while (ls >> v) row.push_back(v);
+    if (rows.empty()) {
+      width = row.size();
+    } else if (row.size() != width) {
+      return Status::IOError("ragged alignment matrix in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::IOError("empty alignment matrix: " + path);
+  Matrix m(static_cast<int64_t>(rows.size()), static_cast<int64_t>(width));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    std::copy(rows[r].begin(), rows[r].end(),
+              m.row_data(static_cast<int64_t>(r)));
+  }
+  return m;
+}
+
+Status SaveAnchors(const Matrix& s, const std::vector<int64_t>& anchors,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.precision(10);
+  for (size_t v = 0; v < anchors.size(); ++v) {
+    int64_t t = anchors[v];
+    if (t == -1) continue;
+    out << v << "\t" << t << "\t" << s(static_cast<int64_t>(v), t) << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> LoadAnchors(const std::string& path,
+                                         int64_t num_source_nodes) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<int64_t> anchors(num_source_nodes, -1);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int64_t s, t;
+    if (!(ls >> s >> t)) {
+      return Status::IOError("malformed anchor line: '" + line + "'");
+    }
+    if (s < 0 || s >= num_source_nodes) {
+      return Status::IOError("anchor source out of range");
+    }
+    anchors[s] = t;
+  }
+  return anchors;
+}
+
+}  // namespace galign

@@ -1,0 +1,94 @@
+#include "align/bootstrap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace galign {
+
+namespace {
+
+BootstrapStat Summarize(std::vector<double> values) {
+  BootstrapStat stat;
+  const double n = static_cast<double>(values.size());
+  if (values.empty()) return stat;
+  double sum = 0, sq = 0;
+  for (double v : values) {
+    sum += v;
+    sq += v * v;
+  }
+  stat.mean = sum / n;
+  stat.stddev = std::sqrt(std::max(0.0, sq / n - stat.mean * stat.mean));
+  std::sort(values.begin(), values.end());
+  auto quantile = [&](double q) {
+    double idx = q * (n - 1);
+    size_t lo = static_cast<size_t>(idx);
+    size_t hi = std::min(lo + 1, values.size() - 1);
+    double frac = idx - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+  };
+  stat.p5 = quantile(0.05);
+  stat.p95 = quantile(0.95);
+  return stat;
+}
+
+}  // namespace
+
+std::string BootstrapMetrics::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed << "S@1 " << success_at_1.mean << " ["
+     << success_at_1.p5 << ", " << success_at_1.p95 << "]  MAP " << map.mean
+     << " [" << map.p5 << ", " << map.p95 << "]  AUC " << auc.mean << " ["
+     << auc.p5 << ", " << auc.p95 << "]  (" << resamples << " resamples)";
+  return os.str();
+}
+
+Result<BootstrapMetrics> BootstrapEvaluate(
+    const Matrix& s, const std::vector<int64_t>& ground_truth,
+    int64_t resamples, uint64_t seed) {
+  if (resamples < 1) {
+    return Status::InvalidArgument("resamples must be >= 1");
+  }
+  // Per-anchor ranks, computed once.
+  std::vector<int64_t> ranks;
+  for (size_t v = 0; v < ground_truth.size(); ++v) {
+    int64_t t = ground_truth[v];
+    if (t < 0 || t >= s.cols() || static_cast<int64_t>(v) >= s.rows()) {
+      continue;
+    }
+    ranks.push_back(RankInRow(s, static_cast<int64_t>(v), t));
+  }
+  if (ranks.empty()) {
+    return Status::InvalidArgument("no anchors to evaluate");
+  }
+  const double negatives = static_cast<double>(s.cols() - 1);
+  const int64_t m = static_cast<int64_t>(ranks.size());
+
+  Rng rng(seed);
+  std::vector<double> s1(resamples), map(resamples), auc(resamples);
+  for (int64_t b = 0; b < resamples; ++b) {
+    double hit1 = 0, mrr = 0, auc_sum = 0;
+    for (int64_t i = 0; i < m; ++i) {
+      int64_t rank = ranks[rng.UniformInt(m)];
+      if (rank <= 1) hit1 += 1;
+      mrr += 1.0 / static_cast<double>(rank);
+      auc_sum += negatives > 0 ? (negatives + 1.0 - rank) / negatives : 1.0;
+    }
+    s1[b] = hit1 / m;
+    map[b] = mrr / m;
+    auc[b] = auc_sum / m;
+  }
+
+  BootstrapMetrics out;
+  out.success_at_1 = Summarize(std::move(s1));
+  out.map = Summarize(std::move(map));
+  out.auc = Summarize(std::move(auc));
+  out.resamples = resamples;
+  return out;
+}
+
+}  // namespace galign

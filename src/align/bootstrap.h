@@ -1,0 +1,44 @@
+// Bootstrap confidence intervals for alignment metrics: resample the anchor
+// set with replacement B times and summarize the distribution of each
+// metric. Tells you whether "method A beats method B by 2 points" is signal
+// or anchor-sampling noise — essential when the anchor list is small (e.g.
+// Flickr-Myspace's 323 anchors).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "align/metrics.h"
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// Distribution summary of one metric over bootstrap resamples.
+struct BootstrapStat {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p5 = 0.0;    ///< 5th percentile
+  double p95 = 0.0;   ///< 95th percentile
+};
+
+/// Bootstrap summaries for the headline metrics.
+struct BootstrapMetrics {
+  BootstrapStat success_at_1;
+  BootstrapStat map;
+  BootstrapStat auc;
+  int64_t resamples = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Computes bootstrap confidence intervals by resampling anchors.
+///
+/// Ranks are computed once per anchor (the expensive part) and reused across
+/// resamples, so cost is O(#anchors * n2 + B * #anchors).
+Result<BootstrapMetrics> BootstrapEvaluate(
+    const Matrix& s, const std::vector<int64_t>& ground_truth,
+    int64_t resamples = 1000, uint64_t seed = 7);
+
+}  // namespace galign

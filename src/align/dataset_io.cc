@@ -1,0 +1,63 @@
+#include "align/dataset_io.h"
+
+#include <filesystem>
+
+#include "graph/io.h"
+
+namespace galign {
+
+namespace {
+std::string Join(const std::string& dir, const char* name) {
+  return (std::filesystem::path(dir) / name).string();
+}
+}  // namespace
+
+Status SaveAlignmentPair(const AlignmentPair& pair, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory: " + dir);
+  GALIGN_RETURN_NOT_OK(SaveEdgeList(pair.source, Join(dir, "source.edges")));
+  GALIGN_RETURN_NOT_OK(
+      SaveAttributes(pair.source.attributes(), Join(dir, "source.attrs")));
+  GALIGN_RETURN_NOT_OK(SaveEdgeList(pair.target, Join(dir, "target.edges")));
+  GALIGN_RETURN_NOT_OK(
+      SaveAttributes(pair.target.attributes(), Join(dir, "target.attrs")));
+  GALIGN_RETURN_NOT_OK(
+      SaveGroundTruth(pair.ground_truth, Join(dir, "ground_truth.txt")));
+  return Status::OK();
+}
+
+Result<AlignmentPair> LoadAlignmentPair(const std::string& dir) {
+  auto source_edges = LoadEdgeList(Join(dir, "source.edges"));
+  GALIGN_RETURN_NOT_OK(source_edges.status());
+  auto source_attrs = LoadAttributes(Join(dir, "source.attrs"));
+  GALIGN_RETURN_NOT_OK(source_attrs.status());
+  auto source =
+      source_edges.ValueOrDie().WithAttributes(source_attrs.MoveValueOrDie());
+  GALIGN_RETURN_NOT_OK(source.status());
+
+  auto target_edges = LoadEdgeList(Join(dir, "target.edges"));
+  GALIGN_RETURN_NOT_OK(target_edges.status());
+  auto target_attrs = LoadAttributes(Join(dir, "target.attrs"));
+  GALIGN_RETURN_NOT_OK(target_attrs.status());
+  auto target =
+      target_edges.ValueOrDie().WithAttributes(target_attrs.MoveValueOrDie());
+  GALIGN_RETURN_NOT_OK(target.status());
+
+  auto gt = LoadGroundTruth(Join(dir, "ground_truth.txt"),
+                            source.ValueOrDie().num_nodes());
+  GALIGN_RETURN_NOT_OK(gt.status());
+
+  AlignmentPair pair;
+  pair.source = source.MoveValueOrDie();
+  pair.target = target.MoveValueOrDie();
+  pair.ground_truth = gt.MoveValueOrDie();
+  for (int64_t t : pair.ground_truth) {
+    if (t >= pair.target.num_nodes()) {
+      return Status::IOError("ground truth references missing target node");
+    }
+  }
+  return pair;
+}
+
+}  // namespace galign

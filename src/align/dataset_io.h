@@ -1,0 +1,23 @@
+// Persistence for complete alignment datasets (source + target + ground
+// truth) as a directory of plain-text files. Lets the full-scale benches
+// synthesize a pair once and reload it across runs, and lets users package
+// their own alignment tasks for the CLI.
+//
+// Layout of <dir>:
+//   source.edges  source.attrs  target.edges  target.attrs  ground_truth.txt
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/noise.h"
+
+namespace galign {
+
+/// Writes the pair into `dir` (created if missing).
+Status SaveAlignmentPair(const AlignmentPair& pair, const std::string& dir);
+
+/// Reads a pair written by SaveAlignmentPair.
+Result<AlignmentPair> LoadAlignmentPair(const std::string& dir);
+
+}  // namespace galign

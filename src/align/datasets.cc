@@ -1,0 +1,227 @@
+#include "align/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace galign {
+
+DatasetSpec DatasetSpec::Scaled(double factor) const {
+  if (factor <= 1.0) return *this;
+  DatasetSpec s = *this;
+  auto shrink = [factor](int64_t x) {
+    return std::max<int64_t>(8, static_cast<int64_t>(
+                                    std::llround(static_cast<double>(x) / factor)));
+  };
+  s.source_nodes = shrink(source_nodes);
+  s.source_edges = shrink(source_edges);
+  s.target_nodes = shrink(target_nodes);
+  s.target_edges = shrink(target_edges);
+  s.num_anchors = std::min(
+      {shrink(num_anchors), s.source_nodes, s.target_nodes});
+  return s;
+}
+
+DatasetSpec DoubanSpec() {
+  DatasetSpec s;
+  s.name = "Douban Online-Offline";
+  s.source_nodes = 3906;
+  s.source_edges = 8164;
+  s.target_nodes = 1118;
+  s.target_edges = 1511;
+  s.num_attributes = 538;
+  s.num_anchors = 1118;
+  s.attribute_kind = AttributeKind::kBinaryTags;
+  // Moderate consistency violations: the offline network is much sparser
+  // than the online one and profiles drift between platforms.
+  s.structural_noise = 0.25;
+  s.attribute_noise = 0.35;
+  return s;
+}
+
+DatasetSpec FlickrMyspaceSpec() {
+  DatasetSpec s;
+  s.name = "Flickr-Myspace";
+  s.source_nodes = 5740;
+  s.source_edges = 8977;
+  s.target_nodes = 4504;
+  s.target_edges = 5507;
+  s.num_attributes = 3;
+  s.num_anchors = 323;
+  // The three profile fields behave like categorical flags.
+  s.attribute_kind = AttributeKind::kCategories;
+  // Avg degree < 5 and almost no shared structure: the regime where every
+  // method ill-performs (paper §VII-B).
+  s.structural_noise = 0.35;
+  s.attribute_noise = 0.25;
+  return s;
+}
+
+DatasetSpec AllmovieImdbSpec() {
+  DatasetSpec s;
+  s.name = "Allmovie-Imdb";
+  s.source_nodes = 6011;
+  s.source_edges = 124709;
+  s.target_nodes = 5713;
+  s.target_edges = 119073;
+  s.num_attributes = 14;
+  s.num_anchors = 5176;
+  s.attribute_kind = AttributeKind::kCategories;
+  // Both sides derive from the same film catalogue: dense, high overlap,
+  // low-but-real noise (casts and genre tags differ between databases) —
+  // the easiest regime, yet enough drift that pure structural identity
+  // (degree histograms) cannot solve it outright.
+  s.structural_noise = 0.07;
+  s.attribute_noise = 0.10;
+  return s;
+}
+
+namespace {
+
+Result<AttributedGraph> MakeRepositoryLike(int64_t nodes, int64_t edges,
+                                           double exponent, Rng* rng,
+                                           double scale) {
+  if (scale < 1.0) scale = 1.0;
+  int64_t n = std::max<int64_t>(8, static_cast<int64_t>(nodes / scale));
+  int64_t e = std::max<int64_t>(8, static_cast<int64_t>(edges / scale));
+  auto g = PowerLawGraph(n, e, exponent, rng);
+  if (!g.ok()) return g.status();
+  Matrix attrs = BinaryAttributes(n, 20, 0.15, rng);
+  return g.ValueOrDie().WithAttributes(std::move(attrs));
+}
+
+}  // namespace
+
+Result<AttributedGraph> MakeBnLike(Rng* rng, double scale) {
+  return MakeRepositoryLike(1781, 9016, 2.3, rng, scale);
+}
+
+Result<AttributedGraph> MakeEconLike(Rng* rng, double scale) {
+  return MakeRepositoryLike(1258, 7619, 2.1, rng, scale);
+}
+
+Result<AttributedGraph> MakeEmailLike(Rng* rng, double scale) {
+  return MakeRepositoryLike(1133, 5451, 2.4, rng, scale);
+}
+
+Matrix MakeAttributes(const DatasetSpec& spec, int64_t n, Rng* rng) {
+  switch (spec.attribute_kind) {
+    case AttributeKind::kBinaryTags: {
+      // Sparse tag profiles: expect ~5 tags per node regardless of width.
+      double density =
+          std::min(0.5, 5.0 / static_cast<double>(spec.num_attributes));
+      return BinaryAttributes(n, spec.num_attributes, density, rng);
+    }
+    case AttributeKind::kRealProfile:
+      return RealAttributes(n, spec.num_attributes, 2.0, rng);
+    case AttributeKind::kCategories: {
+      // Movies carry 1-3 genres out of a skewed catalogue.
+      Matrix f = OneHotAttributes(n, spec.num_attributes, 1.0, rng);
+      Matrix extra = OneHotAttributes(n, spec.num_attributes, 1.0, rng);
+      for (int64_t i = 0; i < f.size(); ++i) {
+        if (rng->Bernoulli(0.6)) {
+          f.data()[i] = std::min(1.0, f.data()[i] + extra.data()[i]);
+        }
+      }
+      return f;
+    }
+  }
+  return Matrix(n, 1, 1.0);
+}
+
+Result<AlignmentPair> SynthesizePair(const DatasetSpec& spec, Rng* rng) {
+  if (spec.num_anchors > std::min(spec.source_nodes, spec.target_nodes) ||
+      spec.target_nodes > spec.source_nodes) {
+    return Status::InvalidArgument(
+        spec.name + ": need anchors <= target_nodes <= source_nodes");
+  }
+  // 1. Source network.
+  auto src_result = PowerLawGraph(spec.source_nodes, spec.source_edges,
+                                  spec.power_law_exponent, rng);
+  if (!src_result.ok()) return src_result.status();
+  AttributedGraph source = src_result.MoveValueOrDie();
+  {
+    auto r = source.WithAttributes(
+        MakeAttributes(spec, spec.source_nodes, rng));
+    if (!r.ok()) return r.status();
+    source = r.MoveValueOrDie();
+  }
+
+  // 2. The target population is a degree-biased sample of target_nodes
+  // source nodes (the other platform's crawl of the same community);
+  // repeated endpoint sampling prefers high-degree nodes, keeping the
+  // shared core connected. Only num_anchors of them are *recorded* as
+  // ground truth — mirroring the real datasets, where the validated anchor
+  // list covers a subset of the genuinely overlapping users.
+  std::set<int64_t> selected_set;
+  {
+    std::vector<int64_t> endpoints;
+    endpoints.reserve(source.num_edges() * 2);
+    for (const auto& [u, v] : source.edges()) {
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+    // Endpoint sampling can only ever select non-isolated nodes, so bound
+    // the attempts (a sparse graph may have fewer distinct endpoints than
+    // target_nodes) and fill the remainder uniformly.
+    int64_t attempts = 0;
+    const int64_t max_attempts = 50 * (spec.target_nodes + 1);
+    while (static_cast<int64_t>(selected_set.size()) < spec.target_nodes &&
+           !endpoints.empty() && attempts++ < max_attempts) {
+      selected_set.insert(endpoints[rng->UniformInt(
+          static_cast<int64_t>(endpoints.size()))]);
+    }
+    // Top up with uniform picks (also covers the edgeless-graph case).
+    while (static_cast<int64_t>(selected_set.size()) < spec.target_nodes) {
+      selected_set.insert(rng->UniformInt(source.num_nodes()));
+    }
+  }
+  std::vector<int64_t> selected(selected_set.begin(), selected_set.end());
+  rng->Shuffle(&selected);
+
+  // 3. Target = induced subgraph on the selected nodes (target node i
+  // corresponds to source node selected[i]; attributes move along).
+  auto core_result = source.InducedSubgraph(selected);
+  if (!core_result.ok()) return core_result.status();
+  AttributedGraph target = core_result.MoveValueOrDie();
+
+  // 4. Nudge the edge count toward the spec, then apply noise + permutation.
+  if (target.num_edges() < spec.target_edges) {
+    double deficit =
+        static_cast<double>(spec.target_edges - target.num_edges()) /
+        std::max<int64_t>(1, target.num_edges());
+    auto r = AddRandomEdges(target, deficit, rng);
+    if (!r.ok()) return r.status();
+    target = r.MoveValueOrDie();
+  } else if (target.num_edges() > spec.target_edges) {
+    double surplus =
+        static_cast<double>(target.num_edges() - spec.target_edges) /
+        static_cast<double>(target.num_edges());
+    auto r = RemoveEdges(target, surplus, rng);
+    if (!r.ok()) return r.status();
+    target = r.MoveValueOrDie();
+  }
+
+  NoisyCopyOptions noise;
+  noise.structural_noise = spec.structural_noise;
+  noise.attribute_noise = spec.attribute_noise;
+  noise.permute = true;
+  auto pair_result = MakeNoisyCopyPair(target, noise, rng);
+  if (!pair_result.ok()) return pair_result.status();
+  AlignmentPair inner = pair_result.MoveValueOrDie();
+
+  AlignmentPair out;
+  out.source = std::move(source);
+  out.target = std::move(inner.target);
+  out.ground_truth.assign(out.source.num_nodes(), -1);
+  // Record only the first num_anchors selected nodes as validated anchors
+  // (`selected` was shuffled, so this is a uniform subset).
+  for (int64_t i = 0; i < spec.num_anchors; ++i) {
+    out.ground_truth[selected[i]] = inner.ground_truth[i];
+  }
+  return out;
+}
+
+}  // namespace galign

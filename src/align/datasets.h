@@ -1,0 +1,72 @@
+// Synthetic stand-ins for the paper's evaluation datasets.
+//
+// The real crawls (Douban Online/Offline, Flickr/Myspace, Allmovie/Imdb) and
+// the Network Repository graphs (bn, econ, email) are not redistributable /
+// not available offline, so each is replaced by a generator that matches the
+// published Table II statistics (node count, edge count, attribute
+// dimensionality, anchor count) and the qualitative regime that drives the
+// paper's findings (density, overlap, noise level). See DESIGN.md §3.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/noise.h"
+
+namespace galign {
+
+/// Kinds of node attributes a dataset carries.
+enum class AttributeKind {
+  kBinaryTags,   // sparse multi-hot (user profile tags; Douban: 538 dims)
+  kRealProfile,  // dense real-valued (Flickr/Myspace: 3 dims)
+  kCategories,   // denser multi-hot (movie genres; Allmovie: 14 dims)
+};
+
+/// Declarative description of an alignment dataset.
+struct DatasetSpec {
+  std::string name;
+  int64_t source_nodes = 0;
+  int64_t source_edges = 0;
+  int64_t target_nodes = 0;
+  int64_t target_edges = 0;
+  int64_t num_attributes = 1;
+  int64_t num_anchors = 0;  // shared nodes; <= min(source, target) nodes
+  AttributeKind attribute_kind = AttributeKind::kBinaryTags;
+  double structural_noise = 0.05;  // p_s applied to the target copy
+  double attribute_noise = 0.05;   // p_a applied to the target copy
+  double power_law_exponent = 2.5;
+
+  /// Returns a copy scaled down by `factor` (>= 1) for quick runs; node,
+  /// edge and anchor counts shrink proportionally.
+  DatasetSpec Scaled(double factor) const;
+};
+
+/// Table II stand-in specs (full paper sizes).
+DatasetSpec DoubanSpec();          // 3906/8164 vs 1118/1511, 538 attrs
+DatasetSpec FlickrMyspaceSpec();   // 5740/8977 vs 4504/5507, 3 attrs
+DatasetSpec AllmovieImdbSpec();    // 6011/124709 vs 5713/119073, 14 attrs
+
+/// Base networks for the synthetic noise experiments (Figs. 3-5); the
+/// alignment pair is produced separately via MakeNoisyCopyPair.
+Result<AttributedGraph> MakeBnLike(Rng* rng, double scale = 1.0);    // 1781/9016
+Result<AttributedGraph> MakeEconLike(Rng* rng, double scale = 1.0);  // 1258/7619
+Result<AttributedGraph> MakeEmailLike(Rng* rng, double scale = 1.0); // 1133/5451
+
+/// \brief Synthesizes a full alignment pair from a spec.
+///
+/// The source network is drawn from a power-law model with the spec's
+/// attributes. The target reuses the subgraph induced by `num_anchors`
+/// degree-biased source nodes, grows to `target_nodes` by preferential
+/// attachment, has its edge count nudged toward `target_edges`, receives
+/// structural and attribute noise, and is finally randomly permuted. The
+/// recorded ground truth maps each anchored source node to its permuted
+/// target id.
+Result<AlignmentPair> SynthesizePair(const DatasetSpec& spec, Rng* rng);
+
+/// Generates the spec's attribute matrix (shared by source & target copies).
+Matrix MakeAttributes(const DatasetSpec& spec, int64_t n, Rng* rng);
+
+}  // namespace galign

@@ -1,0 +1,90 @@
+#include "align/ensemble.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "la/ops.h"
+
+namespace galign {
+
+Result<Matrix> FuseAlignments(const std::vector<const Matrix*>& matrices,
+                              FusionRule rule,
+                              const std::vector<double>& weights) {
+  if (matrices.empty()) {
+    return Status::InvalidArgument("no matrices to fuse");
+  }
+  const int64_t n1 = matrices[0]->rows();
+  const int64_t n2 = matrices[0]->cols();
+  for (const Matrix* m : matrices) {
+    if (m->rows() != n1 || m->cols() != n2) {
+      return Status::InvalidArgument("fused matrices must share a shape");
+    }
+  }
+  std::vector<double> w = weights;
+  w.resize(matrices.size(), 1.0);
+
+  Matrix fused(n1, n2);
+  if (rule == FusionRule::kNormalizedScore) {
+    for (size_t mi = 0; mi < matrices.size(); ++mi) {
+      const Matrix& m = *matrices[mi];
+      double lo = m.data()[0], hi = m.data()[0];
+      for (int64_t i = 0; i < m.size(); ++i) {
+        lo = std::min(lo, m.data()[i]);
+        hi = std::max(hi, m.data()[i]);
+      }
+      const double span = hi - lo > 1e-300 ? hi - lo : 1.0;
+      for (int64_t i = 0; i < m.size(); ++i) {
+        fused.data()[i] += w[mi] * (m.data()[i] - lo) / span;
+      }
+    }
+    return fused;
+  }
+
+  // Reciprocal-rank fusion, row by row: contribution of matrix m to entry
+  // (v, u) is w / (rank of u within row v of m).
+  std::vector<int64_t> idx(n2);
+  for (size_t mi = 0; mi < matrices.size(); ++mi) {
+    const Matrix& m = *matrices[mi];
+    for (int64_t v = 0; v < n1; ++v) {
+      const double* row = m.row_data(v);
+      std::iota(idx.begin(), idx.end(), 0);
+      std::sort(idx.begin(), idx.end(),
+                [&](int64_t a, int64_t b) { return row[a] > row[b]; });
+      for (int64_t r = 0; r < n2; ++r) {
+        fused(v, idx[r]) += w[mi] / static_cast<double>(r + 1);
+      }
+    }
+  }
+  return fused;
+}
+
+Result<Matrix> EnsembleAligner::Align(const AttributedGraph& source,
+                                      const AttributedGraph& target,
+                                      const Supervision& supervision) {
+  if (members_.empty()) {
+    return Status::InvalidArgument("ensemble has no members");
+  }
+  std::vector<Matrix> results;
+  std::vector<double> contributing_weights;
+  Status last_error = Status::OK();
+  for (size_t mi = 0; mi < members_.size(); ++mi) {
+    auto s = members_[mi]->Align(source, target, supervision);
+    if (s.ok()) {
+      results.push_back(s.MoveValueOrDie());
+      contributing_weights.push_back(mi < weights_.size() ? weights_[mi]
+                                                          : 1.0);
+    } else {
+      last_error = s.status();
+    }
+  }
+  last_contributors_ = static_cast<int64_t>(results.size());
+  if (results.empty()) {
+    return Status::Internal("every ensemble member failed; last error: " +
+                            last_error.ToString());
+  }
+  std::vector<const Matrix*> ptrs;
+  for (const Matrix& m : results) ptrs.push_back(&m);
+  return FuseAlignments(ptrs, rule_, contributing_weights);
+}
+
+}  // namespace galign

@@ -1,0 +1,95 @@
+#include "align/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace galign {
+
+Result<std::vector<int64_t>> HungarianMatch(const Matrix& scores) {
+  const int64_t rows = scores.rows();
+  const int64_t cols = scores.cols();
+  if (rows == 0 || cols == 0) {
+    return Status::InvalidArgument("HungarianMatch on empty matrix");
+  }
+  if (!scores.AllFinite()) {
+    return Status::InvalidArgument("HungarianMatch requires finite scores");
+  }
+  // The potentials formulation solves minimization over a rows <= cols
+  // rectangular cost matrix. Maximize by negating; if rows > cols, solve the
+  // transpose and invert the assignment.
+  const bool transposed = rows > cols;
+  const int64_t n = transposed ? cols : rows;  // worker count (small side)
+  const int64_t m = transposed ? rows : cols;  // job count (large side)
+  auto cost = [&](int64_t i, int64_t j) {
+    return transposed ? -scores(j, i) : -scores(i, j);
+  };
+
+  const double kInf = std::numeric_limits<double>::infinity();
+  // 1-indexed potentials; p[j] over jobs, way[j] back-pointers.
+  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
+  std::vector<int64_t> match(m + 1, 0);  // job -> worker (1-indexed)
+  for (int64_t i = 1; i <= n; ++i) {
+    std::vector<double> minv(m + 1, kInf);
+    std::vector<bool> used(m + 1, false);
+    std::vector<int64_t> way(m + 1, 0);
+    match[0] = i;
+    int64_t j0 = 0;
+    do {
+      used[j0] = true;
+      int64_t i0 = match[j0], j1 = 0;
+      double delta = kInf;
+      for (int64_t j = 1; j <= m; ++j) {
+        if (used[j]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int64_t j = 0; j <= m; ++j) {
+        if (used[j]) {
+          u[match[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match[j0] != 0);
+    // Augment along the path.
+    do {
+      int64_t j1 = way[j0];
+      match[j0] = match[j1];
+      j0 = j1;
+    } while (j0);
+  }
+
+  std::vector<int64_t> small_side(n, -1);
+  for (int64_t j = 1; j <= m; ++j) {
+    if (match[j] != 0) small_side[match[j] - 1] = j - 1;
+  }
+  if (!transposed) return small_side;
+  // Invert: small side was columns; produce row -> column.
+  std::vector<int64_t> assignment(rows, -1);
+  for (int64_t c = 0; c < n; ++c) {
+    if (small_side[c] != -1) assignment[small_side[c]] = c;
+  }
+  return assignment;
+}
+
+double AssignmentWeight(const Matrix& scores,
+                        const std::vector<int64_t>& assignment) {
+  double total = 0.0;
+  for (size_t v = 0; v < assignment.size(); ++v) {
+    if (assignment[v] != -1) {
+      total += scores(static_cast<int64_t>(v), assignment[v]);
+    }
+  }
+  return total;
+}
+
+}  // namespace galign

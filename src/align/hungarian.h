@@ -1,0 +1,30 @@
+// Optimal one-to-one anchor extraction: maximum-weight bipartite matching
+// on the alignment matrix via the Hungarian (Kuhn–Munkres) algorithm in its
+// O(n^3) potentials formulation. The paper frames network alignment as
+// maximum bipartite matching (§I); greedy Top1/GreedyOneToOne extraction is
+// cheaper but can lose weight on contested columns — this is the exact
+// counterpart.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// \brief Maximum-weight one-to-one assignment.
+///
+/// Returns assignment[v] = matched column of row v, or -1 when rows exceed
+/// columns and v is left unmatched. Every column is used at most once. The
+/// matching maximizes the sum of selected scores over complete matchings of
+/// min(rows, cols) pairs (scores may be negative).
+Result<std::vector<int64_t>> HungarianMatch(const Matrix& scores);
+
+/// Total weight of an assignment under `scores` (unmatched rows contribute
+/// zero).
+double AssignmentWeight(const Matrix& scores,
+                        const std::vector<int64_t>& assignment);
+
+}  // namespace galign

@@ -1,0 +1,144 @@
+#include "align/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "la/ops.h"
+
+namespace galign {
+
+std::string AlignmentMetrics::ToString() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::fixed << "MAP=" << map << " AUC=" << auc
+     << " S@1=" << success_at_1 << " S@5=" << success_at_5
+     << " S@10=" << success_at_10 << " anchors=" << num_anchors
+     << " time=" << seconds << "s";
+  return os.str();
+}
+
+namespace {
+
+// Shared single-pass accumulation: per anchor row, the rank of the true
+// target determines every metric.
+struct Accumulated {
+  double s1 = 0, s5 = 0, s10 = 0, mrr = 0, auc = 0;
+  int64_t count = 0;
+};
+
+Accumulated Accumulate(const Matrix& s,
+                       const std::vector<int64_t>& ground_truth) {
+  Accumulated acc;
+  const double negatives = static_cast<double>(s.cols() - 1);
+  for (size_t v = 0; v < ground_truth.size(); ++v) {
+    int64_t t = ground_truth[v];
+    if (t < 0 || t >= s.cols() || static_cast<int64_t>(v) >= s.rows()) {
+      continue;
+    }
+    int64_t rank = RankInRow(s, static_cast<int64_t>(v), t);
+    if (rank <= 1) acc.s1 += 1;
+    if (rank <= 5) acc.s5 += 1;
+    if (rank <= 10) acc.s10 += 1;
+    acc.mrr += 1.0 / static_cast<double>(rank);
+    if (negatives > 0) {
+      acc.auc += (negatives + 1.0 - static_cast<double>(rank)) / negatives;
+    } else {
+      acc.auc += 1.0;
+    }
+    ++acc.count;
+  }
+  return acc;
+}
+
+}  // namespace
+
+double SuccessAtQ(const Matrix& s, const std::vector<int64_t>& ground_truth,
+                  int64_t q) {
+  int64_t hit = 0, total = 0;
+  for (size_t v = 0; v < ground_truth.size(); ++v) {
+    int64_t t = ground_truth[v];
+    if (t < 0 || t >= s.cols() || static_cast<int64_t>(v) >= s.rows()) {
+      continue;
+    }
+    ++total;
+    if (RankInRow(s, static_cast<int64_t>(v), t) <= q) ++hit;
+  }
+  return total == 0 ? 0.0 : static_cast<double>(hit) / total;
+}
+
+double MeanAveragePrecision(const Matrix& s,
+                            const std::vector<int64_t>& ground_truth) {
+  Accumulated acc = Accumulate(s, ground_truth);
+  return acc.count == 0 ? 0.0 : acc.mrr / acc.count;
+}
+
+double Auc(const Matrix& s, const std::vector<int64_t>& ground_truth) {
+  Accumulated acc = Accumulate(s, ground_truth);
+  return acc.count == 0 ? 0.0 : acc.auc / acc.count;
+}
+
+AlignmentMetrics ComputeMetrics(const Matrix& s,
+                                const std::vector<int64_t>& ground_truth) {
+  Accumulated acc = Accumulate(s, ground_truth);
+  AlignmentMetrics m;
+  m.num_anchors = acc.count;
+  if (acc.count == 0) return m;
+  const double n = static_cast<double>(acc.count);
+  m.success_at_1 = acc.s1 / n;
+  m.success_at_5 = acc.s5 / n;
+  m.success_at_10 = acc.s10 / n;
+  m.map = acc.mrr / n;
+  m.auc = acc.auc / n;
+  return m;
+}
+
+PrecisionRecall EvaluateThreshold(const Matrix& s,
+                                  const std::vector<int64_t>& ground_truth,
+                                  double threshold) {
+  PrecisionRecall out;
+  int64_t true_positive = 0, predicted = 0, actual = 0;
+  for (int64_t v = 0; v < s.rows(); ++v) {
+    int64_t gt = v < static_cast<int64_t>(ground_truth.size())
+                     ? ground_truth[v]
+                     : -1;
+    if (gt >= 0 && gt < s.cols()) ++actual;
+    const double* row = s.row_data(v);
+    for (int64_t u = 0; u < s.cols(); ++u) {
+      if (row[u] > threshold) {
+        ++predicted;
+        if (u == gt) ++true_positive;
+      }
+    }
+  }
+  out.predicted = predicted;
+  out.precision = predicted == 0
+                      ? 0.0
+                      : static_cast<double>(true_positive) / predicted;
+  out.recall =
+      actual == 0 ? 0.0 : static_cast<double>(true_positive) / actual;
+  out.f1 = (out.precision + out.recall) > 0.0
+               ? 2.0 * out.precision * out.recall /
+                     (out.precision + out.recall)
+               : 0.0;
+  return out;
+}
+
+PrecisionRecall BestF1(const Matrix& s,
+                       const std::vector<int64_t>& ground_truth,
+                       int num_thresholds) {
+  double lo = s.data()[0], hi = s.data()[0];
+  for (int64_t i = 0; i < s.size(); ++i) {
+    lo = std::min(lo, s.data()[i]);
+    hi = std::max(hi, s.data()[i]);
+  }
+  PrecisionRecall best;
+  for (int t = 0; t < num_thresholds; ++t) {
+    double threshold =
+        lo + (hi - lo) * (static_cast<double>(t) + 0.5) / num_thresholds;
+    PrecisionRecall pr = EvaluateThreshold(s, ground_truth, threshold);
+    if (pr.f1 > best.f1) best = pr;
+  }
+  return best;
+}
+
+}  // namespace galign

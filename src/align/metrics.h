@@ -1,0 +1,65 @@
+// Alignment quality metrics exactly as defined in the paper (§VII-A):
+// Success@q (Eq. 16), MAP = mean reciprocal rank under the pairwise setting
+// (Eq. 17), and the simplified AUC (Eq. 18).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace galign {
+
+/// Full metric bundle for one alignment run.
+struct AlignmentMetrics {
+  double success_at_1 = 0.0;
+  double success_at_5 = 0.0;
+  double success_at_10 = 0.0;
+  double map = 0.0;
+  double auc = 0.0;
+  int64_t num_anchors = 0;
+  double seconds = 0.0;  // filled by the pipeline
+
+  std::string ToString() const;
+};
+
+/// Success@q over the ground truth (entries == -1 are skipped).
+double SuccessAtQ(const Matrix& s, const std::vector<int64_t>& ground_truth,
+                  int64_t q);
+
+/// Mean Average Precision == mean reciprocal rank of the true anchor.
+double MeanAveragePrecision(const Matrix& s,
+                            const std::vector<int64_t>& ground_truth);
+
+/// Simplified AUC (Eq. 18): mean over anchors of
+/// (#negatives + 1 - rank) / #negatives, with #negatives = n2 - 1.
+double Auc(const Matrix& s, const std::vector<int64_t>& ground_truth);
+
+/// Computes all metrics in a single pass over the alignment matrix rows.
+AlignmentMetrics ComputeMetrics(const Matrix& s,
+                                const std::vector<int64_t>& ground_truth);
+
+/// Precision/recall of a thresholded one-to-many instantiation (the
+/// paper's §II-B flexibility argument): predicted links are all entries
+/// with score > threshold.
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  int64_t predicted = 0;  ///< number of predicted links
+};
+
+/// Evaluates the link set {(v, u) : S(v, u) > threshold} against the
+/// ground-truth anchors (rows with gt == -1 contribute predictions that
+/// count against precision but are excluded from recall).
+PrecisionRecall EvaluateThreshold(const Matrix& s,
+                                  const std::vector<int64_t>& ground_truth,
+                                  double threshold);
+
+/// Sweeps thresholds over the score range and returns the best-F1 point.
+PrecisionRecall BestF1(const Matrix& s,
+                       const std::vector<int64_t>& ground_truth,
+                       int num_thresholds = 50);
+
+}  // namespace galign

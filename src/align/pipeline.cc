@@ -1,0 +1,114 @@
+#include "align/pipeline.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/timer.h"
+
+namespace galign {
+
+RunResult RunAligner(Aligner* aligner, const AlignmentPair& pair,
+                     double seed_fraction, Rng* rng) {
+  RunResult out;
+  out.method = aligner->name();
+  Supervision sup;
+  if (seed_fraction > 0.0) {
+    sup = SampleSeeds(pair.ground_truth, seed_fraction, rng);
+  }
+  Timer timer;
+  auto s = aligner->Align(pair.source, pair.target, sup);
+  double seconds = timer.Seconds();
+  if (!s.ok()) {
+    out.status = s.status();
+    return out;
+  }
+  out.metrics = ComputeMetrics(s.ValueOrDie(), pair.ground_truth);
+  out.metrics.seconds = seconds;
+  return out;
+}
+
+std::vector<RunResult> RunAll(const std::vector<Aligner*>& aligners,
+                              const AlignmentPair& pair, double seed_fraction,
+                              Rng* rng) {
+  std::vector<RunResult> results;
+  results.reserve(aligners.size());
+  for (Aligner* a : aligners) {
+    Rng fork = rng->Fork();
+    results.push_back(RunAligner(a, pair, seed_fraction, &fork));
+  }
+  return results;
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::ToString() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << (c ? "  " : "") << std::left << std::setw(static_cast<int>(width[c]))
+         << row[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string TextTable::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      // Quote cells containing separators.
+      if (row[c].find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : row[c]) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << row[c];
+      }
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+Status TextTable::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << ToCsv();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+std::string TextTable::Num(double v, int digits) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << v;
+  return os.str();
+}
+
+}  // namespace galign

@@ -1,0 +1,56 @@
+// Experiment pipeline: runs aligners on alignment pairs, times them, and
+// scores the result. Also a fixed-width text-table writer the bench binaries
+// use to print paper-style tables.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "align/alignment.h"
+#include "align/metrics.h"
+#include "common/status.h"
+#include "graph/noise.h"
+
+namespace galign {
+
+/// One aligner's scored run on one dataset.
+struct RunResult {
+  std::string method;
+  AlignmentMetrics metrics;
+  Status status;  // non-OK if the aligner failed; metrics are zero then
+};
+
+/// \brief Runs `aligner` on `pair`, sampling `seed_fraction` of the ground
+/// truth as supervision (paper gives supervised baselines 10%). Timing
+/// covers Align() only.
+RunResult RunAligner(Aligner* aligner, const AlignmentPair& pair,
+                     double seed_fraction, Rng* rng);
+
+/// Runs every aligner on the pair with a forked RNG per method.
+std::vector<RunResult> RunAll(const std::vector<Aligner*>& aligners,
+                              const AlignmentPair& pair, double seed_fraction,
+                              Rng* rng);
+
+/// \brief Minimal fixed-width table printer for bench output.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+  /// Renders with column-aligned padding and a separator under the header.
+  std::string ToString() const;
+  /// Renders as comma-separated values (header first) for plotting tools.
+  std::string ToCsv() const;
+  /// Writes the CSV rendering to `path`.
+  Status WriteCsv(const std::string& path) const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double v, int digits = 4);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace galign

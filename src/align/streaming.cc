@@ -1,0 +1,115 @@
+#include "align/streaming.h"
+
+#include <algorithm>
+
+#include "la/ops.h"
+
+namespace galign {
+
+namespace {
+
+Status Validate(const std::vector<Matrix>& hs, const std::vector<Matrix>& ht,
+                const std::vector<double>& theta) {
+  if (hs.empty() || hs.size() != ht.size() || hs.size() != theta.size()) {
+    return Status::InvalidArgument(
+        "embeddings/theta layer counts inconsistent");
+  }
+  for (size_t l = 0; l < hs.size(); ++l) {
+    if (hs[l].cols() != ht[l].cols()) {
+      return Status::InvalidArgument("layer dimension mismatch");
+    }
+    if (hs[l].rows() != hs[0].rows() || ht[l].rows() != ht[0].rows()) {
+      return Status::InvalidArgument("layer row count mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+// Calls visit(v, row_values) for every source row of the aggregated
+// alignment matrix, chunk by chunk.
+template <typename Visitor>
+void StreamRows(const std::vector<Matrix>& hs, const std::vector<Matrix>& ht,
+                const std::vector<double>& theta, int64_t chunk_rows,
+                Visitor&& visit) {
+  const int64_t n1 = hs[0].rows();
+  const int64_t n2 = ht[0].rows();
+  chunk_rows = std::max<int64_t>(1, chunk_rows);
+  for (int64_t r0 = 0; r0 < n1; r0 += chunk_rows) {
+    const int64_t rows = std::min(chunk_rows, n1 - r0);
+    Matrix agg(rows, n2);
+    for (size_t l = 0; l < hs.size(); ++l) {
+      if (theta[l] == 0.0) continue;
+      Matrix block = MatMulTransposedB(
+          hs[l].Block(r0, 0, rows, hs[l].cols()), ht[l]);
+      agg.Axpy(theta[l], block);
+    }
+    for (int64_t i = 0; i < rows; ++i) {
+      visit(r0 + i, agg.row_data(i), n2);
+    }
+  }
+}
+
+}  // namespace
+
+Result<AlignmentMetrics> ComputeMetricsStreaming(
+    const std::vector<Matrix>& hs, const std::vector<Matrix>& ht,
+    const std::vector<double>& theta,
+    const std::vector<int64_t>& ground_truth, int64_t chunk_rows) {
+  GALIGN_RETURN_NOT_OK(Validate(hs, ht, theta));
+  AlignmentMetrics m;
+  double s1 = 0, s5 = 0, s10 = 0, mrr = 0, auc = 0;
+  int64_t count = 0;
+  StreamRows(hs, ht, theta, chunk_rows,
+             [&](int64_t v, const double* row, int64_t n2) {
+               if (v >= static_cast<int64_t>(ground_truth.size())) return;
+               int64_t t = ground_truth[v];
+               if (t < 0 || t >= n2) return;
+               const double target = row[t];
+               int64_t greater = 0, equal_others = 0;
+               for (int64_t c = 0; c < n2; ++c) {
+                 if (c == t) continue;
+                 if (row[c] > target) {
+                   ++greater;
+                 } else if (row[c] == target) {
+                   ++equal_others;
+                 }
+               }
+               int64_t rank = 1 + greater + equal_others / 2;
+               if (rank <= 1) s1 += 1;
+               if (rank <= 5) s5 += 1;
+               if (rank <= 10) s10 += 1;
+               mrr += 1.0 / static_cast<double>(rank);
+               const double negatives = static_cast<double>(n2 - 1);
+               auc += negatives > 0
+                          ? (negatives + 1.0 - rank) / negatives
+                          : 1.0;
+               ++count;
+             });
+  m.num_anchors = count;
+  if (count == 0) return m;
+  const double n = static_cast<double>(count);
+  m.success_at_1 = s1 / n;
+  m.success_at_5 = s5 / n;
+  m.success_at_10 = s10 / n;
+  m.map = mrr / n;
+  m.auc = auc / n;
+  return m;
+}
+
+Result<std::vector<int64_t>> Top1AnchorsStreaming(
+    const std::vector<Matrix>& hs, const std::vector<Matrix>& ht,
+    const std::vector<double>& theta, int64_t chunk_rows) {
+  GALIGN_RETURN_NOT_OK(Validate(hs, ht, theta));
+  std::vector<int64_t> anchors(hs[0].rows(), -1);
+  StreamRows(hs, ht, theta, chunk_rows,
+             [&](int64_t v, const double* row, int64_t n2) {
+               int64_t best = 0;
+               for (int64_t c = 1; c < n2; ++c) {
+                 if (row[c] > row[best]) best = c;
+               }
+               anchors[v] = best;
+             });
+  return anchors;
+}
+
+}  // namespace galign

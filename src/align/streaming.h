@@ -1,0 +1,29 @@
+// Row-streamed alignment evaluation (the paper's §VI-C space argument: the
+// alignment matrix never needs to be materialized — one row of S at a time
+// suffices for ranking-based outputs). Computes the full metric bundle and
+// top-1 anchors directly from multi-order embeddings in O(n2 * k) working
+// memory instead of O(n1 * n2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "align/metrics.h"
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// Metrics computed from layer embeddings without building S. Equivalent to
+/// ComputeMetrics(AggregateAlignment(hs, ht, theta), ground_truth).
+Result<AlignmentMetrics> ComputeMetricsStreaming(
+    const std::vector<Matrix>& hs, const std::vector<Matrix>& ht,
+    const std::vector<double>& theta,
+    const std::vector<int64_t>& ground_truth, int64_t chunk_rows = 256);
+
+/// Top-1 anchors computed the same way (argmax per streamed row).
+Result<std::vector<int64_t>> Top1AnchorsStreaming(
+    const std::vector<Matrix>& hs, const std::vector<Matrix>& ht,
+    const std::vector<double>& theta, int64_t chunk_rows = 256);
+
+}  // namespace galign

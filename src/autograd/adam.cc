@@ -1,0 +1,44 @@
+#include "autograd/adam.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace galign {
+
+void AdamOptimizer::Register(const std::vector<Matrix*>& params) {
+  m_.clear();
+  v_.clear();
+  step_ = 0;
+  for (const Matrix* p : params) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void AdamOptimizer::Step(const std::vector<Matrix*>& params,
+                         const std::vector<const Matrix*>& grads) {
+  GALIGN_DCHECK(params.size() == grads.size());
+  GALIGN_DCHECK(params.size() == m_.size());
+  ++step_;
+  const double bc1 = 1.0 - std::pow(opts_.beta1, static_cast<double>(step_));
+  const double bc2 = 1.0 - std::pow(opts_.beta2, static_cast<double>(step_));
+  for (size_t i = 0; i < params.size(); ++i) {
+    Matrix& p = *params[i];
+    const Matrix& g = *grads[i];
+    GALIGN_DCHECK(p.SameShape(g));
+    Matrix& m = m_[i];
+    Matrix& v = v_[i];
+    for (int64_t j = 0; j < p.size(); ++j) {
+      double grad = g.data()[j] + opts_.weight_decay * p.data()[j];
+      m.data()[j] = opts_.beta1 * m.data()[j] + (1.0 - opts_.beta1) * grad;
+      v.data()[j] =
+          opts_.beta2 * v.data()[j] + (1.0 - opts_.beta2) * grad * grad;
+      double mhat = m.data()[j] / bc1;
+      double vhat = v.data()[j] / bc2;
+      p.data()[j] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
+    }
+  }
+}
+
+}  // namespace galign

@@ -1,0 +1,48 @@
+// Adam optimizer (Kingma & Ba, 2015) — the paper trains GAlign with Adam
+// (§VII-A "Reproducibility environment").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace galign {
+
+/// \brief Adam with bias correction.
+///
+/// Holds first/second moment state per parameter slot. The parameter list
+/// must be registered once via Register(); subsequent Step() calls must pass
+/// matching shapes in the same order.
+class AdamOptimizer {
+ public:
+  struct Options {
+    double lr = 0.01;
+    double beta1 = 0.9;
+    double beta2 = 0.999;
+    double eps = 1e-8;
+    double weight_decay = 0.0;
+  };
+
+  AdamOptimizer() = default;
+  explicit AdamOptimizer(Options opts) : opts_(opts) {}
+
+  /// Registers parameter shapes (resets all moment state).
+  void Register(const std::vector<Matrix*>& params);
+
+  /// Applies one Adam update: params[i] -= update(grads[i]).
+  void Step(const std::vector<Matrix*>& params,
+            const std::vector<const Matrix*>& grads);
+
+  int64_t step_count() const { return step_; }
+  const Options& options() const { return opts_; }
+  void set_lr(double lr) { opts_.lr = lr; }
+
+ private:
+  Options opts_ = {};
+  int64_t step_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace galign

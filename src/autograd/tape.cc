@@ -1,0 +1,65 @@
+#include "autograd/tape.h"
+
+#include "common/logging.h"
+
+namespace galign {
+
+Var Tape::Leaf(Matrix value, bool requires_grad) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<int32_t>(nodes_.size() - 1)};
+}
+
+Var Tape::Emit(Matrix value, std::vector<Var> parents,
+               std::function<void(Tape*, Var)> backward, bool requires_grad) {
+  Node n;
+  n.value = std::move(value);
+  n.requires_grad = requires_grad;
+  n.parents = std::move(parents);
+  n.backward = std::move(backward);
+  nodes_.push_back(std::move(n));
+  return Var{static_cast<int32_t>(nodes_.size() - 1)};
+}
+
+void Tape::AccumulateGrad(Var v, const Matrix& delta) {
+  AccumulateGrad(v, 1.0, delta);
+}
+
+void Tape::AccumulateGrad(Var v, double alpha, const Matrix& delta) {
+  Node& n = nodes_[v.id];
+  if (!n.requires_grad) return;
+  if (n.grad.empty()) {
+    n.grad = Matrix(n.value.rows(), n.value.cols());
+  }
+  n.grad.Axpy(alpha, delta);
+}
+
+void Tape::Backward(Var root) {
+  GALIGN_DCHECK(root.valid() && root.id < size());
+  Node& r = nodes_[root.id];
+  GALIGN_DCHECK(r.value.rows() == 1 && r.value.cols() == 1);
+  // Reset gradients.
+  for (Node& n : nodes_) {
+    if (!n.grad.empty()) n.grad.Fill(0.0);
+  }
+  if (r.grad.empty()) r.grad = Matrix(1, 1);
+  r.grad(0, 0) = 1.0;
+  for (int32_t i = root.id; i >= 0; --i) {
+    Node& n = nodes_[i];
+    if (!n.backward) continue;
+    if (n.grad.empty() || n.grad.MaxAbs() == 0.0) continue;
+    n.backward(this, Var{i});
+  }
+  // Guarantee every requires_grad node exposes a correctly shaped gradient,
+  // even when no path from the root touched it (e.g. an exactly-zero loss):
+  // optimizers consume these by shape.
+  for (Node& n : nodes_) {
+    if (n.requires_grad && n.grad.empty()) {
+      n.grad = Matrix(n.value.rows(), n.value.cols());
+    }
+  }
+}
+
+}  // namespace galign

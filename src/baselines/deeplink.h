@@ -1,0 +1,43 @@
+// DeepLink (Zhou et al., INFOCOM 2018): user identity linkage by (1)
+// unbiased random-walk + skip-gram embeddings per network, and (2) a
+// supervised MLP mapping between the embedding spaces trained on seed
+// anchors (the paper's dual-learning refinement is approximated by training
+// the forward and backward mappings and averaging their score matrices).
+// Mentioned in the GAlign paper's related work (§VIII-A) as a third
+// embedding-based technique; structure-only, hence vulnerable to structural
+// noise — a property the comparison exercises.
+#pragma once
+
+#include "align/alignment.h"
+#include "baselines/skipgram.h"
+#include "baselines/walks.h"
+
+namespace galign {
+
+/// DeepLink configuration.
+struct DeepLinkConfig {
+  WalkConfig walks;
+  SkipGramConfig skipgram;
+  int64_t mlp_hidden = 128;
+  int mapping_epochs = 300;
+  double mapping_lr = 0.01;
+  bool dual = true;  ///< average forward and backward mapping scores
+  uint64_t seed = 21;
+};
+
+/// \brief DeepLink aligner. Requires seed anchors for the mapping.
+class DeepLinkAligner : public Aligner {
+ public:
+  explicit DeepLinkAligner(DeepLinkConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "DeepLink"; }
+
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) override;
+
+ private:
+  DeepLinkConfig config_;
+};
+
+}  // namespace galign

@@ -1,0 +1,43 @@
+// IONE (Liu et al., IJCAI 2016): Input-Output Network Embedding for user
+// alignment. Each node gets three vectors — an identity vector u, an input
+// context c_in, and an output context c_out — trained on directed edge
+// co-occurrence so that second-order proximity (shared neighbourhoods) is
+// captured; seed anchor pairs HARD-SHARE their vectors across the two
+// networks, which is what places both embeddings in one space without a
+// separate mapping function. Alignment scores are identity-vector cosines.
+//
+// On our undirected graphs each edge contributes in both directions, so
+// c_in/c_out capture the same second-order signal the original models for
+// follower/followee links.
+#pragma once
+
+#include "align/alignment.h"
+
+namespace galign {
+
+/// IONE configuration.
+struct IoneConfig {
+  int64_t dim = 64;
+  int epochs = 200;     ///< SGD passes over the union edge list
+  int negatives = 5;
+  double lr = 0.025;
+  uint64_t seed = 37;
+};
+
+/// \brief IONE aligner. Requires seed anchors (they tie the two embedding
+/// spaces together).
+class IoneAligner : public Aligner {
+ public:
+  explicit IoneAligner(IoneConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "IONE"; }
+
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) override;
+
+ private:
+  IoneConfig config_;
+};
+
+}  // namespace galign

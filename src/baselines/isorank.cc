@@ -1,0 +1,57 @@
+#include "baselines/isorank.h"
+
+#include "la/ops.h"
+
+namespace galign {
+
+namespace {
+
+// Row-stochastic random-walk matrix of the adjacency (rows with no edges
+// stay zero; their similarity comes entirely from the prior).
+SparseMatrix RowNormalizedAdjacency(const AttributedGraph& g) {
+  SparseMatrix a = g.adjacency();
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    double sum = a.RowSum(r);
+    if (sum > 0.0) a.ScaleRow(r, 1.0 / sum);
+  }
+  return a;
+}
+
+}  // namespace
+
+Result<Matrix> IsoRankAligner::Align(const AttributedGraph& source,
+                                     const AttributedGraph& target,
+                                     const Supervision& supervision) {
+  const int64_t n1 = source.num_nodes();
+  const int64_t n2 = target.num_nodes();
+  if (n1 == 0 || n2 == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+
+  Matrix prior = supervision.seeds.empty()
+                     ? AttributePrior(source, target)
+                     : PriorFromSeeds(n1, n2, supervision);
+
+  SparseMatrix ps = RowNormalizedAdjacency(source);
+  SparseMatrix pt = RowNormalizedAdjacency(target);
+  SparseMatrix pt_transposed = pt.Transposed();
+
+  Matrix r = prior;
+  for (int it = 0; it < config_.max_iterations; ++it) {
+    // alpha * P_s^T R P_t: left multiply by P_s^T, then right multiply by
+    // P_t via the transpose trick.
+    Matrix left = ps.TransposedMultiply(r);
+    Matrix next = Transpose(pt_transposed.Multiply(Transpose(left)));
+    next.Scale(config_.alpha);
+    next.Axpy(1.0 - config_.alpha, prior);
+    double delta = Matrix::MaxAbsDiff(next, r);
+    r = std::move(next);
+    if (delta < config_.tolerance) break;
+  }
+  if (!r.AllFinite()) {
+    return Status::Internal("IsoRank produced non-finite scores");
+  }
+  return r;
+}
+
+}  // namespace galign

@@ -1,0 +1,59 @@
+#include "baselines/naive.h"
+
+#include <cmath>
+
+#include "la/ops.h"
+
+namespace galign {
+
+Result<Matrix> DegreeRankAligner::Align(const AttributedGraph& source,
+                                        const AttributedGraph& target,
+                                        const Supervision& supervision) {
+  (void)supervision;
+  if (source.num_nodes() == 0 || target.num_nodes() == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+  Matrix s(source.num_nodes(), target.num_nodes());
+  for (int64_t v = 0; v < source.num_nodes(); ++v) {
+    double dv = static_cast<double>(source.Degree(v));
+    for (int64_t u = 0; u < target.num_nodes(); ++u) {
+      double du = static_cast<double>(target.Degree(u));
+      // Relative-difference kernel keeps hubs comparable with hubs.
+      double denom = std::max(1.0, std::max(dv, du));
+      s(v, u) = 1.0 - std::fabs(dv - du) / denom;
+    }
+  }
+  return s;
+}
+
+Result<Matrix> AttributeOnlyAligner::Align(const AttributedGraph& source,
+                                           const AttributedGraph& target,
+                                           const Supervision& supervision) {
+  (void)supervision;
+  if (source.num_nodes() == 0 || target.num_nodes() == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+  if (source.num_attributes() != target.num_attributes()) {
+    return Status::InvalidArgument("attribute dimensions differ");
+  }
+  Matrix s(source.num_nodes(), target.num_nodes());
+  for (int64_t v = 0; v < source.num_nodes(); ++v) {
+    for (int64_t u = 0; u < target.num_nodes(); ++u) {
+      s(v, u) = RowCosine(source.attributes(), v, target.attributes(), u);
+    }
+  }
+  return s;
+}
+
+Result<Matrix> RandomAligner::Align(const AttributedGraph& source,
+                                    const AttributedGraph& target,
+                                    const Supervision& supervision) {
+  (void)supervision;
+  if (source.num_nodes() == 0 || target.num_nodes() == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+  Rng rng(seed_);
+  return Matrix::Uniform(source.num_nodes(), target.num_nodes(), &rng);
+}
+
+}  // namespace galign

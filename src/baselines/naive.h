@@ -1,0 +1,43 @@
+// Naive reference aligners. They bound what any serious method must beat
+// and isolate where the signal lives: DegreeRank uses topology degree only,
+// AttributeOnly uses node profiles only, Random is the floor. Used by the
+// benches as sanity rows and by tests as contrast baselines.
+#pragma once
+
+#include "align/alignment.h"
+
+namespace galign {
+
+/// Scores node pairs by closeness of their degrees (|deg difference| -> 0
+/// maps to score 1). Pure topology, zeroth order.
+class DegreeRankAligner : public Aligner {
+ public:
+  std::string name() const override { return "DegreeRank"; }
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) override;
+};
+
+/// Scores node pairs by attribute cosine similarity. Pure semantics.
+class AttributeOnlyAligner : public Aligner {
+ public:
+  std::string name() const override { return "AttributeOnly"; }
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) override;
+};
+
+/// Uniform random scores under a fixed seed: the chance floor.
+class RandomAligner : public Aligner {
+ public:
+  explicit RandomAligner(uint64_t seed = 1234) : seed_(seed) {}
+  std::string name() const override { return "Random"; }
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) override;
+
+ private:
+  uint64_t seed_;
+};
+
+}  // namespace galign

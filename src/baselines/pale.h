@@ -1,0 +1,49 @@
+// PALE (Man et al., IJCAI 2016): Predicting Anchor Links via Embedding.
+// Each network is embedded independently by maximizing the co-occurrence
+// likelihood of edge endpoints (first-order objective with negative
+// sampling); a supervised mapping (linear or MLP) trained on seed anchors
+// then bridges the two embedding spaces. Alignment scores are similarities
+// of mapped source embeddings to target embeddings.
+#pragma once
+
+#include "align/alignment.h"
+
+namespace galign {
+
+/// PALE configuration.
+struct PaleConfig {
+  int64_t embedding_dim = 64;
+  int embedding_epochs = 80;   ///< SGD passes over the edge list
+  int negatives = 5;
+  double embedding_lr = 0.025;
+  /// Mapping function: linear solved in closed form by least squares
+  /// (default — robust with few seeds), or an MLP trained with Adam.
+  bool mlp_mapping = false;
+  int64_t mlp_hidden = 128;
+  int mapping_epochs = 300;
+  double mapping_lr = 0.01;
+  uint64_t seed = 3;
+};
+
+/// \brief PALE aligner. Requires seed anchors; without supervision the two
+/// embedding spaces are unrelated and the mapping cannot be trained.
+class PaleAligner : public Aligner {
+ public:
+  explicit PaleAligner(PaleConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "PALE"; }
+
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) override;
+
+ private:
+  PaleConfig config_;
+};
+
+/// First-order edge embedding shared by PALE (exposed for tests): maximizes
+/// sigma(z_u . z_v) over edges with `negatives` negative samples per edge.
+Matrix EmbedByEdges(const AttributedGraph& g, int64_t dim, int epochs,
+                    int negatives, double lr, Rng* rng);
+
+}  // namespace galign

@@ -1,0 +1,22 @@
+#include "baselines/regal.h"
+
+#include "la/ops.h"
+
+namespace galign {
+
+Result<Matrix> RegalAligner::Align(const AttributedGraph& source,
+                                   const AttributedGraph& target,
+                                   const Supervision& supervision) {
+  (void)supervision;  // REGAL is unsupervised
+  auto embed = XNetMfEmbed(source, target, config_);
+  GALIGN_RETURN_NOT_OK(embed.status());
+  const Matrix& y = embed.ValueOrDie();
+  const int64_t n1 = source.num_nodes();
+  const int64_t n2 = target.num_nodes();
+  Matrix ys = y.Block(0, 0, n1, y.cols());
+  Matrix yt = y.Block(n1, 0, n2, y.cols());
+  // Rows are unit-normalized by XNetMfEmbed, so this is cosine similarity.
+  return MatMulTransposedB(ys, yt);
+}
+
+}  // namespace galign

@@ -1,0 +1,27 @@
+// REGAL (Heimann et al., CIKM 2018): representation-learning-based graph
+// alignment. Embeds both networks jointly with xNetMF (structural identity
+// + attributes, landmark low-rank factorization) and scores alignment by
+// embedding similarity. No supervision is used.
+#pragma once
+
+#include "align/alignment.h"
+#include "baselines/xnetmf.h"
+
+namespace galign {
+
+/// \brief REGAL aligner (xNetMF + similarity of the joint embeddings).
+class RegalAligner : public Aligner {
+ public:
+  explicit RegalAligner(XNetMfConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "REGAL"; }
+
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) override;
+
+ private:
+  XNetMfConfig config_;
+};
+
+}  // namespace galign

@@ -1,0 +1,111 @@
+#include "baselines/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace galign {
+
+namespace {
+
+inline double FastSigmoid(double x) {
+  if (x > 8.0) return 1.0;
+  if (x < -8.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+// Alias-free sampling from unigram^(3/4) via a cumulative table + binary
+// search (corpus vocabularies here are small enough).
+class NegativeSampler {
+ public:
+  NegativeSampler(const std::vector<std::vector<int64_t>>& walks,
+                  int64_t vocab_size) {
+    std::vector<double> counts(vocab_size, 0.0);
+    for (const auto& w : walks) {
+      for (int64_t t : w) counts[t] += 1.0;
+    }
+    cumulative_.resize(vocab_size);
+    double total = 0.0;
+    for (int64_t v = 0; v < vocab_size; ++v) {
+      total += std::pow(counts[v], 0.75);
+      cumulative_[v] = total;
+    }
+    total_ = total;
+  }
+
+  int64_t Sample(Rng* rng) const {
+    double x = rng->Uniform() * total_;
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), x);
+    return static_cast<int64_t>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+  double total_ = 0.0;
+};
+
+}  // namespace
+
+Matrix TrainSkipGram(const std::vector<std::vector<int64_t>>& walks,
+                     int64_t vocab_size, const SkipGramConfig& cfg) {
+  GALIGN_DCHECK(vocab_size > 0);
+  Rng rng(cfg.seed);
+  const int64_t d = cfg.dim;
+  Matrix in = Matrix::Uniform(vocab_size, d, &rng, -0.5 / d, 0.5 / d);
+  Matrix out(vocab_size, d);
+  NegativeSampler sampler(walks, vocab_size);
+
+  int64_t total_tokens = 0;
+  for (const auto& w : walks) total_tokens += static_cast<int64_t>(w.size());
+  const int64_t total_steps =
+      std::max<int64_t>(1, total_tokens * cfg.epochs);
+  int64_t step = 0;
+
+  std::vector<double> grad_center(d);
+  for (int epoch = 0; epoch < cfg.epochs; ++epoch) {
+    for (const auto& walk : walks) {
+      const int64_t len = static_cast<int64_t>(walk.size());
+      for (int64_t pos = 0; pos < len; ++pos) {
+        double progress = static_cast<double>(step++) / total_steps;
+        double lr = std::max(cfg.min_lr, cfg.lr * (1.0 - progress));
+        const int64_t center = walk[pos];
+        const int64_t window =
+            1 + rng.UniformInt(cfg.window);  // dynamic window
+        double* wc = in.row_data(center);
+        for (int64_t off = -window; off <= window; ++off) {
+          if (off == 0) continue;
+          int64_t ctx_pos = pos + off;
+          if (ctx_pos < 0 || ctx_pos >= len) continue;
+          std::fill(grad_center.begin(), grad_center.end(), 0.0);
+          // One positive + cfg.negatives negative updates.
+          for (int ns = 0; ns <= cfg.negatives; ++ns) {
+            int64_t tgt;
+            double label;
+            if (ns == 0) {
+              tgt = walk[ctx_pos];
+              label = 1.0;
+            } else {
+              tgt = sampler.Sample(&rng);
+              if (tgt == walk[ctx_pos]) continue;
+              label = 0.0;
+            }
+            double* wt = out.row_data(tgt);
+            double dot = 0.0;
+            for (int64_t k = 0; k < d; ++k) dot += wc[k] * wt[k];
+            double g = (label - FastSigmoid(dot)) * lr;
+            for (int64_t k = 0; k < d; ++k) {
+              grad_center[k] += g * wt[k];
+              wt[k] += g * wc[k];
+            }
+          }
+          for (int64_t k = 0; k < d; ++k) wc[k] += grad_center[k];
+        }
+      }
+    }
+  }
+  in.NormalizeRows();
+  return in;
+}
+
+}  // namespace galign

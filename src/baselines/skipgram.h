@@ -1,0 +1,34 @@
+// Skip-gram with negative sampling (word2vec SGNS) trained on random-walk
+// corpora — the embedding engine behind PALE's co-occurrence objective and
+// CENALP's cross-network embeddings.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// SGNS hyper-parameters.
+struct SkipGramConfig {
+  int64_t dim = 64;
+  int window = 5;
+  int negatives = 5;
+  int epochs = 2;
+  double lr = 0.025;       ///< initial learning rate, linearly decayed
+  double min_lr = 0.0001;
+  uint64_t seed = 99;
+};
+
+/// \brief Trains SGNS over the walk corpus.
+///
+/// `vocab_size` is the number of distinct tokens (token ids must be in
+/// [0, vocab_size)). Negative samples are drawn from the unigram^(3/4)
+/// distribution of the corpus. Returns the input-embedding matrix
+/// (vocab_size x dim), row-normalized.
+Matrix TrainSkipGram(const std::vector<std::vector<int64_t>>& walks,
+                     int64_t vocab_size, const SkipGramConfig& cfg);
+
+}  // namespace galign

@@ -1,0 +1,56 @@
+#include "baselines/unialign.h"
+
+#include <algorithm>
+
+#include "la/decomposition.h"
+#include "la/ops.h"
+
+namespace galign {
+
+Result<Matrix> UniAlignAligner::Align(const AttributedGraph& source,
+                                      const AttributedGraph& target,
+                                      const Supervision& supervision) {
+  (void)supervision;  // unsupervised
+  if (source.num_nodes() == 0 || target.num_nodes() == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+  XNetMfConfig feat_cfg;
+  feat_cfg.max_hops = config_.max_hops;
+  feat_cfg.hop_discount = config_.hop_discount;
+  Matrix ws = StructuralFeatures(source, feat_cfg);
+  Matrix wt = StructuralFeatures(target, feat_cfg);
+
+  // Pad structural features to a common width (bin counts differ when the
+  // max degrees differ).
+  const int64_t width = std::max(ws.cols(), wt.cols());
+  auto pad = [&](const Matrix& m) {
+    Matrix out(m.rows(), width);
+    for (int64_t r = 0; r < m.rows(); ++r) {
+      std::copy(m.row_data(r), m.row_data(r) + m.cols(), out.row_data(r));
+    }
+    return out;
+  };
+  Matrix fs = pad(ws);
+  Matrix ft = pad(wt);
+
+  const bool attrs = config_.use_attributes &&
+                     source.num_attributes() == target.num_attributes();
+  if (attrs) {
+    const Matrix* parts_s[] = {&fs, &source.attributes()};
+    const Matrix* parts_t[] = {&ft, &target.attributes()};
+    fs = ConcatCols({parts_s[0], parts_s[1]});
+    ft = ConcatCols({parts_t[0], parts_t[1]});
+  }
+
+  // P = W_s W_t^+ : each source row expressed in the target's feature rows.
+  auto pinv = PseudoInverse(ft);
+  GALIGN_RETURN_NOT_OK(pinv.status());
+  // pinv(ft) is width x n2; P = fs (n1 x width) * pinv = n1 x n2.
+  Matrix p = MatMul(fs, pinv.ValueOrDie());
+  if (!p.AllFinite()) {
+    return Status::Internal("UniAlign produced non-finite scores");
+  }
+  return p;
+}
+
+}  // namespace galign

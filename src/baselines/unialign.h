@@ -1,0 +1,37 @@
+// UniAlign (Koutra et al., ICDM 2013 "Big-Align"): the unipartite variant
+// reduces network alignment to a bipartite node-to-feature problem. Each
+// node is described by a feature matrix W (structural identity features +
+// attributes); the closed-form alignment is P = W_s W_t^+, i.e. the
+// least-squares soft assignment of source feature rows onto target feature
+// rows. Fast, unsupervised, and a useful spectral reference point beyond
+// the paper's five baselines.
+#pragma once
+
+#include "align/alignment.h"
+#include "baselines/xnetmf.h"
+
+namespace galign {
+
+/// UniAlign configuration (reuses xNetMF's structural feature extractor).
+struct UniAlignConfig {
+  int max_hops = 2;
+  double hop_discount = 0.5;
+  bool use_attributes = true;
+};
+
+/// \brief UniAlign / Big-Align aligner (closed-form, unsupervised).
+class UniAlignAligner : public Aligner {
+ public:
+  explicit UniAlignAligner(UniAlignConfig config = {}) : config_(config) {}
+
+  std::string name() const override { return "UniAlign"; }
+
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) override;
+
+ private:
+  UniAlignConfig config_;
+};
+
+}  // namespace galign

@@ -1,0 +1,125 @@
+#include "baselines/walks.h"
+
+#include <algorithm>
+
+namespace galign {
+
+std::vector<std::vector<int64_t>> UniformWalks(const AttributedGraph& g,
+                                               const WalkConfig& cfg,
+                                               Rng* rng) {
+  std::vector<std::vector<int64_t>> walks;
+  walks.reserve(static_cast<size_t>(g.num_nodes()) * cfg.walks_per_node);
+  for (int w = 0; w < cfg.walks_per_node; ++w) {
+    for (int64_t start = 0; start < g.num_nodes(); ++start) {
+      std::vector<int64_t> walk{start};
+      int64_t cur = start;
+      for (int step = 1; step < cfg.walk_length; ++step) {
+        auto nbrs = g.Neighbors(cur);
+        if (nbrs.empty()) break;
+        cur = nbrs[rng->UniformInt(static_cast<int64_t>(nbrs.size()))];
+        walk.push_back(cur);
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+std::vector<std::vector<int64_t>> Node2VecWalks(const AttributedGraph& g,
+                                                const WalkConfig& cfg,
+                                                double p, double q, Rng* rng) {
+  std::vector<std::vector<int64_t>> walks;
+  walks.reserve(static_cast<size_t>(g.num_nodes()) * cfg.walks_per_node);
+  // Max unnormalized weight bounds the rejection sampler.
+  const double w_return = 1.0 / p;
+  const double w_inout = 1.0 / q;
+  const double w_max = std::max({w_return, 1.0, w_inout});
+  for (int w = 0; w < cfg.walks_per_node; ++w) {
+    for (int64_t start = 0; start < g.num_nodes(); ++start) {
+      std::vector<int64_t> walk{start};
+      int64_t prev = -1, cur = start;
+      for (int step = 1; step < cfg.walk_length; ++step) {
+        auto nbrs = g.Neighbors(cur);
+        if (nbrs.empty()) break;
+        int64_t next = -1;
+        if (prev == -1) {
+          next = nbrs[rng->UniformInt(static_cast<int64_t>(nbrs.size()))];
+        } else {
+          // Rejection sampling against the node2vec bias.
+          for (int attempt = 0; attempt < 200; ++attempt) {
+            int64_t cand =
+                nbrs[rng->UniformInt(static_cast<int64_t>(nbrs.size()))];
+            double weight = cand == prev
+                                ? w_return
+                                : (g.HasEdge(prev, cand) ? 1.0 : w_inout);
+            if (rng->Uniform() * w_max <= weight) {
+              next = cand;
+              break;
+            }
+          }
+          if (next == -1) {
+            next = nbrs[rng->UniformInt(static_cast<int64_t>(nbrs.size()))];
+          }
+        }
+        walk.push_back(next);
+        prev = cur;
+        cur = next;
+      }
+      walks.push_back(std::move(walk));
+    }
+  }
+  return walks;
+}
+
+std::vector<std::vector<int64_t>> CrossNetworkWalks(
+    const AttributedGraph& source, const AttributedGraph& target,
+    const std::vector<int64_t>& anchors, const WalkConfig& cfg, Rng* rng) {
+  const int64_t n1 = source.num_nodes();
+  // Reverse anchor map: target node -> source node.
+  std::vector<int64_t> reverse(target.num_nodes(), -1);
+  for (size_t v = 0; v < anchors.size(); ++v) {
+    if (anchors[v] != -1 && anchors[v] < target.num_nodes()) {
+      reverse[anchors[v]] = static_cast<int64_t>(v);
+    }
+  }
+  auto token_of = [&](bool in_source, int64_t node) {
+    if (in_source) return node;
+    // Anchored target nodes share the source token (merged vocabulary).
+    return reverse[node] != -1 ? reverse[node] : n1 + node;
+  };
+
+  std::vector<std::vector<int64_t>> walks;
+  walks.reserve(static_cast<size_t>(n1 + target.num_nodes()) *
+                cfg.walks_per_node);
+  auto run_walk = [&](bool start_in_source, int64_t start) {
+    std::vector<int64_t> walk{token_of(start_in_source, start)};
+    bool in_source = start_in_source;
+    int64_t cur = start;
+    for (int step = 1; step < cfg.walk_length; ++step) {
+      // Cross-network jump at an anchored node.
+      if (in_source && cur < static_cast<int64_t>(anchors.size()) &&
+          anchors[cur] != -1 && rng->Bernoulli(cfg.cross_probability)) {
+        cur = anchors[cur];
+        in_source = false;
+      } else if (!in_source && reverse[cur] != -1 &&
+                 rng->Bernoulli(cfg.cross_probability)) {
+        cur = reverse[cur];
+        in_source = true;
+      }
+      const AttributedGraph& g = in_source ? source : target;
+      auto nbrs = g.Neighbors(cur);
+      if (nbrs.empty()) break;
+      cur = nbrs[rng->UniformInt(static_cast<int64_t>(nbrs.size()))];
+      walk.push_back(token_of(in_source, cur));
+    }
+    walks.push_back(std::move(walk));
+  };
+
+  for (int w = 0; w < cfg.walks_per_node; ++w) {
+    for (int64_t v = 0; v < n1; ++v) run_walk(true, v);
+    for (int64_t v = 0; v < target.num_nodes(); ++v) run_walk(false, v);
+  }
+  return walks;
+}
+
+}  // namespace galign

@@ -1,0 +1,53 @@
+// Random-walk corpus generation: uniform walks (DeepWalk-style) and
+// CENALP's cross-network walks that hop between the source and target graph
+// at merged anchor nodes. Walk tokens identify nodes in a combined id space
+// (source node v -> v, target node v' -> n1 + v'); merged anchors share the
+// source-side token.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace galign {
+
+/// Options for walk generation.
+struct WalkConfig {
+  int walks_per_node = 10;
+  int walk_length = 20;
+  /// Cross-network jump probability at an anchor node (CENALP walks only).
+  double cross_probability = 0.5;
+};
+
+/// Uniform random walks over one graph; token = node id.
+std::vector<std::vector<int64_t>> UniformWalks(const AttributedGraph& g,
+                                               const WalkConfig& cfg,
+                                               Rng* rng);
+
+/// \brief node2vec-style biased walks (Grover & Leskovec, KDD 2016).
+///
+/// Second-order walk with return parameter p and in-out parameter q: from
+/// step (prev -> cur), the unnormalized probability of moving to x is
+///   1/p  if x == prev (return),
+///   1    if x is a neighbour of prev (BFS-like),
+///   1/q  otherwise (DFS-like).
+/// p = q = 1 reduces to a uniform walk. Sampling is rejection-based, so no
+/// alias tables are precomputed.
+std::vector<std::vector<int64_t>> Node2VecWalks(const AttributedGraph& g,
+                                                const WalkConfig& cfg,
+                                                double p, double q, Rng* rng);
+
+/// \brief Cross-network walks for CENALP.
+///
+/// `anchors` maps source node -> target node (or -1). A walk positioned at
+/// a source node that is anchored can jump to the matched target node (and
+/// vice versa) with cross_probability, weaving the networks into one corpus.
+/// Tokens of an anchored target node are rewritten to the source-side token
+/// so matched pairs share one vocabulary entry.
+std::vector<std::vector<int64_t>> CrossNetworkWalks(
+    const AttributedGraph& source, const AttributedGraph& target,
+    const std::vector<int64_t>& anchors, const WalkConfig& cfg, Rng* rng);
+
+}  // namespace galign

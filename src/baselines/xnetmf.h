@@ -1,0 +1,42 @@
+// xNetMF (Heimann et al., CIKM 2018): the cross-network node representation
+// behind REGAL. Each node is described by log-binned degree histograms of
+// its k-hop neighbourhoods (structural identity, no alignment supervision),
+// optionally concatenated with node attributes; a Nyström-style low-rank
+// factorization of the node-to-landmark similarity matrix yields embeddings
+// comparable across networks.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// xNetMF configuration.
+struct XNetMfConfig {
+  int max_hops = 2;          ///< K: neighbourhood radius
+  double hop_discount = 0.5; ///< delta: weight of hop h is delta^(h-1)
+  double gamma_struct = 1.0; ///< structural distance weight
+  double gamma_attr = 1.0;   ///< attribute distance weight
+  int64_t num_landmarks = 0; ///< p; 0 = 10 * log2(N), clamped to N
+  uint64_t seed = 17;
+};
+
+/// Log-binned degree histograms of the k-hop neighbourhoods of every node.
+/// Bin b counts neighbours of degree in [2^b, 2^(b+1)); hop h contributes
+/// with weight delta^(h-1). Rows are feature vectors.
+Matrix StructuralFeatures(const AttributedGraph& g, const XNetMfConfig& cfg);
+
+/// \brief Joint xNetMF embeddings for two networks.
+///
+/// Returns a (n1 + n2) x p embedding matrix: source nodes first. Both
+/// networks share the same landmark set, which is what makes the spaces
+/// comparable without anchors.
+Result<Matrix> XNetMfEmbed(const AttributedGraph& source,
+                           const AttributedGraph& target,
+                           const XNetMfConfig& cfg);
+
+}  // namespace galign

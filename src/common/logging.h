@@ -1,0 +1,49 @@
+// Minimal leveled logger. Logging is synchronous and writes to stderr; the
+// level can be changed globally (benchmarks silence INFO output).
+#pragma once
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace galign {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace galign
+
+#define GALIGN_LOG(level)                                              \
+  ::galign::internal::LogMessage(::galign::LogLevel::k##level, __FILE__, \
+                                 __LINE__)
+
+#define GALIGN_DCHECK(cond)                                                \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      { GALIGN_LOG(Error) << "DCHECK failed: " #cond << " (aborting)"; }   \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

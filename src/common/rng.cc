@@ -1,0 +1,34 @@
+#include "common/rng.h"
+
+#include <numeric>
+#include <unordered_set>
+
+namespace galign {
+
+std::vector<int64_t> Rng::Permutation(int64_t n) {
+  std::vector<int64_t> p(n);
+  std::iota(p.begin(), p.end(), 0);
+  Shuffle(&p);
+  return p;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  if (k > n) k = n;
+  // For dense samples a shuffled prefix is cheaper; for sparse samples use
+  // rejection into a hash set.
+  if (k * 3 >= n) {
+    std::vector<int64_t> p = Permutation(n);
+    p.resize(k);
+    return p;
+  }
+  std::unordered_set<int64_t> seen;
+  std::vector<int64_t> out;
+  out.reserve(k);
+  while (static_cast<int64_t>(out.size()) < k) {
+    int64_t x = UniformInt(n);
+    if (seen.insert(x).second) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace galign

@@ -1,0 +1,108 @@
+// Status / Result error-handling primitives, in the style of Apache Arrow and
+// RocksDB: fallible operations return a Status (or Result<T>) instead of
+// throwing, and callers are expected to check it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace galign {
+
+/// Error categories used across the library.
+enum class StatusCode : int8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kIOError,
+  kNotConverged,
+  kInternal,
+};
+
+/// \brief Outcome of a fallible operation.
+///
+/// A Status is cheap to copy in the OK case (no allocation) and carries a
+/// human-readable message otherwise. Use the GALIGN_RETURN_NOT_OK macro to
+/// propagate errors.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Returns e.g. "InvalidArgument: negative dimension".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Intended for
+  /// callers that have already validated inputs (internal invariants).
+  void CheckOK() const;
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// \brief A value or an error, for fallible factory-style functions.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Access the contained value. Aborts if the result holds an error.
+  T& ValueOrDie() {
+    status_.CheckOK();
+    return *value_;
+  }
+  const T& ValueOrDie() const {
+    status_.CheckOK();
+    return *value_;
+  }
+  T&& MoveValueOrDie() {
+    status_.CheckOK();
+    return std::move(*value_);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define GALIGN_RETURN_NOT_OK(expr)        \
+  do {                                    \
+    ::galign::Status _st = (expr);        \
+    if (!_st.ok()) return _st;            \
+  } while (0)
+
+#define GALIGN_CHECK_OK(expr) (expr).CheckOK()
+
+}  // namespace galign

@@ -1,0 +1,28 @@
+// Wall-clock timing helper used by the experiment pipeline to report
+// per-method run times (Table III "Time(s)" column).
+#pragma once
+
+#include <chrono>
+
+namespace galign {
+
+/// Monotonic stopwatch. Starts on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace galign

@@ -1,0 +1,32 @@
+#include "core/augmenter.h"
+
+#include "graph/noise.h"
+
+namespace galign {
+
+Result<std::vector<AugmentedNetwork>> MakeAugmentations(
+    const AttributedGraph& g, const GAlignConfig& cfg, Rng* rng) {
+  std::vector<AugmentedNetwork> out;
+  out.reserve(cfg.num_augmentations);
+  for (int i = 0; i < cfg.num_augmentations; ++i) {
+    NoisyCopyOptions opts;
+    if (i % 2 == 0) {
+      opts.structural_noise = cfg.augment_structural_noise;
+    } else {
+      opts.attribute_noise = cfg.augment_attribute_noise;
+    }
+    opts.permute = true;
+    auto pair = MakeNoisyCopyPair(g, opts, rng);
+    if (!pair.ok()) return pair.status();
+    AugmentedNetwork aug;
+    aug.graph = std::move(pair.ValueOrDie().target);
+    aug.correspondence = std::move(pair.ValueOrDie().ground_truth);
+    auto lap = aug.graph.NormalizedAdjacency();
+    if (!lap.ok()) return lap.status();
+    aug.laplacian = lap.MoveValueOrDie();
+    out.push_back(std::move(aug));
+  }
+  return out;
+}
+
+}  // namespace galign

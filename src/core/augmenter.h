@@ -1,0 +1,34 @@
+// Perturbation-based network augmentation (paper §V-C): each augmented copy
+// is a randomly permuted version of the input with structural or attribute
+// noise injected. The recorded correspondence (original node -> augmented
+// node) feeds the adaptivity loss (Eq. 9).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "graph/graph.h"
+#include "la/sparse.h"
+
+namespace galign {
+
+/// One augmented copy of a network, ready for GCN forwarding.
+struct AugmentedNetwork {
+  AttributedGraph graph;
+  /// correspondence[v] = id of original node v inside the augmented copy.
+  std::vector<int64_t> correspondence;
+  /// Pre-computed propagation matrix C of the copy.
+  SparseMatrix laplacian;
+};
+
+/// \brief Builds cfg.num_augmentations copies of g.
+///
+/// Even-indexed copies carry structural noise (edge add/remove with
+/// probability p_s), odd-indexed copies carry attribute noise (p_a) — the
+/// two violation types the model must adapt to (R2).
+Result<std::vector<AugmentedNetwork>> MakeAugmentations(
+    const AttributedGraph& g, const GAlignConfig& cfg, Rng* rng);
+
+}  // namespace galign

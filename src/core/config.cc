@@ -1,0 +1,84 @@
+#include "core/config.h"
+
+#include <cstddef>
+
+namespace galign {
+
+std::vector<double> GAlignConfig::EffectiveLayerWeights() const {
+  const std::size_t count = static_cast<size_t>(num_layers) + 1;
+  std::vector<double> theta(count, 0.0);
+  if (final_layer_only) {
+    theta.back() = 1.0;
+    return theta;
+  }
+  if (layer_weights.empty()) {
+    for (double& t : theta) t = 1.0 / static_cast<double>(count);
+    return theta;
+  }
+  double sum = 0.0;
+  for (std::size_t l = 0; l < count && l < layer_weights.size(); ++l) {
+    theta[l] = layer_weights[l] < 0.0 ? 0.0 : layer_weights[l];
+    sum += theta[l];
+  }
+  if (sum <= 0.0) {
+    for (double& t : theta) t = 1.0 / static_cast<double>(count);
+    return theta;
+  }
+  for (double& t : theta) t /= sum;
+  return theta;
+}
+
+Status GAlignConfig::Validate() const {
+  if (num_layers < 1) {
+    return Status::InvalidArgument("num_layers must be >= 1");
+  }
+  if (embedding_dim < 1) {
+    return Status::InvalidArgument("embedding_dim must be >= 1");
+  }
+  if (epochs < 1) return Status::InvalidArgument("epochs must be >= 1");
+  if (learning_rate <= 0.0) {
+    return Status::InvalidArgument("learning_rate must be positive");
+  }
+  if (gamma < 0.0 || gamma > 1.0) {
+    return Status::InvalidArgument("gamma must be in [0, 1]");
+  }
+  if (num_augmentations < 0) {
+    return Status::InvalidArgument("num_augmentations must be >= 0");
+  }
+  if (augment_structural_noise < 0.0 || augment_structural_noise > 1.0) {
+    return Status::InvalidArgument(
+        "augment_structural_noise must be in [0, 1]");
+  }
+  if (augment_attribute_noise < 0.0 || augment_attribute_noise > 1.0) {
+    return Status::InvalidArgument(
+        "augment_attribute_noise must be in [0, 1]");
+  }
+  if (adaptivity_threshold <= 0.0) {
+    return Status::InvalidArgument("adaptivity_threshold must be positive");
+  }
+  if (refinement_iterations < 0) {
+    return Status::InvalidArgument("refinement_iterations must be >= 0");
+  }
+  if (accumulation_factor <= 1.0) {
+    return Status::InvalidArgument(
+        "accumulation_factor (beta) must be > 1 (Eq. 14)");
+  }
+  if (stability_threshold <= 0.0 || stability_threshold >= 1.0) {
+    return Status::InvalidArgument(
+        "stability_threshold (lambda) must be in (0, 1)");
+  }
+  if (!layer_weights.empty() &&
+      layer_weights.size() != static_cast<size_t>(num_layers) + 1) {
+    return Status::InvalidArgument(
+        "layer_weights must be empty or have num_layers + 1 entries");
+  }
+  if (seed_loss_weight < 0.0) {
+    return Status::InvalidArgument("seed_loss_weight must be >= 0");
+  }
+  if (early_stop_patience < 0) {
+    return Status::InvalidArgument("early_stop_patience must be >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace galign

@@ -1,0 +1,74 @@
+// GAlign hyper-parameters with the paper's defaults (§VII-A
+// "Hyperparameter tuning"). Ablation variants (Table IV) are expressed as
+// flags here so the same code path serves GAlign-1/2/3.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace galign {
+
+/// Configuration of the full GAlign pipeline.
+struct GAlignConfig {
+  // --- Multi-order GCN (§V-A) ---
+  int num_layers = 2;           ///< k, number of GCN layers
+  int64_t embedding_dim = 200;  ///< d^(l) for every layer l >= 1
+
+  // --- Training (Alg. 1) ---
+  int epochs = 30;
+  double learning_rate = 0.01;
+  uint64_t seed = 42;
+  /// Early stopping: stop when the loss has not improved by at least
+  /// `early_stop_tolerance` (relative) for this many consecutive epochs.
+  /// 0 disables early stopping (paper setting: fixed epoch budget).
+  int early_stop_patience = 0;
+  double early_stop_tolerance = 1e-4;
+
+  // --- Loss (Eq. 10) ---
+  double gamma = 0.8;  ///< balance between consistency and adaptivity loss
+
+  // --- Data augmentation (§V-C) ---
+  /// Augmented copies per input network. Copy 2i carries structural noise,
+  /// copy 2i+1 attribute noise, mirroring the two violation types.
+  int num_augmentations = 2;
+  double augment_structural_noise = 0.10;  ///< p_s
+  double augment_attribute_noise = 0.10;   ///< p_a
+  /// sigma_< threshold of the adaptivity loss (Eq. 9): row distances beyond
+  /// this are treated as destroyed neighbourhoods and masked out.
+  double adaptivity_threshold = 1.0;
+
+  // --- Alignment instantiation (§VI-A) ---
+  /// theta^(l) for l = 0..k; empty = uniform 1/(k+1) (paper default).
+  std::vector<double> layer_weights;
+
+  // --- Refinement (§VI-B, Alg. 2) ---
+  int refinement_iterations = 20;
+  double stability_threshold = 0.94;  ///< lambda
+  double accumulation_factor = 1.1;   ///< beta (> 1)
+
+  // --- Ablation switches (Table IV) ---
+  bool use_augmentation = true;   ///< false => GAlign-1
+  bool use_refinement = true;     ///< false => GAlign-2
+  bool final_layer_only = false;  ///< true  => GAlign-3
+
+  // --- Semi-supervised extension (beyond the paper) ---
+  /// When seed anchors are supplied AND this weight is > 0, training adds
+  /// mu * sum_l sum_(v,v') in seeds ||H_s^(l)(v) - H_t^(l)(v')|| to the
+  /// objective, pulling known anchor pairs together in the shared space.
+  /// The paper's fully unsupervised model corresponds to mu = 0 (default).
+  double seed_loss_weight = 0.0;
+
+  /// Effective theta vector: the configured weights (padded/truncated to
+  /// k+1 and renormalized), uniform weights, or the one-hot final layer for
+  /// GAlign-3.
+  std::vector<double> EffectiveLayerWeights() const;
+
+  /// Checks every field for validity (positive dimensions, probabilities in
+  /// range, beta > 1, ...) and returns a descriptive error otherwise.
+  /// GAlignAligner::Align validates automatically.
+  Status Validate() const;
+};
+
+}  // namespace galign

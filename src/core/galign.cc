@@ -1,0 +1,101 @@
+#include "core/galign.h"
+
+#include "core/refinement.h"
+#include "la/ops.h"
+#include "core/trainer.h"
+
+namespace galign {
+
+Result<Matrix> GAlignAligner::Align(const AttributedGraph& source,
+                                    const AttributedGraph& target,
+                                    const Supervision& supervision) {
+  GALIGN_RETURN_NOT_OK(config_.Validate());
+  if (source.num_nodes() == 0 || target.num_nodes() == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+  if (source.num_attributes() != target.num_attributes()) {
+    return Status::InvalidArgument(
+        "GAlign requires equal attribute dimensionality");
+  }
+
+  Rng rng(config_.seed);
+  MultiOrderGcn gcn(config_.num_layers, source.num_attributes(),
+                    config_.embedding_dim, &rng);
+
+  Trainer trainer(config_);
+  // The paper's model is fully unsupervised and ignores supervision; seeds
+  // only enter training when the semi-supervised extension is enabled
+  // (seed_loss_weight > 0).
+  const auto& seeds = config_.seed_loss_weight > 0.0
+                          ? supervision.seeds
+                          : std::vector<std::pair<int64_t, int64_t>>{};
+  GALIGN_RETURN_NOT_OK(trainer.Train(&gcn, source, target, &rng, seeds));
+  last_loss_history_ = trainer.loss_history();
+  last_refinement_scores_.clear();
+
+  if (config_.use_refinement) {
+    auto refined = RefineAlignment(gcn, source, target, config_);
+    if (!refined.ok()) return refined.status();
+    last_refinement_scores_ = refined.ValueOrDie().score_history;
+    return std::move(refined.ValueOrDie().alignment);
+  }
+
+  // GAlign-2 path: aggregate the trained embeddings directly (Eq. 12).
+  auto lap_s = source.NormalizedAdjacency();
+  GALIGN_RETURN_NOT_OK(lap_s.status());
+  auto lap_t = target.NormalizedAdjacency();
+  GALIGN_RETURN_NOT_OK(lap_t.status());
+  std::vector<Matrix> hs =
+      gcn.ForwardInference(lap_s.ValueOrDie(), source.attributes());
+  std::vector<Matrix> ht =
+      gcn.ForwardInference(lap_t.ValueOrDie(), target.attributes());
+  return AggregateAlignment(hs, ht, config_.EffectiveLayerWeights());
+}
+
+Result<MultiOrderEmbeddings> EmbedNetworks(const GAlignConfig& config,
+                                           const AttributedGraph& source,
+                                           const AttributedGraph& target) {
+  if (source.num_attributes() != target.num_attributes()) {
+    return Status::InvalidArgument(
+        "EmbedNetworks requires equal attribute dimensionality");
+  }
+  Rng rng(config.seed);
+  MultiOrderGcn gcn(config.num_layers, source.num_attributes(),
+                    config.embedding_dim, &rng);
+  Trainer trainer(config);
+  GALIGN_RETURN_NOT_OK(trainer.Train(&gcn, source, target, &rng));
+
+  auto lap_s = source.NormalizedAdjacency();
+  GALIGN_RETURN_NOT_OK(lap_s.status());
+  auto lap_t = target.NormalizedAdjacency();
+  GALIGN_RETURN_NOT_OK(lap_t.status());
+
+  MultiOrderEmbeddings out;
+  out.source_layers =
+      gcn.ForwardInference(lap_s.ValueOrDie(), source.attributes());
+  out.target_layers =
+      gcn.ForwardInference(lap_t.ValueOrDie(), target.attributes());
+  std::vector<const Matrix*> ps, pt;
+  for (const Matrix& h : out.source_layers) ps.push_back(&h);
+  for (const Matrix& h : out.target_layers) pt.push_back(&h);
+  out.source_concat = ConcatCols(ps);
+  out.target_concat = ConcatCols(pt);
+  return out;
+}
+
+GAlignConfig GAlignAligner::WithoutAugmentation(GAlignConfig base) {
+  base.use_augmentation = false;
+  return base;
+}
+
+GAlignConfig GAlignAligner::WithoutRefinement(GAlignConfig base) {
+  base.use_refinement = false;
+  return base;
+}
+
+GAlignConfig GAlignAligner::FinalLayerOnly(GAlignConfig base) {
+  base.final_layer_only = true;
+  return base;
+}
+
+}  // namespace galign

@@ -1,0 +1,79 @@
+// Public entry point of the GAlign framework: an Aligner that runs the full
+// unsupervised pipeline — multi-order GCN training with augmentation
+// (Alg. 1) followed by alignment instantiation and stability refinement
+// (Alg. 2). The ablation variants of Table IV are configuration presets.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "align/alignment.h"
+#include "core/config.h"
+#include "core/gcn.h"
+
+namespace galign {
+
+/// \brief GAlign: adaptive, fully unsupervised network alignment.
+///
+/// Usage:
+///   GAlignAligner aligner(GAlignConfig{});
+///   auto s = aligner.Align(source, target, /*supervision=*/{});
+///
+/// Supervision is accepted for interface compatibility and ignored — the
+/// method is unsupervised (R3).
+class GAlignAligner : public Aligner {
+ public:
+  explicit GAlignAligner(GAlignConfig config = {},
+                         std::string name = "GAlign")
+      : config_(std::move(config)), name_(std::move(name)) {}
+
+  std::string name() const override { return name_; }
+
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) override;
+
+  const GAlignConfig& config() const { return config_; }
+
+  /// Per-epoch training loss of the most recent Align() call.
+  const std::vector<double>& last_loss_history() const {
+    return last_loss_history_;
+  }
+  /// Refinement g(S) trajectory of the most recent Align() call (empty when
+  /// refinement is disabled).
+  const std::vector<double>& last_refinement_scores() const {
+    return last_refinement_scores_;
+  }
+
+  /// Ablation presets (Table IV).
+  static GAlignConfig WithoutAugmentation(GAlignConfig base = {});  // GAlign-1
+  static GAlignConfig WithoutRefinement(GAlignConfig base = {});    // GAlign-2
+  static GAlignConfig FinalLayerOnly(GAlignConfig base = {});       // GAlign-3
+
+ private:
+  GAlignConfig config_;
+  std::string name_;
+  std::vector<double> last_loss_history_;
+  std::vector<double> last_refinement_scores_;
+};
+
+/// \brief Trained multi-order embeddings of a network pair.
+///
+/// The per-layer matrices are the GCN outputs H^(0)..H^(k) (row-normalized);
+/// `*_concat` concatenates all layers row-wise into one feature matrix —
+/// ready-made node features for downstream tasks (node classification, link
+/// prediction) in the shared embedding space.
+struct MultiOrderEmbeddings {
+  std::vector<Matrix> source_layers;
+  std::vector<Matrix> target_layers;
+  Matrix source_concat;
+  Matrix target_concat;
+};
+
+/// Runs Alg. 1 (training only) and returns the learnt multi-order
+/// embeddings of both networks, without computing an alignment matrix.
+Result<MultiOrderEmbeddings> EmbedNetworks(const GAlignConfig& config,
+                                           const AttributedGraph& source,
+                                           const AttributedGraph& target);
+
+}  // namespace galign

@@ -1,0 +1,112 @@
+#include "core/gcn.h"
+
+#include "common/logging.h"
+#include "la/ops.h"
+
+namespace galign {
+
+MultiOrderGcn::MultiOrderGcn(int num_layers, int64_t input_dim,
+                             int64_t embedding_dim, Rng* rng,
+                             Activation activation)
+    : MultiOrderGcn(std::vector<int64_t>(
+                        static_cast<size_t>(num_layers > 0 ? num_layers : 1),
+                        embedding_dim),
+                    input_dim, rng, activation) {
+  GALIGN_DCHECK(num_layers >= 1);
+}
+
+MultiOrderGcn::MultiOrderGcn(const std::vector<int64_t>& layer_dims,
+                             int64_t input_dim, Rng* rng,
+                             Activation activation)
+    : input_dim_(input_dim),
+      embedding_dim_(layer_dims.empty() ? 1 : layer_dims.back()),
+      activation_(activation) {
+  GALIGN_DCHECK(!layer_dims.empty() && input_dim >= 1);
+  weights_.reserve(layer_dims.size());
+  int64_t in = input_dim;
+  for (int64_t dim : layer_dims) {
+    GALIGN_DCHECK(dim >= 1);
+    weights_.push_back(Matrix::Xavier(in, dim, rng));
+    in = dim;
+  }
+}
+
+std::vector<Var> MultiOrderGcn::MakeWeightLeaves(Tape* tape) const {
+  std::vector<Var> vars;
+  vars.reserve(weights_.size());
+  for (const Matrix& w : weights_) {
+    vars.push_back(tape->Leaf(w, /*requires_grad=*/true));
+  }
+  return vars;
+}
+
+std::vector<Var> MultiOrderGcn::Forward(Tape* tape,
+                                        const SparseMatrix* laplacian,
+                                        const Matrix& features,
+                                        std::vector<Var>* weight_vars) const {
+  std::vector<Var> wv = MakeWeightLeaves(tape);
+  std::vector<Var> out = ForwardWithWeights(tape, laplacian, features, wv);
+  if (weight_vars != nullptr) *weight_vars = std::move(wv);
+  return out;
+}
+
+std::vector<Var> MultiOrderGcn::ForwardWithWeights(
+    Tape* tape, const SparseMatrix* laplacian, const Matrix& features,
+    const std::vector<Var>& weight_vars) const {
+  GALIGN_DCHECK(weight_vars.size() == weights_.size());
+  GALIGN_DCHECK(features.cols() == input_dim_);
+  std::vector<Var> layers;
+  layers.reserve(weights_.size() + 1);
+  Var h = ag::NormalizeRows(tape, tape->Leaf(features, false));
+  layers.push_back(h);
+  for (size_t l = 0; l < weights_.size(); ++l) {
+    Var agg = ag::SpMM(tape, laplacian, h);
+    Var pre = ag::MatMul(tape, agg, weight_vars[l]);
+    Var act;
+    switch (activation_) {
+      case Activation::kTanh:
+        act = ag::Tanh(tape, pre);
+        break;
+      case Activation::kRelu:
+        act = ag::Relu(tape, pre);
+        break;
+      case Activation::kLinear:
+        act = pre;
+        break;
+    }
+    h = ag::NormalizeRows(tape, act);
+    layers.push_back(h);
+  }
+  return layers;
+}
+
+std::vector<Matrix> MultiOrderGcn::ForwardInference(
+    const SparseMatrix& laplacian, const Matrix& features) const {
+  GALIGN_DCHECK(features.cols() == input_dim_);
+  std::vector<Matrix> layers;
+  layers.reserve(weights_.size() + 1);
+  Matrix h = features;
+  h.NormalizeRows();
+  layers.push_back(h);
+  for (const Matrix& w : weights_) {
+    Matrix pre = MatMul(laplacian.Multiply(h), w);
+    Matrix act;
+    switch (activation_) {
+      case Activation::kTanh:
+        act = Tanh(pre);
+        break;
+      case Activation::kRelu:
+        act = Map(pre, [](double v) { return v > 0.0 ? v : 0.0; });
+        break;
+      case Activation::kLinear:
+        act = std::move(pre);
+        break;
+    }
+    act.NormalizeRows();
+    layers.push_back(act);
+    h = layers.back();
+  }
+  return layers;
+}
+
+}  // namespace galign

@@ -1,0 +1,80 @@
+// The multi-order GCN embedding model (paper §IV-A, §V-A): k layers of
+//   H^(l) = normalize( tanh( C H^(l-1) W^(l) ) ),   H^(0) = normalize(F)
+// with C = D̂^{-1/2} Â D̂^{-1/2}. tanh is used instead of ReLU because the
+// alignment task needs a sign-preserving (bijective) activation (§IV-A).
+// The weights W are shared by every network passed through the model — the
+// weight-sharing mechanism that puts all embeddings in one space (§V-D).
+#pragma once
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace galign {
+
+/// Which activation the GCN applies (kTanh is the paper's choice; kRelu is
+/// kept for the activation ablation bench).
+enum class Activation { kTanh, kRelu, kLinear };
+
+/// \brief k-layer GCN with externally owned, shared weights.
+class MultiOrderGcn {
+ public:
+  /// Initializes Xavier weights: W^(1) is input_dim x embedding_dim, deeper
+  /// layers embedding_dim x embedding_dim.
+  MultiOrderGcn(int num_layers, int64_t input_dim, int64_t embedding_dim,
+                Rng* rng, Activation activation = Activation::kTanh);
+
+  /// Per-layer dimension variant (paper Table I: d^(l) may differ by
+  /// layer): layer_dims[l] is the output width of layer l+1. Must be
+  /// non-empty; embedding_dim() reports the last layer's width.
+  MultiOrderGcn(const std::vector<int64_t>& layer_dims, int64_t input_dim,
+                Rng* rng, Activation activation = Activation::kTanh);
+
+  int num_layers() const { return static_cast<int>(weights_.size()); }
+  int64_t input_dim() const { return input_dim_; }
+  int64_t embedding_dim() const { return embedding_dim_; }
+  Activation activation() const { return activation_; }
+
+  std::vector<Matrix>& weights() { return weights_; }
+  const std::vector<Matrix>& weights() const { return weights_; }
+
+  /// \brief Differentiable forward pass on a tape.
+  ///
+  /// Returns k+1 vars: the normalized input H^(0) plus one per layer. The
+  /// weight leaves used are returned through `weight_vars` so the caller can
+  /// read their gradients after Backward(); pass the same weight leaves when
+  /// forwarding several graphs on one tape to share weights.
+  std::vector<Var> Forward(Tape* tape, const SparseMatrix* laplacian,
+                           const Matrix& features,
+                           std::vector<Var>* weight_vars) const;
+
+  /// Creates the weight leaves (requires_grad) on `tape` once; feed these to
+  /// Forward() for every graph in the same step.
+  std::vector<Var> MakeWeightLeaves(Tape* tape) const;
+
+  /// Same forward with the given pre-made weight leaves.
+  std::vector<Var> ForwardWithWeights(Tape* tape,
+                                      const SparseMatrix* laplacian,
+                                      const Matrix& features,
+                                      const std::vector<Var>& weight_vars) const;
+
+  /// \brief Inference-only forward pass (no tape, no gradients).
+  ///
+  /// Used by alignment instantiation and by every refinement iteration
+  /// (which re-runs the pass under updated influence factors, Eq. 15).
+  std::vector<Matrix> ForwardInference(const SparseMatrix& laplacian,
+                                       const Matrix& features) const;
+
+ private:
+  int64_t input_dim_;
+  int64_t embedding_dim_;
+  Activation activation_;
+  std::vector<Matrix> weights_;
+};
+
+}  // namespace galign

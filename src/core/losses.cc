@@ -1,0 +1,51 @@
+#include "core/losses.h"
+
+#include "common/logging.h"
+
+namespace galign {
+
+Var ConsistencyLossAllLayers(Tape* tape, const SparseMatrix* laplacian,
+                             const std::vector<Var>& layers) {
+  GALIGN_DCHECK(layers.size() >= 2);
+  std::vector<std::pair<Var, double>> terms;
+  for (size_t l = 1; l < layers.size(); ++l) {
+    terms.emplace_back(ag::ConsistencyLoss(tape, laplacian, layers[l]), 1.0);
+  }
+  return ag::WeightedSum(tape, terms);
+}
+
+Var AdaptivityLossAllLayers(Tape* tape, const std::vector<Var>& layers,
+                            const std::vector<Var>& augmented_layers,
+                            const std::vector<int64_t>& correspondence,
+                            double threshold) {
+  GALIGN_DCHECK(layers.size() == augmented_layers.size());
+  std::vector<std::pair<Var, double>> terms;
+  for (size_t l = 1; l < layers.size(); ++l) {
+    terms.emplace_back(
+        ag::AdaptivityLoss(tape, layers[l], augmented_layers[l],
+                           correspondence, threshold),
+        1.0);
+  }
+  return ag::WeightedSum(tape, terms);
+}
+
+Var NetworkLoss(Tape* tape, const SparseMatrix* laplacian,
+                const std::vector<Var>& layers,
+                const std::vector<std::vector<Var>>& augmented,
+                const std::vector<const std::vector<int64_t>*>& correspondences,
+                const GAlignConfig& cfg) {
+  GALIGN_DCHECK(augmented.size() == correspondences.size());
+  Var consistency = ConsistencyLossAllLayers(tape, laplacian, layers);
+  std::vector<std::pair<Var, double>> terms;
+  terms.emplace_back(consistency, cfg.gamma);
+  for (size_t i = 0; i < augmented.size(); ++i) {
+    Var adaptive =
+        AdaptivityLossAllLayers(tape, layers, augmented[i],
+                                *correspondences[i],
+                                cfg.adaptivity_threshold);
+    terms.emplace_back(adaptive, 1.0 - cfg.gamma);
+  }
+  return ag::WeightedSum(tape, terms);
+}
+
+}  // namespace galign

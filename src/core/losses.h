@@ -1,0 +1,35 @@
+// Loss composition for GAlign training (paper §V-B..§V-D):
+//   J_c(G)      = sum_l || C - H^(l) H^(l)T ||_F                    (Eq. 7)
+//   J_a(G, G*)  = sum_v sum_l sigma_<( || H^(l)(v) - H^(l)(v*) || ) (Eq. 9)
+//   J(G)        = gamma J_c(G) + (1 - gamma) sum_{G*} J_a(G, G*)    (Eq. 10)
+#pragma once
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "core/config.h"
+#include "la/sparse.h"
+
+namespace galign {
+
+/// Consistency loss (Eq. 7) over layers 1..k of `layers` (index 0 is H^(0)).
+Var ConsistencyLossAllLayers(Tape* tape, const SparseMatrix* laplacian,
+                             const std::vector<Var>& layers);
+
+/// Adaptivity loss (Eq. 9) between a network's layers and one augmented
+/// copy's layers, matched through `correspondence`.
+Var AdaptivityLossAllLayers(Tape* tape, const std::vector<Var>& layers,
+                            const std::vector<Var>& augmented_layers,
+                            const std::vector<int64_t>& correspondence,
+                            double threshold);
+
+/// Full per-network objective J(G) (Eq. 10). `augmented` holds the layer
+/// vars of each augmented copy; `correspondences` the matching node maps.
+Var NetworkLoss(Tape* tape, const SparseMatrix* laplacian,
+                const std::vector<Var>& layers,
+                const std::vector<std::vector<Var>>& augmented,
+                const std::vector<const std::vector<int64_t>*>& correspondences,
+                const GAlignConfig& cfg);
+
+}  // namespace galign

@@ -1,0 +1,109 @@
+#include "core/model_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace galign {
+
+namespace {
+
+const char* ActivationName(Activation a) {
+  switch (a) {
+    case Activation::kTanh:
+      return "tanh";
+    case Activation::kRelu:
+      return "relu";
+    case Activation::kLinear:
+      return "linear";
+  }
+  return "tanh";
+}
+
+Result<Activation> ParseActivation(const std::string& name) {
+  if (name == "tanh") return Activation::kTanh;
+  if (name == "relu") return Activation::kRelu;
+  if (name == "linear") return Activation::kLinear;
+  return Status::IOError("unknown activation: " + name);
+}
+
+}  // namespace
+
+Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.precision(17);
+  out << "galign-gcn-v1 layers=" << gcn.num_layers()
+      << " input_dim=" << gcn.input_dim()
+      << " embedding_dim=" << gcn.embedding_dim() << " activation="
+      << ActivationName(gcn.activation()) << "\n";
+  for (const Matrix& w : gcn.weights()) {
+    out << w.rows() << " " << w.cols() << "\n";
+    for (int64_t r = 0; r < w.rows(); ++r) {
+      for (int64_t c = 0; c < w.cols(); ++c) {
+        if (c) out << " ";
+        out << w(r, c);
+      }
+      out << "\n";
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<MultiOrderGcn> LoadGcnModel(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::IOError("empty model file: " + path);
+  }
+  std::istringstream hs(header);
+  std::string magic;
+  hs >> magic;
+  if (magic != "galign-gcn-v1") {
+    return Status::IOError("not a galign model file: " + path);
+  }
+  int layers = 0;
+  int64_t input_dim = 0, embedding_dim = 0;
+  std::string activation_name = "tanh";
+  std::string field;
+  while (hs >> field) {
+    auto eq = field.find('=');
+    if (eq == std::string::npos) continue;
+    std::string key = field.substr(0, eq);
+    std::string value = field.substr(eq + 1);
+    if (key == "layers") layers = std::stoi(value);
+    if (key == "input_dim") input_dim = std::stoll(value);
+    if (key == "embedding_dim") embedding_dim = std::stoll(value);
+    if (key == "activation") activation_name = value;
+  }
+  if (layers < 1 || input_dim < 1 || embedding_dim < 1) {
+    return Status::IOError("malformed model header: " + header);
+  }
+  auto activation = ParseActivation(activation_name);
+  GALIGN_RETURN_NOT_OK(activation.status());
+
+  Rng rng(0);  // weights are overwritten below
+  MultiOrderGcn gcn(layers, input_dim, embedding_dim, &rng,
+                    activation.ValueOrDie());
+  for (int l = 0; l < layers; ++l) {
+    int64_t rows, cols;
+    if (!(in >> rows >> cols)) {
+      return Status::IOError("truncated model file (layer header)");
+    }
+    Matrix& w = gcn.weights()[l];
+    if (rows != w.rows() || cols != w.cols()) {
+      return Status::IOError("layer shape mismatch in model file");
+    }
+    for (int64_t r = 0; r < rows; ++r) {
+      for (int64_t c = 0; c < cols; ++c) {
+        if (!(in >> w(r, c))) {
+          return Status::IOError("truncated model file (weights)");
+        }
+      }
+    }
+  }
+  return gcn;
+}
+
+}  // namespace galign

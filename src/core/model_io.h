@@ -1,0 +1,21 @@
+// Persistence for trained GCN models: train once, reuse across processes
+// (e.g. embed new snapshots of the same networks, or serve alignment
+// queries without retraining). Plain-text format with a header carrying the
+// architecture so loading validates shape compatibility.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "core/gcn.h"
+
+namespace galign {
+
+/// Writes the model architecture + weights to `path`.
+Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path);
+
+/// Reads a model written by SaveGcnModel. The activation is restored from
+/// the header.
+Result<MultiOrderGcn> LoadGcnModel(const std::string& path);
+
+}  // namespace galign

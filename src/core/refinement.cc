@@ -1,0 +1,174 @@
+#include "core/refinement.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+#include "la/ops.h"
+
+namespace galign {
+
+Matrix AggregateAlignment(const std::vector<Matrix>& hs,
+                          const std::vector<Matrix>& ht,
+                          const std::vector<double>& theta) {
+  GALIGN_DCHECK(hs.size() == ht.size());
+  GALIGN_DCHECK(hs.size() == theta.size());
+  const int64_t n1 = hs[0].rows();
+  const int64_t n2 = ht[0].rows();
+  Matrix s(n1, n2);
+  for (size_t l = 0; l < hs.size(); ++l) {
+    if (theta[l] == 0.0) continue;
+    s.Axpy(theta[l], MatMulTransposedB(hs[l], ht[l]));
+  }
+  return s;
+}
+
+StabilityScan ScanStability(const std::vector<Matrix>& hs,
+                            const std::vector<Matrix>& ht,
+                            const std::vector<double>& theta, double lambda) {
+  GALIGN_DCHECK(hs.size() == ht.size() && hs.size() == theta.size());
+  const size_t layers = hs.size();
+  const int64_t n1 = hs[0].rows();
+  const int64_t n2 = ht[0].rows();
+
+  // Per-layer row statistics and per-layer column statistics.
+  std::vector<std::vector<int64_t>> row_arg(layers,
+                                            std::vector<int64_t>(n1, -1));
+  std::vector<std::vector<double>> row_max(
+      layers, std::vector<double>(n1, -1e300));
+  std::vector<std::vector<int64_t>> col_arg(layers,
+                                            std::vector<int64_t>(n2, -1));
+  std::vector<std::vector<double>> col_max(
+      layers, std::vector<double>(n2, -1e300));
+  std::vector<double> agg_row_max(n1, -1e300);
+
+  const int64_t chunk = std::max<int64_t>(1, std::min<int64_t>(n1, 512));
+  // Column maxima are shared across chunks; guard them by processing chunks
+  // serially while parallelizing the inner GEMMs (MatMulTransposedB already
+  // fans out across the pool).
+  for (int64_t r0 = 0; r0 < n1; r0 += chunk) {
+    const int64_t r1 = std::min(n1, r0 + chunk);
+    const int64_t rows = r1 - r0;
+    Matrix agg(rows, n2);
+    for (size_t l = 0; l < layers; ++l) {
+      Matrix block = MatMulTransposedB(hs[l].Block(r0, 0, rows, hs[l].cols()),
+                                       ht[l]);
+      for (int64_t i = 0; i < rows; ++i) {
+        const double* p = block.row_data(i);
+        const int64_t v = r0 + i;
+        for (int64_t j = 0; j < n2; ++j) {
+          if (p[j] > row_max[l][v]) {
+            row_max[l][v] = p[j];
+            row_arg[l][v] = j;
+          }
+          if (p[j] > col_max[l][j]) {
+            col_max[l][j] = p[j];
+            col_arg[l][j] = v;
+          }
+        }
+      }
+      if (theta[l] != 0.0) agg.Axpy(theta[l], block);
+    }
+    for (int64_t i = 0; i < rows; ++i) {
+      agg_row_max[r0 + i] = MaxRow(agg, i);
+    }
+  }
+
+  // Stability (Eq. 13) is evaluated over the GCN layers l >= 1. The raw
+  // attribute layer H^(0) is excluded from the argmax-consistency check:
+  // with low-dimensional categorical attributes many nodes share identical
+  // attribute rows, making the layer-0 argmax a tie-break lottery that
+  // would mark every node unstable.
+  const size_t first = layers > 1 ? 1 : 0;
+  StabilityScan out;
+  for (int64_t v = 0; v < n1; ++v) {
+    bool stable = true;
+    for (size_t l = first; l < layers && stable; ++l) {
+      stable = row_arg[l][v] == row_arg[first][v] && row_max[l][v] > lambda;
+    }
+    if (stable) out.stable_source.push_back(v);
+  }
+  for (int64_t u = 0; u < n2; ++u) {
+    bool stable = true;
+    for (size_t l = first; l < layers && stable; ++l) {
+      stable = col_arg[l][u] == col_arg[first][u] && col_max[l][u] > lambda;
+    }
+    if (stable) out.stable_target.push_back(u);
+  }
+  for (int64_t v = 0; v < n1; ++v) out.aggregate_score += agg_row_max[v];
+  return out;
+}
+
+Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
+                                         const AttributedGraph& source,
+                                         const AttributedGraph& target,
+                                         const GAlignConfig& config) {
+  const std::vector<double> theta = config.EffectiveLayerWeights();
+  if (theta.size() != gcn.weights().size() + 1) {
+    return Status::InvalidArgument("layer weights do not match GCN depth");
+  }
+
+  std::vector<double> alpha_s(source.num_nodes(), 1.0);
+  std::vector<double> alpha_t(target.num_nodes(), 1.0);
+
+  // The paper's AGG_w weights node t by alpha(t) * deg(t)^{-1/2}. Written
+  // as D_q = D̂ Q (Eq. 15) that requires Q(v, v) = alpha(v)^{-2}: the
+  // propagation entry becomes (deg alpha^{-2})^{-1/2} = alpha * g. (Taking
+  // Q = diag(alpha) literally would dampen stable nodes instead of
+  // amplifying them.)
+  auto influence_to_q = [](const std::vector<double>& alpha) {
+    std::vector<double> q(alpha.size());
+    for (size_t i = 0; i < alpha.size(); ++i) q[i] = 1.0 / (alpha[i] * alpha[i]);
+    return q;
+  };
+
+  auto embed = [&](const std::vector<double>& as,
+                   const std::vector<double>& at,
+                   std::vector<Matrix>* hs,
+                   std::vector<Matrix>* ht) -> Status {
+    auto ls = source.NormalizedAdjacency(influence_to_q(as));
+    GALIGN_RETURN_NOT_OK(ls.status());
+    auto lt = target.NormalizedAdjacency(influence_to_q(at));
+    GALIGN_RETURN_NOT_OK(lt.status());
+    *hs = gcn.ForwardInference(ls.ValueOrDie(), source.attributes());
+    *ht = gcn.ForwardInference(lt.ValueOrDie(), target.attributes());
+    return Status::OK();
+  };
+
+  std::vector<Matrix> hs, ht;
+  GALIGN_RETURN_NOT_OK(embed(alpha_s, alpha_t, &hs, &ht));
+
+  RefinementResult result;
+  StabilityScan scan = ScanStability(hs, ht, theta, config.stability_threshold);
+  result.best_score = scan.aggregate_score;
+  result.best_iteration = 0;
+  result.score_history.push_back(scan.aggregate_score);
+  std::vector<Matrix> best_hs = hs, best_ht = ht;
+
+  for (int iter = 1; iter <= config.refinement_iterations; ++iter) {
+    // Eq. 14: amplify the influence of the nodes found stable.
+    for (int64_t v : scan.stable_source) {
+      alpha_s[v] *= config.accumulation_factor;
+    }
+    for (int64_t u : scan.stable_target) {
+      alpha_t[u] *= config.accumulation_factor;
+    }
+    // Eq. 15: re-embed under the influence-scaled propagation matrix.
+    GALIGN_RETURN_NOT_OK(embed(alpha_s, alpha_t, &hs, &ht));
+    scan = ScanStability(hs, ht, theta, config.stability_threshold);
+    result.score_history.push_back(scan.aggregate_score);
+    if (scan.aggregate_score > result.best_score) {
+      result.best_score = scan.aggregate_score;
+      result.best_iteration = iter;
+      best_hs = hs;
+      best_ht = ht;
+    }
+  }
+
+  result.alignment = AggregateAlignment(best_hs, best_ht, theta);
+  result.source_embeddings = std::move(best_hs);
+  result.target_embeddings = std::move(best_ht);
+  return result;
+}
+
+}  // namespace galign

@@ -1,0 +1,67 @@
+// Alignment instantiation and stability-based refinement (paper §VI).
+//
+// Layer-wise alignment matrices S^(l) = H_s^(l) H_t^(l)T (Eq. 11) are
+// aggregated by layer importances theta (Eq. 12). Refinement (Alg. 2)
+// iteratively detects stable nodes (Eq. 13), amplifies their influence
+// (Eq. 14) inside the propagation matrix (Eq. 15), re-embeds, and keeps the
+// candidate with the best greedy score g(S) = sum_v max_u S(v, u).
+//
+// The scan over S^(l) is chunked over source rows so no layer-wise n1 x n2
+// matrix is materialized (the paper's O(n) space argument, §VI-C).
+#pragma once
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/gcn.h"
+#include "graph/graph.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// Aggregated alignment matrix S = sum_l theta_l H_s^(l) H_t^(l)T (Eq. 12).
+/// hs/ht hold k+1 layer embeddings; theta must have k+1 entries.
+Matrix AggregateAlignment(const std::vector<Matrix>& hs,
+                          const std::vector<Matrix>& ht,
+                          const std::vector<double>& theta);
+
+/// Result of one streaming pass over all layer-wise alignment matrices.
+struct StabilityScan {
+  /// Source nodes satisfying Eq. 13 (consistent argmax across layers, all
+  /// layer scores above lambda).
+  std::vector<int64_t> stable_source;
+  /// Target nodes satisfying the symmetric column-wise condition.
+  std::vector<int64_t> stable_target;
+  /// g(S) = sum_v max_u S(v, u) of the aggregated matrix.
+  double aggregate_score = 0.0;
+};
+
+/// Single chunked pass computing stable nodes and g(S) without storing any
+/// n1 x n2 matrix.
+StabilityScan ScanStability(const std::vector<Matrix>& hs,
+                            const std::vector<Matrix>& ht,
+                            const std::vector<double>& theta, double lambda);
+
+/// Outcome of the refinement search.
+struct RefinementResult {
+  Matrix alignment;                   ///< best aggregated S found
+  double best_score = 0.0;            ///< g of that S
+  int best_iteration = 0;             ///< iteration it was found at
+  std::vector<double> score_history;  ///< g(S) per iteration (index 0 = init)
+  /// Layer embeddings (H^(0)..H^(k)) of the best-scoring iteration — the
+  /// refined multi-order features (used e.g. by the Fig. 8 visualization).
+  std::vector<Matrix> source_embeddings;
+  std::vector<Matrix> target_embeddings;
+};
+
+/// \brief Runs Alg. 2 with the trained GCN.
+///
+/// Re-embeds both networks every iteration under the updated influence
+/// factors and returns the best-scoring aggregated alignment matrix.
+Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
+                                         const AttributedGraph& source,
+                                         const AttributedGraph& target,
+                                         const GAlignConfig& config);
+
+}  // namespace galign

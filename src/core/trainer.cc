@@ -1,0 +1,131 @@
+#include "core/trainer.h"
+
+
+#include <cmath>
+#include <limits>
+#include "common/logging.h"
+#include "core/losses.h"
+
+namespace galign {
+
+Status Trainer::Train(MultiOrderGcn* gcn, const AttributedGraph& source,
+                      const AttributedGraph& target, Rng* rng,
+                      const std::vector<std::pair<int64_t, int64_t>>& seeds) {
+  if (source.num_attributes() != target.num_attributes()) {
+    return Status::InvalidArgument(
+        "source/target attribute dimensions differ (" +
+        std::to_string(source.num_attributes()) + " vs " +
+        std::to_string(target.num_attributes()) + ")");
+  }
+  if (gcn->input_dim() != source.num_attributes()) {
+    return Status::InvalidArgument("GCN input dim != attribute dim");
+  }
+  for (const auto& [v, u] : seeds) {
+    if (v < 0 || v >= source.num_nodes() || u < 0 || u >= target.num_nodes()) {
+      return Status::InvalidArgument("seed anchor out of range");
+    }
+  }
+
+  auto lap_s_result = source.NormalizedAdjacency();
+  GALIGN_RETURN_NOT_OK(lap_s_result.status());
+  auto lap_t_result = target.NormalizedAdjacency();
+  GALIGN_RETURN_NOT_OK(lap_t_result.status());
+  const SparseMatrix lap_s = lap_s_result.MoveValueOrDie();
+  const SparseMatrix lap_t = lap_t_result.MoveValueOrDie();
+
+  // Alg. 1 lines 4-5: augmented copies are built once up front.
+  std::vector<AugmentedNetwork> aug_s, aug_t;
+  if (config_.use_augmentation && config_.num_augmentations > 0) {
+    auto rs = MakeAugmentations(source, config_, rng);
+    GALIGN_RETURN_NOT_OK(rs.status());
+    aug_s = rs.MoveValueOrDie();
+    auto rt = MakeAugmentations(target, config_, rng);
+    GALIGN_RETURN_NOT_OK(rt.status());
+    aug_t = rt.MoveValueOrDie();
+  }
+
+  AdamOptimizer adam({.lr = config_.learning_rate});
+  std::vector<Matrix*> params;
+  for (Matrix& w : gcn->weights()) params.push_back(&w);
+  adam.Register(params);
+
+  loss_history_.clear();
+  loss_history_.reserve(config_.epochs);
+  double best_loss = std::numeric_limits<double>::infinity();
+  int epochs_without_improvement = 0;
+
+  auto forward_augments =
+      [&](Tape* tape, const std::vector<AugmentedNetwork>& augs,
+          const std::vector<Var>& weight_vars,
+          std::vector<std::vector<Var>>* layer_sets,
+          std::vector<const std::vector<int64_t>*>* correspondences) {
+        for (const AugmentedNetwork& a : augs) {
+          layer_sets->push_back(gcn->ForwardWithWeights(
+              tape, &a.laplacian, a.graph.attributes(), weight_vars));
+          correspondences->push_back(&a.correspondence);
+        }
+      };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    Tape tape;
+    std::vector<Var> weight_vars = gcn->MakeWeightLeaves(&tape);
+    std::vector<Var> hs = gcn->ForwardWithWeights(
+        &tape, &lap_s, source.attributes(), weight_vars);
+    std::vector<Var> ht = gcn->ForwardWithWeights(
+        &tape, &lap_t, target.attributes(), weight_vars);
+
+    std::vector<std::vector<Var>> aug_layers_s, aug_layers_t;
+    std::vector<const std::vector<int64_t>*> corr_s, corr_t;
+    forward_augments(&tape, aug_s, weight_vars, &aug_layers_s, &corr_s);
+    forward_augments(&tape, aug_t, weight_vars, &aug_layers_t, &corr_t);
+
+    // Alg. 1 lines 11-12: the loss is evaluated for G_s and G_t only; the
+    // augmented embeddings participate through the adaptivity terms.
+    Var loss_s =
+        NetworkLoss(&tape, &lap_s, hs, aug_layers_s, corr_s, config_);
+    Var loss_t =
+        NetworkLoss(&tape, &lap_t, ht, aug_layers_t, corr_t, config_);
+    std::vector<std::pair<Var, double>> terms{{loss_s, 1.0}, {loss_t, 1.0}};
+    if (config_.seed_loss_weight > 0.0 && !seeds.empty()) {
+      // Semi-supervised extension: pull seed anchor pairs together at every
+      // GCN layer.
+      for (size_t l = 1; l < hs.size(); ++l) {
+        terms.emplace_back(ag::AnchorLoss(&tape, hs[l], ht[l], seeds),
+                           config_.seed_loss_weight);
+      }
+    }
+    Var total = ag::WeightedSum(&tape, terms);
+
+    loss_history_.push_back(tape.value(total)(0, 0));
+    tape.Backward(total);
+
+    std::vector<const Matrix*> grads;
+    grads.reserve(weight_vars.size());
+    for (Var w : weight_vars) grads.push_back(&tape.grad(w));
+    adam.Step(params, grads);
+
+    if (!gcn->weights().front().AllFinite()) {
+      return Status::Internal("training diverged (non-finite weights) at epoch " +
+                              std::to_string(epoch));
+    }
+
+    if (config_.early_stop_patience > 0) {
+      const double loss = loss_history_.back();
+      // First epoch always establishes the baseline (inf - tol*inf is NaN).
+      const double bar =
+          std::isfinite(best_loss)
+              ? best_loss - config_.early_stop_tolerance * std::fabs(best_loss)
+              : loss + 1.0;
+      if (loss < bar) {
+        best_loss = loss;
+        epochs_without_improvement = 0;
+      } else if (++epochs_without_improvement >=
+                 config_.early_stop_patience) {
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace galign

@@ -1,0 +1,46 @@
+// Augmented learning for multi-order embedding (paper Alg. 1): trains one
+// weight-shared GCN on the source network, the target network, and their
+// augmented copies, optimizing J(G_s) + J(G_t) with Adam.
+#pragma once
+
+#include <vector>
+
+#include "autograd/adam.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/augmenter.h"
+#include "core/config.h"
+#include "core/gcn.h"
+#include "graph/graph.h"
+
+namespace galign {
+
+/// \brief Runs Alg. 1: builds augmentations once, then iterates full-batch
+/// forward/backward/Adam steps over the shared weights.
+class Trainer {
+ public:
+  explicit Trainer(GAlignConfig config) : config_(std::move(config)) {}
+
+  /// Trains gcn's weights in place. Source and target must have the same
+  /// attribute dimensionality (attribute consistency presumes comparable
+  /// profiles, §II-C).
+  Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
+               const AttributedGraph& target, Rng* rng) {
+    return Train(gcn, source, target, rng, /*seeds=*/{});
+  }
+
+  /// Semi-supervised variant (extension): when config.seed_loss_weight > 0
+  /// and seeds are non-empty, adds the cross-network anchor loss.
+  Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
+               const AttributedGraph& target, Rng* rng,
+               const std::vector<std::pair<int64_t, int64_t>>& seeds);
+
+  /// Total loss J(G_s) + J(G_t) per epoch, for convergence inspection.
+  const std::vector<double>& loss_history() const { return loss_history_; }
+
+ private:
+  GAlignConfig config_;
+  std::vector<double> loss_history_;
+};
+
+}  // namespace galign

@@ -1,0 +1,207 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace galign {
+
+Result<AttributedGraph> ErdosRenyi(int64_t n, double p, Rng* rng,
+                                   Matrix attributes) {
+  if (n < 0 || p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("ErdosRenyi: invalid n or p");
+  }
+  std::vector<Edge> edges;
+  if (p > 0.2) {
+    // Dense regime: direct Bernoulli per pair.
+    for (int64_t u = 0; u < n; ++u) {
+      for (int64_t v = u + 1; v < n; ++v) {
+        if (rng->Bernoulli(p)) edges.emplace_back(u, v);
+      }
+    }
+  } else if (p > 0.0) {
+    // Sparse regime: geometric skipping over the pair sequence.
+    const double log1mp = std::log(1.0 - p);
+    int64_t u = 0, v = 0;
+    while (u < n) {
+      double r = std::max(rng->Uniform(), 1e-300);
+      int64_t skip = static_cast<int64_t>(std::floor(std::log(r) / log1mp));
+      v += 1 + skip;
+      while (v >= n && u < n) {
+        ++u;
+        v = u + 1 + (v - n);
+      }
+      if (u < n - 1 && v < n) edges.emplace_back(u, v);
+    }
+  }
+  return AttributedGraph::Create(n, std::move(edges), std::move(attributes));
+}
+
+Result<AttributedGraph> BarabasiAlbert(int64_t n, int64_t m, Rng* rng,
+                                       Matrix attributes) {
+  if (n <= 0 || m <= 0 || m >= n) {
+    return Status::InvalidArgument("BarabasiAlbert: need 0 < m < n");
+  }
+  std::vector<Edge> edges;
+  // Repeated-endpoint list: sampling uniformly from it implements
+  // degree-proportional selection.
+  std::vector<int64_t> endpoints;
+  // Seed: star over the first m+1 nodes.
+  for (int64_t v = 1; v <= m; ++v) {
+    edges.emplace_back(0, v);
+    endpoints.push_back(0);
+    endpoints.push_back(v);
+  }
+  for (int64_t v = m + 1; v < n; ++v) {
+    std::set<int64_t> targets;
+    while (static_cast<int64_t>(targets.size()) < m) {
+      int64_t t = endpoints[rng->UniformInt(
+          static_cast<int64_t>(endpoints.size()))];
+      targets.insert(t);
+    }
+    for (int64_t t : targets) {
+      edges.emplace_back(t, v);
+      endpoints.push_back(t);
+      endpoints.push_back(v);
+    }
+  }
+  return AttributedGraph::Create(n, std::move(edges), std::move(attributes));
+}
+
+Result<AttributedGraph> WattsStrogatz(int64_t n, int64_t k, double beta,
+                                      Rng* rng, Matrix attributes) {
+  if (n <= 0 || k <= 0 || 2 * k >= n || beta < 0.0 || beta > 1.0) {
+    return Status::InvalidArgument("WattsStrogatz: invalid parameters");
+  }
+  std::set<Edge> edge_set;
+  auto canon = [](int64_t a, int64_t b) {
+    return a < b ? Edge{a, b} : Edge{b, a};
+  };
+  for (int64_t u = 0; u < n; ++u) {
+    for (int64_t j = 1; j <= k; ++j) {
+      edge_set.insert(canon(u, (u + j) % n));
+    }
+  }
+  // Rewire.
+  std::vector<Edge> edges(edge_set.begin(), edge_set.end());
+  for (Edge& e : edges) {
+    if (!rng->Bernoulli(beta)) continue;
+    for (int attempt = 0; attempt < 32; ++attempt) {
+      int64_t w = rng->UniformInt(n);
+      if (w == e.first || w == e.second) continue;
+      Edge cand = canon(e.first, w);
+      if (edge_set.count(cand)) continue;
+      edge_set.erase(canon(e.first, e.second));
+      edge_set.insert(cand);
+      e = cand;
+      break;
+    }
+  }
+  return AttributedGraph::Create(
+      n, std::vector<Edge>(edge_set.begin(), edge_set.end()),
+      std::move(attributes));
+}
+
+Result<AttributedGraph> PowerLawGraph(int64_t n, int64_t target_edges,
+                                      double exponent, Rng* rng,
+                                      Matrix attributes) {
+  if (n <= 1 || target_edges < 0 || exponent <= 1.0) {
+    return Status::InvalidArgument("PowerLawGraph: invalid parameters");
+  }
+  // Draw raw degrees from a discrete power law via inverse transform on a
+  // Pareto and truncate at n - 1.
+  std::vector<double> raw(n);
+  double raw_sum = 0.0;
+  for (int64_t v = 0; v < n; ++v) {
+    double u = std::max(rng->Uniform(), 1e-12);
+    double deg = std::pow(u, -1.0 / (exponent - 1.0));
+    deg = std::min(deg, static_cast<double>(n - 1));
+    raw[v] = deg;
+    raw_sum += deg;
+  }
+  // Scale to hit 2 * target_edges stubs.
+  const double scale = (2.0 * static_cast<double>(target_edges)) / raw_sum;
+  std::vector<int64_t> stubs;
+  stubs.reserve(2 * target_edges + n);
+  for (int64_t v = 0; v < n; ++v) {
+    double d = raw[v] * scale;
+    int64_t di = static_cast<int64_t>(d);
+    if (rng->Uniform() < d - di) ++di;
+    di = std::max<int64_t>(di, 1);  // keep the graph connected-ish
+    di = std::min<int64_t>(di, n - 1);
+    for (int64_t i = 0; i < di; ++i) stubs.push_back(v);
+  }
+  rng->Shuffle(&stubs);
+  std::set<Edge> edge_set;
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    int64_t u = stubs[i], v = stubs[i + 1];
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edge_set.insert({u, v});
+  }
+  return AttributedGraph::Create(
+      n, std::vector<Edge>(edge_set.begin(), edge_set.end()),
+      std::move(attributes));
+}
+
+Matrix BinaryAttributes(int64_t n, int64_t m, double density, Rng* rng) {
+  Matrix f(n, m);
+  for (int64_t r = 0; r < n; ++r) {
+    bool any = false;
+    for (int64_t c = 0; c < m; ++c) {
+      if (rng->Bernoulli(density)) {
+        f(r, c) = 1.0;
+        any = true;
+      }
+    }
+    if (!any) f(r, rng->UniformInt(m)) = 1.0;
+  }
+  return f;
+}
+
+Matrix OneHotAttributes(int64_t n, int64_t m, double skew, Rng* rng) {
+  std::vector<double> weights(m);
+  double total = 0.0;
+  for (int64_t c = 0; c < m; ++c) {
+    weights[c] = std::pow(static_cast<double>(c + 1), -skew);
+    total += weights[c];
+  }
+  Matrix f(n, m);
+  for (int64_t r = 0; r < n; ++r) {
+    double x = rng->Uniform() * total;
+    int64_t c = 0;
+    while (c < m - 1 && x > weights[c]) {
+      x -= weights[c];
+      ++c;
+    }
+    f(r, c) = 1.0;
+  }
+  return f;
+}
+
+Matrix RealAttributes(int64_t n, int64_t m, double spread, Rng* rng) {
+  std::vector<double> mu(m);
+  for (int64_t c = 0; c < m; ++c) mu[c] = rng->Uniform(0.0, spread);
+  Matrix f(n, m);
+  for (int64_t r = 0; r < n; ++r) {
+    for (int64_t c = 0; c < m; ++c) f(r, c) = rng->Normal(mu[c], 1.0);
+  }
+  return f;
+}
+
+Matrix CommunityAttributes(int64_t n, int64_t m, int64_t num_communities,
+                           double noise, Rng* rng) {
+  if (num_communities < 1) num_communities = 1;
+  Matrix profiles = Matrix::Uniform(num_communities, m, rng);
+  Matrix f(n, m);
+  for (int64_t r = 0; r < n; ++r) {
+    int64_t c = std::min(r * num_communities / std::max<int64_t>(n, 1),
+                         num_communities - 1);
+    for (int64_t j = 0; j < m; ++j) {
+      f(r, j) = profiles(c, j) + rng->Normal(0.0, noise);
+    }
+  }
+  return f;
+}
+
+}  // namespace galign

@@ -1,0 +1,56 @@
+// Random graph generators used to synthesize alignment workloads: classic
+// models (Erdős–Rényi, Barabási–Albert, Watts–Strogatz) plus a power-law
+// configuration model that hits a target edge count, and attribute
+// generators (binary bag-of-tags, one-hot categories, real-valued profiles).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace galign {
+
+/// G(n, p): every pair independently connected with probability p.
+Result<AttributedGraph> ErdosRenyi(int64_t n, double p, Rng* rng,
+                                   Matrix attributes = {});
+
+/// Preferential attachment: each new node attaches m edges to existing nodes
+/// with probability proportional to degree. Produces a power-law tail.
+Result<AttributedGraph> BarabasiAlbert(int64_t n, int64_t m, Rng* rng,
+                                       Matrix attributes = {});
+
+/// Ring lattice with k nearest neighbours per side rewired with prob. beta.
+Result<AttributedGraph> WattsStrogatz(int64_t n, int64_t k, double beta,
+                                      Rng* rng, Matrix attributes = {});
+
+/// \brief Power-law configuration model targeting ~target_edges edges.
+///
+/// Draws a degree sequence from a truncated power law with the given
+/// exponent, scales it to the target edge count, then wires stubs uniformly
+/// (discarding multi-edges and self-loops). Used to mimic the published
+/// size/density statistics of the paper's datasets (Table II).
+Result<AttributedGraph> PowerLawGraph(int64_t n, int64_t target_edges,
+                                      double exponent, Rng* rng,
+                                      Matrix attributes = {});
+
+/// Binary attributes: each of the m columns is 1 with probability density.
+/// Guarantees at least one non-zero per row (a node always has a profile).
+Matrix BinaryAttributes(int64_t n, int64_t m, double density, Rng* rng);
+
+/// One-hot category per node over m categories, with popularity skew
+/// (category c drawn with probability proportional to (c+1)^-skew).
+Matrix OneHotAttributes(int64_t n, int64_t m, double skew, Rng* rng);
+
+/// Real-valued profiles: each column j drawn N(mu_j, 1) with per-column
+/// means spread over [0, spread].
+Matrix RealAttributes(int64_t n, int64_t m, double spread, Rng* rng);
+
+/// \brief Attributes correlated with topology: each node's attribute vector
+/// is a noisy mixture of its community's profile. Communities are assigned
+/// by contiguous node blocks.
+Matrix CommunityAttributes(int64_t n, int64_t m, int64_t num_communities,
+                           double noise, Rng* rng);
+
+}  // namespace galign

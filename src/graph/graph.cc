@@ -1,0 +1,218 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace galign {
+
+Result<AttributedGraph> AttributedGraph::Create(int64_t num_nodes,
+                                                std::vector<Edge> edges,
+                                                Matrix attributes) {
+  std::vector<WeightedEdge> weighted;
+  weighted.reserve(edges.size());
+  for (const auto& [u, v] : edges) {
+    weighted.push_back({u, v, 1.0});
+  }
+  auto result =
+      CreateWeighted(num_nodes, std::move(weighted), std::move(attributes));
+  if (!result.ok()) return result.status();
+  // Unweighted semantics: duplicate edges collapse to weight 1, and the
+  // graph reports itself as unweighted.
+  AttributedGraph g = result.MoveValueOrDie();
+  bool clamped = false;
+  for (double& w : g.edge_weights_) {
+    if (w != 1.0) {
+      w = 1.0;
+      clamped = true;
+    }
+  }
+  if (clamped) {
+    std::vector<Triplet> t;
+    t.reserve(g.edges_.size() * 2);
+    for (const auto& [u, v] : g.edges_) {
+      t.push_back({u, v, 1.0});
+      t.push_back({v, u, 1.0});
+    }
+    g.adjacency_ =
+        SparseMatrix::FromTriplets(num_nodes, num_nodes, std::move(t));
+  }
+  g.weighted_ = false;
+  return g;
+}
+
+Result<AttributedGraph> AttributedGraph::CreateWeighted(
+    int64_t num_nodes, std::vector<WeightedEdge> edges, Matrix attributes) {
+  if (num_nodes < 0) {
+    return Status::InvalidArgument("negative node count");
+  }
+  for (auto& e : edges) {
+    if (e.u < 0 || e.u >= num_nodes || e.v < 0 || e.v >= num_nodes) {
+      return Status::InvalidArgument(
+          "edge endpoint out of range: (" + std::to_string(e.u) + ", " +
+          std::to_string(e.v) + ") with n=" + std::to_string(num_nodes));
+    }
+    if (!(e.weight > 0.0) || !std::isfinite(e.weight)) {
+      return Status::InvalidArgument(
+          "edge weight must be positive and finite");
+    }
+    if (e.u > e.v) std::swap(e.u, e.v);
+  }
+  // Drop self loops; normalization re-adds them.
+  edges.erase(std::remove_if(edges.begin(), edges.end(),
+                             [](const WeightedEdge& e) { return e.u == e.v; }),
+              edges.end());
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.u != b.u ? a.u < b.u : a.v < b.v;
+            });
+
+  if (attributes.empty()) {
+    attributes = Matrix(num_nodes, 1, 1.0);
+  }
+  if (attributes.rows() != num_nodes) {
+    return Status::InvalidArgument(
+        "attribute rows (" + std::to_string(attributes.rows()) +
+        ") != num_nodes (" + std::to_string(num_nodes) + ")");
+  }
+
+  AttributedGraph g;
+  g.num_nodes_ = num_nodes;
+  g.attributes_ = std::move(attributes);
+  // Merge duplicates by summing weights.
+  for (size_t i = 0; i < edges.size();) {
+    int64_t u = edges[i].u, v = edges[i].v;
+    double w = 0.0;
+    while (i < edges.size() && edges[i].u == u && edges[i].v == v) {
+      w += edges[i].weight;
+      ++i;
+    }
+    g.edges_.emplace_back(u, v);
+    g.edge_weights_.push_back(w);
+  }
+  g.weighted_ = false;
+  for (double w : g.edge_weights_) {
+    if (w != 1.0) {
+      g.weighted_ = true;
+      break;
+    }
+  }
+
+  std::vector<Triplet> t;
+  t.reserve(g.edges_.size() * 2);
+  for (size_t i = 0; i < g.edges_.size(); ++i) {
+    const auto& [u, v] = g.edges_[i];
+    t.push_back({u, v, g.edge_weights_[i]});
+    t.push_back({v, u, g.edge_weights_[i]});
+  }
+  g.adjacency_ = SparseMatrix::FromTriplets(num_nodes, num_nodes, std::move(t));
+  return g;
+}
+
+double AttributedGraph::EdgeWeight(int64_t u, int64_t v) const {
+  return adjacency_.At(u, v);
+}
+
+double AttributedGraph::WeightedDegree(int64_t v) const {
+  return adjacency_.RowSum(v);
+}
+
+int64_t AttributedGraph::Degree(int64_t v) const {
+  return adjacency_.RowNnz(v);
+}
+
+std::vector<int64_t> AttributedGraph::Neighbors(int64_t v) const {
+  std::vector<int64_t> out;
+  const auto& rp = adjacency_.row_ptr();
+  const auto& ci = adjacency_.col_idx();
+  out.assign(ci.begin() + rp[v], ci.begin() + rp[v + 1]);
+  return out;
+}
+
+bool AttributedGraph::HasEdge(int64_t u, int64_t v) const {
+  return adjacency_.At(u, v) != 0.0;
+}
+
+double AttributedGraph::AverageDegree() const {
+  if (num_nodes_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(num_edges()) /
+         static_cast<double>(num_nodes_);
+}
+
+Result<SparseMatrix> AttributedGraph::NormalizedAdjacency() const {
+  return adjacency_.NormalizedWithSelfLoops();
+}
+
+Result<SparseMatrix> AttributedGraph::NormalizedAdjacency(
+    const std::vector<double>& influence) const {
+  return adjacency_.NormalizedWithInfluence(influence);
+}
+
+Result<AttributedGraph> AttributedGraph::Permuted(
+    const std::vector<int64_t>& perm) const {
+  if (static_cast<int64_t>(perm.size()) != num_nodes_) {
+    return Status::InvalidArgument("permutation size mismatch");
+  }
+  std::vector<bool> seen(num_nodes_, false);
+  for (int64_t p : perm) {
+    if (p < 0 || p >= num_nodes_ || seen[p]) {
+      return Status::InvalidArgument("not a permutation");
+    }
+    seen[p] = true;
+  }
+  std::vector<WeightedEdge> new_edges;
+  new_edges.reserve(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const auto& [u, v] = edges_[i];
+    new_edges.push_back({perm[u], perm[v], edge_weights_[i]});
+  }
+  Matrix new_attrs(num_nodes_, attributes_.cols());
+  for (int64_t v = 0; v < num_nodes_; ++v) {
+    std::copy(attributes_.row_data(v),
+              attributes_.row_data(v) + attributes_.cols(),
+              new_attrs.row_data(perm[v]));
+  }
+  return CreateWeighted(num_nodes_, std::move(new_edges),
+                        std::move(new_attrs));
+}
+
+Result<AttributedGraph> AttributedGraph::InducedSubgraph(
+    const std::vector<int64_t>& nodes) const {
+  std::vector<int64_t> inverse(num_nodes_, -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    int64_t v = nodes[i];
+    if (v < 0 || v >= num_nodes_) {
+      return Status::InvalidArgument("subgraph node out of range");
+    }
+    if (inverse[v] != -1) {
+      return Status::InvalidArgument("duplicate node in subgraph selection");
+    }
+    inverse[v] = static_cast<int64_t>(i);
+  }
+  std::vector<WeightedEdge> sub_edges;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    const auto& [u, v] = edges_[i];
+    if (inverse[u] != -1 && inverse[v] != -1) {
+      sub_edges.push_back({inverse[u], inverse[v], edge_weights_[i]});
+    }
+  }
+  Matrix sub_attrs(static_cast<int64_t>(nodes.size()), attributes_.cols());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    std::copy(attributes_.row_data(nodes[i]),
+              attributes_.row_data(nodes[i]) + attributes_.cols(),
+              sub_attrs.row_data(static_cast<int64_t>(i)));
+  }
+  return CreateWeighted(static_cast<int64_t>(nodes.size()),
+                        std::move(sub_edges), std::move(sub_attrs));
+}
+
+Result<AttributedGraph> AttributedGraph::WithAttributes(
+    Matrix attributes) const {
+  if (attributes.rows() != num_nodes_) {
+    return Status::InvalidArgument("attribute row count mismatch");
+  }
+  AttributedGraph g = *this;
+  g.attributes_ = std::move(attributes);
+  return g;
+}
+
+}  // namespace galign

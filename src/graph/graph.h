@@ -1,0 +1,103 @@
+// Attributed undirected graph G = (V, A, F) (paper §II-A): node set, 0/1
+// adjacency, and an n x m node attribute matrix whose rows carry the
+// application-domain semantics of each node.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+#include "la/sparse.h"
+
+namespace galign {
+
+/// An undirected edge (endpoints stored in canonical u <= v order).
+using Edge = std::pair<int64_t, int64_t>;
+
+/// An undirected weighted edge.
+struct WeightedEdge {
+  int64_t u;
+  int64_t v;
+  double weight;
+};
+
+/// \brief Immutable attributed network.
+///
+/// Construction validates endpoints, canonicalizes and deduplicates edges,
+/// drops self-loops (the GCN re-adds self-loops during normalization), and
+/// builds the symmetric CSR adjacency once.
+class AttributedGraph {
+ public:
+  AttributedGraph() = default;
+
+  /// Builds a graph with `num_nodes` nodes, the given undirected edges, and
+  /// the given attribute matrix (rows = num_nodes). An empty attribute
+  /// matrix is replaced by a single constant attribute column.
+  static Result<AttributedGraph> Create(int64_t num_nodes,
+                                        std::vector<Edge> edges,
+                                        Matrix attributes);
+
+  /// Weighted variant: duplicate edges have their weights summed; weights
+  /// must be positive (the GCN normalization needs positive degrees). The
+  /// unweighted factory is equivalent to all-ones weights.
+  static Result<AttributedGraph> CreateWeighted(
+      int64_t num_nodes, std::vector<WeightedEdge> edges, Matrix attributes);
+
+  int64_t num_nodes() const { return num_nodes_; }
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  int64_t num_attributes() const { return attributes_.cols(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Matrix& attributes() const { return attributes_; }
+  const SparseMatrix& adjacency() const { return adjacency_; }
+
+  /// True iff any edge weight differs from 1.
+  bool is_weighted() const { return weighted_; }
+
+  /// Weight of edge {u, v} (0 if absent).
+  double EdgeWeight(int64_t u, int64_t v) const;
+
+  /// Weighted degree (sum of incident edge weights) of node v.
+  double WeightedDegree(int64_t v) const;
+
+  /// Degree of node v (self-loops excluded).
+  int64_t Degree(int64_t v) const;
+  /// Neighbors of node v (sorted).
+  std::vector<int64_t> Neighbors(int64_t v) const;
+  /// True iff edge {u, v} exists.
+  bool HasEdge(int64_t u, int64_t v) const;
+
+  /// 2 * |E| / |V|.
+  double AverageDegree() const;
+
+  /// The GCN propagation matrix C = D̂^{-1/2} Â D̂^{-1/2} (Eq. 1).
+  Result<SparseMatrix> NormalizedAdjacency() const;
+
+  /// Like NormalizedAdjacency with per-node influence factors (Eq. 15).
+  Result<SparseMatrix> NormalizedAdjacency(
+      const std::vector<double>& influence) const;
+
+  /// Returns the graph relabeled by `perm`: node i becomes perm[i]. Edges and
+  /// attribute rows move with the node. perm must be a permutation of 0..n-1.
+  Result<AttributedGraph> Permuted(const std::vector<int64_t>& perm) const;
+
+  /// Induced subgraph on `nodes` (relabeled 0..|nodes|-1 in list order).
+  Result<AttributedGraph> InducedSubgraph(
+      const std::vector<int64_t>& nodes) const;
+
+  /// Returns a copy with the attribute matrix replaced (row count must
+  /// match).
+  Result<AttributedGraph> WithAttributes(Matrix attributes) const;
+
+ private:
+  int64_t num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  std::vector<double> edge_weights_;  // parallel to edges_
+  bool weighted_ = false;
+  Matrix attributes_;
+  SparseMatrix adjacency_;
+};
+
+}  // namespace galign

@@ -1,0 +1,128 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace galign {
+
+Status SaveEdgeList(const AttributedGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "# nodes=" << g.num_nodes() << "\n";
+  for (const auto& [u, v] : g.edges()) {
+    out << u << " " << v << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<AttributedGraph> LoadEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<Edge> edges;
+  int64_t num_nodes = -1;
+  int64_t max_id = -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      auto pos = line.find("nodes=");
+      if (pos != std::string::npos) {
+        num_nodes = std::stoll(line.substr(pos + 6));
+      }
+      continue;
+    }
+    std::istringstream ls(line);
+    int64_t u, v;
+    if (!(ls >> u >> v)) {
+      return Status::IOError("malformed edge line: '" + line + "'");
+    }
+    if (u < 0 || v < 0) {
+      return Status::IOError("negative node id in: '" + line + "'");
+    }
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+  if (num_nodes < 0) num_nodes = max_id + 1;
+  return AttributedGraph::Create(num_nodes, std::move(edges), Matrix());
+}
+
+Status SaveAttributes(const Matrix& attributes, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.precision(17);
+  for (int64_t r = 0; r < attributes.rows(); ++r) {
+    for (int64_t c = 0; c < attributes.cols(); ++c) {
+      if (c) out << "\t";
+      out << attributes(r, c);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Matrix> LoadAttributes(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::vector<double> row;
+    double v;
+    while (ls >> v) row.push_back(v);
+    if (rows.empty()) {
+      width = row.size();
+    } else if (row.size() != width) {
+      return Status::IOError("ragged attribute row in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  Matrix m(static_cast<int64_t>(rows.size()), static_cast<int64_t>(width));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    for (size_t c = 0; c < width; ++c) {
+      m(static_cast<int64_t>(r), static_cast<int64_t>(c)) = rows[r][c];
+    }
+  }
+  return m;
+}
+
+Status SaveGroundTruth(const std::vector<int64_t>& ground_truth,
+                       const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  for (size_t v = 0; v < ground_truth.size(); ++v) {
+    if (ground_truth[v] != -1) {
+      out << v << " " << ground_truth[v] << "\n";
+    }
+  }
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<int64_t>> LoadGroundTruth(const std::string& path,
+                                             int64_t num_source_nodes) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<int64_t> gt(num_source_nodes, -1);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    int64_t s, t;
+    if (!(ls >> s >> t)) {
+      return Status::IOError("malformed ground-truth line: '" + line + "'");
+    }
+    if (s < 0 || s >= num_source_nodes) {
+      return Status::IOError("ground-truth source out of range");
+    }
+    gt[s] = t;
+  }
+  return gt;
+}
+
+}  // namespace galign

@@ -1,0 +1,78 @@
+#include "graph/kcore.h"
+
+#include <algorithm>
+
+namespace galign {
+
+std::vector<int64_t> CoreNumbers(const AttributedGraph& g) {
+  const int64_t n = g.num_nodes();
+  std::vector<int64_t> degree(n), core(n, 0);
+  int64_t max_degree = 0;
+  for (int64_t v = 0; v < n; ++v) {
+    degree[v] = g.Degree(v);
+    max_degree = std::max(max_degree, degree[v]);
+  }
+  if (n == 0) return core;
+
+  // Bucket sort nodes by degree (Batagelj-Zaversnik).
+  std::vector<int64_t> bin(max_degree + 2, 0);
+  for (int64_t v = 0; v < n; ++v) bin[degree[v]]++;
+  int64_t start = 0;
+  for (int64_t d = 0; d <= max_degree; ++d) {
+    int64_t count = bin[d];
+    bin[d] = start;
+    start += count;
+  }
+  std::vector<int64_t> order(n), pos(n);
+  for (int64_t v = 0; v < n; ++v) {
+    pos[v] = bin[degree[v]];
+    order[pos[v]] = v;
+    bin[degree[v]]++;
+  }
+  for (int64_t d = max_degree; d > 0; --d) bin[d] = bin[d - 1];
+  bin[0] = 0;
+
+  // Peel in non-decreasing degree order.
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t v = order[i];
+    core[v] = degree[v];
+    for (int64_t u : g.Neighbors(v)) {
+      if (degree[u] > degree[v]) {
+        // Move u one bucket down: swap with the first node of its bucket.
+        int64_t du = degree[u];
+        int64_t pu = pos[u];
+        int64_t pw = bin[du];
+        int64_t w = order[pw];
+        if (u != w) {
+          std::swap(order[pu], order[pw]);
+          pos[u] = pw;
+          pos[w] = pu;
+        }
+        bin[du]++;
+        degree[u]--;
+      }
+    }
+  }
+  return core;
+}
+
+int64_t Degeneracy(const AttributedGraph& g) {
+  int64_t best = 0;
+  for (int64_t c : CoreNumbers(g)) best = std::max(best, c);
+  return best;
+}
+
+std::vector<int64_t> KCore(const AttributedGraph& g, int64_t k) {
+  std::vector<int64_t> core = CoreNumbers(g);
+  std::vector<int64_t> nodes;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    if (core[v] >= k) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+Result<AttributedGraph> KCoreSubgraph(const AttributedGraph& g, int64_t k) {
+  return g.InducedSubgraph(KCore(g, k));
+}
+
+}  // namespace galign

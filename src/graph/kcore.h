@@ -1,0 +1,28 @@
+// k-core decomposition (Batagelj–Zaveršnik O(E) peeling): the core number
+// of a node is the largest k such that it belongs to a subgraph where every
+// node has degree >= k. Core numbers are permutation-equivariant structural
+// identities — a cheap complement to degree histograms for alignment
+// features — and the k-core itself is a standard densest-region extractor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace galign {
+
+/// Core number of every node.
+std::vector<int64_t> CoreNumbers(const AttributedGraph& g);
+
+/// Largest k with a non-empty k-core.
+int64_t Degeneracy(const AttributedGraph& g);
+
+/// Node ids of the k-core (nodes with core number >= k), ascending.
+std::vector<int64_t> KCore(const AttributedGraph& g, int64_t k);
+
+/// The k-core as an induced subgraph.
+Result<AttributedGraph> KCoreSubgraph(const AttributedGraph& g, int64_t k);
+
+}  // namespace galign

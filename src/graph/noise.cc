@@ -1,0 +1,194 @@
+#include "graph/noise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace galign {
+
+Result<AttributedGraph> RemoveEdges(const AttributedGraph& g, double ratio,
+                                    Rng* rng) {
+  if (ratio < 0.0 || ratio > 1.0) {
+    return Status::InvalidArgument("RemoveEdges: ratio must be in [0, 1]");
+  }
+  std::vector<Edge> kept;
+  kept.reserve(g.edges().size());
+  for (const Edge& e : g.edges()) {
+    if (!rng->Bernoulli(ratio)) kept.push_back(e);
+  }
+  Matrix attrs = g.attributes();
+  return AttributedGraph::Create(g.num_nodes(), std::move(kept),
+                                 std::move(attrs));
+}
+
+Result<AttributedGraph> AddRandomEdges(const AttributedGraph& g, double ratio,
+                                       Rng* rng) {
+  if (ratio < 0.0) {
+    return Status::InvalidArgument("AddRandomEdges: negative ratio");
+  }
+  const int64_t n = g.num_nodes();
+  int64_t to_add = static_cast<int64_t>(
+      std::llround(ratio * static_cast<double>(g.num_edges())));
+  std::vector<Edge> edges = g.edges();
+  std::set<Edge> existing(edges.begin(), edges.end());
+  int64_t added = 0, attempts = 0;
+  const int64_t max_attempts = 50 * (to_add + 1);
+  while (added < to_add && attempts < max_attempts && n > 1) {
+    ++attempts;
+    int64_t u = rng->UniformInt(n);
+    int64_t v = rng->UniformInt(n);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (existing.insert({u, v}).second) {
+      edges.emplace_back(u, v);
+      ++added;
+    }
+  }
+  Matrix attrs = g.attributes();
+  return AttributedGraph::Create(n, std::move(edges), std::move(attrs));
+}
+
+Result<AttributedGraph> PerturbStructure(const AttributedGraph& g, double p_s,
+                                         Rng* rng) {
+  auto removed = RemoveEdges(g, p_s, rng);
+  if (!removed.ok()) return removed.status();
+  // Adding back the same expected volume keeps density roughly constant
+  // while breaking structural consistency, per §V-C.
+  double removed_fraction =
+      g.num_edges() == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(removed.ValueOrDie().num_edges()) /
+                      static_cast<double>(g.num_edges());
+  return AddRandomEdges(removed.ValueOrDie(), removed_fraction, rng);
+}
+
+Matrix PerturbBinaryAttributes(const Matrix& f, double p_a, Rng* rng) {
+  Matrix out = f;
+  const int64_t m = f.cols();
+  if (m == 0) return out;
+  for (int64_t r = 0; r < f.rows(); ++r) {
+    if (!rng->Bernoulli(p_a)) continue;
+    double* row = out.row_data(r);
+    // Relocate each set bit to a random column.
+    std::vector<int64_t> set_bits;
+    for (int64_t c = 0; c < m; ++c) {
+      if (row[c] != 0.0) set_bits.push_back(c);
+    }
+    for (int64_t c : set_bits) row[c] = 0.0;
+    for (size_t i = 0; i < set_bits.size(); ++i) {
+      row[rng->UniformInt(m)] = 1.0;
+    }
+  }
+  return out;
+}
+
+Matrix PerturbRealAttributes(const Matrix& f, double p_a, Rng* rng) {
+  Matrix out = f;
+  for (int64_t i = 0; i < out.size(); ++i) {
+    double delta = rng->Uniform() * p_a * std::fabs(out.data()[i]);
+    out.data()[i] += rng->Bernoulli(0.5) ? delta : -delta;
+  }
+  return out;
+}
+
+bool IsBinaryMatrix(const Matrix& f) {
+  for (int64_t i = 0; i < f.size(); ++i) {
+    double v = f.data()[i];
+    if (v != 0.0 && v != 1.0) return false;
+  }
+  return true;
+}
+
+int64_t AlignmentPair::NumAnchors() const {
+  int64_t n = 0;
+  for (int64_t t : ground_truth) {
+    if (t != -1) ++n;
+  }
+  return n;
+}
+
+Result<AlignmentPair> MakeNoisyCopyPair(const AttributedGraph& g,
+                                        const NoisyCopyOptions& opts,
+                                        Rng* rng) {
+  AttributedGraph noisy = g;
+  if (opts.structural_noise > 0.0) {
+    auto r = PerturbStructure(noisy, opts.structural_noise, rng);
+    if (!r.ok()) return r.status();
+    noisy = r.MoveValueOrDie();
+  }
+  if (opts.attribute_noise > 0.0) {
+    Matrix f = IsBinaryMatrix(noisy.attributes())
+                   ? PerturbBinaryAttributes(noisy.attributes(),
+                                             opts.attribute_noise, rng)
+                   : PerturbRealAttributes(noisy.attributes(),
+                                           opts.attribute_noise, rng);
+    auto r = noisy.WithAttributes(std::move(f));
+    if (!r.ok()) return r.status();
+    noisy = r.MoveValueOrDie();
+  }
+  AlignmentPair pair;
+  pair.source = g;
+  if (opts.permute) {
+    std::vector<int64_t> perm = rng->Permutation(g.num_nodes());
+    auto r = noisy.Permuted(perm);
+    if (!r.ok()) return r.status();
+    pair.target = r.MoveValueOrDie();
+    pair.ground_truth = perm;
+  } else {
+    pair.target = std::move(noisy);
+    pair.ground_truth.resize(g.num_nodes());
+    for (int64_t v = 0; v < g.num_nodes(); ++v) pair.ground_truth[v] = v;
+  }
+  return pair;
+}
+
+Result<AlignmentPair> MakeOverlapPair(const AttributedGraph& g, double overlap,
+                                      const NoisyCopyOptions& opts, Rng* rng) {
+  if (overlap <= 0.0 || overlap > 1.0) {
+    return Status::InvalidArgument("overlap must be in (0, 1]");
+  }
+  const int64_t n = g.num_nodes();
+  const int64_t shared = std::max<int64_t>(
+      1, static_cast<int64_t>(std::llround(overlap * static_cast<double>(n))));
+  const int64_t exclusive = (n - shared) / 2;
+
+  std::vector<int64_t> order = rng->Permutation(n);
+  std::vector<int64_t> shared_nodes(order.begin(), order.begin() + shared);
+  std::vector<int64_t> source_only(order.begin() + shared,
+                                   order.begin() + shared + exclusive);
+  std::vector<int64_t> target_only(
+      order.begin() + shared + exclusive,
+      order.begin() + shared + exclusive + exclusive);
+
+  std::vector<int64_t> source_nodes = shared_nodes;
+  source_nodes.insert(source_nodes.end(), source_only.begin(),
+                      source_only.end());
+  std::vector<int64_t> target_nodes = shared_nodes;
+  target_nodes.insert(target_nodes.end(), target_only.begin(),
+                      target_only.end());
+
+  auto src = g.InducedSubgraph(source_nodes);
+  if (!src.ok()) return src.status();
+  auto tgt_raw = g.InducedSubgraph(target_nodes);
+  if (!tgt_raw.ok()) return tgt_raw.status();
+
+  // Apply noise to the target side, then permute its labels.
+  NoisyCopyOptions copy_opts = opts;
+  copy_opts.permute = true;
+  auto noisy = MakeNoisyCopyPair(tgt_raw.ValueOrDie(), copy_opts, rng);
+  if (!noisy.ok()) return noisy.status();
+  AlignmentPair inner = noisy.MoveValueOrDie();
+
+  AlignmentPair pair;
+  pair.source = src.MoveValueOrDie();
+  pair.target = std::move(inner.target);
+  pair.ground_truth.assign(pair.source.num_nodes(), -1);
+  // Source subgraph node i < shared corresponds to raw target node i, which
+  // the inner pair relabeled to inner.ground_truth[i].
+  for (int64_t i = 0; i < shared; ++i) {
+    pair.ground_truth[i] = inner.ground_truth[i];
+  }
+  return pair;
+}
+
+}  // namespace galign

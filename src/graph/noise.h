@@ -1,0 +1,77 @@
+// Noise injection on attributed graphs (paper §V-C): structural noise (edge
+// removal/addition via a zero-mask on the adjacency) and attribute noise
+// (bit repositioning for binary attributes, relative jitter for real-valued
+// attributes). Also the alignment-pair synthesizers: noisy-copy pairs (the
+// paper's synthetic-data procedure for bn/econ/email) and overlapping
+// subgraph pairs (the isomorphic-level experiment, Fig. 5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace galign {
+
+/// Removes each edge independently with probability ratio.
+Result<AttributedGraph> RemoveEdges(const AttributedGraph& g, double ratio,
+                                    Rng* rng);
+
+/// Adds approximately ratio * |E| random non-existing edges.
+Result<AttributedGraph> AddRandomEdges(const AttributedGraph& g, double ratio,
+                                       Rng* rng);
+
+/// Structural perturbation per §V-C: each existing edge is dropped with
+/// probability p_s and an equal expected number of spurious edges is added.
+Result<AttributedGraph> PerturbStructure(const AttributedGraph& g, double p_s,
+                                         Rng* rng);
+
+/// Binary attribute noise: with probability p_a per row, relocates each
+/// non-zero entry to a random column (paper: "randomly change the position
+/// of non-zero entries").
+Matrix PerturbBinaryAttributes(const Matrix& f, double p_a, Rng* rng);
+
+/// Real-valued attribute noise: adjusts each entry by a random amount in
+/// [0, p_a * |F_ij|] with random sign.
+Matrix PerturbRealAttributes(const Matrix& f, double p_a, Rng* rng);
+
+/// True iff every entry of f is 0 or 1 (drives which perturbation applies).
+bool IsBinaryMatrix(const Matrix& f);
+
+/// \brief A source/target pair with ground-truth anchor links.
+///
+/// ground_truth[v] is the target-side anchor of source node v, or -1 when
+/// the source node has no counterpart (partial overlap settings).
+struct AlignmentPair {
+  AttributedGraph source;
+  AttributedGraph target;
+  std::vector<int64_t> ground_truth;
+
+  /// Number of anchor links (ground_truth entries != -1).
+  int64_t NumAnchors() const;
+};
+
+/// Options controlling noisy-copy synthesis.
+struct NoisyCopyOptions {
+  double structural_noise = 0.0;  // p_s
+  double attribute_noise = 0.0;   // p_a
+  bool permute = true;            // relabel target nodes randomly
+};
+
+/// \brief Builds the paper's synthetic alignment workload: the target is a
+/// permuted copy of `g` with structural and attribute noise applied; node
+/// identity is preserved through the permutation and recorded as ground
+/// truth (§VII-A "Synthetic data").
+Result<AlignmentPair> MakeNoisyCopyPair(const AttributedGraph& g,
+                                        const NoisyCopyOptions& opts,
+                                        Rng* rng);
+
+/// \brief Builds the isomorphic-level workload (Fig. 5): source and target
+/// are induced subgraphs of `g` sharing `overlap` fraction of the original
+/// nodes; non-shared nodes appear in only one side.
+Result<AlignmentPair> MakeOverlapPair(const AttributedGraph& g, double overlap,
+                                      const NoisyCopyOptions& opts, Rng* rng);
+
+}  // namespace galign

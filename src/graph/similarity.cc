@@ -1,0 +1,141 @@
+#include "graph/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "graph/stats.h"
+#include "la/decomposition.h"
+#include "la/ops.h"
+
+namespace galign {
+
+namespace {
+
+std::vector<double> NormalizedDegreeHistogram(const AttributedGraph& g,
+                                              size_t width) {
+  std::vector<int64_t> hist = DegreeHistogram(g);
+  std::vector<double> p(width, 0.0);
+  const double n = std::max<double>(1.0, static_cast<double>(g.num_nodes()));
+  for (size_t d = 0; d < hist.size() && d < width; ++d) {
+    p[d] = static_cast<double>(hist[d]) / n;
+  }
+  return p;
+}
+
+double KlDivergence(const std::vector<double>& p,
+                    const std::vector<double>& q) {
+  double kl = 0.0;
+  for (size_t i = 0; i < p.size(); ++i) {
+    if (p[i] > 0.0 && q[i] > 0.0) kl += p[i] * std::log(p[i] / q[i]);
+  }
+  return kl;
+}
+
+}  // namespace
+
+double DegreeDistributionDivergence(const AttributedGraph& a,
+                                    const AttributedGraph& b) {
+  size_t width = std::max(DegreeHistogram(a).size(), DegreeHistogram(b).size());
+  std::vector<double> p = NormalizedDegreeHistogram(a, width);
+  std::vector<double> q = NormalizedDegreeHistogram(b, width);
+  std::vector<double> m(width);
+  for (size_t i = 0; i < width; ++i) m[i] = 0.5 * (p[i] + q[i]);
+  return 0.5 * KlDivergence(p, m) + 0.5 * KlDivergence(q, m);
+}
+
+Result<double> SpectralDistance(const AttributedGraph& a,
+                                const AttributedGraph& b, int64_t k) {
+  auto spectrum = [&](const AttributedGraph& g) -> Result<std::vector<double>> {
+    auto norm = g.NormalizedAdjacency();
+    GALIGN_RETURN_NOT_OK(norm.status());
+    auto eig = SymmetricEigen(norm.ValueOrDie().ToDense());
+    GALIGN_RETURN_NOT_OK(eig.status());
+    std::vector<double> values = eig.ValueOrDie().eigenvalues;
+    std::sort(values.begin(), values.end(), [](double x, double y) {
+      return std::fabs(x) > std::fabs(y);
+    });
+    values.resize(std::min<size_t>(values.size(), static_cast<size_t>(k)));
+    return values;
+  };
+  auto sa = spectrum(a);
+  GALIGN_RETURN_NOT_OK(sa.status());
+  auto sb = spectrum(b);
+  GALIGN_RETURN_NOT_OK(sb.status());
+  const auto& va = sa.ValueOrDie();
+  const auto& vb = sb.ValueOrDie();
+  double total = 0.0;
+  for (int64_t i = 0; i < k; ++i) {
+    double x = i < static_cast<int64_t>(va.size()) ? va[i] : 0.0;
+    double y = i < static_cast<int64_t>(vb.size()) ? vb[i] : 0.0;
+    total += (x - y) * (x - y);
+  }
+  return std::sqrt(total);
+}
+
+double EdgeOverlap(const AttributedGraph& a, const AttributedGraph& b,
+                   const std::vector<int64_t>& correspondence) {
+  std::set<Edge> mapped_a;
+  for (const auto& [u, v] : a.edges()) {
+    if (u >= static_cast<int64_t>(correspondence.size()) ||
+        v >= static_cast<int64_t>(correspondence.size())) {
+      continue;
+    }
+    int64_t mu = correspondence[u], mv = correspondence[v];
+    if (mu == -1 || mv == -1) continue;
+    mapped_a.insert({std::min(mu, mv), std::max(mu, mv)});
+  }
+  // b-side edges restricted to mapped nodes.
+  std::set<int64_t> image;
+  for (int64_t t : correspondence) {
+    if (t != -1) image.insert(t);
+  }
+  std::set<Edge> restricted_b;
+  for (const auto& [u, v] : b.edges()) {
+    if (image.count(u) && image.count(v)) restricted_b.insert({u, v});
+  }
+  if (mapped_a.empty() && restricted_b.empty()) return 1.0;
+  int64_t inter = 0;
+  for (const Edge& e : mapped_a) inter += restricted_b.count(e);
+  int64_t uni = static_cast<int64_t>(mapped_a.size() + restricted_b.size()) -
+                inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / uni;
+}
+
+double AttributeAgreement(const AttributedGraph& a, const AttributedGraph& b,
+                          const std::vector<int64_t>& correspondence) {
+  if (a.num_attributes() != b.num_attributes()) return 0.0;
+  double total = 0.0;
+  int64_t count = 0;
+  for (size_t v = 0; v < correspondence.size(); ++v) {
+    int64_t t = correspondence[v];
+    if (t == -1 || static_cast<int64_t>(v) >= a.num_nodes() ||
+        t >= b.num_nodes()) {
+      continue;
+    }
+    total += RowCosine(a.attributes(), static_cast<int64_t>(v),
+                       b.attributes(), t);
+    ++count;
+  }
+  return count == 0 ? 0.0 : total / count;
+}
+
+double StructuralConsistency(const AttributedGraph& a,
+                             const AttributedGraph& b,
+                             const std::vector<int64_t>& correspondence) {
+  int64_t mapped_edges = 0, preserved = 0;
+  for (const auto& [u, v] : a.edges()) {
+    if (u >= static_cast<int64_t>(correspondence.size()) ||
+        v >= static_cast<int64_t>(correspondence.size())) {
+      continue;
+    }
+    int64_t mu = correspondence[u], mv = correspondence[v];
+    if (mu == -1 || mv == -1) continue;
+    ++mapped_edges;
+    if (b.HasEdge(mu, mv)) ++preserved;
+  }
+  return mapped_edges == 0 ? 1.0
+                           : static_cast<double>(preserved) / mapped_edges;
+}
+
+}  // namespace galign

@@ -1,0 +1,45 @@
+// Whole-network comparison measures (the classical "network matching"
+// problem of the paper's related work §VIII-A): degree-distribution
+// divergence, spectral distance, and edge overlap. Used to validate that
+// synthesized dataset stand-ins live in the intended regime and as cheap
+// similarity baselines in tests.
+#pragma once
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace galign {
+
+/// Jensen-Shannon divergence between the two graphs' degree distributions
+/// (in [0, log 2]; 0 = identical distributions).
+double DegreeDistributionDivergence(const AttributedGraph& a,
+                                    const AttributedGraph& b);
+
+/// \brief Spectral distance: L2 distance between the k largest-magnitude
+/// eigenvalues of the normalized adjacencies (padded with zeros when the
+/// graphs have different sizes).
+///
+/// Dense eigendecomposition — intended for graphs up to a few thousand
+/// nodes.
+Result<double> SpectralDistance(const AttributedGraph& a,
+                                const AttributedGraph& b, int64_t k = 16);
+
+/// Jaccard overlap of edge sets under an explicit node correspondence:
+/// |E_a ∩ map(E_b)| / |E_a ∪ map(E_b)|. correspondence[v] maps a-node v to
+/// a b-node (-1 entries and their edges are ignored on both sides).
+double EdgeOverlap(const AttributedGraph& a, const AttributedGraph& b,
+                   const std::vector<int64_t>& correspondence);
+
+/// Average attribute cosine between corresponding nodes (-1 entries
+/// skipped); 1.0 = attribute-consistent alignment (paper §II-C).
+double AttributeAgreement(const AttributedGraph& a, const AttributedGraph& b,
+                          const std::vector<int64_t>& correspondence);
+
+/// Fraction of preserved relations: of the edges in `a` whose two endpoints
+/// are both mapped, how many map onto edges of `b` — the structural
+/// consistency rate of an alignment (paper §II-C homophily rule).
+double StructuralConsistency(const AttributedGraph& a,
+                             const AttributedGraph& b,
+                             const std::vector<int64_t>& correspondence);
+
+}  // namespace galign

@@ -1,0 +1,128 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace galign {
+
+namespace {
+
+// Union-find with path compression.
+struct DisjointSet {
+  std::vector<int64_t> parent;
+  explicit DisjointSet(int64_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int64_t Find(int64_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(int64_t a, int64_t b) { parent[Find(a)] = Find(b); }
+};
+
+}  // namespace
+
+int64_t CountConnectedComponents(const AttributedGraph& g) {
+  DisjointSet ds(g.num_nodes());
+  for (const auto& [u, v] : g.edges()) ds.Union(u, v);
+  int64_t count = 0;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    if (ds.Find(v) == v) ++count;
+  }
+  return count;
+}
+
+std::vector<int64_t> DegreeHistogram(const AttributedGraph& g) {
+  int64_t max_deg = 0;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  std::vector<int64_t> hist(max_deg + 1, 0);
+  for (int64_t v = 0; v < g.num_nodes(); ++v) hist[g.Degree(v)]++;
+  return hist;
+}
+
+GraphStats ComputeStats(const AttributedGraph& g, int64_t clustering_samples) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.num_attributes = g.num_attributes();
+  s.avg_degree = g.AverageDegree();
+  if (g.num_nodes() == 0) return s;
+
+  s.min_degree = g.num_nodes();
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    int64_t d = g.Degree(v);
+    s.max_degree = std::max(s.max_degree, d);
+    s.min_degree = std::min(s.min_degree, d);
+    if (d == 0) ++s.isolated_nodes;
+  }
+
+  // Degree assortativity (Pearson correlation of endpoint degrees).
+  if (g.num_edges() > 1) {
+    double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+    const double m = static_cast<double>(2 * g.num_edges());
+    for (const auto& [u, v] : g.edges()) {
+      // Count both edge orientations to keep the measure symmetric.
+      double du = static_cast<double>(g.Degree(u));
+      double dv = static_cast<double>(g.Degree(v));
+      sx += du + dv;
+      sy += dv + du;
+      sxx += du * du + dv * dv;
+      syy += dv * dv + du * du;
+      sxy += 2 * du * dv;
+    }
+    double cov = sxy / m - (sx / m) * (sy / m);
+    double var = sxx / m - (sx / m) * (sx / m);
+    s.degree_assortativity = var > 1e-12 ? cov / var : 0.0;
+  }
+
+  // Sampled average clustering coefficient.
+  Rng rng(123);
+  std::vector<int64_t> sample;
+  if (g.num_nodes() <= clustering_samples) {
+    sample.resize(g.num_nodes());
+    std::iota(sample.begin(), sample.end(), 0);
+  } else {
+    sample = rng.SampleWithoutReplacement(g.num_nodes(), clustering_samples);
+  }
+  double total = 0.0;
+  int64_t counted = 0;
+  for (int64_t v : sample) {
+    auto nbrs = g.Neighbors(v);
+    if (nbrs.size() < 2) continue;
+    int64_t links = 0;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      for (size_t j = i + 1; j < nbrs.size(); ++j) {
+        if (g.HasEdge(nbrs[i], nbrs[j])) ++links;
+      }
+    }
+    double possible =
+        static_cast<double>(nbrs.size()) * (nbrs.size() - 1) / 2.0;
+    total += static_cast<double>(links) / possible;
+    ++counted;
+  }
+  s.avg_clustering = counted > 0 ? total / counted : 0.0;
+  s.connected_components = CountConnectedComponents(g);
+  return s;
+}
+
+std::string StatsToString(const GraphStats& s) {
+  std::ostringstream os;
+  os << "n=" << s.num_nodes << " e=" << s.num_edges
+     << " attrs=" << s.num_attributes << " avg_deg=" << s.avg_degree
+     << " max_deg=" << s.max_degree << " isolated=" << s.isolated_nodes
+     << " cc=" << s.connected_components
+     << " clustering=" << s.avg_clustering
+     << " assortativity=" << s.degree_assortativity;
+  return os.str();
+}
+
+}  // namespace galign

@@ -1,0 +1,42 @@
+// Descriptive statistics over attributed graphs, used by dataset synthesis
+// to verify generated networks match the published Table II statistics and
+// by examples to describe their inputs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace galign {
+
+/// Summary statistics of a graph.
+struct GraphStats {
+  int64_t num_nodes = 0;
+  int64_t num_edges = 0;
+  int64_t num_attributes = 0;
+  double avg_degree = 0.0;
+  int64_t max_degree = 0;
+  int64_t min_degree = 0;
+  int64_t isolated_nodes = 0;
+  double degree_assortativity = 0.0;
+  double avg_clustering = 0.0;  // sampled estimate for large graphs
+  int64_t connected_components = 0;
+};
+
+/// Computes all GraphStats fields. Clustering is sampled on up to
+/// `clustering_samples` nodes for speed.
+GraphStats ComputeStats(const AttributedGraph& g,
+                        int64_t clustering_samples = 1000);
+
+/// Degree histogram: hist[d] = #nodes of degree d (truncated at max_degree).
+std::vector<int64_t> DegreeHistogram(const AttributedGraph& g);
+
+/// Number of connected components (union-find).
+int64_t CountConnectedComponents(const AttributedGraph& g);
+
+/// Single-line rendering of the stats.
+std::string StatsToString(const GraphStats& s);
+
+}  // namespace galign

@@ -1,0 +1,163 @@
+#include "la/decomposition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "la/ops.h"
+
+namespace galign {
+
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
+                                          double tol) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("SymmetricEigen requires square matrix");
+  }
+  const int64_t n = a.rows();
+  Matrix m = a;
+  Matrix v = Matrix::Identity(n);
+
+  auto off_diag_norm = [&]() {
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) s += m(i, j) * m(i, j);
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  const double scale = std::max(1.0, a.MaxAbs());
+  bool converged = (n <= 1);
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    for (int64_t p = 0; p < n - 1; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double apq = m(p, q);
+        if (std::fabs(apq) <= tol * scale) continue;
+        double app = m(p, p), aqq = m(q, q);
+        double theta = (aqq - app) / (2.0 * apq);
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        // Apply Givens rotation to rows/cols p and q of m.
+        for (int64_t k = 0; k < n; ++k) {
+          double mkp = m(k, p), mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double mpk = m(p, k), mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (int64_t k = 0; k < n; ++k) {
+          double vkp = v(k, p), vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+    converged = off_diag_norm() <= tol * scale * n;
+  }
+  if (!converged) {
+    return Status::NotConverged("Jacobi eigen failed to converge");
+  }
+
+  EigenDecomposition out;
+  out.eigenvalues.resize(n);
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> diag(n);
+  for (int64_t i = 0; i < n; ++i) diag[i] = m(i, i);
+  std::sort(order.begin(), order.end(),
+            [&](int64_t x, int64_t y) { return diag[x] > diag[y]; });
+  out.eigenvectors = Matrix(n, n);
+  for (int64_t j = 0; j < n; ++j) {
+    out.eigenvalues[j] = diag[order[j]];
+    for (int64_t i = 0; i < n; ++i) {
+      out.eigenvectors(i, j) = v(i, order[j]);
+    }
+  }
+  return out;
+}
+
+Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps) {
+  const int64_t m = a.rows(), n = a.cols();
+  if (m == 0 || n == 0) {
+    return Status::InvalidArgument("ThinSVD of empty matrix");
+  }
+  const bool tall = m >= n;
+  // Eigendecompose the smaller Gram matrix.
+  Matrix gram = tall ? MatMulTransposedA(a, a)  // n x n = A^T A
+                     : MatMulTransposedB(a, a);  // m x m = A A^T
+  auto eig = SymmetricEigen(gram, max_sweeps);
+  if (!eig.ok()) return eig.status();
+  EigenDecomposition& e = eig.ValueOrDie();
+
+  const int64_t r = tall ? n : m;
+  SVDResult out;
+  out.sigma.resize(r);
+  for (int64_t i = 0; i < r; ++i) {
+    out.sigma[i] = std::sqrt(std::max(0.0, e.eigenvalues[i]));
+  }
+  if (tall) {
+    out.v = e.eigenvectors;  // n x n
+    // U = A V Sigma^-1 (columns with sigma ~ 0 are zeroed).
+    Matrix av = MatMul(a, out.v);
+    out.u = Matrix(m, r);
+    for (int64_t j = 0; j < r; ++j) {
+      double inv = out.sigma[j] > 1e-14 ? 1.0 / out.sigma[j] : 0.0;
+      for (int64_t i = 0; i < m; ++i) out.u(i, j) = av(i, j) * inv;
+    }
+  } else {
+    out.u = e.eigenvectors;  // m x m
+    Matrix atu = MatMulTransposedA(a, out.u);  // n x m
+    out.v = Matrix(n, r);
+    for (int64_t j = 0; j < r; ++j) {
+      double inv = out.sigma[j] > 1e-14 ? 1.0 / out.sigma[j] : 0.0;
+      for (int64_t i = 0; i < n; ++i) out.v(i, j) = atu(i, j) * inv;
+    }
+  }
+  return out;
+}
+
+Result<Matrix> PseudoInverse(const Matrix& a, double rcond) {
+  auto svd = ThinSVD(a);
+  if (!svd.ok()) return svd.status();
+  SVDResult& s = svd.ValueOrDie();
+  double smax = s.sigma.empty() ? 0.0 : s.sigma[0];
+  double cutoff = rcond * smax;
+  // pinv(A) = V diag(1/sigma) U^T.
+  Matrix vs = s.v;  // cols x r
+  for (int64_t j = 0; j < static_cast<int64_t>(s.sigma.size()); ++j) {
+    double inv = s.sigma[j] > cutoff ? 1.0 / s.sigma[j] : 0.0;
+    for (int64_t i = 0; i < vs.rows(); ++i) vs(i, j) *= inv;
+  }
+  return MatMulTransposedB(vs, s.u);
+}
+
+Result<double> PowerIterationTopEigenvalue(const Matrix& a, int max_iters,
+                                           double tol) {
+  if (a.rows() != a.cols() || a.rows() == 0) {
+    return Status::InvalidArgument("power iteration requires square matrix");
+  }
+  Rng rng(7);
+  Matrix x = Matrix::Gaussian(a.rows(), 1, &rng);
+  x.Scale(1.0 / x.FrobeniusNorm());
+  double lambda = 0.0;
+  for (int it = 0; it < max_iters; ++it) {
+    Matrix y = MatMul(a, x);
+    double norm = y.FrobeniusNorm();
+    if (norm < 1e-30) return 0.0;
+    y.Scale(1.0 / norm);
+    double new_lambda = Dot(y, MatMul(a, y));
+    if (std::fabs(new_lambda - lambda) < tol * std::max(1.0, std::fabs(new_lambda))) {
+      return new_lambda;
+    }
+    lambda = new_lambda;
+    x = y;
+  }
+  return Status::NotConverged("power iteration did not converge");
+}
+
+}  // namespace galign

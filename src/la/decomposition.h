@@ -1,0 +1,50 @@
+// Matrix decompositions implemented from scratch: cyclic Jacobi for symmetric
+// eigenproblems and a thin SVD built on top of it. Used by REGAL's low-rank
+// similarity factorization and by PCA for the qualitative study.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// Result of a symmetric eigendecomposition A = V diag(w) V^T.
+struct EigenDecomposition {
+  std::vector<double> eigenvalues;  // descending order
+  Matrix eigenvectors;              // columns correspond to eigenvalues
+};
+
+/// \brief Eigendecomposition of a symmetric matrix via cyclic Jacobi
+/// rotations.
+///
+/// Intended for small-to-medium matrices (landmark similarity blocks, PCA
+/// covariances). Returns NotConverged if the off-diagonal mass fails to
+/// vanish within max_sweeps.
+Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+                                          int max_sweeps = 64,
+                                          double tol = 1e-12);
+
+/// Thin SVD A = U diag(s) V^T with r = min(rows, cols) columns.
+struct SVDResult {
+  Matrix u;                    // rows x r
+  std::vector<double> sigma;   // descending, size r
+  Matrix v;                    // cols x r
+};
+
+/// \brief Thin SVD computed from the eigendecomposition of the Gram matrix
+/// of the smaller dimension.
+Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps = 64);
+
+/// Moore-Penrose pseudo-inverse (rank-revealing via ThinSVD; singular values
+/// below rcond * sigma_max are treated as zero).
+Result<Matrix> PseudoInverse(const Matrix& a, double rcond = 1e-10);
+
+/// Top eigenvalue/eigenvector of a symmetric matrix by power iteration.
+Result<double> PowerIterationTopEigenvalue(const Matrix& a,
+                                           int max_iters = 1000,
+                                           double tol = 1e-9);
+
+}  // namespace galign

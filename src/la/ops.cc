@@ -1,0 +1,246 @@
+#include "la/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/parallel.h"
+
+namespace galign {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  GALIGN_DCHECK(a.cols() == b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  ParallelFor(
+      0, m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const double* arow = a.row_data(i);
+          double* crow = c.row_data(i);
+          for (int64_t p = 0; p < k; ++p) {
+            const double av = arow[p];
+            if (av == 0.0) continue;
+            const double* brow = b.row_data(p);
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      /*min_chunk=*/16);
+  return c;
+}
+
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b) {
+  GALIGN_DCHECK(a.cols() == b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  ParallelFor(
+      0, m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const double* arow = a.row_data(i);
+          double* crow = c.row_data(i);
+          for (int64_t j = 0; j < n; ++j) {
+            const double* brow = b.row_data(j);
+            double s = 0.0;
+            for (int64_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+            crow[j] = s;
+          }
+        }
+      },
+      /*min_chunk=*/8);
+  return c;
+}
+
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b) {
+  GALIGN_DCHECK(a.rows() == b.rows());
+  const int64_t m = a.cols(), k = a.rows(), n = b.cols();
+  Matrix c(m, n);
+  // Accumulate row-of-a outer products serially per output chunk to avoid
+  // false sharing; parallelize over output rows (columns of a).
+  ParallelFor(
+      0, m,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t p = 0; p < k; ++p) {
+          const double* arow = a.row_data(p);
+          const double* brow = b.row_data(p);
+          for (int64_t i = r0; i < r1; ++i) {
+            const double av = arow[i];
+            if (av == 0.0) continue;
+            double* crow = c.row_data(i);
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      },
+      /*min_chunk=*/16);
+  return c;
+}
+
+Matrix Transpose(const Matrix& a) {
+  Matrix t(a.cols(), a.rows());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    for (int64_t c = 0; c < a.cols(); ++c) t(c, r) = a(r, c);
+  }
+  return t;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.Add(b);
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c.Axpy(-1.0, b);
+  return c;
+}
+
+Matrix Scale(const Matrix& a, double alpha) {
+  Matrix c = a;
+  c.Scale(alpha);
+  return c;
+}
+
+Matrix Hadamard(const Matrix& a, const Matrix& b) {
+  GALIGN_DCHECK(a.SameShape(b));
+  Matrix c(a.rows(), a.cols());
+  const double* pa = a.data();
+  const double* pb = b.data();
+  double* pc = c.data();
+  for (int64_t i = 0; i < a.size(); ++i) pc[i] = pa[i] * pb[i];
+  return c;
+}
+
+Matrix Map(const Matrix& a, const std::function<double(double)>& f) {
+  Matrix c(a.rows(), a.cols());
+  const double* pa = a.data();
+  double* pc = c.data();
+  for (int64_t i = 0; i < a.size(); ++i) pc[i] = f(pa[i]);
+  return c;
+}
+
+Matrix Tanh(const Matrix& a) {
+  Matrix c(a.rows(), a.cols());
+  const double* pa = a.data();
+  double* pc = c.data();
+  ParallelFor(0, a.size(), [&](int64_t i0, int64_t i1) {
+    for (int64_t i = i0; i < i1; ++i) pc[i] = std::tanh(pa[i]);
+  });
+  return c;
+}
+
+double Dot(const Matrix& a, const Matrix& b) {
+  GALIGN_DCHECK(a.SameShape(b));
+  double s = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) s += pa[i] * pb[i];
+  return s;
+}
+
+double RowSquaredDistance(const Matrix& a, int64_t i, const Matrix& b,
+                          int64_t j) {
+  GALIGN_DCHECK(a.cols() == b.cols());
+  const double* pa = a.row_data(i);
+  const double* pb = b.row_data(j);
+  double s = 0.0;
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    double d = pa[c] - pb[c];
+    s += d * d;
+  }
+  return s;
+}
+
+double RowCosine(const Matrix& a, int64_t i, const Matrix& b, int64_t j) {
+  GALIGN_DCHECK(a.cols() == b.cols());
+  const double* pa = a.row_data(i);
+  const double* pb = b.row_data(j);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int64_t c = 0; c < a.cols(); ++c) {
+    dot += pa[c] * pb[c];
+    na += pa[c] * pa[c];
+    nb += pb[c] * pb[c];
+  }
+  if (na < 1e-24 || nb < 1e-24) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+int64_t ArgMaxRow(const Matrix& m, int64_t r) {
+  const double* p = m.row_data(r);
+  int64_t best = 0;
+  for (int64_t c = 1; c < m.cols(); ++c) {
+    if (p[c] > p[best]) best = c;
+  }
+  return best;
+}
+
+double MaxRow(const Matrix& m, int64_t r) {
+  return m(r, ArgMaxRow(m, r));
+}
+
+std::vector<int64_t> TopKRow(const Matrix& m, int64_t r, int64_t k) {
+  const double* p = m.row_data(r);
+  k = std::min<int64_t>(k, m.cols());
+  std::vector<int64_t> idx(m.cols());
+  for (int64_t c = 0; c < m.cols(); ++c) idx[c] = c;
+  std::partial_sort(idx.begin(), idx.begin() + k, idx.end(),
+                    [&](int64_t a, int64_t b) { return p[a] > p[b]; });
+  idx.resize(k);
+  return idx;
+}
+
+int64_t RankInRow(const Matrix& m, int64_t r, int64_t col) {
+  const double* p = m.row_data(r);
+  const double target = p[col];
+  int64_t greater = 0, equal_others = 0;
+  for (int64_t c = 0; c < m.cols(); ++c) {
+    if (c == col) continue;
+    if (p[c] > target) {
+      ++greater;
+    } else if (p[c] == target) {
+      ++equal_others;
+    }
+  }
+  return 1 + greater + equal_others / 2;
+}
+
+Matrix ConcatCols(const std::vector<const Matrix*>& parts) {
+  GALIGN_DCHECK(!parts.empty());
+  int64_t rows = parts[0]->rows();
+  int64_t cols = 0;
+  for (const Matrix* p : parts) {
+    GALIGN_DCHECK(p->rows() == rows);
+    cols += p->cols();
+  }
+  Matrix out(rows, cols);
+  for (int64_t r = 0; r < rows; ++r) {
+    double* orow = out.row_data(r);
+    int64_t off = 0;
+    for (const Matrix* p : parts) {
+      const double* prow = p->row_data(r);
+      std::copy(prow, prow + p->cols(), orow + off);
+      off += p->cols();
+    }
+  }
+  return out;
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix out(a.rows(), a.cols());
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const double* p = a.row_data(r);
+    double* o = out.row_data(r);
+    double mx = p[0];
+    for (int64_t c = 1; c < a.cols(); ++c) mx = std::max(mx, p[c]);
+    double z = 0.0;
+    for (int64_t c = 0; c < a.cols(); ++c) {
+      o[c] = std::exp(p[c] - mx);
+      z += o[c];
+    }
+    for (int64_t c = 0; c < a.cols(); ++c) o[c] /= z;
+  }
+  return out;
+}
+
+}  // namespace galign

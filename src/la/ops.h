@@ -1,0 +1,74 @@
+// Dense kernels: GEMM variants, element-wise maps, row-wise reductions and
+// top-k selection. All O(n^2)+ kernels parallelize over rows via the common
+// thread pool.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "la/matrix.h"
+
+namespace galign {
+
+/// C = A * B. Shapes (m x k) * (k x n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+
+/// C = A * B^T — the layer-wise alignment kernel S = H_s H_t^T (Eq. 11).
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b);
+
+/// C = A^T * B.
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b);
+
+/// Out-of-place transpose.
+Matrix Transpose(const Matrix& a);
+
+/// C = A + B (shapes must match).
+Matrix Add(const Matrix& a, const Matrix& b);
+
+/// C = A - B (shapes must match).
+Matrix Sub(const Matrix& a, const Matrix& b);
+
+/// C = alpha * A.
+Matrix Scale(const Matrix& a, double alpha);
+
+/// Element-wise product (Hadamard).
+Matrix Hadamard(const Matrix& a, const Matrix& b);
+
+/// Applies f to every entry.
+Matrix Map(const Matrix& a, const std::function<double(double)>& f);
+
+/// tanh applied element-wise (the paper's GCN activation, §IV-A).
+Matrix Tanh(const Matrix& a);
+
+/// <A, B> = sum_ij A_ij B_ij.
+double Dot(const Matrix& a, const Matrix& b);
+
+/// Squared Euclidean distance between row i of a and row j of b.
+double RowSquaredDistance(const Matrix& a, int64_t i, const Matrix& b,
+                          int64_t j);
+
+/// Cosine similarity between row i of a and row j of b (0 if a row is ~0).
+double RowCosine(const Matrix& a, int64_t i, const Matrix& b, int64_t j);
+
+/// Index of the maximum entry in row r.
+int64_t ArgMaxRow(const Matrix& m, int64_t r);
+
+/// Maximum entry in row r.
+double MaxRow(const Matrix& m, int64_t r);
+
+/// Indices of the q largest entries of row r, in descending value order.
+std::vector<int64_t> TopKRow(const Matrix& m, int64_t r, int64_t k);
+
+/// Rank (1-based) of column `col` when row r is sorted descending. Ties use
+/// the mid-rank (expected rank under random tie-breaking), so a degenerate
+/// constant row ranks every column at ~(n+1)/2 instead of 1.
+int64_t RankInRow(const Matrix& m, int64_t r, int64_t col);
+
+/// Concatenates matrices horizontally ([A | B | ...]); equal row counts.
+Matrix ConcatCols(const std::vector<const Matrix*>& parts);
+
+/// Row-wise softmax.
+Matrix SoftmaxRows(const Matrix& a);
+
+}  // namespace galign

@@ -1,0 +1,90 @@
+// Compressed sparse row (CSR) matrix. Adjacency matrices and normalized
+// Laplacians are stored in this format; SpMM against dense activations is the
+// dominant kernel of GCN training (paper §VI-C relies on this sparsity for
+// the O(ed) complexity bound).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// A (row, col, value) entry used to build sparse matrices.
+struct Triplet {
+  int64_t row;
+  int64_t col;
+  double value;
+};
+
+/// \brief Immutable CSR sparse matrix of double.
+///
+/// Construction sorts and coalesces duplicate coordinates (values of
+/// duplicates are summed). Structure is fixed after construction; values can
+/// be rescaled via ScaleRow/ScaleValues for the noise-aware propagation of
+/// Eq. 15.
+class SparseMatrix {
+ public:
+  SparseMatrix() : rows_(0), cols_(0) {}
+
+  /// Builds from triplets; duplicates are summed, explicit zeros dropped.
+  static SparseMatrix FromTriplets(int64_t rows, int64_t cols,
+                                   std::vector<Triplet> triplets);
+
+  /// Sparse identity.
+  static SparseMatrix Identity(int64_t n);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int64_t>& col_idx() const { return col_idx_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Number of stored entries in row r.
+  int64_t RowNnz(int64_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
+
+  /// Value at (r, c); zero if not stored. O(log nnz(row)).
+  double At(int64_t r, int64_t c) const;
+
+  /// Sum of stored values in row r.
+  double RowSum(int64_t r) const;
+
+  /// Dense copy (small matrices / tests only).
+  Matrix ToDense() const;
+
+  /// Transposed copy.
+  SparseMatrix Transposed() const;
+
+  /// Multiplies all stored values in row r by s.
+  void ScaleRow(int64_t r, double s);
+
+  /// out = this * dense. Parallel over rows. Shapes: (r x c) * (c x d).
+  Matrix Multiply(const Matrix& dense) const;
+
+  /// out = this^T * dense without materializing the transpose.
+  Matrix TransposedMultiply(const Matrix& dense) const;
+
+  /// Returns D^{-1/2} (this + I) D^{-1/2} where D is the degree (row-sum)
+  /// matrix of (this + I) — the normalized Laplacian-style propagation
+  /// matrix C of GCN (paper Eq. 1). Requires a square matrix.
+  Result<SparseMatrix> NormalizedWithSelfLoops() const;
+
+  /// Like NormalizedWithSelfLoops but with per-node influence factors alpha:
+  /// C_q = Dq^{-1/2} Â Dq^{-1/2}, Dq = D̂ Q, Q = diag(alpha) (paper Eq. 15).
+  Result<SparseMatrix> NormalizedWithInfluence(
+      const std::vector<double>& alpha) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;   // size rows + 1
+  std::vector<int64_t> col_idx_;   // size nnz
+  std::vector<double> values_;     // size nnz
+};
+
+}  // namespace galign

@@ -1,0 +1,32 @@
+#include "manifold/pca.h"
+
+#include <algorithm>
+
+#include "la/decomposition.h"
+#include "la/ops.h"
+
+namespace galign {
+
+Result<Matrix> Pca(const Matrix& x, int64_t components) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("PCA of empty matrix");
+  }
+  components = std::min(components, x.cols());
+  // Center columns.
+  Matrix centered = x;
+  for (int64_t c = 0; c < x.cols(); ++c) {
+    double mean = 0.0;
+    for (int64_t r = 0; r < x.rows(); ++r) mean += x(r, c);
+    mean /= static_cast<double>(x.rows());
+    for (int64_t r = 0; r < x.rows(); ++r) centered(r, c) -= mean;
+  }
+  Matrix cov = MatMulTransposedA(centered, centered);
+  cov.Scale(1.0 / std::max<int64_t>(1, x.rows() - 1));
+  auto eig = SymmetricEigen(cov);
+  GALIGN_RETURN_NOT_OK(eig.status());
+  const Matrix& v = eig.ValueOrDie().eigenvectors;
+  Matrix basis = v.Block(0, 0, v.rows(), components);
+  return MatMul(centered, basis);
+}
+
+}  // namespace galign

@@ -1,0 +1,14 @@
+// Principal component analysis via the covariance eigendecomposition.
+// Used to initialize t-SNE and for quick 2-D projections.
+#pragma once
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// Projects rows of x onto the top `components` principal directions.
+/// Rows are mean-centered first. Returns an (n x components) matrix.
+Result<Matrix> Pca(const Matrix& x, int64_t components);
+
+}  // namespace galign

@@ -1,0 +1,151 @@
+#include "manifold/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace galign {
+
+namespace {
+
+// Binary-searches the Gaussian bandwidth of row i so the conditional
+// distribution hits the target perplexity; fills p_row.
+void FitRowPerplexity(const Matrix& sq_dist, int64_t i, double perplexity,
+                      std::vector<double>* p_row) {
+  const int64_t n = sq_dist.rows();
+  double lo = 1e-20, hi = 1e20, beta = 1.0;
+  const double target_entropy = std::log(perplexity);
+  for (int iter = 0; iter < 64; ++iter) {
+    double sum = 0.0, weighted = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      double p = j == i ? 0.0 : std::exp(-beta * sq_dist(i, j));
+      (*p_row)[j] = p;
+      sum += p;
+      weighted += p * sq_dist(i, j);
+    }
+    if (sum <= 0.0) {
+      beta /= 2.0;
+      hi = beta * 2.0;
+      continue;
+    }
+    // Shannon entropy of the conditional distribution.
+    double entropy = std::log(sum) + beta * weighted / sum;
+    if (std::fabs(entropy - target_entropy) < 1e-5) break;
+    if (entropy > target_entropy) {
+      lo = beta;
+      beta = hi > 1e19 ? beta * 2.0 : (beta + hi) / 2.0;
+    } else {
+      hi = beta;
+      beta = (beta + lo) / 2.0;
+    }
+  }
+  double sum = 0.0;
+  for (int64_t j = 0; j < n; ++j) sum += (*p_row)[j];
+  if (sum > 0.0) {
+    for (int64_t j = 0; j < n; ++j) (*p_row)[j] /= sum;
+  }
+}
+
+}  // namespace
+
+Result<Matrix> Tsne(const Matrix& x, const TsneConfig& cfg) {
+  const int64_t n = x.rows();
+  if (n < 2) return Status::InvalidArgument("t-SNE needs at least 2 rows");
+  if (cfg.perplexity >= static_cast<double>(n)) {
+    return Status::InvalidArgument("perplexity must be < number of rows");
+  }
+
+  // Pairwise squared distances in the input space.
+  Matrix sq_dist(n, n);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double d = RowSquaredDistance(x, i, x, j);
+      sq_dist(i, j) = d;
+      sq_dist(j, i) = d;
+    }
+  }
+
+  // Symmetrized joint probabilities P.
+  Matrix p(n, n);
+  std::vector<double> p_row(n);
+  for (int64_t i = 0; i < n; ++i) {
+    FitRowPerplexity(sq_dist, i, cfg.perplexity, &p_row);
+    for (int64_t j = 0; j < n; ++j) p(i, j) = p_row[j];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = i + 1; j < n; ++j) {
+      double v = (p(i, j) + p(j, i)) / (2.0 * n);
+      v = std::max(v, 1e-12);
+      p(i, j) = v;
+      p(j, i) = v;
+    }
+    p(i, i) = 0.0;
+  }
+
+  Rng rng(cfg.seed);
+  Matrix y = Matrix::Gaussian(n, cfg.output_dim, &rng, 1e-2);
+  Matrix velocity(n, cfg.output_dim);
+  Matrix gains(n, cfg.output_dim, 1.0);
+
+  for (int iter = 0; iter < cfg.iterations; ++iter) {
+    const double exaggeration =
+        iter < cfg.exaggeration_iters ? cfg.early_exaggeration : 1.0;
+    const double momentum = iter < cfg.momentum_switch_iter
+                                ? cfg.momentum
+                                : cfg.final_momentum;
+
+    // Student-t affinities Q (unnormalized numerators) and normalizer.
+    Matrix num(n, n);
+    double z = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = i + 1; j < n; ++j) {
+        double d = RowSquaredDistance(y, i, y, j);
+        double v = 1.0 / (1.0 + d);
+        num(i, j) = v;
+        num(j, i) = v;
+        z += 2.0 * v;
+      }
+    }
+    z = std::max(z, 1e-12);
+
+    // Gradient: 4 * sum_j (exag*P_ij - Q_ij) * num_ij * (y_i - y_j).
+    Matrix grad(n, cfg.output_dim);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        double q = num(i, j) / z;
+        double coef = 4.0 * (exaggeration * p(i, j) - q) * num(i, j);
+        for (int64_t k = 0; k < cfg.output_dim; ++k) {
+          grad(i, k) += coef * (y(i, k) - y(j, k));
+        }
+      }
+    }
+
+    // Adaptive gains + momentum update.
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t k = 0; k < cfg.output_dim; ++k) {
+        bool same_sign = (grad(i, k) > 0) == (velocity(i, k) > 0);
+        gains(i, k) = same_sign ? std::max(0.01, gains(i, k) * 0.8)
+                                : gains(i, k) + 0.2;
+        velocity(i, k) = momentum * velocity(i, k) -
+                         cfg.learning_rate * gains(i, k) * grad(i, k);
+        y(i, k) += velocity(i, k);
+      }
+    }
+    // Re-center.
+    for (int64_t k = 0; k < cfg.output_dim; ++k) {
+      double mean = 0.0;
+      for (int64_t i = 0; i < n; ++i) mean += y(i, k);
+      mean /= static_cast<double>(n);
+      for (int64_t i = 0; i < n; ++i) y(i, k) -= mean;
+    }
+  }
+  if (!y.AllFinite()) {
+    return Status::Internal("t-SNE diverged");
+  }
+  return y;
+}
+
+}  // namespace galign

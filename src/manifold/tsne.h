@@ -1,0 +1,28 @@
+// Exact t-SNE (van der Maaten & Hinton, 2008) for the qualitative study
+// (paper Fig. 8 visualizes embeddings of a 10-movie-pair toy set with
+// t-SNE). O(n^2) per iteration — intended for small inputs.
+#pragma once
+
+#include "common/status.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// t-SNE hyper-parameters.
+struct TsneConfig {
+  int64_t output_dim = 2;
+  double perplexity = 5.0;
+  int iterations = 500;
+  double learning_rate = 100.0;
+  double early_exaggeration = 4.0;
+  int exaggeration_iters = 100;
+  double momentum = 0.5;
+  double final_momentum = 0.8;
+  int momentum_switch_iter = 250;
+  uint64_t seed = 11;
+};
+
+/// Embeds the rows of `x` into `cfg.output_dim` dimensions.
+Result<Matrix> Tsne(const Matrix& x, const TsneConfig& cfg = {});
+
+}  // namespace galign

@@ -1,0 +1,121 @@
+#include "autograd/adam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace galign {
+namespace {
+
+TEST(AdamTest, FirstStepMovesByLr) {
+  // With bias correction, the very first Adam update has magnitude ~lr.
+  Matrix p(1, 1, 0.0);
+  Matrix g(1, 1, 3.0);
+  AdamOptimizer adam(AdamOptimizer::Options{.lr = 0.1});
+  adam.Register({&p});
+  adam.Step({&p}, {&g});
+  EXPECT_NEAR(p(0, 0), -0.1, 1e-6);
+}
+
+TEST(AdamTest, MinimizesQuadratic) {
+  // f(x) = (x - 5)^2, grad = 2 (x - 5).
+  Matrix x(1, 1, 0.0);
+  AdamOptimizer adam(AdamOptimizer::Options{.lr = 0.1});
+  adam.Register({&x});
+  for (int i = 0; i < 500; ++i) {
+    Matrix g(1, 1, 2.0 * (x(0, 0) - 5.0));
+    adam.Step({&x}, {&g});
+  }
+  EXPECT_NEAR(x(0, 0), 5.0, 1e-2);
+}
+
+TEST(AdamTest, MinimizesRosenbrockish2D) {
+  // f(x, y) = (1 - x)^2 + 10 (y - x^2)^2: a curved valley.
+  Matrix p{{-1.0, 1.0}};
+  AdamOptimizer adam(AdamOptimizer::Options{.lr = 0.02});
+  adam.Register({&p});
+  for (int i = 0; i < 8000; ++i) {
+    double x = p(0, 0), y = p(0, 1);
+    Matrix g(1, 2);
+    g(0, 0) = -2.0 * (1 - x) - 40.0 * x * (y - x * x);
+    g(0, 1) = 20.0 * (y - x * x);
+    adam.Step({&p}, {&g});
+  }
+  EXPECT_NEAR(p(0, 0), 1.0, 0.05);
+  EXPECT_NEAR(p(0, 1), 1.0, 0.1);
+}
+
+TEST(AdamTest, MultipleParameters) {
+  Matrix a(2, 2, 1.0), b(3, 1, -2.0);
+  AdamOptimizer adam(AdamOptimizer::Options{.lr = 0.5});
+  adam.Register({&a, &b});
+  // grad = value drives both to zero.
+  for (int i = 0; i < 300; ++i) {
+    Matrix ga = a, gb = b;
+    adam.Step({&a, &b}, {&ga, &gb});
+  }
+  EXPECT_LT(a.MaxAbs(), 0.05);
+  EXPECT_LT(b.MaxAbs(), 0.05);
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  Matrix p(1, 1, 1.0);
+  Matrix zero_grad(1, 1, 0.0);
+  AdamOptimizer adam(
+      AdamOptimizer::Options{.lr = 0.01, .weight_decay = 0.1});
+  adam.Register({&p});
+  for (int i = 0; i < 200; ++i) adam.Step({&p}, {&zero_grad});
+  EXPECT_LT(p(0, 0), 1.0);
+}
+
+TEST(AdamTest, StepCountTracksCalls) {
+  Matrix p(1, 1, 0.0), g(1, 1, 1.0);
+  AdamOptimizer adam;
+  adam.Register({&p});
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.Step({&p}, {&g});
+  adam.Step({&p}, {&g});
+  EXPECT_EQ(adam.step_count(), 2);
+}
+
+TEST(AdamTest, RegisterResetsState) {
+  Matrix p(1, 1, 0.0), g(1, 1, 1.0);
+  AdamOptimizer adam(AdamOptimizer::Options{.lr = 0.1});
+  adam.Register({&p});
+  adam.Step({&p}, {&g});
+  double after_one = p(0, 0);
+  p(0, 0) = 0.0;
+  adam.Register({&p});
+  EXPECT_EQ(adam.step_count(), 0);
+  adam.Step({&p}, {&g});
+  EXPECT_NEAR(p(0, 0), after_one, 1e-12);  // identical fresh first step
+}
+
+TEST(AdamTest, TrainsLinearRegressionViaAutograd) {
+  // Fit y = X w with the tape: full pipeline optimizer + autograd.
+  Rng rng(21);
+  Matrix x = Matrix::Gaussian(40, 3, &rng);
+  Matrix w_true{{1.5}, {-2.0}, {0.5}};
+  Matrix y = MatMul(x, w_true);
+  Matrix w(3, 1, 0.0);
+  AdamOptimizer adam(AdamOptimizer::Options{.lr = 0.05});
+  adam.Register({&w});
+  for (int epoch = 0; epoch < 400; ++epoch) {
+    Tape tape;
+    Var wv = tape.Leaf(w, true);
+    Var xv = tape.Leaf(x, false);
+    Var pred = ag::MatMul(&tape, xv, wv);
+    Var loss = ag::MSELoss(&tape, pred, y);
+    tape.Backward(loss);
+    adam.Step({&w}, {&tape.grad(wv)});
+  }
+  EXPECT_LT(Matrix::MaxAbsDiff(w, w_true), 0.05);
+}
+
+}  // namespace
+}  // namespace galign

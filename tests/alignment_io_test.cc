@@ -1,0 +1,101 @@
+#include "align/alignment_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "align/alignment.h"
+#include "common/rng.h"
+
+namespace galign {
+namespace {
+
+class AlignmentIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("galign_align_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(AlignmentIoTest, MatrixRoundTripExact) {
+  Rng rng(1);
+  Matrix s = Matrix::Gaussian(7, 11, &rng);
+  ASSERT_TRUE(SaveAlignmentMatrix(s, Path("s.tsv")).ok());
+  auto loaded = LoadAlignmentMatrix(Path("s.tsv"));
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie().rows(), 7);
+  EXPECT_EQ(loaded.ValueOrDie().cols(), 11);
+  EXPECT_LT(Matrix::MaxAbsDiff(loaded.ValueOrDie(), s), 1e-15);
+}
+
+TEST_F(AlignmentIoTest, LoadRejectsMissingAndEmpty) {
+  EXPECT_FALSE(LoadAlignmentMatrix(Path("missing.tsv")).ok());
+  std::ofstream(Path("empty.tsv")) << "# only a header\n";
+  EXPECT_FALSE(LoadAlignmentMatrix(Path("empty.tsv")).ok());
+}
+
+TEST_F(AlignmentIoTest, LoadRejectsRagged) {
+  std::ofstream(Path("ragged.tsv")) << "1 2 3\n1 2\n";
+  EXPECT_FALSE(LoadAlignmentMatrix(Path("ragged.tsv")).ok());
+}
+
+TEST_F(AlignmentIoTest, AnchorsRoundTrip) {
+  Rng rng(2);
+  Matrix s = Matrix::Uniform(6, 6, &rng);
+  auto anchors = GreedyOneToOneAnchors(s);
+  ASSERT_TRUE(SaveAnchors(s, anchors, Path("a.txt")).ok());
+  auto loaded = LoadAnchors(Path("a.txt"), 6);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie(), anchors);
+}
+
+TEST_F(AlignmentIoTest, AnchorsSkipUnmatched) {
+  Matrix s(3, 2, 0.5);
+  std::vector<int64_t> anchors{1, -1, 0};
+  ASSERT_TRUE(SaveAnchors(s, anchors, Path("partial.txt")).ok());
+  auto loaded = LoadAnchors(Path("partial.txt"), 3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.ValueOrDie()[0], 1);
+  EXPECT_EQ(loaded.ValueOrDie()[1], -1);
+  EXPECT_EQ(loaded.ValueOrDie()[2], 0);
+}
+
+TEST_F(AlignmentIoTest, LoadAnchorsRejectsOutOfRange) {
+  std::ofstream(Path("bad.txt")) << "99 0 0.5\n";
+  EXPECT_FALSE(LoadAnchors(Path("bad.txt"), 3).ok());
+}
+
+TEST(TopKAnchorsTest, ReturnsDescendingCandidates) {
+  Matrix s{{0.1, 0.9, 0.5}, {0.7, 0.2, 0.8}};
+  auto topk = TopKAnchors(s, 2);
+  ASSERT_EQ(topk.size(), 2u);
+  EXPECT_EQ(topk[0], (std::vector<int64_t>{1, 2}));
+  EXPECT_EQ(topk[1], (std::vector<int64_t>{2, 0}));
+}
+
+TEST(AnchorsAboveThresholdTest, FiltersAndSorts) {
+  Matrix s{{0.1, 0.9, 0.5}, {0.05, 0.02, 0.08}};
+  auto soft = AnchorsAboveThreshold(s, 0.4);
+  ASSERT_EQ(soft.size(), 2u);
+  EXPECT_EQ(soft[0], (std::vector<int64_t>{1, 2}));
+  EXPECT_TRUE(soft[1].empty());
+}
+
+TEST(AnchorsAboveThresholdTest, OneToManySemantics) {
+  // Several targets can pass the bar for one source node — the one-to-many
+  // instantiation of §VI-A.
+  Matrix s{{0.8, 0.9, 0.85, 0.1}};
+  auto soft = AnchorsAboveThreshold(s, 0.5);
+  EXPECT_EQ(soft[0].size(), 3u);
+  EXPECT_EQ(soft[0][0], 1);
+}
+
+}  // namespace
+}  // namespace galign

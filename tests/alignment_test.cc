@@ -1,0 +1,112 @@
+#include "align/alignment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace galign {
+namespace {
+
+TEST(Top1AnchorsTest, PicksRowArgmax) {
+  Matrix s{{0.1, 0.9, 0.3}, {0.8, 0.2, 0.5}};
+  auto anchors = Top1Anchors(s);
+  ASSERT_EQ(anchors.size(), 2u);
+  EXPECT_EQ(anchors[0], 1);
+  EXPECT_EQ(anchors[1], 0);
+}
+
+TEST(GreedyOneToOneTest, ResolvesConflictsGlobally) {
+  // Both rows prefer column 0, but row 1 wants it more.
+  Matrix s{{0.8, 0.7}, {0.9, 0.1}};
+  auto anchors = GreedyOneToOneAnchors(s);
+  EXPECT_EQ(anchors[1], 0);  // higher score wins the contested column
+  EXPECT_EQ(anchors[0], 1);
+}
+
+TEST(GreedyOneToOneTest, ProducesInjectiveMatching) {
+  Rng rng(1);
+  Matrix s = Matrix::Uniform(20, 20, &rng);
+  auto anchors = GreedyOneToOneAnchors(s);
+  std::set<int64_t> used;
+  for (int64_t a : anchors) {
+    ASSERT_NE(a, -1);
+    EXPECT_TRUE(used.insert(a).second) << "column assigned twice";
+  }
+}
+
+TEST(GreedyOneToOneTest, MoreRowsThanColumns) {
+  Rng rng(2);
+  Matrix s = Matrix::Uniform(5, 3, &rng);
+  auto anchors = GreedyOneToOneAnchors(s);
+  int64_t assigned = 0;
+  std::set<int64_t> used;
+  for (int64_t a : anchors) {
+    if (a != -1) {
+      ++assigned;
+      EXPECT_TRUE(used.insert(a).second);
+    }
+  }
+  EXPECT_EQ(assigned, 3);
+}
+
+TEST(SampleSeedsTest, FractionAndValidity) {
+  std::vector<int64_t> gt(100);
+  for (int64_t v = 0; v < 100; ++v) gt[v] = 99 - v;
+  Rng rng(3);
+  Supervision sup = SampleSeeds(gt, 0.1, &rng);
+  EXPECT_EQ(sup.seeds.size(), 10u);
+  for (const auto& [s, t] : sup.seeds) {
+    EXPECT_EQ(t, gt[s]);
+  }
+}
+
+TEST(SampleSeedsTest, SkipsUnanchoredNodes) {
+  std::vector<int64_t> gt{5, -1, 3, -1};
+  Rng rng(4);
+  Supervision sup = SampleSeeds(gt, 1.0, &rng);
+  EXPECT_EQ(sup.seeds.size(), 2u);
+}
+
+TEST(SampleSeedsTest, ZeroFractionIsEmpty) {
+  std::vector<int64_t> gt{1, 2, 3};
+  Rng rng(5);
+  EXPECT_TRUE(SampleSeeds(gt, 0.0, &rng).seeds.empty());
+}
+
+TEST(PriorFromSeedsTest, SeedRowsAreOneHot) {
+  Supervision sup;
+  sup.seeds = {{0, 2}, {3, 1}};
+  Matrix h = PriorFromSeeds(4, 3, sup);
+  EXPECT_DOUBLE_EQ(h(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(h(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(h(3, 1), 1.0);
+  // Unseeded rows are uniform.
+  EXPECT_NEAR(h(1, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(h(2, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(AttributePriorTest, RowsAreNormalized) {
+  Matrix fs{{1, 0}, {0, 1}};
+  Matrix ft{{1, 0}, {0.5, 0.5}, {0, 1}};
+  auto gs = AttributedGraph::Create(2, {}, fs).MoveValueOrDie();
+  auto gt = AttributedGraph::Create(3, {}, ft).MoveValueOrDie();
+  Matrix n = AttributePrior(gs, gt);
+  for (int64_t r = 0; r < 2; ++r) {
+    double sum = 0;
+    for (int64_t c = 0; c < 3; ++c) sum += n(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  // Exact attribute match dominates the row.
+  EXPECT_GT(n(0, 0), n(0, 2));
+}
+
+TEST(AttributePriorTest, IncomparableModalitiesFallBackToUniform) {
+  auto gs = AttributedGraph::Create(2, {}, Matrix(2, 3, 1.0)).MoveValueOrDie();
+  auto gt = AttributedGraph::Create(2, {}, Matrix(2, 5, 1.0)).MoveValueOrDie();
+  Matrix n = AttributePrior(gs, gt);
+  EXPECT_NEAR(n(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(n(1, 1), 0.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,86 @@
+#include "align/bootstrap.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace galign {
+namespace {
+
+Matrix PerfectAlignment(int64_t n) {
+  Matrix s(n, n, 0.1);
+  for (int64_t v = 0; v < n; ++v) s(v, v) = 1.0;
+  return s;
+}
+
+std::vector<int64_t> IdentityGt(int64_t n) {
+  std::vector<int64_t> gt(n);
+  for (int64_t v = 0; v < n; ++v) gt[v] = v;
+  return gt;
+}
+
+TEST(BootstrapTest, PerfectAlignmentHasDegenerateIntervals) {
+  auto r = BootstrapEvaluate(PerfectAlignment(20), IdentityGt(20), 200);
+  ASSERT_TRUE(r.ok());
+  const BootstrapMetrics& m = r.ValueOrDie();
+  EXPECT_DOUBLE_EQ(m.success_at_1.mean, 1.0);
+  EXPECT_DOUBLE_EQ(m.success_at_1.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(m.success_at_1.p5, 1.0);
+  EXPECT_DOUBLE_EQ(m.success_at_1.p95, 1.0);
+  EXPECT_DOUBLE_EQ(m.auc.mean, 1.0);
+}
+
+TEST(BootstrapTest, MeanTracksPointEstimate) {
+  Rng rng(1);
+  Matrix s = Matrix::Uniform(60, 60, &rng);
+  auto gt = IdentityGt(60);
+  AlignmentMetrics point = ComputeMetrics(s, gt);
+  auto r = BootstrapEvaluate(s, gt, 2000, 9);
+  ASSERT_TRUE(r.ok());
+  const BootstrapMetrics& m = r.ValueOrDie();
+  EXPECT_NEAR(m.map.mean, point.map, 0.02);
+  EXPECT_NEAR(m.auc.mean, point.auc, 0.02);
+  // The interval brackets the point estimate.
+  EXPECT_LE(m.map.p5, point.map);
+  EXPECT_GE(m.map.p95, point.map);
+}
+
+TEST(BootstrapTest, IntervalsShrinkWithMoreAnchors) {
+  Rng rng(2);
+  Matrix small = Matrix::Uniform(20, 50, &rng);
+  Matrix large = Matrix::Uniform(400, 50, &rng);
+  std::vector<int64_t> gt_small(20), gt_large(400);
+  for (int64_t v = 0; v < 20; ++v) gt_small[v] = v % 50;
+  for (int64_t v = 0; v < 400; ++v) gt_large[v] = v % 50;
+  auto rs = BootstrapEvaluate(small, gt_small, 1000, 3).MoveValueOrDie();
+  auto rl = BootstrapEvaluate(large, gt_large, 1000, 3).MoveValueOrDie();
+  EXPECT_GT(rs.auc.stddev, rl.auc.stddev);
+}
+
+TEST(BootstrapTest, DeterministicUnderSeed) {
+  Rng rng(4);
+  Matrix s = Matrix::Uniform(30, 30, &rng);
+  auto gt = IdentityGt(30);
+  auto r1 = BootstrapEvaluate(s, gt, 500, 11).MoveValueOrDie();
+  auto r2 = BootstrapEvaluate(s, gt, 500, 11).MoveValueOrDie();
+  EXPECT_DOUBLE_EQ(r1.map.mean, r2.map.mean);
+  EXPECT_DOUBLE_EQ(r1.map.p95, r2.map.p95);
+}
+
+TEST(BootstrapTest, RejectsInvalidInputs) {
+  Matrix s = PerfectAlignment(5);
+  EXPECT_FALSE(BootstrapEvaluate(s, IdentityGt(5), 0).ok());
+  std::vector<int64_t> no_anchors(5, -1);
+  EXPECT_FALSE(BootstrapEvaluate(s, no_anchors, 100).ok());
+}
+
+TEST(BootstrapTest, ToStringIsReadable) {
+  auto r = BootstrapEvaluate(PerfectAlignment(10), IdentityGt(10), 50)
+               .MoveValueOrDie();
+  std::string str = r.ToString();
+  EXPECT_NE(str.find("S@1"), std::string::npos);
+  EXPECT_NE(str.find("50 resamples"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,92 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace galign {
+namespace {
+
+TEST(ConfigValidateTest, DefaultsAreValid) {
+  EXPECT_TRUE(GAlignConfig{}.Validate().ok());
+}
+
+TEST(ConfigValidateTest, PaperSettingsAreValid) {
+  GAlignConfig cfg;
+  cfg.gamma = 0.8;
+  cfg.accumulation_factor = 1.1;
+  cfg.stability_threshold = 0.94;
+  cfg.num_layers = 2;
+  cfg.embedding_dim = 200;
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsBadDimensions) {
+  GAlignConfig cfg;
+  cfg.num_layers = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.embedding_dim = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.epochs = 0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsBadProbabilities) {
+  GAlignConfig cfg;
+  cfg.gamma = 1.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.gamma = -0.1;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.augment_structural_noise = 2.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.augment_attribute_noise = -0.5;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsBadRefinementParams) {
+  GAlignConfig cfg;
+  cfg.accumulation_factor = 1.0;  // must be strictly > 1 (Eq. 14)
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.stability_threshold = 1.0;  // cosine bound is open
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.refinement_iterations = -1;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsWrongLayerWeightCount) {
+  GAlignConfig cfg;
+  cfg.num_layers = 2;
+  cfg.layer_weights = {0.5, 0.5};  // needs 3 entries (H0..H2)
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg.layer_weights = {0.2, 0.3, 0.5};
+  EXPECT_TRUE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, RejectsNegativeExtensionParams) {
+  GAlignConfig cfg;
+  cfg.seed_loss_weight = -1.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.early_stop_patience = -2;
+  EXPECT_FALSE(cfg.Validate().ok());
+  cfg = {};
+  cfg.adaptivity_threshold = 0.0;
+  EXPECT_FALSE(cfg.Validate().ok());
+}
+
+TEST(ConfigValidateTest, ErrorMessagesNameTheField) {
+  GAlignConfig cfg;
+  cfg.gamma = 7.0;
+  EXPECT_NE(cfg.Validate().message().find("gamma"), std::string::npos);
+  cfg = {};
+  cfg.accumulation_factor = 0.5;
+  EXPECT_NE(cfg.Validate().message().find("beta"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,81 @@
+#include "align/dataset_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <unistd.h>
+
+#include "align/datasets.h"
+#include "graph/generators.h"
+
+namespace galign {
+namespace {
+
+class DatasetIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("galign_dataset_io_" + std::to_string(::getpid()));
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Dir(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+AlignmentPair MakePair(uint64_t seed) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(40, 2, &rng).MoveValueOrDie();
+  g = g.WithAttributes(BinaryAttributes(40, 6, 0.3, &rng)).MoveValueOrDie();
+  NoisyCopyOptions opts;
+  opts.structural_noise = 0.1;
+  return MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+}
+
+TEST_F(DatasetIoTest, RoundTripPreservesEverything) {
+  AlignmentPair pair = MakePair(1);
+  ASSERT_TRUE(SaveAlignmentPair(pair, Dir("pair")).ok());
+  auto loaded = LoadAlignmentPair(Dir("pair"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const AlignmentPair& p = loaded.ValueOrDie();
+  EXPECT_EQ(p.source.num_nodes(), pair.source.num_nodes());
+  EXPECT_EQ(p.source.edges(), pair.source.edges());
+  EXPECT_EQ(p.target.edges(), pair.target.edges());
+  EXPECT_LT(Matrix::MaxAbsDiff(p.source.attributes(),
+                               pair.source.attributes()),
+            1e-15);
+  EXPECT_LT(Matrix::MaxAbsDiff(p.target.attributes(),
+                               pair.target.attributes()),
+            1e-15);
+  EXPECT_EQ(p.ground_truth, pair.ground_truth);
+}
+
+TEST_F(DatasetIoTest, CreatesNestedDirectories) {
+  AlignmentPair pair = MakePair(2);
+  EXPECT_TRUE(SaveAlignmentPair(pair, Dir("a/b/c")).ok());
+  EXPECT_TRUE(LoadAlignmentPair(Dir("a/b/c")).ok());
+}
+
+TEST_F(DatasetIoTest, LoadFailsOnMissingDirectory) {
+  EXPECT_FALSE(LoadAlignmentPair(Dir("nonexistent")).ok());
+}
+
+TEST_F(DatasetIoTest, LoadRejectsInconsistentGroundTruth) {
+  AlignmentPair pair = MakePair(3);
+  // Ground truth pointing past the target's node count must be rejected.
+  pair.ground_truth[0] = 10000;
+  ASSERT_TRUE(SaveAlignmentPair(pair, Dir("bad")).ok());
+  EXPECT_FALSE(LoadAlignmentPair(Dir("bad")).ok());
+}
+
+TEST_F(DatasetIoTest, SynthesizedDatasetSurvivesRoundTrip) {
+  DatasetSpec spec = DoubanSpec().Scaled(30.0);
+  Rng rng(4);
+  AlignmentPair pair = SynthesizePair(spec, &rng).MoveValueOrDie();
+  ASSERT_TRUE(SaveAlignmentPair(pair, Dir("douban")).ok());
+  auto loaded = LoadAlignmentPair(Dir("douban")).MoveValueOrDie();
+  EXPECT_EQ(loaded.NumAnchors(), pair.NumAnchors());
+  EXPECT_EQ(loaded.source.num_edges(), pair.source.num_edges());
+}
+
+}  // namespace
+}  // namespace galign

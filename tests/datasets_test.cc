@@ -1,0 +1,185 @@
+#include "align/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/stats.h"
+
+namespace galign {
+namespace {
+
+TEST(SpecTest, PaperSpecsMatchTableII) {
+  DatasetSpec douban = DoubanSpec();
+  EXPECT_EQ(douban.source_nodes, 3906);
+  EXPECT_EQ(douban.source_edges, 8164);
+  EXPECT_EQ(douban.target_nodes, 1118);
+  EXPECT_EQ(douban.num_attributes, 538);
+  EXPECT_EQ(douban.num_anchors, 1118);
+
+  DatasetSpec fm = FlickrMyspaceSpec();
+  EXPECT_EQ(fm.source_nodes, 5740);
+  EXPECT_EQ(fm.target_nodes, 4504);
+  EXPECT_EQ(fm.num_attributes, 3);
+  EXPECT_EQ(fm.num_anchors, 323);
+
+  DatasetSpec ai = AllmovieImdbSpec();
+  EXPECT_EQ(ai.source_nodes, 6011);
+  EXPECT_EQ(ai.source_edges, 124709);
+  EXPECT_EQ(ai.num_anchors, 5176);
+}
+
+TEST(SpecTest, ScalingShrinksProportionally) {
+  DatasetSpec s = DoubanSpec().Scaled(4.0);
+  EXPECT_NEAR(s.source_nodes, 3906 / 4, 2);
+  EXPECT_NEAR(s.target_nodes, 1118 / 4, 2);
+  EXPECT_LE(s.num_anchors, std::min(s.source_nodes, s.target_nodes));
+  // Factor <= 1 is identity.
+  EXPECT_EQ(DoubanSpec().Scaled(1.0).source_nodes, 3906);
+}
+
+TEST(SpecTest, ScalingNeverBelowFloor) {
+  DatasetSpec s = DoubanSpec().Scaled(1e9);
+  EXPECT_GE(s.source_nodes, 8);
+  EXPECT_GE(s.target_nodes, 8);
+}
+
+class SynthesizedDatasets : public ::testing::TestWithParam<int> {};
+
+DatasetSpec SpecByIndex(int i) {
+  switch (i) {
+    case 0:
+      return DoubanSpec().Scaled(10.0);
+    case 1:
+      return FlickrMyspaceSpec().Scaled(10.0);
+    default:
+      return AllmovieImdbSpec().Scaled(10.0);
+  }
+}
+
+TEST_P(SynthesizedDatasets, MatchesSpecShape) {
+  DatasetSpec spec = SpecByIndex(GetParam());
+  Rng rng(42);
+  auto pair = SynthesizePair(spec, &rng);
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  const AlignmentPair& p = pair.ValueOrDie();
+  EXPECT_EQ(p.source.num_nodes(), spec.source_nodes);
+  EXPECT_EQ(p.target.num_nodes(), spec.target_nodes);
+  EXPECT_EQ(p.source.num_attributes(), spec.num_attributes);
+  EXPECT_EQ(p.target.num_attributes(), spec.num_attributes);
+  EXPECT_EQ(p.NumAnchors(), spec.num_anchors);
+  // Edge counts within a loose band of the spec.
+  EXPECT_GT(p.source.num_edges(), spec.source_edges * 0.5);
+  EXPECT_LT(p.source.num_edges(), spec.source_edges * 1.6);
+  EXPECT_GT(p.target.num_edges(), spec.target_edges * 0.4);
+  EXPECT_LT(p.target.num_edges(), spec.target_edges * 1.7);
+  // Ground truth entries are valid and injective.
+  std::vector<bool> used(p.target.num_nodes(), false);
+  for (int64_t t : p.ground_truth) {
+    if (t == -1) continue;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, p.target.num_nodes());
+    EXPECT_FALSE(used[t]);
+    used[t] = true;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSpecs, SynthesizedDatasets,
+                         ::testing::Values(0, 1, 2));
+
+TEST(SynthesizeTest, AnchorAttributesSurviveModuloNoise) {
+  DatasetSpec spec = AllmovieImdbSpec().Scaled(20.0);
+  spec.attribute_noise = 0.0;
+  spec.structural_noise = 0.0;
+  Rng rng(7);
+  auto pair = SynthesizePair(spec, &rng).MoveValueOrDie();
+  // With zero noise, anchored nodes carry identical attribute rows.
+  for (int64_t v = 0; v < pair.source.num_nodes(); ++v) {
+    int64_t t = pair.ground_truth[v];
+    if (t == -1) continue;
+    for (int64_t c = 0; c < pair.source.num_attributes(); ++c) {
+      EXPECT_DOUBLE_EQ(pair.source.attributes()(v, c),
+                       pair.target.attributes()(t, c));
+    }
+  }
+}
+
+TEST(SynthesizeTest, RejectsImpossibleAnchorCount) {
+  DatasetSpec spec = DoubanSpec().Scaled(10.0);
+  spec.num_anchors = spec.target_nodes + 100;
+  Rng rng(8);
+  EXPECT_FALSE(SynthesizePair(spec, &rng).ok());
+}
+
+TEST(SynthesizeTest, DeterministicUnderSeed) {
+  DatasetSpec spec = DoubanSpec().Scaled(20.0);
+  Rng r1(77), r2(77);
+  auto p1 = SynthesizePair(spec, &r1).MoveValueOrDie();
+  auto p2 = SynthesizePair(spec, &r2).MoveValueOrDie();
+  EXPECT_EQ(p1.source.edges(), p2.source.edges());
+  EXPECT_EQ(p1.target.edges(), p2.target.edges());
+  EXPECT_EQ(p1.ground_truth, p2.ground_truth);
+  EXPECT_LT(Matrix::MaxAbsDiff(p1.source.attributes(),
+                               p2.source.attributes()),
+            1e-15);
+}
+
+TEST(SynthesizeTest, SparseGraphWithIsolatedNodesTerminates) {
+  // Regression: endpoint-only sampling used to loop forever when the
+  // number of distinct non-isolated nodes was below target_nodes.
+  DatasetSpec spec;
+  spec.name = "sparse";
+  spec.source_nodes = 200;
+  spec.source_edges = 30;  // most nodes isolated
+  spec.target_nodes = 180;
+  spec.target_edges = 25;
+  spec.num_anchors = 150;
+  spec.num_attributes = 4;
+  Rng rng(78);
+  auto pair = SynthesizePair(spec, &rng);
+  ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+  EXPECT_EQ(pair.ValueOrDie().target.num_nodes(), 180);
+  EXPECT_EQ(pair.ValueOrDie().NumAnchors(), 150);
+}
+
+TEST(RepositoryGraphsTest, MatchPublishedSizes) {
+  Rng rng(9);
+  auto bn = MakeBnLike(&rng).MoveValueOrDie();
+  EXPECT_EQ(bn.num_nodes(), 1781);
+  EXPECT_NEAR(bn.num_edges(), 9016, 9016 * 0.35);
+  EXPECT_EQ(bn.num_attributes(), 20);
+
+  auto econ = MakeEconLike(&rng).MoveValueOrDie();
+  EXPECT_EQ(econ.num_nodes(), 1258);
+  auto email = MakeEmailLike(&rng).MoveValueOrDie();
+  EXPECT_EQ(email.num_nodes(), 1133);
+}
+
+TEST(RepositoryGraphsTest, ScaleShrinks) {
+  Rng rng(10);
+  auto bn = MakeBnLike(&rng, 8.0).MoveValueOrDie();
+  EXPECT_NEAR(bn.num_nodes(), 1781 / 8, 2);
+}
+
+TEST(MakeAttributesTest, KindsProduceExpectedShapes) {
+  Rng rng(11);
+  DatasetSpec spec;
+  spec.num_attributes = 12;
+  spec.attribute_kind = AttributeKind::kBinaryTags;
+  Matrix f1 = MakeAttributes(spec, 30, &rng);
+  EXPECT_EQ(f1.cols(), 12);
+  for (int64_t i = 0; i < f1.size(); ++i) {
+    EXPECT_TRUE(f1.data()[i] == 0.0 || f1.data()[i] == 1.0);
+  }
+  spec.attribute_kind = AttributeKind::kRealProfile;
+  Matrix f2 = MakeAttributes(spec, 30, &rng);
+  EXPECT_EQ(f2.rows(), 30);
+  EXPECT_TRUE(f2.AllFinite());
+  spec.attribute_kind = AttributeKind::kCategories;
+  Matrix f3 = MakeAttributes(spec, 30, &rng);
+  for (int64_t r = 0; r < 30; ++r) {
+    EXPECT_GE(f3.Row(r).Sum(), 1.0);  // at least one category
+    EXPECT_LE(f3.Row(r).Sum(), 2.0);  // at most two (1 + optional extra)
+  }
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,161 @@
+#include "la/decomposition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace galign {
+namespace {
+
+Matrix RandomSymmetric(int64_t n, Rng* rng) {
+  Matrix a = Matrix::Gaussian(n, n, rng);
+  Matrix at = Transpose(a);
+  a.Add(at);
+  a.Scale(0.5);
+  return a;
+}
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix a{{3, 0}, {0, 1}};
+  auto r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ValueOrDie().eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.ValueOrDie().eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  Matrix a{{2, 1}, {1, 2}};
+  auto r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ValueOrDie().eigenvalues[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.ValueOrDie().eigenvalues[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, RejectsNonSquare) {
+  EXPECT_FALSE(SymmetricEigen(Matrix(2, 3)).ok());
+}
+
+class EigenSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(EigenSizes, ReconstructsInput) {
+  const int n = GetParam();
+  Rng rng(n);
+  Matrix a = RandomSymmetric(n, &rng);
+  auto r = SymmetricEigen(a);
+  ASSERT_TRUE(r.ok());
+  const auto& e = r.ValueOrDie();
+  // Rebuild A = V diag(w) V^T.
+  Matrix vd = e.eigenvectors;
+  for (int64_t j = 0; j < n; ++j) {
+    for (int64_t i = 0; i < n; ++i) vd(i, j) *= e.eigenvalues[j];
+  }
+  Matrix rebuilt = MatMulTransposedB(vd, e.eigenvectors);
+  EXPECT_LT(Matrix::MaxAbsDiff(rebuilt, a), 1e-8);
+  // Eigenvalues descending.
+  for (int64_t j = 1; j < n; ++j) {
+    EXPECT_GE(e.eigenvalues[j - 1], e.eigenvalues[j] - 1e-12);
+  }
+  // Eigenvectors orthonormal.
+  Matrix gram = MatMulTransposedA(e.eigenvectors, e.eigenvectors);
+  EXPECT_LT(Matrix::MaxAbsDiff(gram, Matrix::Identity(n)), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenSizes, ::testing::Values(1, 2, 3, 8, 25, 60));
+
+class SvdShapes
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SvdShapes, ReconstructsInput) {
+  auto [m, n] = GetParam();
+  Rng rng(m * 31 + n);
+  Matrix a = Matrix::Gaussian(m, n, &rng);
+  auto r = ThinSVD(a);
+  ASSERT_TRUE(r.ok());
+  const SVDResult& s = r.ValueOrDie();
+  // A = U diag(sigma) V^T.
+  Matrix us = s.u;
+  for (int64_t j = 0; j < us.cols(); ++j) {
+    for (int64_t i = 0; i < us.rows(); ++i) us(i, j) *= s.sigma[j];
+  }
+  Matrix rebuilt = MatMulTransposedB(us, s.v);
+  EXPECT_LT(Matrix::MaxAbsDiff(rebuilt, a), 1e-7);
+  // Singular values non-negative descending.
+  for (size_t j = 1; j < s.sigma.size(); ++j) {
+    EXPECT_GE(s.sigma[j - 1], s.sigma[j] - 1e-12);
+    EXPECT_GE(s.sigma[j], 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapes,
+                         ::testing::Values(std::make_pair(5, 5),
+                                           std::make_pair(10, 4),
+                                           std::make_pair(4, 10),
+                                           std::make_pair(30, 8),
+                                           std::make_pair(1, 6)));
+
+TEST(SvdTest, RankDeficientMatrix) {
+  // Rank-1 outer product: exactly one non-zero singular value.
+  Matrix u{{1}, {2}, {3}};
+  Matrix v{{4, 5}};
+  Matrix a = MatMul(u, v);
+  auto r = ThinSVD(a);
+  ASSERT_TRUE(r.ok());
+  const auto& sigma = r.ValueOrDie().sigma;
+  EXPECT_GT(sigma[0], 1.0);
+  for (size_t j = 1; j < sigma.size(); ++j) EXPECT_NEAR(sigma[j], 0.0, 1e-6);
+}
+
+TEST(SvdTest, RejectsEmpty) { EXPECT_FALSE(ThinSVD(Matrix()).ok()); }
+
+TEST(PseudoInverseTest, InvertibleMatrixGivesInverse) {
+  Matrix a{{2, 0}, {0, 4}};
+  auto p = PseudoInverse(a);
+  ASSERT_TRUE(p.ok());
+  Matrix prod = MatMul(a, p.ValueOrDie());
+  EXPECT_LT(Matrix::MaxAbsDiff(prod, Matrix::Identity(2)), 1e-10);
+}
+
+TEST(PseudoInverseTest, MoorePenroseConditions) {
+  Rng rng(8);
+  Matrix a = Matrix::Gaussian(6, 4, &rng);
+  auto p = PseudoInverse(a);
+  ASSERT_TRUE(p.ok());
+  const Matrix& ap = p.ValueOrDie();
+  EXPECT_EQ(ap.rows(), 4);
+  EXPECT_EQ(ap.cols(), 6);
+  // A A+ A = A and A+ A A+ = A+.
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMul(MatMul(a, ap), a), a), 1e-8);
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMul(MatMul(ap, a), ap), ap), 1e-8);
+}
+
+TEST(PseudoInverseTest, SingularMatrix) {
+  Matrix a{{1, 1}, {1, 1}};  // rank 1
+  auto p = PseudoInverse(a);
+  ASSERT_TRUE(p.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMul(MatMul(a, p.ValueOrDie()), a), a), 1e-8);
+}
+
+TEST(PowerIterationTest, FindsTopEigenvalue) {
+  Matrix a{{4, 1}, {1, 2}};
+  auto r = PowerIterationTopEigenvalue(a);
+  ASSERT_TRUE(r.ok());
+  double expected = 3.0 + std::sqrt(2.0);  // (6 + sqrt(8)) / 2
+  EXPECT_NEAR(r.ValueOrDie(), expected, 1e-6);
+}
+
+TEST(PowerIterationTest, ZeroMatrix) {
+  auto r = PowerIterationTopEigenvalue(Matrix(3, 3));
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r.ValueOrDie(), 0.0, 1e-9);
+}
+
+TEST(PowerIterationTest, RejectsNonSquare) {
+  EXPECT_FALSE(PowerIterationTopEigenvalue(Matrix(2, 3)).ok());
+}
+
+}  // namespace
+}  // namespace galign

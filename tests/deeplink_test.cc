@@ -1,0 +1,96 @@
+#include "baselines/deeplink.h"
+
+#include <gtest/gtest.h>
+
+#include "align/metrics.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
+
+namespace galign {
+namespace {
+
+AlignmentPair CleanPair(uint64_t seed, int64_t n = 80) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(n, 3, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(n, 8, 0.3, &rng);
+  g = g.WithAttributes(f).MoveValueOrDie();
+  NoisyCopyOptions opts;
+  return MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+}
+
+DeepLinkConfig FastConfig() {
+  DeepLinkConfig cfg;
+  cfg.walks.walks_per_node = 8;
+  cfg.walks.walk_length = 15;
+  cfg.skipgram.epochs = 3;
+  cfg.skipgram.dim = 32;
+  cfg.mapping_epochs = 150;
+  return cfg;
+}
+
+TEST(DeepLinkTest, RequiresSeeds) {
+  AlignmentPair pair = CleanPair(1);
+  DeepLinkAligner aligner(FastConfig());
+  EXPECT_FALSE(aligner.Align(pair.source, pair.target, {}).ok());
+}
+
+TEST(DeepLinkTest, AlignsAboveChanceWithSeeds) {
+  AlignmentPair pair = CleanPair(2);
+  Rng rng(3);
+  Supervision sup = SampleSeeds(pair.ground_truth, 0.15, &rng);
+  DeepLinkAligner aligner(FastConfig());
+  auto s = aligner.Align(pair.source, pair.target, sup);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  AlignmentMetrics m = ComputeMetrics(s.ValueOrDie(), pair.ground_truth);
+  EXPECT_GT(m.auc, 0.6);
+  EXPECT_TRUE(s.ValueOrDie().AllFinite());
+}
+
+TEST(DeepLinkTest, DualModeDiffersFromSingle) {
+  AlignmentPair pair = CleanPair(4, 50);
+  Rng rng(5);
+  Supervision sup = SampleSeeds(pair.ground_truth, 0.2, &rng);
+  DeepLinkConfig cfg = FastConfig();
+  cfg.dual = true;
+  DeepLinkAligner dual(cfg);
+  cfg.dual = false;
+  DeepLinkAligner single(cfg);
+  auto s1 = dual.Align(pair.source, pair.target, sup).MoveValueOrDie();
+  auto s2 = single.Align(pair.source, pair.target, sup).MoveValueOrDie();
+  EXPECT_GT(Matrix::MaxAbsDiff(s1, s2), 1e-9);
+}
+
+TEST(DeepLinkTest, RejectsOutOfRangeSeeds) {
+  AlignmentPair pair = CleanPair(6, 30);
+  Supervision bad;
+  bad.seeds = {{500, 0}};
+  DeepLinkAligner aligner(FastConfig());
+  EXPECT_FALSE(aligner.Align(pair.source, pair.target, bad).ok());
+}
+
+TEST(DeepLinkTest, DeterministicUnderSeed) {
+  AlignmentPair pair = CleanPair(7, 40);
+  Rng rng(8);
+  Supervision sup = SampleSeeds(pair.ground_truth, 0.2, &rng);
+  DeepLinkAligner a(FastConfig()), b(FastConfig());
+  auto s1 = a.Align(pair.source, pair.target, sup).MoveValueOrDie();
+  auto s2 = b.Align(pair.source, pair.target, sup).MoveValueOrDie();
+  EXPECT_LT(Matrix::MaxAbsDiff(s1, s2), 1e-12);
+}
+
+TEST(DeepLinkTest, StructureOnlyIgnoresAttributes) {
+  // Identical topologies with different attributes must give identical
+  // scores: DeepLink never reads F.
+  AlignmentPair pair = CleanPair(9, 40);
+  Rng rng(10);
+  Supervision sup = SampleSeeds(pair.ground_truth, 0.2, &rng);
+  auto other_attrs =
+      pair.source.WithAttributes(Matrix(40, 8, 0.5)).MoveValueOrDie();
+  DeepLinkAligner a(FastConfig()), b(FastConfig());
+  auto s1 = a.Align(pair.source, pair.target, sup).MoveValueOrDie();
+  auto s2 = b.Align(other_attrs, pair.target, sup).MoveValueOrDie();
+  EXPECT_LT(Matrix::MaxAbsDiff(s1, s2), 1e-12);
+}
+
+}  // namespace
+}  // namespace galign

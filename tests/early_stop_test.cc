@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/trainer.h"
+#include "graph/generators.h"
+
+namespace galign {
+namespace {
+
+AttributedGraph SmallGraph(uint64_t seed) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(40, 2, &rng).MoveValueOrDie();
+  return g.WithAttributes(BinaryAttributes(40, 6, 0.3, &rng))
+      .MoveValueOrDie();
+}
+
+TEST(EarlyStopTest, DisabledRunsFullBudget) {
+  AttributedGraph g = SmallGraph(1);
+  GAlignConfig cfg;
+  cfg.epochs = 25;
+  cfg.embedding_dim = 10;
+  cfg.early_stop_patience = 0;
+  Rng rng(2);
+  MultiOrderGcn gcn(cfg.num_layers, 6, cfg.embedding_dim, &rng);
+  Trainer trainer(cfg);
+  ASSERT_TRUE(trainer.Train(&gcn, g, g, &rng).ok());
+  EXPECT_EQ(trainer.loss_history().size(), 25u);
+}
+
+TEST(EarlyStopTest, PlateauTerminatesEarly) {
+  // A huge tolerance makes every epoch after the baseline count as "no
+  // improvement": training must stop after 1 + patience epochs.
+  AttributedGraph g = SmallGraph(3);
+  GAlignConfig cfg;
+  cfg.epochs = 50;
+  cfg.embedding_dim = 10;
+  cfg.early_stop_patience = 3;
+  cfg.early_stop_tolerance = 1e9;
+  Rng rng(4);
+  MultiOrderGcn gcn(cfg.num_layers, 6, cfg.embedding_dim, &rng);
+  Trainer trainer(cfg);
+  ASSERT_TRUE(trainer.Train(&gcn, g, g, &rng).ok());
+  EXPECT_EQ(trainer.loss_history().size(), 4u);  // baseline + 3 stalls
+}
+
+TEST(EarlyStopTest, StopConditionMatchesHistory) {
+  // Whenever training stops before the epoch budget, the last `patience`
+  // epochs must indeed show no improvement over the running best (i.e. the
+  // stop was justified by the recorded history).
+  AttributedGraph g = SmallGraph(5);
+  GAlignConfig cfg;
+  cfg.epochs = 40;
+  cfg.embedding_dim = 10;
+  cfg.early_stop_patience = 5;
+  cfg.early_stop_tolerance = 1e-9;
+  Rng rng(6);
+  MultiOrderGcn gcn(cfg.num_layers, 6, cfg.embedding_dim, &rng);
+  Trainer trainer(cfg);
+  ASSERT_TRUE(trainer.Train(&gcn, g, g, &rng).ok());
+  const auto& h = trainer.loss_history();
+  if (h.size() < static_cast<size_t>(cfg.epochs)) {
+    ASSERT_GE(h.size(), 5u);
+    double best_before_tail = h[0];
+    for (size_t i = 0; i + 5 < h.size(); ++i) {
+      best_before_tail = std::min(best_before_tail, h[i]);
+    }
+    for (size_t i = h.size() - 5; i < h.size(); ++i) {
+      EXPECT_GE(h[i], best_before_tail -
+                          cfg.early_stop_tolerance * std::fabs(best_before_tail) -
+                          1e-12);
+    }
+  }
+}
+
+TEST(EarlyStopTest, StoppedModelStillUsable) {
+  AttributedGraph g = SmallGraph(7);
+  GAlignConfig cfg;
+  cfg.epochs = 200;
+  cfg.embedding_dim = 10;
+  cfg.early_stop_patience = 5;
+  cfg.early_stop_tolerance = 1e-3;
+  Rng rng(8);
+  MultiOrderGcn gcn(cfg.num_layers, 6, cfg.embedding_dim, &rng);
+  Trainer trainer(cfg);
+  ASSERT_TRUE(trainer.Train(&gcn, g, g, &rng).ok());
+  EXPECT_LT(trainer.loss_history().size(), 200u);  // actually stopped early
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  auto layers = gcn.ForwardInference(lap, g.attributes());
+  for (const Matrix& h : layers) EXPECT_TRUE(h.AllFinite());
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,109 @@
+// Tests for the EmbedNetworks public API (multi-order embedding export for
+// downstream tasks) and cross-checks against the GAlignAligner path.
+#include <gtest/gtest.h>
+
+#include "core/galign.h"
+#include "core/refinement.h"
+#include "core/trainer.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
+#include "la/ops.h"
+
+namespace galign {
+namespace {
+
+AlignmentPair MakePair(uint64_t seed, int64_t n = 50) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(n, 3, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(n, 8, 0.3, &rng);
+  g = g.WithAttributes(f).MoveValueOrDie();
+  NoisyCopyOptions opts;
+  opts.structural_noise = 0.05;
+  return MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+}
+
+GAlignConfig FastConfig() {
+  GAlignConfig cfg;
+  cfg.epochs = 15;
+  cfg.embedding_dim = 12;
+  return cfg;
+}
+
+TEST(EmbedNetworksTest, ShapesAndLayerCount) {
+  AlignmentPair pair = MakePair(1);
+  GAlignConfig cfg = FastConfig();
+  auto e = EmbedNetworks(cfg, pair.source, pair.target);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  const MultiOrderEmbeddings& emb = e.ValueOrDie();
+  ASSERT_EQ(emb.source_layers.size(), static_cast<size_t>(cfg.num_layers) + 1);
+  ASSERT_EQ(emb.target_layers.size(), emb.source_layers.size());
+  EXPECT_EQ(emb.source_layers[0].cols(), pair.source.num_attributes());
+  EXPECT_EQ(emb.source_layers[1].cols(), cfg.embedding_dim);
+  // Concatenation width = attr dim + k * embedding dim.
+  EXPECT_EQ(emb.source_concat.cols(),
+            pair.source.num_attributes() + cfg.num_layers * cfg.embedding_dim);
+  EXPECT_EQ(emb.source_concat.rows(), pair.source.num_nodes());
+  EXPECT_EQ(emb.target_concat.rows(), pair.target.num_nodes());
+  EXPECT_TRUE(emb.source_concat.AllFinite());
+}
+
+TEST(EmbedNetworksTest, AnchorsAreMutuallyClosest) {
+  AlignmentPair pair = MakePair(2);
+  auto e = EmbedNetworks(FastConfig(), pair.source, pair.target)
+               .MoveValueOrDie();
+  // For most anchors, the matched target row should be among the closest in
+  // the concatenated embedding space.
+  int64_t good = 0;
+  for (int64_t v = 0; v < pair.source.num_nodes(); ++v) {
+    int64_t t = pair.ground_truth[v];
+    double anchor_sim =
+        RowCosine(e.source_concat, v, e.target_concat, t);
+    int64_t better = 0;
+    for (int64_t u = 0; u < pair.target.num_nodes(); ++u) {
+      if (u != t &&
+          RowCosine(e.source_concat, v, e.target_concat, u) > anchor_sim) {
+        ++better;
+      }
+    }
+    if (better < 5) ++good;
+  }
+  EXPECT_GT(good, pair.source.num_nodes() * 6 / 10);
+}
+
+TEST(EmbedNetworksTest, RejectsMismatchedAttributes) {
+  AlignmentPair pair = MakePair(3, 30);
+  auto other =
+      pair.source.WithAttributes(Matrix(30, 3, 1.0)).MoveValueOrDie();
+  EXPECT_FALSE(EmbedNetworks(FastConfig(), other, pair.target).ok());
+}
+
+TEST(EmbedNetworksTest, DeterministicUnderSeed) {
+  AlignmentPair pair = MakePair(4, 30);
+  GAlignConfig cfg = FastConfig();
+  auto e1 = EmbedNetworks(cfg, pair.source, pair.target).MoveValueOrDie();
+  auto e2 = EmbedNetworks(cfg, pair.source, pair.target).MoveValueOrDie();
+  EXPECT_LT(Matrix::MaxAbsDiff(e1.source_concat, e2.source_concat), 1e-15);
+}
+
+TEST(RefinementEmbeddingsTest, ExposedThroughResult) {
+  AlignmentPair pair = MakePair(5, 40);
+  GAlignConfig cfg = FastConfig();
+  cfg.refinement_iterations = 3;
+  Rng rng(cfg.seed);
+  MultiOrderGcn gcn(cfg.num_layers, pair.source.num_attributes(),
+                    cfg.embedding_dim, &rng);
+  Trainer trainer(cfg);
+  trainer.Train(&gcn, pair.source, pair.target, &rng).CheckOK();
+  auto r = RefineAlignment(gcn, pair.source, pair.target, cfg);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.ValueOrDie().source_embeddings.size(),
+            static_cast<size_t>(cfg.num_layers) + 1);
+  // Aggregating the returned embeddings reproduces the returned alignment.
+  Matrix s = AggregateAlignment(r.ValueOrDie().source_embeddings,
+                                r.ValueOrDie().target_embeddings,
+                                cfg.EffectiveLayerWeights());
+  EXPECT_LT(Matrix::MaxAbsDiff(s, r.ValueOrDie().alignment), 1e-12);
+}
+
+}  // namespace
+}  // namespace galign

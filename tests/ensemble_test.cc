@@ -1,0 +1,111 @@
+#include "align/ensemble.h"
+
+#include <gtest/gtest.h>
+
+#include "align/metrics.h"
+#include "baselines/final.h"
+#include "baselines/naive.h"
+#include "baselines/regal.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
+
+namespace galign {
+namespace {
+
+AlignmentPair CleanPair(uint64_t seed, int64_t n = 60) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(n, 3, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(n, 10, 0.25, &rng);
+  g = g.WithAttributes(f).MoveValueOrDie();
+  NoisyCopyOptions opts;
+  return MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+}
+
+TEST(FuseTest, ReciprocalRankFavorsConsensus) {
+  // Two matrices agree that column 1 is best for row 0; a third disagrees.
+  Matrix a{{0.1, 0.9, 0.2}};
+  Matrix b{{0.2, 0.8, 0.1}};
+  Matrix c{{0.9, 0.1, 0.2}};
+  auto fused =
+      FuseAlignments({&a, &b, &c}, FusionRule::kReciprocalRank)
+          .MoveValueOrDie();
+  EXPECT_GT(fused(0, 1), fused(0, 0));
+  EXPECT_GT(fused(0, 1), fused(0, 2));
+}
+
+TEST(FuseTest, NormalizedScoreIsScaleInvariant) {
+  Matrix a{{1.0, 3.0}, {2.0, 0.0}};
+  Matrix a_scaled{{100.0, 300.0}, {200.0, 0.0}};
+  Matrix b{{0.5, 0.1}, {0.3, 0.9}};
+  auto f1 = FuseAlignments({&a, &b}, FusionRule::kNormalizedScore)
+                .MoveValueOrDie();
+  auto f2 = FuseAlignments({&a_scaled, &b}, FusionRule::kNormalizedScore)
+                .MoveValueOrDie();
+  EXPECT_LT(Matrix::MaxAbsDiff(f1, f2), 1e-12);
+}
+
+TEST(FuseTest, WeightsBias) {
+  Matrix a{{1.0, 0.0}};
+  Matrix b{{0.0, 1.0}};
+  auto fused = FuseAlignments({&a, &b}, FusionRule::kNormalizedScore,
+                              {3.0, 1.0})
+                   .MoveValueOrDie();
+  EXPECT_GT(fused(0, 0), fused(0, 1));
+}
+
+TEST(FuseTest, RejectsEmptyAndMismatched) {
+  EXPECT_FALSE(FuseAlignments({}, FusionRule::kReciprocalRank).ok());
+  Matrix a(2, 2), b(3, 2);
+  EXPECT_FALSE(
+      FuseAlignments({&a, &b}, FusionRule::kReciprocalRank).ok());
+}
+
+TEST(EnsembleTest, AtLeastAsGoodAsWorstMember) {
+  AlignmentPair pair = CleanPair(1, 80);
+  Rng rng(2);
+  Supervision sup = SampleSeeds(pair.ground_truth, 0.1, &rng);
+
+  RegalAligner regal;
+  FinalAligner final_aligner;
+  AttributeOnlyAligner attrs;
+  EnsembleAligner ensemble({&regal, &final_aligner, &attrs});
+  auto se = ensemble.Align(pair.source, pair.target, sup).MoveValueOrDie();
+  EXPECT_EQ(ensemble.last_contributors(), 3);
+
+  double ens_map = ComputeMetrics(se, pair.ground_truth).map;
+  double worst = 1.0;
+  for (Aligner* a : std::vector<Aligner*>{&regal, &final_aligner, &attrs}) {
+    auto s = a->Align(pair.source, pair.target, sup).MoveValueOrDie();
+    worst = std::min(worst, ComputeMetrics(s, pair.ground_truth).map);
+  }
+  EXPECT_GT(ens_map, worst - 0.02);
+}
+
+TEST(EnsembleTest, SkipsFailingMembers) {
+  AlignmentPair pair = CleanPair(3, 30);
+  class FailingAligner : public Aligner {
+   public:
+    std::string name() const override { return "Failing"; }
+    Result<Matrix> Align(const AttributedGraph&, const AttributedGraph&,
+                         const Supervision&) override {
+      return Status::Internal("nope");
+    }
+  } failing;
+  RegalAligner regal;
+  EnsembleAligner ensemble({&failing, &regal});
+  auto s = ensemble.Align(pair.source, pair.target, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(ensemble.last_contributors(), 1);
+
+  EnsembleAligner all_fail({&failing});
+  EXPECT_FALSE(all_fail.Align(pair.source, pair.target, {}).ok());
+}
+
+TEST(EnsembleTest, RejectsEmptyMemberList) {
+  AlignmentPair pair = CleanPair(4, 20);
+  EnsembleAligner empty({});
+  EXPECT_FALSE(empty.Align(pair.source, pair.target, {}).ok());
+}
+
+}  // namespace
+}  // namespace galign

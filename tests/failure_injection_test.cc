@@ -1,0 +1,175 @@
+// Failure-injection tests: every aligner must either handle or cleanly
+// reject degenerate-but-legal inputs (no crashes, no NaNs, no silent
+// garbage): edgeless graphs, isolated nodes, single-node graphs, star
+// graphs, disconnected components, constant attributes.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "align/metrics.h"
+#include "baselines/final.h"
+#include "baselines/isorank.h"
+#include "baselines/naive.h"
+#include "baselines/regal.h"
+#include "baselines/unialign.h"
+#include "core/galign.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
+
+namespace galign {
+namespace {
+
+std::vector<std::unique_ptr<Aligner>> AllRobustAligners() {
+  std::vector<std::unique_ptr<Aligner>> out;
+  GAlignConfig cfg;
+  cfg.epochs = 8;
+  cfg.embedding_dim = 8;
+  cfg.refinement_iterations = 2;
+  out.push_back(std::make_unique<GAlignAligner>(cfg));
+  out.push_back(std::make_unique<FinalAligner>());
+  out.push_back(std::make_unique<IsoRankAligner>());
+  out.push_back(std::make_unique<RegalAligner>());
+  out.push_back(std::make_unique<UniAlignAligner>());
+  out.push_back(std::make_unique<DegreeRankAligner>());
+  out.push_back(std::make_unique<AttributeOnlyAligner>());
+  return out;
+}
+
+void ExpectCleanOutcome(Aligner* a, const AttributedGraph& s,
+                        const AttributedGraph& t) {
+  auto result = a->Align(s, t, {});
+  if (result.ok()) {
+    EXPECT_EQ(result.ValueOrDie().rows(), s.num_nodes()) << a->name();
+    EXPECT_EQ(result.ValueOrDie().cols(), t.num_nodes()) << a->name();
+    EXPECT_TRUE(result.ValueOrDie().AllFinite()) << a->name();
+  }
+  // A non-OK status is also acceptable: the contract is "no crash, no NaN".
+}
+
+TEST(FailureInjectionTest, EdgelessGraphs) {
+  Rng rng(1);
+  auto s = AttributedGraph::Create(10, {}, BinaryAttributes(10, 4, 0.3, &rng))
+               .MoveValueOrDie();
+  auto t = AttributedGraph::Create(8, {}, BinaryAttributes(8, 4, 0.3, &rng))
+               .MoveValueOrDie();
+  for (auto& a : AllRobustAligners()) ExpectCleanOutcome(a.get(), s, t);
+}
+
+TEST(FailureInjectionTest, SingleNodeGraphs) {
+  auto s = AttributedGraph::Create(1, {}, Matrix(1, 4, 1.0)).MoveValueOrDie();
+  auto t = AttributedGraph::Create(1, {}, Matrix(1, 4, 1.0)).MoveValueOrDie();
+  for (auto& a : AllRobustAligners()) ExpectCleanOutcome(a.get(), s, t);
+}
+
+TEST(FailureInjectionTest, ManyIsolatedNodes) {
+  Rng rng(2);
+  // Half the nodes have no edges at all.
+  std::vector<Edge> edges;
+  for (int64_t v = 0; v < 15; ++v) edges.emplace_back(v, (v + 1) % 15);
+  auto g = AttributedGraph::Create(30, edges,
+                                   BinaryAttributes(30, 5, 0.3, &rng))
+               .MoveValueOrDie();
+  NoisyCopyOptions opts;
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  for (auto& a : AllRobustAligners()) {
+    ExpectCleanOutcome(a.get(), pair.source, pair.target);
+  }
+}
+
+TEST(FailureInjectionTest, StarGraph) {
+  Rng rng(3);
+  std::vector<Edge> edges;
+  for (int64_t v = 1; v < 25; ++v) edges.emplace_back(0, v);
+  auto g = AttributedGraph::Create(25, edges,
+                                   BinaryAttributes(25, 5, 0.3, &rng))
+               .MoveValueOrDie();
+  NoisyCopyOptions opts;
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  for (auto& a : AllRobustAligners()) {
+    ExpectCleanOutcome(a.get(), pair.source, pair.target);
+  }
+}
+
+TEST(FailureInjectionTest, DisconnectedComponents) {
+  Rng rng(4);
+  std::vector<Edge> edges;
+  // Three disjoint cliques of 8.
+  for (int64_t block = 0; block < 3; ++block) {
+    for (int64_t i = 0; i < 8; ++i) {
+      for (int64_t j = i + 1; j < 8; ++j) {
+        edges.emplace_back(block * 8 + i, block * 8 + j);
+      }
+    }
+  }
+  auto g = AttributedGraph::Create(24, edges,
+                                   BinaryAttributes(24, 6, 0.3, &rng))
+               .MoveValueOrDie();
+  NoisyCopyOptions opts;
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  for (auto& a : AllRobustAligners()) {
+    ExpectCleanOutcome(a.get(), pair.source, pair.target);
+  }
+}
+
+TEST(FailureInjectionTest, ConstantAttributes) {
+  // Attributes carry zero signal; methods must still run on structure.
+  Rng rng(5);
+  auto g = BarabasiAlbert(30, 2, &rng).MoveValueOrDie();
+  g = g.WithAttributes(Matrix(30, 4, 1.0)).MoveValueOrDie();
+  NoisyCopyOptions opts;
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  for (auto& a : AllRobustAligners()) {
+    ExpectCleanOutcome(a.get(), pair.source, pair.target);
+  }
+}
+
+TEST(FailureInjectionTest, WildlyImbalancedSizes) {
+  Rng rng(6);
+  auto big = BarabasiAlbert(120, 3, &rng).MoveValueOrDie();
+  big = big.WithAttributes(BinaryAttributes(120, 5, 0.3, &rng))
+            .MoveValueOrDie();
+  auto tiny = big.InducedSubgraph({0, 1, 2, 3, 4}).MoveValueOrDie();
+  for (auto& a : AllRobustAligners()) {
+    ExpectCleanOutcome(a.get(), big, tiny);
+    ExpectCleanOutcome(a.get(), tiny, big);
+  }
+}
+
+TEST(FailureInjectionTest, GAlignSurvivesExtremeAugmentationNoise) {
+  Rng rng(7);
+  auto g = BarabasiAlbert(40, 2, &rng).MoveValueOrDie();
+  g = g.WithAttributes(BinaryAttributes(40, 5, 0.3, &rng)).MoveValueOrDie();
+  GAlignConfig cfg;
+  cfg.epochs = 8;
+  cfg.embedding_dim = 8;
+  cfg.augment_structural_noise = 0.9;
+  cfg.augment_attribute_noise = 0.9;
+  GAlignAligner aligner(cfg);
+  auto s = aligner.Align(g, g, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s.ValueOrDie().AllFinite());
+}
+
+TEST(FailureInjectionTest, RefinementWithEverythingStable) {
+  // A graph aligned with itself: every node is stable, influence factors
+  // compound each iteration — must stay finite.
+  Rng rng(8);
+  auto g = BarabasiAlbert(25, 2, &rng).MoveValueOrDie();
+  g = g.WithAttributes(BinaryAttributes(25, 5, 0.4, &rng)).MoveValueOrDie();
+  GAlignConfig cfg;
+  cfg.epochs = 10;
+  cfg.embedding_dim = 8;
+  cfg.refinement_iterations = 25;  // lots of compounding
+  GAlignAligner aligner(cfg);
+  auto s = aligner.Align(g, g, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s.ValueOrDie().AllFinite());
+  AlignmentMetrics m;
+  std::vector<int64_t> identity(25);
+  for (int64_t v = 0; v < 25; ++v) identity[v] = v;
+  m = ComputeMetrics(s.ValueOrDie(), identity);
+  EXPECT_GT(m.success_at_5, 0.8);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,197 @@
+#include "core/galign.h"
+
+#include <gtest/gtest.h>
+
+#include "align/metrics.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
+
+namespace galign {
+namespace {
+
+GAlignConfig FastConfig() {
+  GAlignConfig cfg;
+  cfg.epochs = 20;
+  cfg.embedding_dim = 16;
+  cfg.refinement_iterations = 4;
+  return cfg;
+}
+
+AlignmentPair MakePair(uint64_t seed, int64_t n, double p_s, double p_a) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(n, 3, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(n, 10, 0.25, &rng);
+  g = g.WithAttributes(f).MoveValueOrDie();
+  NoisyCopyOptions opts;
+  opts.structural_noise = p_s;
+  opts.attribute_noise = p_a;
+  return MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+}
+
+TEST(GAlignTest, AlignsCleanPermutedCopyAlmostPerfectly) {
+  AlignmentPair pair = MakePair(1, 60, 0.0, 0.0);
+  GAlignAligner aligner(FastConfig());
+  auto s = aligner.Align(pair.source, pair.target, {});
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  AlignmentMetrics m = ComputeMetrics(s.ValueOrDie(), pair.ground_truth);
+  EXPECT_GT(m.success_at_1, 0.85);
+  EXPECT_GT(m.map, 0.9);
+}
+
+TEST(GAlignTest, SurvivesModerateStructuralNoise) {
+  AlignmentPair pair = MakePair(2, 60, 0.15, 0.0);
+  GAlignAligner aligner(FastConfig());
+  auto s = aligner.Align(pair.source, pair.target, {});
+  ASSERT_TRUE(s.ok());
+  AlignmentMetrics m = ComputeMetrics(s.ValueOrDie(), pair.ground_truth);
+  EXPECT_GT(m.success_at_1, 0.5);
+}
+
+TEST(GAlignTest, OutputShapeAndFiniteness) {
+  AlignmentPair pair = MakePair(3, 40, 0.1, 0.1);
+  GAlignAligner aligner(FastConfig());
+  auto s = aligner.Align(pair.source, pair.target, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.ValueOrDie().rows(), pair.source.num_nodes());
+  EXPECT_EQ(s.ValueOrDie().cols(), pair.target.num_nodes());
+  EXPECT_TRUE(s.ValueOrDie().AllFinite());
+}
+
+TEST(GAlignTest, DeterministicUnderFixedSeed) {
+  AlignmentPair pair = MakePair(4, 40, 0.1, 0.0);
+  GAlignAligner a1(FastConfig()), a2(FastConfig());
+  auto s1 = a1.Align(pair.source, pair.target, {});
+  auto s2 = a2.Align(pair.source, pair.target, {});
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(s1.ValueOrDie(), s2.ValueOrDie()), 1e-12);
+}
+
+TEST(GAlignTest, IgnoresSupervision) {
+  AlignmentPair pair = MakePair(5, 40, 0.1, 0.0);
+  GAlignAligner a1(FastConfig()), a2(FastConfig());
+  Supervision sup;
+  sup.seeds = {{0, pair.ground_truth[0]}};
+  auto s1 = a1.Align(pair.source, pair.target, {});
+  auto s2 = a2.Align(pair.source, pair.target, sup);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(s1.ValueOrDie(), s2.ValueOrDie()), 1e-12);
+}
+
+TEST(GAlignTest, RejectsEmptyAndMismatchedInputs) {
+  AlignmentPair pair = MakePair(6, 30, 0.0, 0.0);
+  auto empty = AttributedGraph::Create(0, {}, Matrix()).MoveValueOrDie();
+  GAlignAligner aligner(FastConfig());
+  EXPECT_FALSE(aligner.Align(empty, pair.target, {}).ok());
+  auto other =
+      pair.source.WithAttributes(Matrix(30, 3, 1.0)).MoveValueOrDie();
+  EXPECT_FALSE(aligner.Align(other, pair.target, {}).ok());
+}
+
+TEST(GAlignTest, ExposesDiagnostics) {
+  AlignmentPair pair = MakePair(7, 30, 0.1, 0.0);
+  GAlignConfig cfg = FastConfig();
+  GAlignAligner aligner(cfg);
+  ASSERT_TRUE(aligner.Align(pair.source, pair.target, {}).ok());
+  EXPECT_EQ(aligner.last_loss_history().size(),
+            static_cast<size_t>(cfg.epochs));
+  EXPECT_EQ(aligner.last_refinement_scores().size(),
+            static_cast<size_t>(cfg.refinement_iterations) + 1);
+}
+
+TEST(GAlignTest, SizeImbalancedNetworks) {
+  // Target much smaller than source (Douban-style).
+  Rng rng(8);
+  auto g = BarabasiAlbert(80, 3, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(80, 8, 0.3, &rng);
+  g = g.WithAttributes(f).MoveValueOrDie();
+  std::vector<int64_t> keep = rng.SampleWithoutReplacement(80, 30);
+  auto target = g.InducedSubgraph(keep).MoveValueOrDie();
+  GAlignAligner aligner(FastConfig());
+  auto s = aligner.Align(g, target, {});
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.ValueOrDie().rows(), 80);
+  EXPECT_EQ(s.ValueOrDie().cols(), 30);
+  // Shared nodes should rank their counterpart well.
+  std::vector<int64_t> gt(80, -1);
+  for (size_t i = 0; i < keep.size(); ++i) gt[keep[i]] = static_cast<int64_t>(i);
+  AlignmentMetrics m = ComputeMetrics(s.ValueOrDie(), gt);
+  EXPECT_GT(m.success_at_10, 0.4);
+}
+
+TEST(GAlignTest, AlignsWeightedNetworks) {
+  // Weighted-edge pair: confidence-weighted interactome aligned with its
+  // permuted copy (weights preserved through permutation).
+  Rng rng(20);
+  auto topo = BarabasiAlbert(60, 3, &rng).MoveValueOrDie();
+  std::vector<WeightedEdge> weighted;
+  for (const auto& [u, v] : topo.edges()) {
+    weighted.push_back({u, v, rng.Uniform(0.2, 1.0)});
+  }
+  auto g = AttributedGraph::CreateWeighted(
+               60, weighted, BinaryAttributes(60, 8, 0.3, &rng))
+               .MoveValueOrDie();
+  std::vector<int64_t> perm = rng.Permutation(60);
+  auto target = g.Permuted(perm).MoveValueOrDie();
+  ASSERT_TRUE(target.is_weighted());
+
+  GAlignAligner aligner(FastConfig());
+  auto s = aligner.Align(g, target, {});
+  ASSERT_TRUE(s.ok());
+  AlignmentMetrics m = ComputeMetrics(s.ValueOrDie(), perm);
+  EXPECT_GT(m.success_at_5, 0.8);
+}
+
+// --------------------------------------------- Ablation presets (Table IV)
+
+TEST(GAlignVariantsTest, PresetsTweakFlags) {
+  GAlignConfig base = FastConfig();
+  EXPECT_FALSE(GAlignAligner::WithoutAugmentation(base).use_augmentation);
+  EXPECT_FALSE(GAlignAligner::WithoutRefinement(base).use_refinement);
+  EXPECT_TRUE(GAlignAligner::FinalLayerOnly(base).final_layer_only);
+}
+
+TEST(GAlignVariantsTest, EffectiveLayerWeights) {
+  GAlignConfig cfg;
+  cfg.num_layers = 2;
+  auto uniform = cfg.EffectiveLayerWeights();
+  ASSERT_EQ(uniform.size(), 3u);
+  EXPECT_NEAR(uniform[0], 1.0 / 3.0, 1e-12);
+
+  cfg.layer_weights = {1.0, 2.0, 1.0};
+  auto weighted = cfg.EffectiveLayerWeights();
+  EXPECT_NEAR(weighted[1], 0.5, 1e-12);
+
+  cfg.final_layer_only = true;
+  auto final_only = cfg.EffectiveLayerWeights();
+  EXPECT_DOUBLE_EQ(final_only[2], 1.0);
+  EXPECT_DOUBLE_EQ(final_only[0], 0.0);
+}
+
+TEST(GAlignVariantsTest, AllVariantsRunAndFullModelCompetitive) {
+  AlignmentPair pair = MakePair(9, 50, 0.1, 0.1);
+  GAlignConfig base = FastConfig();
+
+  GAlignAligner full(base, "GAlign");
+  GAlignAligner no_aug(GAlignAligner::WithoutAugmentation(base), "GAlign-1");
+  GAlignAligner no_ref(GAlignAligner::WithoutRefinement(base), "GAlign-2");
+  GAlignAligner last_only(GAlignAligner::FinalLayerOnly(base), "GAlign-3");
+
+  double full_s1 = 0, variants_best = 0;
+  for (GAlignAligner* a :
+       std::vector<GAlignAligner*>{&full, &no_aug, &no_ref, &last_only}) {
+    auto s = a->Align(pair.source, pair.target, {});
+    ASSERT_TRUE(s.ok()) << a->name();
+    double s1 =
+        ComputeMetrics(s.ValueOrDie(), pair.ground_truth).success_at_1;
+    if (a == &full) {
+      full_s1 = s1;
+    } else {
+      variants_best = std::max(variants_best, s1);
+    }
+  }
+  // The full model should not be far behind its own ablations.
+  EXPECT_GE(full_s1, variants_best - 0.15);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,177 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/stats.h"
+#include "la/ops.h"
+
+namespace galign {
+namespace {
+
+TEST(ErdosRenyiTest, EdgeCountNearExpectation) {
+  Rng rng(1);
+  auto g = ErdosRenyi(200, 0.05, &rng).MoveValueOrDie();
+  double expected = 0.05 * 200 * 199 / 2;
+  EXPECT_NEAR(g.num_edges(), expected, expected * 0.25);
+}
+
+TEST(ErdosRenyiTest, DensePathMatchesExpectation) {
+  Rng rng(2);
+  auto g = ErdosRenyi(100, 0.5, &rng).MoveValueOrDie();
+  double expected = 0.5 * 100 * 99 / 2;
+  EXPECT_NEAR(g.num_edges(), expected, expected * 0.1);
+}
+
+TEST(ErdosRenyiTest, ZeroProbabilityGivesNoEdges) {
+  Rng rng(3);
+  EXPECT_EQ(ErdosRenyi(50, 0.0, &rng).ValueOrDie().num_edges(), 0);
+}
+
+TEST(ErdosRenyiTest, RejectsInvalidArgs) {
+  Rng rng(4);
+  EXPECT_FALSE(ErdosRenyi(-1, 0.5, &rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.5, &rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, -0.1, &rng).ok());
+}
+
+TEST(ErdosRenyiTest, DeterministicUnderSeed) {
+  Rng a(7), b(7);
+  auto g1 = ErdosRenyi(100, 0.05, &a).MoveValueOrDie();
+  auto g2 = ErdosRenyi(100, 0.05, &b).MoveValueOrDie();
+  EXPECT_EQ(g1.edges(), g2.edges());
+}
+
+TEST(BarabasiAlbertTest, EdgeCountFormula) {
+  Rng rng(5);
+  auto g = BarabasiAlbert(300, 3, &rng).MoveValueOrDie();
+  // Seed star contributes m edges; each of the n-m-1 later nodes adds m.
+  EXPECT_EQ(g.num_edges(), 3 + (300 - 4) * 3);
+}
+
+TEST(BarabasiAlbertTest, ProducesSkewedDegrees) {
+  Rng rng(6);
+  auto g = BarabasiAlbert(500, 2, &rng).MoveValueOrDie();
+  int64_t max_deg = 0;
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    max_deg = std::max(max_deg, g.Degree(v));
+  }
+  // Preferential attachment creates hubs far above the mean (~4).
+  EXPECT_GT(max_deg, 20);
+}
+
+TEST(BarabasiAlbertTest, RejectsInvalidArgs) {
+  Rng rng(7);
+  EXPECT_FALSE(BarabasiAlbert(5, 5, &rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(5, 0, &rng).ok());
+}
+
+TEST(WattsStrogatzTest, KeepsRingEdgeCount) {
+  Rng rng(8);
+  auto g = WattsStrogatz(100, 3, 0.2, &rng).MoveValueOrDie();
+  // Rewiring preserves the number of edges (n * k).
+  EXPECT_EQ(g.num_edges(), 300);
+}
+
+TEST(WattsStrogatzTest, ZeroBetaIsPureLattice) {
+  Rng rng(9);
+  auto g = WattsStrogatz(20, 2, 0.0, &rng).MoveValueOrDie();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_TRUE(g.HasEdge(19, 0));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(WattsStrogatzTest, RejectsInvalidArgs) {
+  Rng rng(10);
+  EXPECT_FALSE(WattsStrogatz(10, 5, 0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(10, 2, 1.5, &rng).ok());
+}
+
+class PowerLawSizes
+    : public ::testing::TestWithParam<std::pair<int64_t, int64_t>> {};
+
+TEST_P(PowerLawSizes, HitsTargetEdgeCountApproximately) {
+  auto [n, e] = GetParam();
+  Rng rng(n);
+  auto g = PowerLawGraph(n, e, 2.5, &rng).MoveValueOrDie();
+  EXPECT_EQ(g.num_nodes(), n);
+  // Stub pairing discards collisions; allow 30% slack.
+  EXPECT_GT(g.num_edges(), e * 0.6);
+  EXPECT_LT(g.num_edges(), e * 1.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PowerLawSizes,
+                         ::testing::Values(std::make_pair(100, 300),
+                                           std::make_pair(500, 1500),
+                                           std::make_pair(1000, 5000),
+                                           std::make_pair(2000, 4000)));
+
+TEST(PowerLawTest, HeavyTailExists) {
+  Rng rng(11);
+  auto g = PowerLawGraph(2000, 8000, 2.2, &rng).MoveValueOrDie();
+  auto hist = DegreeHistogram(g);
+  // Max degree should be many times the average (8).
+  EXPECT_GT(static_cast<int64_t>(hist.size()) - 1, 40);
+}
+
+TEST(PowerLawTest, RejectsInvalidArgs) {
+  Rng rng(12);
+  EXPECT_FALSE(PowerLawGraph(1, 10, 2.5, &rng).ok());
+  EXPECT_FALSE(PowerLawGraph(10, 10, 0.9, &rng).ok());
+}
+
+TEST(AttributeGeneratorsTest, BinaryAttributesAreBinaryAndNonEmpty) {
+  Rng rng(13);
+  Matrix f = BinaryAttributes(100, 20, 0.1, &rng);
+  for (int64_t i = 0; i < f.size(); ++i) {
+    EXPECT_TRUE(f.data()[i] == 0.0 || f.data()[i] == 1.0);
+  }
+  for (int64_t r = 0; r < f.rows(); ++r) {
+    EXPECT_GT(f.Row(r).Sum(), 0.0);  // every node has a profile
+  }
+}
+
+TEST(AttributeGeneratorsTest, BinaryDensityApproximate) {
+  Rng rng(14);
+  Matrix f = BinaryAttributes(500, 50, 0.2, &rng);
+  double density = f.Sum() / f.size();
+  EXPECT_NEAR(density, 0.2, 0.03);
+}
+
+TEST(AttributeGeneratorsTest, OneHotExactlyOnePerRow) {
+  Rng rng(15);
+  Matrix f = OneHotAttributes(200, 10, 1.0, &rng);
+  for (int64_t r = 0; r < f.rows(); ++r) {
+    EXPECT_DOUBLE_EQ(f.Row(r).Sum(), 1.0);
+  }
+}
+
+TEST(AttributeGeneratorsTest, OneHotSkewPrefersEarlyCategories) {
+  Rng rng(16);
+  Matrix f = OneHotAttributes(2000, 10, 2.0, &rng);
+  double first = f.Col(0).Sum();
+  double last = f.Col(9).Sum();
+  EXPECT_GT(first, last * 3);
+}
+
+TEST(AttributeGeneratorsTest, RealAttributesShape) {
+  Rng rng(17);
+  Matrix f = RealAttributes(50, 4, 3.0, &rng);
+  EXPECT_EQ(f.rows(), 50);
+  EXPECT_EQ(f.cols(), 4);
+  EXPECT_TRUE(f.AllFinite());
+}
+
+TEST(AttributeGeneratorsTest, CommunityAttributesClusterTogether) {
+  Rng rng(18);
+  Matrix f = CommunityAttributes(100, 8, 2, /*noise=*/0.01, &rng);
+  // Nodes in the same block are near-identical, across blocks they differ.
+  double within = RowSquaredDistance(f, 0, f, 1);
+  double across = RowSquaredDistance(f, 0, f, 99);
+  EXPECT_LT(within, across);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,177 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace galign {
+namespace {
+
+AttributedGraph Triangle() {
+  Matrix f{{1, 0}, {0, 1}, {1, 1}};
+  return AttributedGraph::Create(3, {{0, 1}, {1, 2}, {0, 2}}, f)
+      .MoveValueOrDie();
+}
+
+TEST(GraphTest, BasicConstruction) {
+  AttributedGraph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.num_attributes(), 2);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));  // symmetric
+  EXPECT_EQ(g.Degree(0), 2);
+}
+
+TEST(GraphTest, RejectsOutOfRangeEdges) {
+  EXPECT_FALSE(AttributedGraph::Create(2, {{0, 5}}, Matrix()).ok());
+  EXPECT_FALSE(AttributedGraph::Create(2, {{-1, 0}}, Matrix()).ok());
+}
+
+TEST(GraphTest, RejectsAttributeRowMismatch) {
+  EXPECT_FALSE(AttributedGraph::Create(3, {}, Matrix(2, 4)).ok());
+}
+
+TEST(GraphTest, EmptyAttributesGetConstantColumn) {
+  auto g = AttributedGraph::Create(4, {{0, 1}}, Matrix());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.ValueOrDie().num_attributes(), 1);
+  EXPECT_DOUBLE_EQ(g.ValueOrDie().attributes()(3, 0), 1.0);
+}
+
+TEST(GraphTest, DeduplicatesAndCanonicalizesEdges) {
+  auto g = AttributedGraph::Create(3, {{1, 0}, {0, 1}, {0, 1}}, Matrix());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.ValueOrDie().num_edges(), 1);
+  EXPECT_EQ(g.ValueOrDie().edges()[0], Edge(0, 1));
+}
+
+TEST(GraphTest, DropsSelfLoops) {
+  auto g = AttributedGraph::Create(3, {{1, 1}, {0, 2}}, Matrix());
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.ValueOrDie().num_edges(), 1);
+}
+
+TEST(GraphTest, NeighborsSorted) {
+  auto g = AttributedGraph::Create(5, {{2, 4}, {2, 0}, {2, 3}}, Matrix())
+               .MoveValueOrDie();
+  auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 3);
+  EXPECT_EQ(nbrs[2], 4);
+}
+
+TEST(GraphTest, AverageDegree) {
+  AttributedGraph g = Triangle();
+  EXPECT_DOUBLE_EQ(g.AverageDegree(), 2.0);
+  auto empty = AttributedGraph::Create(0, {}, Matrix()).MoveValueOrDie();
+  EXPECT_DOUBLE_EQ(empty.AverageDegree(), 0.0);
+}
+
+TEST(GraphTest, NormalizedAdjacencyRowProperty) {
+  AttributedGraph g = Triangle();
+  auto c = g.NormalizedAdjacency();
+  ASSERT_TRUE(c.ok());
+  // Triangle with self loops: all degrees 3, every entry 1/3.
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(c.ValueOrDie().At(i, j), 1.0 / 3.0, 1e-12);
+    }
+  }
+}
+
+TEST(GraphTest, PermutedMovesEdgesAndAttributes) {
+  AttributedGraph g = Triangle();
+  std::vector<int64_t> perm{2, 0, 1};  // node i -> perm[i]
+  auto pg = g.Permuted(perm);
+  ASSERT_TRUE(pg.ok());
+  const AttributedGraph& p = pg.ValueOrDie();
+  EXPECT_EQ(p.num_edges(), 3);
+  // Attribute row of original node 0 now lives at row 2.
+  EXPECT_DOUBLE_EQ(p.attributes()(2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(p.attributes()(2, 1), 0.0);
+  // Degrees preserved under permutation.
+  for (int64_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(p.Degree(perm[v]), g.Degree(v));
+  }
+}
+
+TEST(GraphTest, PermutedRejectsNonPermutation) {
+  AttributedGraph g = Triangle();
+  EXPECT_FALSE(g.Permuted({0, 0, 1}).ok());
+  EXPECT_FALSE(g.Permuted({0, 1}).ok());
+  EXPECT_FALSE(g.Permuted({0, 1, 5}).ok());
+}
+
+TEST(GraphTest, PermutationAdjacencyIdentity) {
+  // A_p = P A P^T exactly, verified densely on a random graph.
+  Rng rng(3);
+  std::vector<Edge> edges;
+  for (int i = 0; i < 30; ++i) {
+    int64_t u = rng.UniformInt(12), v = rng.UniformInt(12);
+    if (u != v) edges.emplace_back(u, v);
+  }
+  auto g = AttributedGraph::Create(12, edges, Matrix()).MoveValueOrDie();
+  std::vector<int64_t> perm = rng.Permutation(12);
+  auto pg = g.Permuted(perm).MoveValueOrDie();
+
+  Matrix a = g.adjacency().ToDense();
+  Matrix ap = pg.adjacency().ToDense();
+  Matrix p(12, 12);
+  for (int64_t i = 0; i < 12; ++i) p(perm[i], i) = 1.0;
+  Matrix expected = MatMul(MatMul(p, a), Transpose(p));
+  EXPECT_LT(Matrix::MaxAbsDiff(ap, expected), 1e-12);
+}
+
+TEST(GraphTest, InducedSubgraphKeepsInternalEdges) {
+  auto g = AttributedGraph::Create(
+               5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}}, Matrix())
+               .MoveValueOrDie();
+  auto sub = g.InducedSubgraph({1, 2, 3});
+  ASSERT_TRUE(sub.ok());
+  const AttributedGraph& s = sub.ValueOrDie();
+  EXPECT_EQ(s.num_nodes(), 3);
+  EXPECT_EQ(s.num_edges(), 2);  // 1-2 and 2-3 survive
+  EXPECT_TRUE(s.HasEdge(0, 1));
+  EXPECT_TRUE(s.HasEdge(1, 2));
+  EXPECT_FALSE(s.HasEdge(0, 2));
+}
+
+TEST(GraphTest, InducedSubgraphRelabelsAttributes) {
+  AttributedGraph g = Triangle();
+  auto sub = g.InducedSubgraph({2, 0});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_DOUBLE_EQ(sub.ValueOrDie().attributes()(0, 0), 1.0);  // node 2
+  EXPECT_DOUBLE_EQ(sub.ValueOrDie().attributes()(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(sub.ValueOrDie().attributes()(1, 1), 0.0);  // node 0
+}
+
+TEST(GraphTest, InducedSubgraphRejectsDuplicatesAndRange) {
+  AttributedGraph g = Triangle();
+  EXPECT_FALSE(g.InducedSubgraph({0, 0}).ok());
+  EXPECT_FALSE(g.InducedSubgraph({0, 7}).ok());
+}
+
+TEST(GraphTest, WithAttributesReplaces) {
+  AttributedGraph g = Triangle();
+  auto g2 = g.WithAttributes(Matrix(3, 5, 2.0));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g2.ValueOrDie().num_attributes(), 5);
+  EXPECT_EQ(g2.ValueOrDie().num_edges(), 3);
+  EXPECT_FALSE(g.WithAttributes(Matrix(4, 2)).ok());
+}
+
+TEST(GraphTest, InfluenceNormalizationMatchesManual) {
+  AttributedGraph g = Triangle();
+  std::vector<double> q{1.0, 4.0, 1.0};
+  auto c = g.NormalizedAdjacency(q);
+  ASSERT_TRUE(c.ok());
+  // deg+self = 3 for all; dq = {3, 12, 3}.
+  EXPECT_NEAR(c.ValueOrDie().At(0, 1), 1.0 / std::sqrt(36.0), 1e-12);
+  EXPECT_NEAR(c.ValueOrDie().At(0, 2), 1.0 / 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,131 @@
+#include "align/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "align/alignment.h"
+#include "common/rng.h"
+
+namespace galign {
+namespace {
+
+// Brute-force maximum-weight complete matching over all permutations
+// (square case).
+double BruteForceBest(const Matrix& s) {
+  const int64_t n = s.rows();
+  std::vector<int64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = -1e300;
+  do {
+    double total = 0;
+    for (int64_t r = 0; r < n; ++r) total += s(r, perm[r]);
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, TrivialOneByOne) {
+  Matrix s{{0.7}};
+  auto m = HungarianMatch(s);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m.ValueOrDie()[0], 0);
+}
+
+TEST(HungarianTest, KnownTwoByTwo) {
+  // Greedy would pick (0,0)=0.9 then (1,1)=0.1 for 1.0; optimal is
+  // (0,1)+(1,0) = 0.8 + 0.8 = 1.6.
+  Matrix s{{0.9, 0.8}, {0.8, 0.1}};
+  auto m = HungarianMatch(s).MoveValueOrDie();
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 0);
+  EXPECT_NEAR(AssignmentWeight(s, m), 1.6, 1e-12);
+}
+
+TEST(HungarianTest, HandlesNegativeScores) {
+  Matrix s{{-1.0, -5.0}, {-2.0, -1.0}};
+  auto m = HungarianMatch(s).MoveValueOrDie();
+  EXPECT_NEAR(AssignmentWeight(s, m), -2.0, 1e-12);
+}
+
+class HungarianRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(HungarianRandom, MatchesBruteForceOnSquare) {
+  const int n = GetParam();
+  Rng rng(n * 7 + 1);
+  Matrix s = Matrix::Uniform(n, n, &rng);
+  auto m = HungarianMatch(s).MoveValueOrDie();
+  // Injective and complete.
+  std::set<int64_t> used;
+  for (int64_t a : m) {
+    ASSERT_NE(a, -1);
+    EXPECT_TRUE(used.insert(a).second);
+  }
+  EXPECT_NEAR(AssignmentWeight(s, m), BruteForceBest(s), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HungarianRandom,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8));
+
+TEST(HungarianTest, WideMatrixMatchesAllRows) {
+  Rng rng(3);
+  Matrix s = Matrix::Uniform(4, 9, &rng);
+  auto m = HungarianMatch(s).MoveValueOrDie();
+  std::set<int64_t> used;
+  for (int64_t a : m) {
+    ASSERT_NE(a, -1);
+    ASSERT_GE(a, 0);
+    ASSERT_LT(a, 9);
+    EXPECT_TRUE(used.insert(a).second);
+  }
+}
+
+TEST(HungarianTest, TallMatrixLeavesRowsUnmatched) {
+  Rng rng(4);
+  Matrix s = Matrix::Uniform(9, 4, &rng);
+  auto m = HungarianMatch(s).MoveValueOrDie();
+  int64_t matched = 0;
+  std::set<int64_t> used;
+  for (int64_t a : m) {
+    if (a != -1) {
+      ++matched;
+      EXPECT_TRUE(used.insert(a).second);
+    }
+  }
+  EXPECT_EQ(matched, 4);
+}
+
+TEST(HungarianTest, TallCaseIsOptimal) {
+  // 3 rows, 2 columns: optimum picks rows 0 and 2.
+  Matrix s{{5.0, 1.0}, {2.0, 1.0}, {1.0, 6.0}};
+  auto m = HungarianMatch(s).MoveValueOrDie();
+  EXPECT_NEAR(AssignmentWeight(s, m), 11.0, 1e-12);
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], -1);
+  EXPECT_EQ(m[2], 1);
+}
+
+TEST(HungarianTest, BeatsOrTiesGreedy) {
+  // Property: the optimal matching weight is always >= greedy matching.
+  for (int trial = 0; trial < 20; ++trial) {
+    Rng rng(100 + trial);
+    Matrix s = Matrix::Uniform(12, 12, &rng);
+    auto optimal = HungarianMatch(s).MoveValueOrDie();
+    auto greedy = GreedyOneToOneAnchors(s);
+    EXPECT_GE(AssignmentWeight(s, optimal),
+              AssignmentWeight(s, greedy) - 1e-9);
+  }
+}
+
+TEST(HungarianTest, RejectsEmptyAndNonFinite) {
+  EXPECT_FALSE(HungarianMatch(Matrix()).ok());
+  Matrix s(2, 2, 1.0);
+  s(0, 0) = std::nan("");
+  EXPECT_FALSE(HungarianMatch(s).ok());
+}
+
+}  // namespace
+}  // namespace galign

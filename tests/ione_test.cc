@@ -1,0 +1,91 @@
+#include "baselines/ione.h"
+
+#include <gtest/gtest.h>
+
+#include "align/metrics.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
+
+namespace galign {
+namespace {
+
+AlignmentPair CleanPair(uint64_t seed, int64_t n = 80) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(n, 3, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(n, 8, 0.3, &rng);
+  g = g.WithAttributes(f).MoveValueOrDie();
+  NoisyCopyOptions opts;
+  return MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+}
+
+IoneConfig FastConfig() {
+  IoneConfig cfg;
+  cfg.epochs = 150;
+  cfg.dim = 32;
+  return cfg;
+}
+
+TEST(IoneTest, RequiresSeeds) {
+  AlignmentPair pair = CleanPair(1);
+  IoneAligner aligner(FastConfig());
+  EXPECT_FALSE(aligner.Align(pair.source, pair.target, {}).ok());
+}
+
+TEST(IoneTest, AlignsAboveChanceWithSeeds) {
+  AlignmentPair pair = CleanPair(2);
+  Rng rng(3);
+  Supervision sup = SampleSeeds(pair.ground_truth, 0.25, &rng);
+  IoneAligner aligner(FastConfig());
+  auto s = aligner.Align(pair.source, pair.target, sup);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  AlignmentMetrics m = ComputeMetrics(s.ValueOrDie(), pair.ground_truth);
+  EXPECT_GT(m.auc, 0.65);
+  EXPECT_TRUE(s.ValueOrDie().AllFinite());
+}
+
+TEST(IoneTest, SeedPairsScoreMaximallyWithThemselves) {
+  // Anchored pairs share one embedding vector, so their mutual cosine is
+  // exactly 1 — the maximum possible entry of the score matrix.
+  AlignmentPair pair = CleanPair(4, 50);
+  Rng rng(5);
+  Supervision sup = SampleSeeds(pair.ground_truth, 0.2, &rng);
+  IoneAligner aligner(FastConfig());
+  auto s = aligner.Align(pair.source, pair.target, sup).MoveValueOrDie();
+  for (const auto& [v, u] : sup.seeds) {
+    EXPECT_NEAR(s(v, u), 1.0, 1e-9);
+  }
+}
+
+TEST(IoneTest, RejectsOutOfRangeSeeds) {
+  AlignmentPair pair = CleanPair(6, 30);
+  Supervision bad;
+  bad.seeds = {{500, 0}};
+  IoneAligner aligner(FastConfig());
+  EXPECT_FALSE(aligner.Align(pair.source, pair.target, bad).ok());
+}
+
+TEST(IoneTest, DeterministicUnderSeed) {
+  AlignmentPair pair = CleanPair(7, 40);
+  Rng rng(8);
+  Supervision sup = SampleSeeds(pair.ground_truth, 0.2, &rng);
+  IoneAligner a(FastConfig()), b(FastConfig());
+  auto s1 = a.Align(pair.source, pair.target, sup).MoveValueOrDie();
+  auto s2 = b.Align(pair.source, pair.target, sup).MoveValueOrDie();
+  EXPECT_LT(Matrix::MaxAbsDiff(s1, s2), 1e-12);
+}
+
+TEST(IoneTest, MoreSeedsHelp) {
+  AlignmentPair pair = CleanPair(9, 100);
+  Rng r1(10), r2(10);
+  Supervision few = SampleSeeds(pair.ground_truth, 0.05, &r1);
+  Supervision many = SampleSeeds(pair.ground_truth, 0.3, &r2);
+  IoneAligner a(FastConfig()), b(FastConfig());
+  auto s_few = a.Align(pair.source, pair.target, few).MoveValueOrDie();
+  auto s_many = b.Align(pair.source, pair.target, many).MoveValueOrDie();
+  double map_few = ComputeMetrics(s_few, pair.ground_truth).map;
+  double map_many = ComputeMetrics(s_many, pair.ground_truth).map;
+  EXPECT_GT(map_many, map_few - 0.02);
+}
+
+}  // namespace
+}  // namespace galign

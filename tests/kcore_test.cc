@@ -1,0 +1,84 @@
+#include "graph/kcore.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace galign {
+namespace {
+
+TEST(KCoreTest, TriangleWithTail) {
+  // Triangle 0-1-2 plus a path 2-3-4: triangle nodes have core 2, the tail
+  // has core 1.
+  auto g = AttributedGraph::Create(
+               5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}}, Matrix())
+               .MoveValueOrDie();
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core[0], 2);
+  EXPECT_EQ(core[1], 2);
+  EXPECT_EQ(core[2], 2);
+  EXPECT_EQ(core[3], 1);
+  EXPECT_EQ(core[4], 1);
+  EXPECT_EQ(Degeneracy(g), 2);
+}
+
+TEST(KCoreTest, CompleteGraphCore) {
+  std::vector<Edge> edges;
+  for (int64_t u = 0; u < 6; ++u) {
+    for (int64_t v = u + 1; v < 6; ++v) edges.emplace_back(u, v);
+  }
+  auto g = AttributedGraph::Create(6, edges, Matrix()).MoveValueOrDie();
+  for (int64_t c : CoreNumbers(g)) EXPECT_EQ(c, 5);
+}
+
+TEST(KCoreTest, IsolatedNodesHaveCoreZero) {
+  auto g = AttributedGraph::Create(4, {{0, 1}}, Matrix()).MoveValueOrDie();
+  auto core = CoreNumbers(g);
+  EXPECT_EQ(core[2], 0);
+  EXPECT_EQ(core[3], 0);
+  EXPECT_EQ(core[0], 1);
+}
+
+TEST(KCoreTest, EmptyGraph) {
+  auto g = AttributedGraph::Create(0, {}, Matrix()).MoveValueOrDie();
+  EXPECT_TRUE(CoreNumbers(g).empty());
+  EXPECT_EQ(Degeneracy(g), 0);
+}
+
+TEST(KCoreTest, CoreDefinitionHolds) {
+  // Property: within the k-core subgraph, every node has degree >= k.
+  Rng rng(1);
+  auto g = BarabasiAlbert(200, 3, &rng).MoveValueOrDie();
+  const int64_t k = 3;
+  auto sub = KCoreSubgraph(g, k).MoveValueOrDie();
+  for (int64_t v = 0; v < sub.num_nodes(); ++v) {
+    EXPECT_GE(sub.Degree(v), k);
+  }
+  EXPECT_GT(sub.num_nodes(), 0);
+}
+
+TEST(KCoreTest, CoreNumbersAreMonotoneUnderK) {
+  Rng rng(2);
+  auto g = ErdosRenyi(150, 0.06, &rng).MoveValueOrDie();
+  auto c1 = KCore(g, 1);
+  auto c2 = KCore(g, 2);
+  auto c3 = KCore(g, 3);
+  EXPECT_GE(c1.size(), c2.size());
+  EXPECT_GE(c2.size(), c3.size());
+}
+
+TEST(KCoreTest, PermutationEquivariant) {
+  Rng rng(3);
+  auto g = BarabasiAlbert(80, 2, &rng).MoveValueOrDie();
+  auto perm = rng.Permutation(80);
+  auto pg = g.Permuted(perm).MoveValueOrDie();
+  auto core = CoreNumbers(g);
+  auto pcore = CoreNumbers(pg);
+  for (int64_t v = 0; v < 80; ++v) {
+    EXPECT_EQ(pcore[perm[v]], core[v]);
+  }
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,176 @@
+#include "la/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace galign {
+namespace {
+
+Matrix NaiveMatMul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      double s = 0;
+      for (int64_t k = 0; k < a.cols(); ++k) s += a(i, k) * b(k, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+TEST(OpsTest, MatMulSmallKnown) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+// Parameterized cross-check of all GEMM variants against the naive kernel.
+class GemmSizes : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmSizes, VariantsAgreeWithNaive) {
+  auto [m, k, n] = GetParam();
+  Rng rng(m * 100 + k * 10 + n);
+  Matrix a = Matrix::Gaussian(m, k, &rng);
+  Matrix b = Matrix::Gaussian(k, n, &rng);
+  Matrix expected = NaiveMatMul(a, b);
+
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMul(a, b), expected), 1e-10);
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMulTransposedB(a, Transpose(b)), expected),
+            1e-10);
+  EXPECT_LT(Matrix::MaxAbsDiff(MatMulTransposedA(Transpose(a), b), expected),
+            1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmSizes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(17, 9, 23), std::make_tuple(64, 64, 64),
+                      std::make_tuple(130, 7, 130),
+                      std::make_tuple(5, 200, 5)));
+
+TEST(OpsTest, TransposeRoundTrip) {
+  Rng rng(1);
+  Matrix a = Matrix::Gaussian(7, 13, &rng);
+  EXPECT_LT(Matrix::MaxAbsDiff(Transpose(Transpose(a)), a), 1e-15);
+}
+
+TEST(OpsTest, AddSubScaleHadamard) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{10, 20}, {30, 40}};
+  EXPECT_DOUBLE_EQ(Add(a, b)(1, 1), 44);
+  EXPECT_DOUBLE_EQ(Sub(b, a)(0, 0), 9);
+  EXPECT_DOUBLE_EQ(Scale(a, -2)(0, 1), -4);
+  EXPECT_DOUBLE_EQ(Hadamard(a, b)(1, 0), 90);
+}
+
+TEST(OpsTest, MapAppliesFunction) {
+  Matrix a{{1, 4}, {9, 16}};
+  Matrix r = Map(a, [](double v) { return std::sqrt(v); });
+  EXPECT_DOUBLE_EQ(r(0, 1), 2);
+  EXPECT_DOUBLE_EQ(r(1, 1), 4);
+}
+
+TEST(OpsTest, TanhMatchesStd) {
+  Rng rng(2);
+  Matrix a = Matrix::Gaussian(11, 7, &rng, 2.0);
+  Matrix t = Tanh(a);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(t.data()[i], std::tanh(a.data()[i]));
+  }
+}
+
+TEST(OpsTest, DotIsFrobeniusInner) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(Dot(a, a), 30);
+}
+
+TEST(OpsTest, RowSquaredDistance) {
+  Matrix a{{0, 0}, {3, 4}};
+  EXPECT_DOUBLE_EQ(RowSquaredDistance(a, 0, a, 1), 25);
+  EXPECT_DOUBLE_EQ(RowSquaredDistance(a, 1, a, 1), 0);
+}
+
+TEST(OpsTest, RowCosine) {
+  Matrix a{{1, 0}, {0, 2}, {3, 3}, {0, 0}};
+  EXPECT_DOUBLE_EQ(RowCosine(a, 0, a, 1), 0.0);
+  EXPECT_NEAR(RowCosine(a, 0, a, 2), 1.0 / std::sqrt(2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(RowCosine(a, 0, a, 0), 1.0);
+  EXPECT_DOUBLE_EQ(RowCosine(a, 0, a, 3), 0.0);  // zero row guard
+}
+
+TEST(OpsTest, ArgMaxAndMaxRow) {
+  Matrix m{{1, 5, 3}, {9, 2, 9}};
+  EXPECT_EQ(ArgMaxRow(m, 0), 1);
+  EXPECT_DOUBLE_EQ(MaxRow(m, 0), 5);
+  EXPECT_EQ(ArgMaxRow(m, 1), 0);  // first of ties
+}
+
+TEST(OpsTest, TopKRowOrdering) {
+  Matrix m{{0.1, 0.9, 0.5, 0.7}};
+  auto top = TopKRow(m, 0, 3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 1);
+  EXPECT_EQ(top[1], 3);
+  EXPECT_EQ(top[2], 2);
+}
+
+TEST(OpsTest, TopKClampsToWidth) {
+  Matrix m{{1.0, 2.0}};
+  EXPECT_EQ(TopKRow(m, 0, 10).size(), 2u);
+}
+
+TEST(OpsTest, RankInRow) {
+  Matrix m{{0.1, 0.9, 0.5, 0.7}};
+  EXPECT_EQ(RankInRow(m, 0, 1), 1);
+  EXPECT_EQ(RankInRow(m, 0, 3), 2);
+  EXPECT_EQ(RankInRow(m, 0, 2), 3);
+  EXPECT_EQ(RankInRow(m, 0, 0), 4);
+}
+
+TEST(OpsTest, RankInRowTiesUseMidRank) {
+  // A constant row must NOT rank everything first (that would let a
+  // degenerate all-ties alignment matrix score Success@1 = 1).
+  Matrix m{{0.5, 0.5, 0.5}};
+  EXPECT_EQ(RankInRow(m, 0, 1), 2);  // 1 + 0 greater + 2/2 equal
+  Matrix wide(1, 101, 0.0);
+  EXPECT_EQ(RankInRow(wide, 0, 50), 51);  // ~middle of the row
+}
+
+TEST(OpsTest, ConcatCols) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5}, {6}};
+  Matrix c = ConcatCols({&a, &b});
+  EXPECT_EQ(c.cols(), 3);
+  EXPECT_DOUBLE_EQ(c(0, 2), 5);
+  EXPECT_DOUBLE_EQ(c(1, 0), 3);
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  Rng rng(3);
+  Matrix a = Matrix::Gaussian(5, 8, &rng, 3.0);
+  Matrix s = SoftmaxRows(a);
+  for (int64_t r = 0; r < 5; ++r) {
+    double sum = 0;
+    for (int64_t c = 0; c < 8; ++c) {
+      EXPECT_GT(s(r, c), 0.0);
+      sum += s(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(OpsTest, SoftmaxIsShiftInvariant) {
+  Matrix a{{1000.0, 1001.0}};  // would overflow without max-shift
+  Matrix s = SoftmaxRows(a);
+  EXPECT_NEAR(s(0, 1), 1.0 / (1.0 + std::exp(-1.0)), 1e-12);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,128 @@
+#include "core/losses.h"
+
+#include <gtest/gtest.h>
+
+#include "core/augmenter.h"
+#include "core/gcn.h"
+#include "graph/generators.h"
+
+namespace galign {
+namespace {
+
+AttributedGraph SmallGraph(uint64_t seed) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(30, 2, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(30, 6, 0.3, &rng);
+  return g.WithAttributes(f).MoveValueOrDie();
+}
+
+TEST(ConsistencyLossAllLayersTest, SumsLayerTerms) {
+  AttributedGraph g = SmallGraph(1);
+  Rng rng(2);
+  MultiOrderGcn gcn(2, 6, 8, &rng);
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  Tape tape;
+  std::vector<Var> wv;
+  auto layers = gcn.Forward(&tape, &lap, g.attributes(), &wv);
+  Var total = ConsistencyLossAllLayers(&tape, &lap, layers);
+  // Equals the sum of per-layer fused losses.
+  Var l1 = ag::ConsistencyLoss(&tape, &lap, layers[1]);
+  Var l2 = ag::ConsistencyLoss(&tape, &lap, layers[2]);
+  EXPECT_NEAR(tape.value(total)(0, 0),
+              tape.value(l1)(0, 0) + tape.value(l2)(0, 0), 1e-9);
+  EXPECT_GT(tape.value(total)(0, 0), 0.0);
+}
+
+TEST(AdaptivityLossAllLayersTest, ZeroForIdenticalEmbeddings) {
+  AttributedGraph g = SmallGraph(3);
+  Rng rng(4);
+  MultiOrderGcn gcn(2, 6, 8, &rng);
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  Tape tape;
+  std::vector<Var> wv = gcn.MakeWeightLeaves(&tape);
+  auto l1 = gcn.ForwardWithWeights(&tape, &lap, g.attributes(), wv);
+  auto l2 = gcn.ForwardWithWeights(&tape, &lap, g.attributes(), wv);
+  std::vector<int64_t> identity(g.num_nodes());
+  for (int64_t v = 0; v < g.num_nodes(); ++v) identity[v] = v;
+  Var loss = AdaptivityLossAllLayers(&tape, l1, l2, identity, 1.0);
+  EXPECT_NEAR(tape.value(loss)(0, 0), 0.0, 1e-12);
+}
+
+TEST(AdaptivityLossAllLayersTest, PermutationImmuneUnderCorrespondence) {
+  // Embeddings of a permuted copy matched through the permutation give zero
+  // adaptivity loss (Prop. 1 in action inside the loss).
+  AttributedGraph g = SmallGraph(5);
+  Rng rng(6);
+  std::vector<int64_t> perm = rng.Permutation(g.num_nodes());
+  AttributedGraph pg = g.Permuted(perm).MoveValueOrDie();
+  MultiOrderGcn gcn(2, 6, 8, &rng);
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  auto lap_p = pg.NormalizedAdjacency().MoveValueOrDie();
+  Tape tape;
+  std::vector<Var> wv = gcn.MakeWeightLeaves(&tape);
+  auto hs = gcn.ForwardWithWeights(&tape, &lap, g.attributes(), wv);
+  auto hp = gcn.ForwardWithWeights(&tape, &lap_p, pg.attributes(), wv);
+  Var loss = AdaptivityLossAllLayers(&tape, hs, hp, perm, 10.0);
+  EXPECT_NEAR(tape.value(loss)(0, 0), 0.0, 1e-9);
+}
+
+TEST(NetworkLossTest, GammaBalancesTerms) {
+  AttributedGraph g = SmallGraph(7);
+  Rng rng(8);
+  GAlignConfig cfg;
+  cfg.num_augmentations = 1;
+  cfg.augment_structural_noise = 0.3;
+  auto augs = MakeAugmentations(g, cfg, &rng).MoveValueOrDie();
+  MultiOrderGcn gcn(cfg.num_layers, 6, 8, &rng);
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+
+  auto eval_with_gamma = [&](double gamma) {
+    GAlignConfig c = cfg;
+    c.gamma = gamma;
+    Tape tape;
+    std::vector<Var> wv = gcn.MakeWeightLeaves(&tape);
+    auto layers = gcn.ForwardWithWeights(&tape, &lap, g.attributes(), wv);
+    std::vector<std::vector<Var>> aug_layers;
+    std::vector<const std::vector<int64_t>*> corrs;
+    for (const auto& a : augs) {
+      aug_layers.push_back(gcn.ForwardWithWeights(
+          &tape, &a.laplacian, a.graph.attributes(), wv));
+      corrs.push_back(&a.correspondence);
+    }
+    Var loss = NetworkLoss(&tape, &lap, layers, aug_layers, corrs, c);
+    return tape.value(loss)(0, 0);
+  };
+
+  double pure_consistency = eval_with_gamma(1.0);
+  double pure_adaptivity = eval_with_gamma(0.0);
+  double mixed = eval_with_gamma(0.8);
+  EXPECT_NEAR(mixed, 0.8 * pure_consistency + 0.2 * pure_adaptivity, 1e-6);
+}
+
+TEST(NetworkLossTest, GradientFlowsToWeights) {
+  AttributedGraph g = SmallGraph(9);
+  Rng rng(10);
+  GAlignConfig cfg;
+  cfg.num_augmentations = 2;
+  auto augs = MakeAugmentations(g, cfg, &rng).MoveValueOrDie();
+  MultiOrderGcn gcn(cfg.num_layers, 6, 8, &rng);
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  Tape tape;
+  std::vector<Var> wv = gcn.MakeWeightLeaves(&tape);
+  auto layers = gcn.ForwardWithWeights(&tape, &lap, g.attributes(), wv);
+  std::vector<std::vector<Var>> aug_layers;
+  std::vector<const std::vector<int64_t>*> corrs;
+  for (const auto& a : augs) {
+    aug_layers.push_back(
+        gcn.ForwardWithWeights(&tape, &a.laplacian, a.graph.attributes(), wv));
+    corrs.push_back(&a.correspondence);
+  }
+  Var loss = NetworkLoss(&tape, &lap, layers, aug_layers, corrs, cfg);
+  tape.Backward(loss);
+  for (Var w : wv) {
+    EXPECT_GT(tape.grad(w).MaxAbs(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,167 @@
+#include "la/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace galign {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.cols(), 0);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ConstructionFillsValue) {
+  Matrix m(3, 4, 2.5);
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.size(), 12);
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m(r, c), 2.5);
+  }
+}
+
+TEST(MatrixTest, InitializerListLayout) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3);
+  EXPECT_DOUBLE_EQ(m(1, 0), 4);
+  EXPECT_DOUBLE_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, IdentityHasOnesOnDiagonal) {
+  Matrix i = Matrix::Identity(4);
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 4; ++c) {
+      EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, AtChecksBounds) {
+  Matrix m(2, 2);
+  EXPECT_TRUE(m.At(1, 1).ok());
+  EXPECT_FALSE(m.At(2, 0).ok());
+  EXPECT_FALSE(m.At(0, 2).ok());
+  EXPECT_FALSE(m.At(-1, 0).ok());
+}
+
+TEST(MatrixTest, RowColBlockExtraction) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix row = m.Row(1);
+  EXPECT_EQ(row.rows(), 1);
+  EXPECT_DOUBLE_EQ(row(0, 0), 4);
+  EXPECT_DOUBLE_EQ(row(0, 2), 6);
+
+  Matrix col = m.Col(2);
+  EXPECT_EQ(col.rows(), 3);
+  EXPECT_DOUBLE_EQ(col(0, 0), 3);
+  EXPECT_DOUBLE_EQ(col(2, 0), 9);
+
+  Matrix blk = m.Block(1, 1, 2, 2);
+  EXPECT_DOUBLE_EQ(blk(0, 0), 5);
+  EXPECT_DOUBLE_EQ(blk(1, 1), 9);
+}
+
+TEST(MatrixTest, FillScaleAddAxpy) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 3.0);
+  a.Add(b);
+  EXPECT_DOUBLE_EQ(a(0, 0), 4.0);
+  a.Scale(0.5);
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.0);
+  a.Axpy(2.0, b);
+  EXPECT_DOUBLE_EQ(a(0, 1), 8.0);
+  a.Fill(0.0);
+  EXPECT_DOUBLE_EQ(a.Sum(), 0.0);
+}
+
+TEST(MatrixTest, Norms) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.SquaredNorm(), 25.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+  EXPECT_DOUBLE_EQ(m.RowNorm(0), 5.0);
+}
+
+TEST(MatrixTest, SumAndMaxAbsWithNegatives) {
+  Matrix m{{-5, 2}, {1, -1}};
+  EXPECT_DOUBLE_EQ(m.Sum(), -3.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 5.0);
+}
+
+TEST(MatrixTest, AllFiniteDetectsNanAndInf) {
+  Matrix m(2, 2, 1.0);
+  EXPECT_TRUE(m.AllFinite());
+  m(0, 1) = std::nan("");
+  EXPECT_FALSE(m.AllFinite());
+  m(0, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(m.AllFinite());
+}
+
+TEST(MatrixTest, MaxAbsDiff) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{1, 2.5}, {3, 3}};
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(Matrix::MaxAbsDiff(a, a), 0.0);
+}
+
+TEST(MatrixTest, NormalizeRowsMakesUnitRows) {
+  Matrix m{{3, 4}, {0, 0}, {1, 0}};
+  m.NormalizeRows();
+  EXPECT_NEAR(m.RowNorm(0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.RowNorm(1), 0.0);  // zero rows untouched
+  EXPECT_NEAR(m.RowNorm(2), 1.0, 1e-12);
+  EXPECT_NEAR(m(0, 0), 0.6, 1e-12);
+}
+
+TEST(MatrixTest, UniformRespectsRange) {
+  Rng rng(1);
+  Matrix m = Matrix::Uniform(20, 20, &rng, -2.0, 3.0);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -2.0);
+    EXPECT_LT(m.data()[i], 3.0);
+  }
+}
+
+TEST(MatrixTest, GaussianHasRequestedSpread) {
+  Rng rng(1);
+  Matrix m = Matrix::Gaussian(100, 100, &rng, 2.0);
+  double var = m.SquaredNorm() / m.size();
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(MatrixTest, XavierBoundsFollowFanInFanOut) {
+  Rng rng(1);
+  Matrix m = Matrix::Xavier(50, 200, &rng);
+  double limit = std::sqrt(6.0 / 250.0);
+  EXPECT_LE(m.MaxAbs(), limit);
+  EXPECT_GT(m.MaxAbs(), limit * 0.5);  // actually uses the range
+}
+
+TEST(MatrixTest, ToStringTruncates) {
+  Matrix m(20, 20, 1.0);
+  std::string s = m.ToString(4, 4);
+  EXPECT_NE(s.find("Matrix 20x20"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(MatrixTest, CopyIsDeep) {
+  Matrix a(2, 2, 1.0);
+  Matrix b = a;
+  b(0, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+}
+
+TEST(MatrixTest, SameShape) {
+  EXPECT_TRUE(Matrix(2, 3).SameShape(Matrix(2, 3)));
+  EXPECT_FALSE(Matrix(2, 3).SameShape(Matrix(3, 2)));
+}
+
+}  // namespace
+}  // namespace galign

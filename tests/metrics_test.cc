@@ -1,0 +1,141 @@
+#include "align/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace galign {
+namespace {
+
+// Alignment matrix where row v ranks its true target gt[v] at a known rank.
+Matrix PerfectAlignment(int64_t n) {
+  Matrix s(n, n, 0.1);
+  for (int64_t v = 0; v < n; ++v) s(v, v) = 1.0;
+  return s;
+}
+
+std::vector<int64_t> IdentityGt(int64_t n) {
+  std::vector<int64_t> gt(n);
+  for (int64_t v = 0; v < n; ++v) gt[v] = v;
+  return gt;
+}
+
+TEST(MetricsTest, PerfectAlignmentScoresOne) {
+  Matrix s = PerfectAlignment(10);
+  auto gt = IdentityGt(10);
+  AlignmentMetrics m = ComputeMetrics(s, gt);
+  EXPECT_DOUBLE_EQ(m.success_at_1, 1.0);
+  EXPECT_DOUBLE_EQ(m.success_at_5, 1.0);
+  EXPECT_DOUBLE_EQ(m.success_at_10, 1.0);
+  EXPECT_DOUBLE_EQ(m.map, 1.0);
+  EXPECT_DOUBLE_EQ(m.auc, 1.0);
+  EXPECT_EQ(m.num_anchors, 10);
+}
+
+TEST(MetricsTest, KnownRanks) {
+  // 3 anchors; true target ranked 1st, 2nd, 3rd respectively.
+  Matrix s{{0.9, 0.5, 0.1},   // gt 0 at rank 1
+           {0.9, 0.5, 0.1},   // gt 1 at rank 2
+           {0.9, 0.5, 0.1}};  // gt 2 at rank 3
+  std::vector<int64_t> gt{0, 1, 2};
+  AlignmentMetrics m = ComputeMetrics(s, gt);
+  EXPECT_NEAR(m.success_at_1, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.map, (1.0 + 0.5 + 1.0 / 3.0) / 3.0, 1e-12);
+  // AUC per Eq. 18 with 2 negatives: ranks 1,2,3 -> (2+1-r)/2 = 1, .5, 0.
+  EXPECT_NEAR(m.auc, 0.5, 1e-12);
+}
+
+TEST(MetricsTest, SuccessAtQMonotonic) {
+  Rng rng(1);
+  Matrix s = Matrix::Uniform(50, 50, &rng);
+  auto gt = IdentityGt(50);
+  double s1 = SuccessAtQ(s, gt, 1);
+  double s5 = SuccessAtQ(s, gt, 5);
+  double s10 = SuccessAtQ(s, gt, 10);
+  double s50 = SuccessAtQ(s, gt, 50);
+  EXPECT_LE(s1, s5);
+  EXPECT_LE(s5, s10);
+  EXPECT_LE(s10, s50);
+  EXPECT_DOUBLE_EQ(s50, 1.0);
+}
+
+TEST(MetricsTest, MissingAnchorsSkipped) {
+  Matrix s = PerfectAlignment(4);
+  std::vector<int64_t> gt{0, -1, 2, -1};
+  AlignmentMetrics m = ComputeMetrics(s, gt);
+  EXPECT_EQ(m.num_anchors, 2);
+  EXPECT_DOUBLE_EQ(m.success_at_1, 1.0);
+}
+
+TEST(MetricsTest, EmptyGroundTruthYieldsZeros) {
+  Matrix s = PerfectAlignment(3);
+  std::vector<int64_t> gt{-1, -1, -1};
+  AlignmentMetrics m = ComputeMetrics(s, gt);
+  EXPECT_EQ(m.num_anchors, 0);
+  EXPECT_DOUBLE_EQ(m.map, 0.0);
+}
+
+TEST(MetricsTest, OutOfRangeTargetsSkipped) {
+  Matrix s = PerfectAlignment(3);
+  std::vector<int64_t> gt{0, 99, 2};  // 99 is out of range
+  AlignmentMetrics m = ComputeMetrics(s, gt);
+  EXPECT_EQ(m.num_anchors, 2);
+}
+
+TEST(MetricsTest, MapEqualsMrr) {
+  // MAP under the pairwise setting is mean reciprocal rank (paper Eq. 17).
+  Rng rng(2);
+  Matrix s = Matrix::Uniform(30, 30, &rng);
+  auto gt = IdentityGt(30);
+  double map = MeanAveragePrecision(s, gt);
+  double manual = 0;
+  for (int64_t v = 0; v < 30; ++v) {
+    int64_t rank = 1;
+    for (int64_t c = 0; c < 30; ++c) {
+      if (c != v && s(v, c) > s(v, v)) ++rank;
+    }
+    manual += 1.0 / rank;
+  }
+  EXPECT_NEAR(map, manual / 30, 1e-12);
+}
+
+TEST(MetricsTest, AucWorstCaseIsZero) {
+  // True target ranked dead last for every anchor.
+  int64_t n = 5;
+  Matrix s(n, n, 1.0);
+  for (int64_t v = 0; v < n; ++v) s(v, v) = 0.0;
+  AlignmentMetrics m = ComputeMetrics(s, IdentityGt(n));
+  EXPECT_NEAR(m.auc, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.success_at_1, 0.0);
+}
+
+TEST(MetricsTest, RandomScoresGiveMidAuc) {
+  Rng rng(3);
+  Matrix s = Matrix::Uniform(200, 200, &rng);
+  AlignmentMetrics m = ComputeMetrics(s, IdentityGt(200));
+  EXPECT_NEAR(m.auc, 0.5, 0.06);
+}
+
+TEST(MetricsTest, ToStringContainsValues) {
+  AlignmentMetrics m;
+  m.map = 0.5;
+  m.success_at_1 = 0.25;
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("MAP=0.5000"), std::string::npos);
+  EXPECT_NE(s.find("S@1=0.2500"), std::string::npos);
+}
+
+TEST(MetricsTest, RectangularMatrixSupported) {
+  // More target candidates than sources.
+  Rng rng(4);
+  Matrix s = Matrix::Uniform(10, 40, &rng);
+  std::vector<int64_t> gt(10);
+  for (int64_t v = 0; v < 10; ++v) gt[v] = 3 * v;
+  AlignmentMetrics m = ComputeMetrics(s, gt);
+  EXPECT_EQ(m.num_anchors, 10);
+  EXPECT_GE(m.auc, 0.0);
+  EXPECT_LE(m.auc, 1.0);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,94 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <unistd.h>
+
+#include "core/trainer.h"
+#include "graph/generators.h"
+
+namespace galign {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("galign_model_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ModelIoTest, RoundTripPreservesEverything) {
+  Rng rng(1);
+  MultiOrderGcn gcn(3, 7, 12, &rng, Activation::kTanh);
+  ASSERT_TRUE(SaveGcnModel(gcn, Path("m.txt")).ok());
+  auto loaded = LoadGcnModel(Path("m.txt"));
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const MultiOrderGcn& g = loaded.ValueOrDie();
+  EXPECT_EQ(g.num_layers(), 3);
+  EXPECT_EQ(g.input_dim(), 7);
+  EXPECT_EQ(g.embedding_dim(), 12);
+  EXPECT_EQ(g.activation(), Activation::kTanh);
+  for (int l = 0; l < 3; ++l) {
+    EXPECT_LT(Matrix::MaxAbsDiff(g.weights()[l], gcn.weights()[l]), 1e-15);
+  }
+}
+
+TEST_F(ModelIoTest, ActivationSurvivesRoundTrip) {
+  Rng rng(2);
+  MultiOrderGcn gcn(2, 4, 8, &rng, Activation::kRelu);
+  ASSERT_TRUE(SaveGcnModel(gcn, Path("relu.txt")).ok());
+  EXPECT_EQ(LoadGcnModel(Path("relu.txt")).ValueOrDie().activation(),
+            Activation::kRelu);
+}
+
+TEST_F(ModelIoTest, TrainedModelGivesIdenticalEmbeddingsAfterReload) {
+  Rng rng(3);
+  auto g = BarabasiAlbert(30, 2, &rng).MoveValueOrDie();
+  g = g.WithAttributes(BinaryAttributes(30, 5, 0.3, &rng)).MoveValueOrDie();
+  GAlignConfig cfg;
+  cfg.epochs = 10;
+  cfg.embedding_dim = 8;
+  MultiOrderGcn gcn(cfg.num_layers, 5, cfg.embedding_dim, &rng);
+  Trainer trainer(cfg);
+  trainer.Train(&gcn, g, g, &rng).CheckOK();
+  ASSERT_TRUE(SaveGcnModel(gcn, Path("trained.txt")).ok());
+  auto loaded = LoadGcnModel(Path("trained.txt")).MoveValueOrDie();
+
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  auto h1 = gcn.ForwardInference(lap, g.attributes());
+  auto h2 = loaded.ForwardInference(lap, g.attributes());
+  for (size_t l = 0; l < h1.size(); ++l) {
+    EXPECT_LT(Matrix::MaxAbsDiff(h1[l], h2[l]), 1e-12);
+  }
+}
+
+TEST_F(ModelIoTest, RejectsCorruptFiles) {
+  EXPECT_FALSE(LoadGcnModel(Path("missing.txt")).ok());
+  std::ofstream(Path("garbage.txt")) << "not a model\n1 2 3\n";
+  EXPECT_FALSE(LoadGcnModel(Path("garbage.txt")).ok());
+  std::ofstream(Path("truncated.txt"))
+      << "galign-gcn-v1 layers=2 input_dim=4 embedding_dim=8 "
+         "activation=tanh\n4 8\n0.5\n";
+  EXPECT_FALSE(LoadGcnModel(Path("truncated.txt")).ok());
+}
+
+TEST_F(ModelIoTest, RejectsBadHeaderValues) {
+  std::ofstream(Path("bad.txt"))
+      << "galign-gcn-v1 layers=0 input_dim=4 embedding_dim=8 "
+         "activation=tanh\n";
+  EXPECT_FALSE(LoadGcnModel(Path("bad.txt")).ok());
+  std::ofstream(Path("badact.txt"))
+      << "galign-gcn-v1 layers=1 input_dim=4 embedding_dim=8 "
+         "activation=swish\n";
+  EXPECT_FALSE(LoadGcnModel(Path("badact.txt")).ok());
+}
+
+}  // namespace
+}  // namespace galign

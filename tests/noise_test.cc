@@ -1,0 +1,184 @@
+#include "graph/noise.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace galign {
+namespace {
+
+AttributedGraph TestGraph(uint64_t seed = 1, int64_t n = 200) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(n, 3, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(n, 10, 0.2, &rng);
+  return g.WithAttributes(f).MoveValueOrDie();
+}
+
+TEST(RemoveEdgesTest, RemovesApproximatelyRatio) {
+  AttributedGraph g = TestGraph();
+  Rng rng(2);
+  auto r = RemoveEdges(g, 0.3, &rng).MoveValueOrDie();
+  double kept = static_cast<double>(r.num_edges()) / g.num_edges();
+  EXPECT_NEAR(kept, 0.7, 0.08);
+  EXPECT_EQ(r.num_nodes(), g.num_nodes());
+}
+
+TEST(RemoveEdgesTest, ZeroAndFullRatios) {
+  AttributedGraph g = TestGraph();
+  Rng rng(3);
+  EXPECT_EQ(RemoveEdges(g, 0.0, &rng).ValueOrDie().num_edges(),
+            g.num_edges());
+  EXPECT_EQ(RemoveEdges(g, 1.0, &rng).ValueOrDie().num_edges(), 0);
+  EXPECT_FALSE(RemoveEdges(g, 1.5, &rng).ok());
+}
+
+TEST(AddRandomEdgesTest, AddsApproximatelyRatio) {
+  AttributedGraph g = TestGraph();
+  Rng rng(4);
+  auto r = AddRandomEdges(g, 0.25, &rng).MoveValueOrDie();
+  EXPECT_NEAR(r.num_edges(), g.num_edges() * 1.25, g.num_edges() * 0.02);
+}
+
+TEST(AddRandomEdgesTest, NeverDuplicatesEdges) {
+  // On a near-complete graph, additions must not duplicate: the result can
+  // never exceed the complete-graph edge count.
+  Rng rng(5);
+  auto g = ErdosRenyi(20, 0.9, &rng).MoveValueOrDie();
+  auto r = AddRandomEdges(g, 1.0, &rng).MoveValueOrDie();
+  EXPECT_LE(r.num_edges(), 20 * 19 / 2);
+}
+
+TEST(PerturbStructureTest, KeepsDensityRoughlyConstant) {
+  AttributedGraph g = TestGraph();
+  Rng rng(6);
+  auto r = PerturbStructure(g, 0.2, &rng).MoveValueOrDie();
+  EXPECT_NEAR(r.num_edges(), g.num_edges(), g.num_edges() * 0.1);
+  // But the edge set must actually change.
+  int64_t common = 0;
+  for (const Edge& e : r.edges()) {
+    if (g.HasEdge(e.first, e.second)) ++common;
+  }
+  EXPECT_LT(common, g.num_edges());
+}
+
+TEST(PerturbBinaryAttributesTest, PreservesBitCountPerRow) {
+  AttributedGraph g = TestGraph();
+  Rng rng(7);
+  Matrix noisy = PerturbBinaryAttributes(g.attributes(), 1.0, &rng);
+  for (int64_t r = 0; r < noisy.rows(); ++r) {
+    // Bits are relocated, possibly with collisions, never created.
+    EXPECT_LE(noisy.Row(r).Sum(), g.attributes().Row(r).Sum());
+    EXPECT_GE(noisy.Row(r).Sum(), 1.0);
+  }
+}
+
+TEST(PerturbBinaryAttributesTest, ZeroProbabilityIsIdentity) {
+  AttributedGraph g = TestGraph();
+  Rng rng(8);
+  Matrix noisy = PerturbBinaryAttributes(g.attributes(), 0.0, &rng);
+  EXPECT_LT(Matrix::MaxAbsDiff(noisy, g.attributes()), 1e-15);
+}
+
+TEST(PerturbRealAttributesTest, BoundedRelativeChange) {
+  Rng rng(9);
+  Matrix f = Matrix::Gaussian(50, 5, &rng, 2.0);
+  Matrix noisy = PerturbRealAttributes(f, 0.3, &rng);
+  for (int64_t i = 0; i < f.size(); ++i) {
+    double delta = std::fabs(noisy.data()[i] - f.data()[i]);
+    EXPECT_LE(delta, 0.3 * std::fabs(f.data()[i]) + 1e-12);
+  }
+}
+
+TEST(IsBinaryMatrixTest, Detects) {
+  EXPECT_TRUE(IsBinaryMatrix(Matrix{{0, 1}, {1, 1}}));
+  EXPECT_FALSE(IsBinaryMatrix(Matrix{{0, 0.5}}));
+}
+
+TEST(NoisyCopyPairTest, NoNoiseIsExactPermutation) {
+  AttributedGraph g = TestGraph();
+  Rng rng(10);
+  NoisyCopyOptions opts;  // no noise, permute
+  auto pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  EXPECT_EQ(pair.target.num_edges(), g.num_edges());
+  EXPECT_EQ(pair.NumAnchors(), g.num_nodes());
+  // Ground truth maps each source node to a node with identical degree and
+  // attributes.
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    int64_t v2 = pair.ground_truth[v];
+    EXPECT_EQ(pair.target.Degree(v2), g.Degree(v));
+    for (int64_t c = 0; c < g.num_attributes(); ++c) {
+      EXPECT_DOUBLE_EQ(pair.target.attributes()(v2, c),
+                       g.attributes()(v, c));
+    }
+  }
+}
+
+TEST(NoisyCopyPairTest, NoPermuteKeepsIdentity) {
+  AttributedGraph g = TestGraph();
+  Rng rng(11);
+  NoisyCopyOptions opts;
+  opts.permute = false;
+  auto pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(pair.ground_truth[v], v);
+  }
+}
+
+TEST(NoisyCopyPairTest, StructuralNoiseChangesEdges) {
+  AttributedGraph g = TestGraph();
+  Rng rng(12);
+  NoisyCopyOptions opts;
+  opts.structural_noise = 0.3;
+  opts.permute = false;
+  auto pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  int64_t common = 0;
+  for (const Edge& e : pair.target.edges()) {
+    if (g.HasEdge(e.first, e.second)) ++common;
+  }
+  EXPECT_LT(common, g.num_edges() * 0.9);
+}
+
+TEST(NoisyCopyPairTest, AttributeNoiseChangesAttributes) {
+  AttributedGraph g = TestGraph();
+  Rng rng(13);
+  NoisyCopyOptions opts;
+  opts.attribute_noise = 0.8;
+  opts.permute = false;
+  auto pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  EXPECT_GT(Matrix::MaxAbsDiff(pair.target.attributes(), g.attributes()),
+            0.0);
+}
+
+class OverlapLevels : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverlapLevels, SharedFractionMatches) {
+  const double overlap = GetParam();
+  AttributedGraph g = TestGraph(14, 300);
+  Rng rng(15);
+  NoisyCopyOptions opts;
+  auto pair = MakeOverlapPair(g, overlap, opts, &rng).MoveValueOrDie();
+  int64_t shared = pair.NumAnchors();
+  int64_t expected = static_cast<int64_t>(overlap * 300);
+  EXPECT_NEAR(shared, expected, 2);
+  // Both sides contain shared + exclusive nodes.
+  int64_t exclusive = (300 - expected) / 2;
+  EXPECT_NEAR(pair.source.num_nodes(), expected + exclusive, 2);
+  EXPECT_NEAR(pair.target.num_nodes(), expected + exclusive, 2);
+  // Ground truth entries are valid target ids.
+  for (int64_t t : pair.ground_truth) {
+    EXPECT_LT(t, pair.target.num_nodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, OverlapLevels,
+                         ::testing::Values(0.2, 0.5, 0.8, 1.0));
+
+TEST(OverlapPairTest, RejectsInvalidOverlap) {
+  AttributedGraph g = TestGraph();
+  Rng rng(16);
+  EXPECT_FALSE(MakeOverlapPair(g, 0.0, {}, &rng).ok());
+  EXPECT_FALSE(MakeOverlapPair(g, 1.2, {}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace galign

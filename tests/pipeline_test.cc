@@ -1,0 +1,124 @@
+#include "align/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "baselines/isorank.h"
+#include "baselines/regal.h"
+#include "graph/generators.h"
+
+namespace galign {
+namespace {
+
+AlignmentPair SmallPair(uint64_t seed) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(40, 2, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(40, 6, 0.3, &rng);
+  g = g.WithAttributes(f).MoveValueOrDie();
+  NoisyCopyOptions opts;
+  return MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+}
+
+TEST(RunAlignerTest, PopulatesMetricsAndTime) {
+  AlignmentPair pair = SmallPair(1);
+  IsoRankAligner aligner;
+  Rng rng(2);
+  RunResult r = RunAligner(&aligner, pair, 0.1, &rng);
+  EXPECT_TRUE(r.status.ok());
+  EXPECT_EQ(r.method, "IsoRank");
+  EXPECT_EQ(r.metrics.num_anchors, 40);
+  EXPECT_GT(r.metrics.seconds, 0.0);
+  EXPECT_GE(r.metrics.auc, 0.0);
+  EXPECT_LE(r.metrics.auc, 1.0);
+}
+
+TEST(RunAlignerTest, ZeroSeedFractionMeansUnsupervised) {
+  AlignmentPair pair = SmallPair(3);
+  RegalAligner aligner;
+  Rng rng(4);
+  RunResult r = RunAligner(&aligner, pair, 0.0, &rng);
+  EXPECT_TRUE(r.status.ok());
+}
+
+TEST(RunAlignerTest, FailureIsCaptured) {
+  // PALE without seeds fails; the pipeline must record the status, not die.
+  AlignmentPair pair = SmallPair(5);
+  class FailingAligner : public Aligner {
+   public:
+    std::string name() const override { return "Failing"; }
+    Result<Matrix> Align(const AttributedGraph&, const AttributedGraph&,
+                         const Supervision&) override {
+      return Status::Internal("synthetic failure");
+    }
+  } failing;
+  Rng rng(6);
+  RunResult r = RunAligner(&failing, pair, 0.0, &rng);
+  EXPECT_FALSE(r.status.ok());
+  EXPECT_EQ(r.metrics.num_anchors, 0);
+}
+
+TEST(RunAllTest, OneResultPerAligner) {
+  AlignmentPair pair = SmallPair(7);
+  IsoRankAligner a;
+  RegalAligner b;
+  Rng rng(8);
+  auto results = RunAll({&a, &b}, pair, 0.1, &rng);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].method, "IsoRank");
+  EXPECT_EQ(results[1].method, "REGAL");
+}
+
+TEST(TextTableTest, AlignsColumns) {
+  TextTable t({"Method", "MAP"});
+  t.AddRow({"GAlign", "0.85"});
+  t.AddRow({"IsoRank-long-name", "0.10"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("Method"), std::string::npos);
+  EXPECT_NE(s.find("GAlign"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Each data line is at least as wide as the widest cells.
+  EXPECT_NE(s.find("IsoRank-long-name  0.10"), std::string::npos);
+}
+
+TEST(TextTableTest, ShortRowsPadded) {
+  TextTable t({"A", "B", "C"});
+  t.AddRow({"x"});
+  EXPECT_NO_THROW(t.ToString());
+}
+
+TEST(TextTableTest, NumFormatting) {
+  EXPECT_EQ(TextTable::Num(0.5), "0.5000");
+  EXPECT_EQ(TextTable::Num(1.23456, 2), "1.23");
+}
+
+TEST(TextTableTest, CsvRendering) {
+  TextTable t({"Method", "MAP"});
+  t.AddRow({"GAlign", "0.85"});
+  t.AddRow({"FINAL", "0.52"});
+  EXPECT_EQ(t.ToCsv(), "Method,MAP\nGAlign,0.85\nFINAL,0.52\n");
+}
+
+TEST(TextTableTest, CsvQuotesSpecialCharacters) {
+  TextTable t({"name", "value"});
+  t.AddRow({"has,comma", "has\"quote"});
+  std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(TextTableTest, WriteCsvCreatesFile) {
+  TextTable t({"a"});
+  t.AddRow({"1"});
+  std::string path = "/tmp/galign_texttable_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a");
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace galign

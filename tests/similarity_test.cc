@@ -1,0 +1,161 @@
+#include "graph/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/noise.h"
+
+namespace galign {
+namespace {
+
+AttributedGraph TestGraph(uint64_t seed, int64_t n = 80) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(n, 3, &rng).MoveValueOrDie();
+  return g.WithAttributes(BinaryAttributes(n, 8, 0.3, &rng))
+      .MoveValueOrDie();
+}
+
+std::vector<int64_t> Identity(int64_t n) {
+  std::vector<int64_t> v(n);
+  for (int64_t i = 0; i < n; ++i) v[i] = i;
+  return v;
+}
+
+TEST(DegreeDivergenceTest, ZeroForIdenticalGraphs) {
+  AttributedGraph g = TestGraph(1);
+  EXPECT_NEAR(DegreeDistributionDivergence(g, g), 0.0, 1e-12);
+}
+
+TEST(DegreeDivergenceTest, PermutationInvariant) {
+  AttributedGraph g = TestGraph(2);
+  Rng rng(3);
+  auto pg = g.Permuted(rng.Permutation(g.num_nodes())).MoveValueOrDie();
+  EXPECT_NEAR(DegreeDistributionDivergence(g, pg), 0.0, 1e-12);
+}
+
+TEST(DegreeDivergenceTest, GrowsWithStructuralDifference) {
+  AttributedGraph g = TestGraph(4);
+  Rng rng(5);
+  auto mild = RemoveEdges(g, 0.1, &rng).MoveValueOrDie();
+  auto severe = RemoveEdges(g, 0.6, &rng).MoveValueOrDie();
+  double d_mild = DegreeDistributionDivergence(g, mild);
+  double d_severe = DegreeDistributionDivergence(g, severe);
+  EXPECT_GT(d_severe, d_mild);
+  EXPECT_GT(d_mild, 0.0);
+  EXPECT_LE(d_severe, std::log(2.0) + 1e-12);  // JS upper bound
+}
+
+TEST(DegreeDivergenceTest, SymmetricInArguments) {
+  AttributedGraph a = TestGraph(6);
+  AttributedGraph b = TestGraph(7);
+  EXPECT_NEAR(DegreeDistributionDivergence(a, b),
+              DegreeDistributionDivergence(b, a), 1e-12);
+}
+
+TEST(SpectralDistanceTest, ZeroForPermutedCopy) {
+  AttributedGraph g = TestGraph(8, 40);
+  Rng rng(9);
+  auto pg = g.Permuted(rng.Permutation(g.num_nodes())).MoveValueOrDie();
+  auto d = SpectralDistance(g, pg, 10);
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(d.ValueOrDie(), 0.0, 1e-7);
+}
+
+TEST(SpectralDistanceTest, PositiveForDifferentGraphs) {
+  AttributedGraph a = TestGraph(10, 40);
+  Rng rng(11);
+  auto noisy = PerturbStructure(a, 0.5, &rng).MoveValueOrDie();
+  auto d = SpectralDistance(a, noisy, 10);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT(d.ValueOrDie(), 1e-3);
+}
+
+TEST(SpectralDistanceTest, HandlesDifferentSizes) {
+  AttributedGraph a = TestGraph(12, 40);
+  AttributedGraph b = TestGraph(13, 25);
+  auto d = SpectralDistance(a, b, 8);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GE(d.ValueOrDie(), 0.0);
+}
+
+TEST(EdgeOverlapTest, PerfectForTrueAlignment) {
+  AttributedGraph g = TestGraph(14);
+  Rng rng(15);
+  NoisyCopyOptions opts;  // permutation only
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  EXPECT_NEAR(EdgeOverlap(pair.source, pair.target, pair.ground_truth), 1.0,
+              1e-12);
+}
+
+TEST(EdgeOverlapTest, DropsUnderWrongAlignment) {
+  AttributedGraph g = TestGraph(16);
+  Rng rng(17);
+  NoisyCopyOptions opts;
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  // A random (wrong) correspondence preserves almost nothing.
+  std::vector<int64_t> wrong = rng.Permutation(g.num_nodes());
+  double right = EdgeOverlap(pair.source, pair.target, pair.ground_truth);
+  double bad = EdgeOverlap(pair.source, pair.target, wrong);
+  EXPECT_GT(right, bad + 0.5);
+}
+
+TEST(EdgeOverlapTest, PartialCorrespondenceIgnoresUnmapped) {
+  AttributedGraph g = TestGraph(18, 30);
+  std::vector<int64_t> empty_map(30, -1);
+  // Nothing mapped: vacuous overlap = 1.
+  EXPECT_DOUBLE_EQ(EdgeOverlap(g, g, empty_map), 1.0);
+}
+
+TEST(AttributeAgreementTest, OneForTrueAlignmentWithoutNoise) {
+  AttributedGraph g = TestGraph(19);
+  Rng rng(20);
+  NoisyCopyOptions opts;
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  EXPECT_NEAR(
+      AttributeAgreement(pair.source, pair.target, pair.ground_truth), 1.0,
+      1e-12);
+}
+
+TEST(AttributeAgreementTest, DropsWithAttributeNoise) {
+  AttributedGraph g = TestGraph(21);
+  Rng rng(22);
+  NoisyCopyOptions opts;
+  opts.attribute_noise = 0.8;
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  double agreement =
+      AttributeAgreement(pair.source, pair.target, pair.ground_truth);
+  EXPECT_LT(agreement, 0.95);
+  EXPECT_GT(agreement, 0.1);
+}
+
+TEST(AttributeAgreementTest, ZeroForIncomparableDims) {
+  AttributedGraph a = TestGraph(23, 20);
+  auto b = a.WithAttributes(Matrix(20, 3, 1.0)).MoveValueOrDie();
+  EXPECT_DOUBLE_EQ(AttributeAgreement(a, b, Identity(20)), 0.0);
+}
+
+TEST(StructuralConsistencyTest, MatchesNoiseLevel) {
+  AttributedGraph g = TestGraph(24, 150);
+  Rng rng(25);
+  NoisyCopyOptions opts;
+  opts.structural_noise = 0.3;
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  double consistency =
+      StructuralConsistency(pair.source, pair.target, pair.ground_truth);
+  // ~30% of edges were dropped and replaced: consistency should land near
+  // 0.7 (the kept fraction).
+  EXPECT_NEAR(consistency, 0.7, 0.12);
+}
+
+TEST(StructuralConsistencyTest, PerfectForCleanCopy) {
+  AttributedGraph g = TestGraph(26);
+  Rng rng(27);
+  NoisyCopyOptions opts;
+  AlignmentPair pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+  EXPECT_DOUBLE_EQ(
+      StructuralConsistency(pair.source, pair.target, pair.ground_truth),
+      1.0);
+}
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,204 @@
+#include "la/sparse.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "la/ops.h"
+
+namespace galign {
+namespace {
+
+SparseMatrix SmallSparse() {
+  // [[0, 2, 0], [1, 0, 3], [0, 0, 4]]
+  return SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 2.0}, {1, 0, 1.0}, {1, 2, 3.0}, {2, 2, 4.0}});
+}
+
+TEST(SparseTest, FromTripletsBasic) {
+  SparseMatrix m = SmallSparse();
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.nnz(), 4);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 2), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);  // missing entry
+}
+
+TEST(SparseTest, DuplicatesAreSummed) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.5}, {1, 1, -1.0}, {1, 1, 1.0}});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.5);
+  // Exact cancellation drops the entry.
+  EXPECT_EQ(m.RowNnz(1), 0);
+}
+
+TEST(SparseTest, ExplicitZerosDropped) {
+  SparseMatrix m = SparseMatrix::FromTriplets(2, 2, {{0, 0, 0.0}, {1, 0, 5.0}});
+  EXPECT_EQ(m.nnz(), 1);
+}
+
+TEST(SparseTest, UnsortedTripletsAreSorted) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{1, 2, 6.0}, {0, 0, 1.0}, {1, 0, 4.0}, {0, 2, 3.0}});
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+  // Columns inside each row must be ascending.
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t i = m.row_ptr()[r] + 1; i < m.row_ptr()[r + 1]; ++i) {
+      EXPECT_LT(m.col_idx()[i - 1], m.col_idx()[i]);
+    }
+  }
+}
+
+TEST(SparseTest, IdentityActsAsIdentity) {
+  SparseMatrix i = SparseMatrix::Identity(5);
+  Rng rng(2);
+  Matrix x = Matrix::Gaussian(5, 3, &rng);
+  Matrix y = i.Multiply(x);
+  EXPECT_LT(Matrix::MaxAbsDiff(x, y), 1e-15);
+}
+
+TEST(SparseTest, RowSum) {
+  SparseMatrix m = SmallSparse();
+  EXPECT_DOUBLE_EQ(m.RowSum(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.RowSum(1), 4.0);
+  EXPECT_DOUBLE_EQ(m.RowSum(2), 4.0);
+}
+
+TEST(SparseTest, ToDenseMatchesAt) {
+  SparseMatrix m = SmallSparse();
+  Matrix d = m.ToDense();
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(d(r, c), m.At(r, c));
+    }
+  }
+}
+
+TEST(SparseTest, TransposedIsCorrect) {
+  SparseMatrix m = SmallSparse();
+  SparseMatrix t = m.Transposed();
+  Matrix td = t.ToDense();
+  Matrix d = m.ToDense();
+  for (int64_t r = 0; r < 3; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(td(c, r), d(r, c));
+    }
+  }
+}
+
+TEST(SparseTest, MultiplyMatchesDense) {
+  Rng rng(3);
+  std::vector<Triplet> trip;
+  for (int i = 0; i < 200; ++i) {
+    trip.push_back({rng.UniformInt(20), rng.UniformInt(15),
+                    rng.Normal()});
+  }
+  SparseMatrix sp = SparseMatrix::FromTriplets(20, 15, trip);
+  Matrix x = Matrix::Gaussian(15, 7, &rng);
+  Matrix expected = MatMul(sp.ToDense(), x);
+  Matrix got = sp.Multiply(x);
+  EXPECT_LT(Matrix::MaxAbsDiff(expected, got), 1e-10);
+}
+
+TEST(SparseTest, TransposedMultiplyMatchesDense) {
+  Rng rng(4);
+  std::vector<Triplet> trip;
+  for (int i = 0; i < 150; ++i) {
+    trip.push_back({rng.UniformInt(12), rng.UniformInt(12), rng.Normal()});
+  }
+  SparseMatrix sp = SparseMatrix::FromTriplets(12, 12, trip);
+  Matrix x = Matrix::Gaussian(12, 5, &rng);
+  Matrix expected = MatMul(Transpose(sp.ToDense()), x);
+  Matrix got = sp.TransposedMultiply(x);
+  EXPECT_LT(Matrix::MaxAbsDiff(expected, got), 1e-10);
+}
+
+TEST(SparseTest, ScaleRow) {
+  SparseMatrix m = SmallSparse();
+  m.ScaleRow(1, 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 2), 6.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);  // other rows untouched
+}
+
+TEST(SparseTest, NormalizedWithSelfLoopsRowSums) {
+  // Path graph 0-1-2 (symmetric adjacency).
+  SparseMatrix a = SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 1.0}, {2, 1, 1.0}});
+  auto norm = a.NormalizedWithSelfLoops();
+  ASSERT_TRUE(norm.ok());
+  const SparseMatrix& c = norm.ValueOrDie();
+  // Entries: c_ij = (a_ij + delta_ij) / sqrt(d_i d_j), d = {2, 3, 2}.
+  EXPECT_NEAR(c.At(0, 0), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(c.At(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+  EXPECT_NEAR(c.At(1, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(c.At(2, 2), 1.0 / 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(c.At(0, 2), 0.0);
+}
+
+TEST(SparseTest, NormalizedSpectrumBounded) {
+  // Symmetric normalized adjacency with self loops has eigenvalues in
+  // [-1, 1]; check via the dense spectral radius estimate |Cx| <= |x|.
+  Rng rng(9);
+  std::vector<Triplet> trip;
+  for (int i = 0; i < 60; ++i) {
+    int64_t u = rng.UniformInt(20), v = rng.UniformInt(20);
+    if (u == v) continue;
+    trip.push_back({u, v, 1.0});
+    trip.push_back({v, u, 1.0});
+  }
+  SparseMatrix a = SparseMatrix::FromTriplets(20, 20, trip);
+  // Clamp multi-edges to 1 by rebuilding from the dense pattern.
+  std::vector<Triplet> binary;
+  Matrix d = a.ToDense();
+  for (int64_t r = 0; r < 20; ++r) {
+    for (int64_t c = 0; c < 20; ++c) {
+      if (d(r, c) != 0.0) binary.push_back({r, c, 1.0});
+    }
+  }
+  a = SparseMatrix::FromTriplets(20, 20, binary);
+  auto norm = a.NormalizedWithSelfLoops();
+  ASSERT_TRUE(norm.ok());
+  Matrix x = Matrix::Gaussian(20, 1, &rng);
+  Matrix y = norm.ValueOrDie().Multiply(x);
+  EXPECT_LE(y.FrobeniusNorm(), x.FrobeniusNorm() * (1.0 + 1e-9));
+}
+
+TEST(SparseTest, NormalizedWithInfluenceScalesEntries) {
+  SparseMatrix a = SparseMatrix::FromTriplets(
+      2, 2, {{0, 1, 1.0}, {1, 0, 1.0}});
+  std::vector<double> q{4.0, 1.0};  // quadruple node 0's scaled degree
+  auto norm = a.NormalizedWithInfluence(q);
+  ASSERT_TRUE(norm.ok());
+  // d = {2, 2}; dq = {8, 2}; entry (0,1) = 1/sqrt(8 * 2) = 1/4.
+  EXPECT_NEAR(norm.ValueOrDie().At(0, 1), 0.25, 1e-12);
+}
+
+TEST(SparseTest, NormalizedRejectsNonSquare) {
+  SparseMatrix a = SparseMatrix::FromTriplets(2, 3, {{0, 1, 1.0}});
+  EXPECT_FALSE(a.NormalizedWithSelfLoops().ok());
+}
+
+TEST(SparseTest, NormalizedRejectsBadInfluence) {
+  SparseMatrix a = SparseMatrix::FromTriplets(2, 2, {{0, 1, 1.0}});
+  EXPECT_FALSE(a.NormalizedWithInfluence({1.0}).ok());          // wrong size
+  EXPECT_FALSE(a.NormalizedWithInfluence({0.0, 1.0}).ok());     // zero factor
+  EXPECT_FALSE(a.NormalizedWithInfluence({-1.0, 1.0}).ok());    // negative
+}
+
+TEST(SparseTest, EmptyMatrixMultiply) {
+  SparseMatrix m = SparseMatrix::FromTriplets(3, 3, {});
+  Matrix x(3, 2, 1.0);
+  Matrix y = m.Multiply(x);
+  EXPECT_DOUBLE_EQ(y.Sum(), 0.0);
+}
+
+}  // namespace
+}  // namespace galign

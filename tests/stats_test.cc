@@ -1,0 +1,91 @@
+#include "graph/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/generators.h"
+
+namespace galign {
+namespace {
+
+TEST(StatsTest, TriangleStats) {
+  auto g = AttributedGraph::Create(3, {{0, 1}, {1, 2}, {0, 2}}, Matrix())
+               .MoveValueOrDie();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 3);
+  EXPECT_EQ(s.num_edges, 3);
+  EXPECT_DOUBLE_EQ(s.avg_degree, 2.0);
+  EXPECT_EQ(s.max_degree, 2);
+  EXPECT_EQ(s.min_degree, 2);
+  EXPECT_EQ(s.isolated_nodes, 0);
+  EXPECT_DOUBLE_EQ(s.avg_clustering, 1.0);
+  EXPECT_EQ(s.connected_components, 1);
+}
+
+TEST(StatsTest, PathHasZeroClustering) {
+  auto g = AttributedGraph::Create(4, {{0, 1}, {1, 2}, {2, 3}}, Matrix())
+               .MoveValueOrDie();
+  GraphStats s = ComputeStats(g);
+  EXPECT_DOUBLE_EQ(s.avg_clustering, 0.0);
+}
+
+TEST(StatsTest, IsolatedNodesAndComponents) {
+  auto g = AttributedGraph::Create(6, {{0, 1}, {2, 3}}, Matrix())
+               .MoveValueOrDie();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.isolated_nodes, 2);
+  EXPECT_EQ(s.connected_components, 4);  // {0,1}, {2,3}, {4}, {5}
+}
+
+TEST(StatsTest, EmptyGraph) {
+  auto g = AttributedGraph::Create(0, {}, Matrix()).MoveValueOrDie();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 0);
+  EXPECT_EQ(s.connected_components, 0);
+}
+
+TEST(StatsTest, DegreeHistogramSums) {
+  Rng rng(1);
+  auto g = BarabasiAlbert(100, 2, &rng).MoveValueOrDie();
+  auto hist = DegreeHistogram(g);
+  int64_t total = 0, weighted = 0;
+  for (size_t d = 0; d < hist.size(); ++d) {
+    total += hist[d];
+    weighted += static_cast<int64_t>(d) * hist[d];
+  }
+  EXPECT_EQ(total, 100);
+  EXPECT_EQ(weighted, 2 * g.num_edges());
+}
+
+TEST(StatsTest, ConnectedComponentsOnRing) {
+  Rng rng(2);
+  auto g = WattsStrogatz(30, 1, 0.0, &rng).MoveValueOrDie();
+  EXPECT_EQ(CountConnectedComponents(g), 1);
+}
+
+TEST(StatsTest, StatsToStringContainsFields) {
+  auto g = AttributedGraph::Create(3, {{0, 1}}, Matrix()).MoveValueOrDie();
+  std::string s = StatsToString(ComputeStats(g));
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("e=1"), std::string::npos);
+}
+
+TEST(StatsTest, StarIsDisassortative) {
+  // Hub-and-spoke graphs have negative degree assortativity.
+  std::vector<Edge> edges;
+  for (int64_t v = 1; v < 20; ++v) edges.emplace_back(0, v);
+  auto g = AttributedGraph::Create(20, edges, Matrix()).MoveValueOrDie();
+  GraphStats s = ComputeStats(g);
+  EXPECT_LT(s.degree_assortativity, 0.0);
+}
+
+TEST(StatsTest, SampledClusteringCloseToExact) {
+  Rng rng(3);
+  auto g = ErdosRenyi(300, 0.1, &rng).MoveValueOrDie();
+  GraphStats exact = ComputeStats(g, /*clustering_samples=*/10000);
+  GraphStats sampled = ComputeStats(g, /*clustering_samples=*/150);
+  EXPECT_NEAR(sampled.avg_clustering, exact.avg_clustering, 0.05);
+}
+
+}  // namespace
+}  // namespace galign

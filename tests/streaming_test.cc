@@ -1,0 +1,99 @@
+#include "align/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include "align/alignment.h"
+#include "common/rng.h"
+#include "core/refinement.h"
+
+namespace galign {
+namespace {
+
+struct Fixture {
+  std::vector<Matrix> hs, ht;
+  std::vector<double> theta;
+  std::vector<int64_t> gt;
+};
+
+Fixture MakeSetup(uint64_t seed, int64_t n1 = 37, int64_t n2 = 29) {
+  Rng rng(seed);
+  Fixture s;
+  for (int l = 0; l < 3; ++l) {
+    Matrix a = Matrix::Gaussian(n1, 6, &rng);
+    a.NormalizeRows();
+    s.hs.push_back(a);
+    Matrix b = Matrix::Gaussian(n2, 6, &rng);
+    b.NormalizeRows();
+    s.ht.push_back(b);
+  }
+  s.theta = {0.2, 0.5, 0.3};
+  s.gt.resize(n1);
+  for (int64_t v = 0; v < n1; ++v) s.gt[v] = v % n2;
+  return s;
+}
+
+class StreamingChunks : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(StreamingChunks, MetricsMatchDensePath) {
+  Fixture s = MakeSetup(1);
+  Matrix dense = AggregateAlignment(s.hs, s.ht, s.theta);
+  AlignmentMetrics expected = ComputeMetrics(dense, s.gt);
+  auto streamed =
+      ComputeMetricsStreaming(s.hs, s.ht, s.theta, s.gt, GetParam());
+  ASSERT_TRUE(streamed.ok());
+  const AlignmentMetrics& m = streamed.ValueOrDie();
+  EXPECT_DOUBLE_EQ(m.success_at_1, expected.success_at_1);
+  EXPECT_DOUBLE_EQ(m.success_at_5, expected.success_at_5);
+  EXPECT_DOUBLE_EQ(m.success_at_10, expected.success_at_10);
+  EXPECT_NEAR(m.map, expected.map, 1e-12);
+  EXPECT_NEAR(m.auc, expected.auc, 1e-12);
+  EXPECT_EQ(m.num_anchors, expected.num_anchors);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, StreamingChunks,
+                         ::testing::Values(1, 2, 7, 37, 100));
+
+TEST(StreamingTest, Top1MatchesDense) {
+  Fixture s = MakeSetup(2);
+  Matrix dense = AggregateAlignment(s.hs, s.ht, s.theta);
+  auto expected = Top1Anchors(dense);
+  auto streamed = Top1AnchorsStreaming(s.hs, s.ht, s.theta, 5);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(streamed.ValueOrDie(), expected);
+}
+
+TEST(StreamingTest, HandlesPartialGroundTruth) {
+  Fixture s = MakeSetup(3);
+  for (int64_t v = 0; v < 10; ++v) s.gt[v] = -1;
+  Matrix dense = AggregateAlignment(s.hs, s.ht, s.theta);
+  AlignmentMetrics expected = ComputeMetrics(dense, s.gt);
+  auto streamed = ComputeMetricsStreaming(s.hs, s.ht, s.theta, s.gt);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_EQ(streamed.ValueOrDie().num_anchors, expected.num_anchors);
+  EXPECT_NEAR(streamed.ValueOrDie().map, expected.map, 1e-12);
+}
+
+TEST(StreamingTest, ZeroWeightLayersSkipped) {
+  Fixture s = MakeSetup(4);
+  s.theta = {0.0, 1.0, 0.0};
+  Matrix dense = AggregateAlignment(s.hs, s.ht, s.theta);
+  auto streamed = ComputeMetricsStreaming(s.hs, s.ht, s.theta, s.gt);
+  ASSERT_TRUE(streamed.ok());
+  EXPECT_NEAR(streamed.ValueOrDie().map, ComputeMetrics(dense, s.gt).map,
+              1e-12);
+}
+
+TEST(StreamingTest, RejectsInconsistentInputs) {
+  Fixture s = MakeSetup(5);
+  std::vector<double> short_theta{0.5, 0.5};
+  EXPECT_FALSE(
+      ComputeMetricsStreaming(s.hs, s.ht, short_theta, s.gt).ok());
+  Fixture mismatched = MakeSetup(6);
+  mismatched.ht[1] = Matrix(29, 9);  // wrong layer dim
+  EXPECT_FALSE(ComputeMetricsStreaming(mismatched.hs, mismatched.ht,
+                                       mismatched.theta, mismatched.gt)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace galign

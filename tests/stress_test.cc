@@ -1,0 +1,186 @@
+// Stress and fuzz tests: randomized cross-checks of sparse kernels against
+// dense references, deep/wide autograd graphs, thread-pool hammering, and
+// randomized end-to-end gradient checks of full GCN losses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/tape.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/gcn.h"
+#include "core/losses.h"
+#include "graph/generators.h"
+#include "la/ops.h"
+
+namespace galign {
+namespace {
+
+TEST(SparseFuzzTest, MultiplyMatchesDenseAcrossShapes) {
+  Rng rng(1);
+  for (int trial = 0; trial < 25; ++trial) {
+    int64_t rows = 1 + rng.UniformInt(40);
+    int64_t cols = 1 + rng.UniformInt(40);
+    int64_t d = 1 + rng.UniformInt(8);
+    int64_t nnz = rng.UniformInt(rows * cols + 1);
+    std::vector<Triplet> trip;
+    for (int64_t i = 0; i < nnz; ++i) {
+      trip.push_back({rng.UniformInt(rows), rng.UniformInt(cols),
+                      rng.Normal()});
+    }
+    SparseMatrix sp = SparseMatrix::FromTriplets(rows, cols, trip);
+    Matrix x = Matrix::Gaussian(cols, d, &rng);
+    Matrix expected = MatMul(sp.ToDense(), x);
+    EXPECT_LT(Matrix::MaxAbsDiff(sp.Multiply(x), expected), 1e-9)
+        << "trial " << trial;
+    Matrix y = Matrix::Gaussian(rows, d, &rng);
+    Matrix expected_t = MatMul(Transpose(sp.ToDense()), y);
+    EXPECT_LT(Matrix::MaxAbsDiff(sp.TransposedMultiply(y), expected_t), 1e-9);
+  }
+}
+
+TEST(SparseFuzzTest, TransposeInvolution) {
+  Rng rng(2);
+  for (int trial = 0; trial < 10; ++trial) {
+    int64_t rows = 1 + rng.UniformInt(30), cols = 1 + rng.UniformInt(30);
+    std::vector<Triplet> trip;
+    for (int i = 0; i < 50; ++i) {
+      trip.push_back({rng.UniformInt(rows), rng.UniformInt(cols),
+                      rng.Normal()});
+    }
+    SparseMatrix sp = SparseMatrix::FromTriplets(rows, cols, trip);
+    Matrix round = sp.Transposed().Transposed().ToDense();
+    EXPECT_LT(Matrix::MaxAbsDiff(round, sp.ToDense()), 1e-15);
+  }
+}
+
+TEST(AutogradStressTest, DeepChainGradientIsExact) {
+  // y = tanh(tanh(...tanh(x)...)) 60 levels deep; dy/dx is the product of
+  // the per-level derivatives.
+  Tape tape;
+  double x0 = 0.4;
+  Var x = tape.Leaf(Matrix(1, 1, x0), true);
+  Var cur = x;
+  double value = x0;
+  double deriv = 1.0;
+  for (int i = 0; i < 60; ++i) {
+    cur = ag::Tanh(&tape, cur);
+    value = std::tanh(value);
+    deriv *= 1.0 - value * value;
+  }
+  tape.Backward(cur);
+  EXPECT_NEAR(tape.grad(x)(0, 0), deriv, 1e-12);
+}
+
+TEST(AutogradStressTest, WideFanOutAccumulates) {
+  // loss = sum of 100 scaled copies of x; grad = sum of the scales.
+  Tape tape;
+  Var x = tape.Leaf(Matrix(1, 1, 2.0), true);
+  std::vector<std::pair<Var, double>> terms;
+  double expected = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    terms.emplace_back(x, 0.01 * i);
+    expected += 0.01 * i;
+  }
+  Var total = ag::WeightedSum(&tape, terms);
+  tape.Backward(total);
+  EXPECT_NEAR(tape.grad(x)(0, 0), expected, 1e-10);
+}
+
+TEST(AutogradStressTest, RandomizedGcnLossGradientCheck) {
+  // End-to-end finite-difference check of the full network loss through a
+  // real 2-layer GCN on a random graph — the exact training configuration.
+  Rng rng(3);
+  auto g = BarabasiAlbert(12, 2, &rng).MoveValueOrDie();
+  g = g.WithAttributes(BinaryAttributes(12, 4, 0.4, &rng)).MoveValueOrDie();
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  MultiOrderGcn gcn(2, 4, 5, &rng);
+
+  auto loss_at = [&](const std::vector<Matrix>& weights) {
+    MultiOrderGcn probe = gcn;
+    probe.weights() = weights;
+    Tape tape;
+    std::vector<Var> wv;
+    auto layers = probe.Forward(&tape, &lap, g.attributes(), &wv);
+    Var loss = ConsistencyLossAllLayers(&tape, &lap, layers);
+    return tape.value(loss)(0, 0);
+  };
+
+  Tape tape;
+  std::vector<Var> wv;
+  auto layers = gcn.Forward(&tape, &lap, g.attributes(), &wv);
+  Var loss = ConsistencyLossAllLayers(&tape, &lap, layers);
+  tape.Backward(loss);
+
+  const double eps = 1e-6;
+  Rng pick(4);
+  for (int probe_idx = 0; probe_idx < 12; ++probe_idx) {
+    size_t layer = pick.UniformInt(2);
+    const Matrix& w = gcn.weights()[layer];
+    int64_t entry = pick.UniformInt(w.size());
+    std::vector<Matrix> plus = gcn.weights(), minus = gcn.weights();
+    plus[layer].data()[entry] += eps;
+    minus[layer].data()[entry] -= eps;
+    double numeric = (loss_at(plus) - loss_at(minus)) / (2 * eps);
+    double analytic = tape.grad(wv[layer]).data()[entry];
+    EXPECT_NEAR(analytic, numeric, 1e-5)
+        << "layer " << layer << " entry " << entry;
+  }
+}
+
+TEST(ParallelStressTest, ManySmallJobsInSequence) {
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<int64_t> sum{0};
+    ParallelFor(
+        0, 97 + round,
+        [&](int64_t b, int64_t e) { sum.fetch_add(e - b); },
+        /*min_chunk=*/1);
+    EXPECT_EQ(sum.load(), 97 + round);
+  }
+}
+
+TEST(ParallelStressTest, AlternatingLargeAndTinyJobs) {
+  for (int round = 0; round < 30; ++round) {
+    std::atomic<int64_t> big{0}, small{0};
+    ParallelFor(0, 100000, [&](int64_t b, int64_t e) { big.fetch_add(e - b); });
+    ParallelFor(0, 3, [&](int64_t b, int64_t e) { small.fetch_add(e - b); },
+                1);
+    EXPECT_EQ(big.load(), 100000);
+    EXPECT_EQ(small.load(), 3);
+  }
+}
+
+TEST(GemmStressTest, AssociativityHolds) {
+  // (A B) C == A (B C) within numerical tolerance, across random shapes.
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    int64_t a = 1 + rng.UniformInt(20), b = 1 + rng.UniformInt(20);
+    int64_t c = 1 + rng.UniformInt(20), d = 1 + rng.UniformInt(20);
+    Matrix A = Matrix::Gaussian(a, b, &rng);
+    Matrix B = Matrix::Gaussian(b, c, &rng);
+    Matrix C = Matrix::Gaussian(c, d, &rng);
+    Matrix left = MatMul(MatMul(A, B), C);
+    Matrix right = MatMul(A, MatMul(B, C));
+    EXPECT_LT(Matrix::MaxAbsDiff(left, right), 1e-8);
+  }
+}
+
+TEST(RngStressTest, ForkedStreamsStayIndependentUnderInterleaving) {
+  Rng parent(1);
+  Rng f1 = parent.Fork();
+  Rng f2 = parent.Fork();
+  // Consuming f1 must not perturb f2's stream.
+  Rng parent2(1);
+  Rng g1 = parent2.Fork();
+  Rng g2 = parent2.Fork();
+  for (int i = 0; i < 1000; ++i) (void)f1.Uniform();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(f2.Uniform(), g2.Uniform());
+  }
+  (void)g1;
+}
+
+}  // namespace
+}  // namespace galign

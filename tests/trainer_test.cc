@@ -1,0 +1,149 @@
+#include "core/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/augmenter.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
+
+namespace galign {
+namespace {
+
+AttributedGraph SmallGraph(uint64_t seed, int64_t n = 40) {
+  Rng rng(seed);
+  auto g = BarabasiAlbert(n, 2, &rng).MoveValueOrDie();
+  Matrix f = BinaryAttributes(n, 6, 0.3, &rng);
+  return g.WithAttributes(f).MoveValueOrDie();
+}
+
+GAlignConfig FastConfig() {
+  GAlignConfig cfg;
+  cfg.epochs = 15;
+  cfg.embedding_dim = 12;
+  cfg.num_augmentations = 2;
+  return cfg;
+}
+
+TEST(AugmenterTest, ProducesRequestedCopies) {
+  AttributedGraph g = SmallGraph(1);
+  GAlignConfig cfg;
+  cfg.num_augmentations = 3;
+  Rng rng(2);
+  auto augs = MakeAugmentations(g, cfg, &rng).MoveValueOrDie();
+  ASSERT_EQ(augs.size(), 3u);
+  for (const auto& a : augs) {
+    EXPECT_EQ(a.graph.num_nodes(), g.num_nodes());
+    EXPECT_EQ(a.correspondence.size(), static_cast<size_t>(g.num_nodes()));
+    EXPECT_EQ(a.laplacian.rows(), g.num_nodes());
+  }
+}
+
+TEST(AugmenterTest, EvenCopiesPerturbStructureOddCopiesAttributes) {
+  AttributedGraph g = SmallGraph(3, 100);
+  GAlignConfig cfg;
+  cfg.num_augmentations = 2;
+  cfg.augment_structural_noise = 0.3;
+  cfg.augment_attribute_noise = 0.5;
+  Rng rng(4);
+  auto augs = MakeAugmentations(g, cfg, &rng).MoveValueOrDie();
+
+  // Structural copy: attribute rows still match through correspondence.
+  const auto& structural = augs[0];
+  for (int64_t v = 0; v < g.num_nodes(); ++v) {
+    int64_t v2 = structural.correspondence[v];
+    for (int64_t c = 0; c < g.num_attributes(); ++c) {
+      ASSERT_DOUBLE_EQ(structural.graph.attributes()(v2, c),
+                       g.attributes()(v, c));
+    }
+  }
+  // Attribute copy: edge count unchanged (only attributes perturbed).
+  EXPECT_EQ(augs[1].graph.num_edges(), g.num_edges());
+}
+
+TEST(TrainerTest, LossDecreasesOverTraining) {
+  AttributedGraph g = SmallGraph(5);
+  Rng rng(6);
+  NoisyCopyOptions opts;
+  opts.structural_noise = 0.1;
+  auto pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+
+  GAlignConfig cfg = FastConfig();
+  cfg.epochs = 30;
+  MultiOrderGcn gcn(cfg.num_layers, g.num_attributes(), cfg.embedding_dim,
+                    &rng);
+  Trainer trainer(cfg);
+  ASSERT_TRUE(trainer.Train(&gcn, pair.source, pair.target, &rng).ok());
+  const auto& history = trainer.loss_history();
+  ASSERT_EQ(history.size(), 30u);
+  // Final loss must improve substantially on the initial loss.
+  EXPECT_LT(history.back(), history.front() * 0.9);
+  for (double loss : history) {
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_GE(loss, 0.0);
+  }
+}
+
+TEST(TrainerTest, RejectsMismatchedAttributes) {
+  AttributedGraph a = SmallGraph(7);
+  Rng rng(8);
+  auto b = SmallGraph(9).WithAttributes(Matrix(40, 3, 1.0)).MoveValueOrDie();
+  GAlignConfig cfg = FastConfig();
+  MultiOrderGcn gcn(cfg.num_layers, a.num_attributes(), cfg.embedding_dim,
+                    &rng);
+  Trainer trainer(cfg);
+  EXPECT_FALSE(trainer.Train(&gcn, a, b, &rng).ok());
+}
+
+TEST(TrainerTest, RejectsWrongInputDim) {
+  AttributedGraph a = SmallGraph(10);
+  Rng rng(11);
+  MultiOrderGcn gcn(2, /*input_dim=*/99, 12, &rng);
+  Trainer trainer(FastConfig());
+  EXPECT_FALSE(trainer.Train(&gcn, a, a, &rng).ok());
+}
+
+TEST(TrainerTest, TrainsWithoutAugmentation) {
+  AttributedGraph g = SmallGraph(12);
+  Rng rng(13);
+  GAlignConfig cfg = FastConfig();
+  cfg.use_augmentation = false;
+  MultiOrderGcn gcn(cfg.num_layers, g.num_attributes(), cfg.embedding_dim,
+                    &rng);
+  Trainer trainer(cfg);
+  ASSERT_TRUE(trainer.Train(&gcn, g, g, &rng).ok());
+  EXPECT_EQ(trainer.loss_history().size(), static_cast<size_t>(cfg.epochs));
+}
+
+TEST(TrainerTest, WeightsChangeDuringTraining) {
+  AttributedGraph g = SmallGraph(14);
+  Rng rng(15);
+  GAlignConfig cfg = FastConfig();
+  MultiOrderGcn gcn(cfg.num_layers, g.num_attributes(), cfg.embedding_dim,
+                    &rng);
+  Matrix before = gcn.weights()[0];
+  Trainer trainer(cfg);
+  ASSERT_TRUE(trainer.Train(&gcn, g, g, &rng).ok());
+  EXPECT_GT(Matrix::MaxAbsDiff(before, gcn.weights()[0]), 1e-6);
+  for (const Matrix& w : gcn.weights()) EXPECT_TRUE(w.AllFinite());
+}
+
+TEST(TrainerTest, DeterministicAcrossRuns) {
+  AttributedGraph g = SmallGraph(16);
+  GAlignConfig cfg = FastConfig();
+  cfg.epochs = 5;
+
+  auto run = [&]() {
+    Rng rng(99);
+    MultiOrderGcn gcn(cfg.num_layers, g.num_attributes(), cfg.embedding_dim,
+                      &rng);
+    Trainer trainer(cfg);
+    trainer.Train(&gcn, g, g, &rng).CheckOK();
+    return gcn.weights()[0];
+  };
+  Matrix w1 = run();
+  Matrix w2 = run();
+  EXPECT_LT(Matrix::MaxAbsDiff(w1, w2), 1e-15);
+}
+
+}  // namespace
+}  // namespace galign

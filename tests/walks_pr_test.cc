@@ -1,0 +1,132 @@
+// Tests for the node2vec biased walks and the threshold precision/recall
+// metrics added beyond the core reproduction.
+#include <gtest/gtest.h>
+
+#include "align/metrics.h"
+#include "baselines/walks.h"
+#include "graph/generators.h"
+
+namespace galign {
+namespace {
+
+AttributedGraph TestGraph(uint64_t seed, int64_t n = 100) {
+  Rng rng(seed);
+  return BarabasiAlbert(n, 3, &rng).MoveValueOrDie();
+}
+
+TEST(Node2VecTest, WalksFollowEdges) {
+  AttributedGraph g = TestGraph(1);
+  WalkConfig cfg;
+  cfg.walks_per_node = 2;
+  cfg.walk_length = 12;
+  Rng rng(2);
+  auto walks = Node2VecWalks(g, cfg, 0.5, 2.0, &rng);
+  EXPECT_EQ(walks.size(), static_cast<size_t>(2 * g.num_nodes()));
+  for (const auto& w : walks) {
+    for (size_t i = 1; i < w.size(); ++i) {
+      ASSERT_TRUE(g.HasEdge(w[i - 1], w[i]));
+    }
+  }
+}
+
+TEST(Node2VecTest, UnitPQBehavesLikeUniform) {
+  // p = q = 1: same distributional behaviour as a uniform walk (check via
+  // mean revisit rate over many walks, loose tolerance).
+  AttributedGraph g = TestGraph(3, 60);
+  WalkConfig cfg;
+  cfg.walks_per_node = 20;
+  cfg.walk_length = 10;
+  auto revisit_rate = [&](const std::vector<std::vector<int64_t>>& walks) {
+    int64_t revisits = 0, steps = 0;
+    for (const auto& w : walks) {
+      for (size_t i = 2; i < w.size(); ++i) {
+        ++steps;
+        if (w[i] == w[i - 2]) ++revisits;
+      }
+    }
+    return steps == 0 ? 0.0 : static_cast<double>(revisits) / steps;
+  };
+  Rng r1(4), r2(4);
+  double uniform = revisit_rate(UniformWalks(g, cfg, &r1));
+  double n2v = revisit_rate(Node2VecWalks(g, cfg, 1.0, 1.0, &r2));
+  EXPECT_NEAR(uniform, n2v, 0.05);
+}
+
+TEST(Node2VecTest, LowPIncreasesBacktracking) {
+  AttributedGraph g = TestGraph(5, 60);
+  WalkConfig cfg;
+  cfg.walks_per_node = 20;
+  cfg.walk_length = 10;
+  auto backtrack_rate = [&](double p, double q) {
+    Rng rng(6);
+    auto walks = Node2VecWalks(g, cfg, p, q, &rng);
+    int64_t back = 0, steps = 0;
+    for (const auto& w : walks) {
+      for (size_t i = 2; i < w.size(); ++i) {
+        ++steps;
+        if (w[i] == w[i - 2]) ++back;
+      }
+    }
+    return static_cast<double>(back) / steps;
+  };
+  // p << 1 rewards returning to the previous node.
+  EXPECT_GT(backtrack_rate(0.1, 1.0), backtrack_rate(10.0, 1.0) + 0.05);
+}
+
+TEST(PrecisionRecallTest, PerfectPredictionsAtTightThreshold) {
+  Matrix s(4, 4, 0.0);
+  std::vector<int64_t> gt{0, 1, 2, 3};
+  for (int64_t v = 0; v < 4; ++v) s(v, v) = 1.0;
+  PrecisionRecall pr = EvaluateThreshold(s, gt, 0.5);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.f1, 1.0);
+  EXPECT_EQ(pr.predicted, 4);
+}
+
+TEST(PrecisionRecallTest, LooseThresholdTradesPrecisionForRecall) {
+  Rng rng(7);
+  Matrix s = Matrix::Uniform(20, 20, &rng);
+  std::vector<int64_t> gt(20);
+  for (int64_t v = 0; v < 20; ++v) {
+    gt[v] = v;
+    s(v, v) = 0.9 + 0.1 * rng.Uniform();  // true anchors score high
+  }
+  PrecisionRecall tight = EvaluateThreshold(s, gt, 0.95);
+  PrecisionRecall loose = EvaluateThreshold(s, gt, 0.5);
+  EXPECT_GE(loose.recall, tight.recall);
+  EXPECT_GE(tight.precision, loose.precision);
+}
+
+TEST(PrecisionRecallTest, UnanchoredRowsHurtPrecisionOnly) {
+  Matrix s(2, 2, 0.0);
+  s(0, 0) = 1.0;  // anchored, correct
+  s(1, 1) = 1.0;  // unanchored prediction
+  std::vector<int64_t> gt{0, -1};
+  PrecisionRecall pr = EvaluateThreshold(s, gt, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+}
+
+TEST(PrecisionRecallTest, BestF1FindsSeparatingThreshold) {
+  // Scores perfectly separable: anchors at 0.9, noise at 0.1 -> best F1 = 1.
+  Matrix s(10, 10, 0.1);
+  std::vector<int64_t> gt(10);
+  for (int64_t v = 0; v < 10; ++v) {
+    gt[v] = (v + 3) % 10;
+    s(v, gt[v]) = 0.9;
+  }
+  PrecisionRecall best = BestF1(s, gt);
+  EXPECT_DOUBLE_EQ(best.f1, 1.0);
+}
+
+TEST(PrecisionRecallTest, EmptyPredictionIsZero) {
+  Matrix s(3, 3, 0.0);
+  std::vector<int64_t> gt{0, 1, 2};
+  PrecisionRecall pr = EvaluateThreshold(s, gt, 10.0);
+  EXPECT_EQ(pr.predicted, 0);
+  EXPECT_DOUBLE_EQ(pr.f1, 0.0);
+}
+
+}  // namespace
+}  // namespace galign

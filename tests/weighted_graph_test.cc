@@ -1,0 +1,133 @@
+// Weighted-edge support: construction semantics, weighted GCN propagation,
+// and the permutation-immunity invariant (Prop. 1) under weights.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/gcn.h"
+#include "graph/graph.h"
+
+namespace galign {
+namespace {
+
+AttributedGraph WeightedTriangle() {
+  std::vector<WeightedEdge> edges{{0, 1, 2.0}, {1, 2, 0.5}, {0, 2, 1.0}};
+  return AttributedGraph::CreateWeighted(3, edges, Matrix(3, 2, 1.0))
+      .MoveValueOrDie();
+}
+
+TEST(WeightedGraphTest, BasicConstruction) {
+  AttributedGraph g = WeightedTriangle();
+  EXPECT_TRUE(g.is_weighted());
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 2.0);  // symmetric
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 0.5);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(0), 3.0);
+  EXPECT_DOUBLE_EQ(g.WeightedDegree(1), 2.5);
+  EXPECT_EQ(g.Degree(0), 2);  // structural degree unchanged
+}
+
+TEST(WeightedGraphTest, DuplicateEdgesSumWeights) {
+  std::vector<WeightedEdge> edges{{0, 1, 1.0}, {1, 0, 2.5}};
+  auto g = AttributedGraph::CreateWeighted(2, edges, Matrix())
+               .MoveValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 3.5);
+}
+
+TEST(WeightedGraphTest, RejectsNonPositiveWeights) {
+  EXPECT_FALSE(
+      AttributedGraph::CreateWeighted(2, {{0, 1, 0.0}}, Matrix()).ok());
+  EXPECT_FALSE(
+      AttributedGraph::CreateWeighted(2, {{0, 1, -1.0}}, Matrix()).ok());
+  EXPECT_FALSE(
+      AttributedGraph::CreateWeighted(2, {{0, 1, std::nan("")}}, Matrix())
+          .ok());
+}
+
+TEST(WeightedGraphTest, UnweightedFactoryReportsUnweighted) {
+  auto g = AttributedGraph::Create(3, {{0, 1}, {0, 1}, {1, 2}}, Matrix())
+               .MoveValueOrDie();
+  EXPECT_FALSE(g.is_weighted());
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 1.0);  // duplicates collapse to 1
+}
+
+TEST(WeightedGraphTest, AllOnesWeightsReportUnweighted) {
+  auto g = AttributedGraph::CreateWeighted(2, {{0, 1, 1.0}}, Matrix())
+               .MoveValueOrDie();
+  EXPECT_FALSE(g.is_weighted());
+}
+
+TEST(WeightedGraphTest, NormalizationUsesWeightedDegrees) {
+  // Path 0 -(4)- 1: weighted degrees + self loop: d0 = 5, d1 = 5.
+  auto g = AttributedGraph::CreateWeighted(2, {{0, 1, 4.0}}, Matrix())
+               .MoveValueOrDie();
+  auto c = g.NormalizedAdjacency().MoveValueOrDie();
+  EXPECT_NEAR(c.At(0, 1), 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(c.At(0, 0), 1.0 / 5.0, 1e-12);
+}
+
+TEST(WeightedGraphTest, PermutationPreservesWeights) {
+  AttributedGraph g = WeightedTriangle();
+  auto pg = g.Permuted({2, 0, 1}).MoveValueOrDie();
+  EXPECT_TRUE(pg.is_weighted());
+  EXPECT_DOUBLE_EQ(pg.EdgeWeight(2, 0), 2.0);  // was (0, 1)
+  EXPECT_DOUBLE_EQ(pg.EdgeWeight(0, 1), 0.5);  // was (1, 2)
+}
+
+TEST(WeightedGraphTest, InducedSubgraphPreservesWeights) {
+  AttributedGraph g = WeightedTriangle();
+  auto sub = g.InducedSubgraph({0, 1}).MoveValueOrDie();
+  EXPECT_EQ(sub.num_edges(), 1);
+  EXPECT_DOUBLE_EQ(sub.EdgeWeight(0, 1), 2.0);
+}
+
+TEST(WeightedGraphTest, GcnPermutationImmunityWithWeights) {
+  // Prop. 1 holds for arbitrary positive weights as well.
+  Rng rng(5);
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i < 60; ++i) {
+    int64_t u = rng.UniformInt(20), v = rng.UniformInt(20);
+    if (u != v) edges.push_back({u, v, rng.Uniform(0.1, 3.0)});
+  }
+  Matrix f = Matrix::Uniform(20, 5, &rng);
+  auto g = AttributedGraph::CreateWeighted(20, edges, f).MoveValueOrDie();
+  std::vector<int64_t> perm = rng.Permutation(20);
+  auto pg = g.Permuted(perm).MoveValueOrDie();
+
+  MultiOrderGcn gcn(2, 5, 8, &rng);
+  auto hs = gcn.ForwardInference(g.NormalizedAdjacency().MoveValueOrDie(),
+                                 g.attributes());
+  auto ht = gcn.ForwardInference(pg.NormalizedAdjacency().MoveValueOrDie(),
+                                 pg.attributes());
+  for (size_t l = 0; l < hs.size(); ++l) {
+    for (int64_t v = 0; v < 20; ++v) {
+      for (int64_t c = 0; c < hs[l].cols(); ++c) {
+        ASSERT_NEAR(ht[l](perm[v], c), hs[l](v, c), 1e-10);
+      }
+    }
+  }
+}
+
+TEST(WeightedGraphTest, WeightsChangeEmbeddings) {
+  // Same topology, different weights => different GCN output.
+  Rng rng(6);
+  Matrix f = Matrix::Uniform(4, 3, &rng);
+  auto g1 = AttributedGraph::CreateWeighted(
+                4, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 3, 1.0}}, f)
+                .MoveValueOrDie();
+  auto g2 = AttributedGraph::CreateWeighted(
+                4, {{0, 1, 5.0}, {1, 2, 1.0}, {2, 3, 1.0}}, f)
+                .MoveValueOrDie();
+  MultiOrderGcn gcn(2, 3, 6, &rng);
+  auto h1 = gcn.ForwardInference(g1.NormalizedAdjacency().MoveValueOrDie(),
+                                 g1.attributes());
+  auto h2 = gcn.ForwardInference(g2.NormalizedAdjacency().MoveValueOrDie(),
+                                 g2.attributes());
+  EXPECT_GT(Matrix::MaxAbsDiff(h1.back(), h2.back()), 1e-6);
+}
+
+}  // namespace
+}  // namespace galign
