@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_isomorphic_level.dir/bench_fig5_isomorphic_level.cc.o"
+  "CMakeFiles/bench_fig5_isomorphic_level.dir/bench_fig5_isomorphic_level.cc.o.d"
+  "bench_fig5_isomorphic_level"
+  "bench_fig5_isomorphic_level.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_isomorphic_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_qualitative.dir/bench_fig8_qualitative.cc.o"
+  "CMakeFiles/bench_fig8_qualitative.dir/bench_fig8_qualitative.cc.o.d"
+  "bench_fig8_qualitative"
+  "bench_fig8_qualitative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_qualitative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

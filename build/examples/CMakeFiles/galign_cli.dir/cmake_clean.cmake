@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_cli.dir/galign_cli.cpp.o"
+  "CMakeFiles/galign_cli.dir/galign_cli.cpp.o.d"
+  "galign_cli"
+  "galign_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/movie_kb_alignment.dir/movie_kb_alignment.cpp.o"
+  "CMakeFiles/movie_kb_alignment.dir/movie_kb_alignment.cpp.o.d"
+  "movie_kb_alignment"
+  "movie_kb_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/movie_kb_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

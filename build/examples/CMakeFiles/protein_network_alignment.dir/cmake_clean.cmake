@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_network_alignment.dir/protein_network_alignment.cpp.o"
+  "CMakeFiles/protein_network_alignment.dir/protein_network_alignment.cpp.o.d"
+  "protein_network_alignment"
+  "protein_network_alignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_network_alignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/alignment.cc" "src/CMakeFiles/galign_align.dir/align/alignment.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/alignment.cc.o.d"
+  "/root/repo/src/align/alignment_io.cc" "src/CMakeFiles/galign_align.dir/align/alignment_io.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/alignment_io.cc.o.d"
+  "/root/repo/src/align/bootstrap.cc" "src/CMakeFiles/galign_align.dir/align/bootstrap.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/bootstrap.cc.o.d"
+  "/root/repo/src/align/dataset_io.cc" "src/CMakeFiles/galign_align.dir/align/dataset_io.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/dataset_io.cc.o.d"
+  "/root/repo/src/align/datasets.cc" "src/CMakeFiles/galign_align.dir/align/datasets.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/datasets.cc.o.d"
+  "/root/repo/src/align/ensemble.cc" "src/CMakeFiles/galign_align.dir/align/ensemble.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/ensemble.cc.o.d"
+  "/root/repo/src/align/hungarian.cc" "src/CMakeFiles/galign_align.dir/align/hungarian.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/hungarian.cc.o.d"
+  "/root/repo/src/align/metrics.cc" "src/CMakeFiles/galign_align.dir/align/metrics.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/metrics.cc.o.d"
+  "/root/repo/src/align/pipeline.cc" "src/CMakeFiles/galign_align.dir/align/pipeline.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/pipeline.cc.o.d"
+  "/root/repo/src/align/streaming.cc" "src/CMakeFiles/galign_align.dir/align/streaming.cc.o" "gcc" "src/CMakeFiles/galign_align.dir/align/streaming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/galign_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_align.dir/align/alignment.cc.o"
+  "CMakeFiles/galign_align.dir/align/alignment.cc.o.d"
+  "CMakeFiles/galign_align.dir/align/alignment_io.cc.o"
+  "CMakeFiles/galign_align.dir/align/alignment_io.cc.o.d"
+  "CMakeFiles/galign_align.dir/align/bootstrap.cc.o"
+  "CMakeFiles/galign_align.dir/align/bootstrap.cc.o.d"
+  "CMakeFiles/galign_align.dir/align/dataset_io.cc.o"
+  "CMakeFiles/galign_align.dir/align/dataset_io.cc.o.d"
+  "CMakeFiles/galign_align.dir/align/datasets.cc.o"
+  "CMakeFiles/galign_align.dir/align/datasets.cc.o.d"
+  "CMakeFiles/galign_align.dir/align/ensemble.cc.o"
+  "CMakeFiles/galign_align.dir/align/ensemble.cc.o.d"
+  "CMakeFiles/galign_align.dir/align/hungarian.cc.o"
+  "CMakeFiles/galign_align.dir/align/hungarian.cc.o.d"
+  "CMakeFiles/galign_align.dir/align/metrics.cc.o"
+  "CMakeFiles/galign_align.dir/align/metrics.cc.o.d"
+  "CMakeFiles/galign_align.dir/align/pipeline.cc.o"
+  "CMakeFiles/galign_align.dir/align/pipeline.cc.o.d"
+  "CMakeFiles/galign_align.dir/align/streaming.cc.o"
+  "CMakeFiles/galign_align.dir/align/streaming.cc.o.d"
+  "libgalign_align.a"
+  "libgalign_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgalign_align.a"
+)

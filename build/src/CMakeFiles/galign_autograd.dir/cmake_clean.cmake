@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_autograd.dir/autograd/adam.cc.o"
+  "CMakeFiles/galign_autograd.dir/autograd/adam.cc.o.d"
+  "CMakeFiles/galign_autograd.dir/autograd/ops.cc.o"
+  "CMakeFiles/galign_autograd.dir/autograd/ops.cc.o.d"
+  "CMakeFiles/galign_autograd.dir/autograd/tape.cc.o"
+  "CMakeFiles/galign_autograd.dir/autograd/tape.cc.o.d"
+  "libgalign_autograd.a"
+  "libgalign_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cenalp.cc" "src/CMakeFiles/galign_baselines.dir/baselines/cenalp.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/cenalp.cc.o.d"
+  "/root/repo/src/baselines/deeplink.cc" "src/CMakeFiles/galign_baselines.dir/baselines/deeplink.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/deeplink.cc.o.d"
+  "/root/repo/src/baselines/final.cc" "src/CMakeFiles/galign_baselines.dir/baselines/final.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/final.cc.o.d"
+  "/root/repo/src/baselines/ione.cc" "src/CMakeFiles/galign_baselines.dir/baselines/ione.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/ione.cc.o.d"
+  "/root/repo/src/baselines/isorank.cc" "src/CMakeFiles/galign_baselines.dir/baselines/isorank.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/isorank.cc.o.d"
+  "/root/repo/src/baselines/naive.cc" "src/CMakeFiles/galign_baselines.dir/baselines/naive.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/naive.cc.o.d"
+  "/root/repo/src/baselines/netalign.cc" "src/CMakeFiles/galign_baselines.dir/baselines/netalign.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/netalign.cc.o.d"
+  "/root/repo/src/baselines/pale.cc" "src/CMakeFiles/galign_baselines.dir/baselines/pale.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/pale.cc.o.d"
+  "/root/repo/src/baselines/regal.cc" "src/CMakeFiles/galign_baselines.dir/baselines/regal.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/regal.cc.o.d"
+  "/root/repo/src/baselines/skipgram.cc" "src/CMakeFiles/galign_baselines.dir/baselines/skipgram.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/skipgram.cc.o.d"
+  "/root/repo/src/baselines/unialign.cc" "src/CMakeFiles/galign_baselines.dir/baselines/unialign.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/unialign.cc.o.d"
+  "/root/repo/src/baselines/walks.cc" "src/CMakeFiles/galign_baselines.dir/baselines/walks.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/walks.cc.o.d"
+  "/root/repo/src/baselines/xnetmf.cc" "src/CMakeFiles/galign_baselines.dir/baselines/xnetmf.cc.o" "gcc" "src/CMakeFiles/galign_baselines.dir/baselines/xnetmf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/galign_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_baselines.dir/baselines/cenalp.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/cenalp.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/deeplink.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/deeplink.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/final.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/final.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/ione.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/ione.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/isorank.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/isorank.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/naive.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/naive.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/netalign.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/netalign.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/pale.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/pale.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/regal.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/regal.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/skipgram.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/skipgram.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/unialign.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/unialign.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/walks.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/walks.cc.o.d"
+  "CMakeFiles/galign_baselines.dir/baselines/xnetmf.cc.o"
+  "CMakeFiles/galign_baselines.dir/baselines/xnetmf.cc.o.d"
+  "libgalign_baselines.a"
+  "libgalign_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

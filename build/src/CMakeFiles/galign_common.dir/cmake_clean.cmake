@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_common.dir/common/logging.cc.o"
+  "CMakeFiles/galign_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/galign_common.dir/common/parallel.cc.o"
+  "CMakeFiles/galign_common.dir/common/parallel.cc.o.d"
+  "CMakeFiles/galign_common.dir/common/rng.cc.o"
+  "CMakeFiles/galign_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/galign_common.dir/common/status.cc.o"
+  "CMakeFiles/galign_common.dir/common/status.cc.o.d"
+  "libgalign_common.a"
+  "libgalign_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

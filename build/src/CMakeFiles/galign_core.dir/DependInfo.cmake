@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/augmenter.cc" "src/CMakeFiles/galign_core.dir/core/augmenter.cc.o" "gcc" "src/CMakeFiles/galign_core.dir/core/augmenter.cc.o.d"
+  "/root/repo/src/core/config.cc" "src/CMakeFiles/galign_core.dir/core/config.cc.o" "gcc" "src/CMakeFiles/galign_core.dir/core/config.cc.o.d"
+  "/root/repo/src/core/galign.cc" "src/CMakeFiles/galign_core.dir/core/galign.cc.o" "gcc" "src/CMakeFiles/galign_core.dir/core/galign.cc.o.d"
+  "/root/repo/src/core/gcn.cc" "src/CMakeFiles/galign_core.dir/core/gcn.cc.o" "gcc" "src/CMakeFiles/galign_core.dir/core/gcn.cc.o.d"
+  "/root/repo/src/core/losses.cc" "src/CMakeFiles/galign_core.dir/core/losses.cc.o" "gcc" "src/CMakeFiles/galign_core.dir/core/losses.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/CMakeFiles/galign_core.dir/core/model_io.cc.o" "gcc" "src/CMakeFiles/galign_core.dir/core/model_io.cc.o.d"
+  "/root/repo/src/core/refinement.cc" "src/CMakeFiles/galign_core.dir/core/refinement.cc.o" "gcc" "src/CMakeFiles/galign_core.dir/core/refinement.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/CMakeFiles/galign_core.dir/core/trainer.cc.o" "gcc" "src/CMakeFiles/galign_core.dir/core/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/galign_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

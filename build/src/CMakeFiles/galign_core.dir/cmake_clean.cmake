@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_core.dir/core/augmenter.cc.o"
+  "CMakeFiles/galign_core.dir/core/augmenter.cc.o.d"
+  "CMakeFiles/galign_core.dir/core/config.cc.o"
+  "CMakeFiles/galign_core.dir/core/config.cc.o.d"
+  "CMakeFiles/galign_core.dir/core/galign.cc.o"
+  "CMakeFiles/galign_core.dir/core/galign.cc.o.d"
+  "CMakeFiles/galign_core.dir/core/gcn.cc.o"
+  "CMakeFiles/galign_core.dir/core/gcn.cc.o.d"
+  "CMakeFiles/galign_core.dir/core/losses.cc.o"
+  "CMakeFiles/galign_core.dir/core/losses.cc.o.d"
+  "CMakeFiles/galign_core.dir/core/model_io.cc.o"
+  "CMakeFiles/galign_core.dir/core/model_io.cc.o.d"
+  "CMakeFiles/galign_core.dir/core/refinement.cc.o"
+  "CMakeFiles/galign_core.dir/core/refinement.cc.o.d"
+  "CMakeFiles/galign_core.dir/core/trainer.cc.o"
+  "CMakeFiles/galign_core.dir/core/trainer.cc.o.d"
+  "libgalign_core.a"
+  "libgalign_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

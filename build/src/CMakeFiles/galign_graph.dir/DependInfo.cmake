@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/galign_graph.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/galign_graph.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/galign_graph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/galign_graph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/galign_graph.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/galign_graph.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/kcore.cc" "src/CMakeFiles/galign_graph.dir/graph/kcore.cc.o" "gcc" "src/CMakeFiles/galign_graph.dir/graph/kcore.cc.o.d"
+  "/root/repo/src/graph/noise.cc" "src/CMakeFiles/galign_graph.dir/graph/noise.cc.o" "gcc" "src/CMakeFiles/galign_graph.dir/graph/noise.cc.o.d"
+  "/root/repo/src/graph/similarity.cc" "src/CMakeFiles/galign_graph.dir/graph/similarity.cc.o" "gcc" "src/CMakeFiles/galign_graph.dir/graph/similarity.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/galign_graph.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/galign_graph.dir/graph/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/galign_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_graph.dir/graph/generators.cc.o"
+  "CMakeFiles/galign_graph.dir/graph/generators.cc.o.d"
+  "CMakeFiles/galign_graph.dir/graph/graph.cc.o"
+  "CMakeFiles/galign_graph.dir/graph/graph.cc.o.d"
+  "CMakeFiles/galign_graph.dir/graph/io.cc.o"
+  "CMakeFiles/galign_graph.dir/graph/io.cc.o.d"
+  "CMakeFiles/galign_graph.dir/graph/kcore.cc.o"
+  "CMakeFiles/galign_graph.dir/graph/kcore.cc.o.d"
+  "CMakeFiles/galign_graph.dir/graph/noise.cc.o"
+  "CMakeFiles/galign_graph.dir/graph/noise.cc.o.d"
+  "CMakeFiles/galign_graph.dir/graph/similarity.cc.o"
+  "CMakeFiles/galign_graph.dir/graph/similarity.cc.o.d"
+  "CMakeFiles/galign_graph.dir/graph/stats.cc.o"
+  "CMakeFiles/galign_graph.dir/graph/stats.cc.o.d"
+  "libgalign_graph.a"
+  "libgalign_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/la/decomposition.cc" "src/CMakeFiles/galign_la.dir/la/decomposition.cc.o" "gcc" "src/CMakeFiles/galign_la.dir/la/decomposition.cc.o.d"
+  "/root/repo/src/la/matrix.cc" "src/CMakeFiles/galign_la.dir/la/matrix.cc.o" "gcc" "src/CMakeFiles/galign_la.dir/la/matrix.cc.o.d"
+  "/root/repo/src/la/ops.cc" "src/CMakeFiles/galign_la.dir/la/ops.cc.o" "gcc" "src/CMakeFiles/galign_la.dir/la/ops.cc.o.d"
+  "/root/repo/src/la/sparse.cc" "src/CMakeFiles/galign_la.dir/la/sparse.cc.o" "gcc" "src/CMakeFiles/galign_la.dir/la/sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/galign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_la.dir/la/decomposition.cc.o"
+  "CMakeFiles/galign_la.dir/la/decomposition.cc.o.d"
+  "CMakeFiles/galign_la.dir/la/matrix.cc.o"
+  "CMakeFiles/galign_la.dir/la/matrix.cc.o.d"
+  "CMakeFiles/galign_la.dir/la/ops.cc.o"
+  "CMakeFiles/galign_la.dir/la/ops.cc.o.d"
+  "CMakeFiles/galign_la.dir/la/sparse.cc.o"
+  "CMakeFiles/galign_la.dir/la/sparse.cc.o.d"
+  "libgalign_la.a"
+  "libgalign_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_manifold.dir/manifold/pca.cc.o"
+  "CMakeFiles/galign_manifold.dir/manifold/pca.cc.o.d"
+  "CMakeFiles/galign_manifold.dir/manifold/tsne.cc.o"
+  "CMakeFiles/galign_manifold.dir/manifold/tsne.cc.o.d"
+  "libgalign_manifold.a"
+  "libgalign_manifold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_manifold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/alignment_io_test.cc" "tests/CMakeFiles/alignment_io_test.dir/alignment_io_test.cc.o" "gcc" "tests/CMakeFiles/alignment_io_test.dir/alignment_io_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/galign_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_manifold.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/galign_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deeplink_test.dir/deeplink_test.cc.o"
+  "CMakeFiles/deeplink_test.dir/deeplink_test.cc.o.d"
+  "deeplink_test"
+  "deeplink_test.pdb"
+  "deeplink_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deeplink_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galign_test.dir/galign_test.cc.o"
+  "CMakeFiles/galign_test.dir/galign_test.cc.o.d"
+  "galign_test"
+  "galign_test.pdb"
+  "galign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ione_test.dir/ione_test.cc.o"
+  "CMakeFiles/ione_test.dir/ione_test.cc.o.d"
+  "ione_test"
+  "ione_test.pdb"
+  "ione_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ione_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/la_ops_test.dir/la_ops_test.cc.o"
+  "CMakeFiles/la_ops_test.dir/la_ops_test.cc.o.d"
+  "la_ops_test"
+  "la_ops_test.pdb"
+  "la_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/la_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

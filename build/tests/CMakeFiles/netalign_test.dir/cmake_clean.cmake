@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netalign_test.dir/netalign_test.cc.o"
+  "CMakeFiles/netalign_test.dir/netalign_test.cc.o.d"
+  "netalign_test"
+  "netalign_test.pdb"
+  "netalign_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netalign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

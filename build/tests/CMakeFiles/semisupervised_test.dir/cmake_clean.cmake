@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semisupervised_test.dir/semisupervised_test.cc.o"
+  "CMakeFiles/semisupervised_test.dir/semisupervised_test.cc.o.d"
+  "semisupervised_test"
+  "semisupervised_test.pdb"
+  "semisupervised_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semisupervised_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walks_pr_test.dir/walks_pr_test.cc.o"
+  "CMakeFiles/walks_pr_test.dir/walks_pr_test.cc.o.d"
+  "walks_pr_test"
+  "walks_pr_test.pdb"
+  "walks_pr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walks_pr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
