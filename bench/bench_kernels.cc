@@ -48,6 +48,34 @@ void BM_Gemm(benchmark::State& state) {
 }
 BENCHMARK(BM_Gemm)->Arg(1000)->Arg(4000)->Arg(16000);
 
+void BM_GemmReference(benchmark::State& state) {
+  // The retained naive kernel, for before/after ratios on this machine.
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Matrix a = Matrix::Gaussian(n, 128, &rng);
+  Matrix w = Matrix::Gaussian(128, 128, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::MatMul(a, w));
+  }
+  state.SetItemsProcessed(state.iterations() * n * 128 * 128);
+}
+BENCHMARK(BM_GemmReference)->Arg(1000)->Arg(4000);
+
+void BM_GemmInto(benchmark::State& state) {
+  // Allocation-free steady state: output + packed panels are reused.
+  const int64_t n = state.range(0);
+  Rng rng(2);
+  Matrix a = Matrix::Gaussian(n, 128, &rng);
+  Matrix w = Matrix::Gaussian(128, 128, &rng);
+  Matrix out;
+  for (auto _ : state) {
+    MatMulInto(a, w, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * 128 * 128);
+}
+BENCHMARK(BM_GemmInto)->Arg(1000)->Arg(4000)->Arg(16000);
+
 void BM_AlignmentKernel(benchmark::State& state) {
   // S^(l) = H_s H_t^T (Eq. 11) — the quadratic part of instantiation.
   const int64_t n = state.range(0);
@@ -59,7 +87,48 @@ void BM_AlignmentKernel(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * n * n * 128);
 }
-BENCHMARK(BM_AlignmentKernel)->Arg(500)->Arg(1000)->Arg(2000);
+BENCHMARK(BM_AlignmentKernel)->Arg(500)->Arg(1000)->Arg(2000)->Arg(4000);
+
+void BM_AlignmentKernelReference(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(3);
+  Matrix hs = Matrix::Gaussian(n, 128, &rng);
+  Matrix ht = Matrix::Gaussian(n, 128, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reference::MatMulTransposedB(hs, ht));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * 128);
+}
+BENCHMARK(BM_AlignmentKernelReference)->Arg(1000)->Arg(4000);
+
+void BM_SpMMTransposed(benchmark::State& state) {
+  // Repeated C^T H as in every training epoch's backward pass; the CSR
+  // transpose is memoized after the first call.
+  const int64_t n = state.range(0);
+  AttributedGraph g = BenchGraph(n, 8);
+  auto lap = g.NormalizedAdjacency().MoveValueOrDie();
+  Rng rng(9);
+  Matrix h = Matrix::Gaussian(n, 128, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lap.TransposedMultiply(h));
+  }
+  state.SetItemsProcessed(state.iterations() * lap.nnz() * 128);
+}
+BENCHMARK(BM_SpMMTransposed)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_TopKRow(benchmark::State& state) {
+  // Per-row top-k selection as used by TopKAnchors (k = 10 of n columns).
+  const int64_t n = state.range(0);
+  Rng rng(10);
+  Matrix s = Matrix::Gaussian(16, n, &rng);
+  int64_t r = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopKRow(s, r, 10));
+    r = (r + 1) % s.rows();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_TopKRow)->Arg(4000)->Arg(16000);
 
 void BM_ConsistencyLossFused(benchmark::State& state) {
   // The fused O(ed + nd^2) loss: compare its growth to n^2 d by eye.

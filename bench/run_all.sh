@@ -29,3 +29,12 @@ done
 
 echo "### bench_kernels"
 "${BENCH_DIR}/bench_kernels" --benchmark_min_time=0.2 || echo "(FAILED: bench_kernels)"
+
+# Machine-readable kernel numbers at the repo root, seeding the perf
+# trajectory across PRs (BM_*Reference entries are the retained naive
+# kernels, so each snapshot carries its own before/after ratio).
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+echo "### bench_kernels (json -> BENCH_kernels.json)"
+"${BENCH_DIR}/bench_kernels" --benchmark_min_time=0.2 \
+    --benchmark_format=json > "${REPO_ROOT}/BENCH_kernels.json" \
+  || echo "(FAILED: bench_kernels json)"

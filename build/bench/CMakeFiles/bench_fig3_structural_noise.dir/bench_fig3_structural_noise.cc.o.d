@@ -228,6 +228,13 @@ bench/CMakeFiles/bench_fig3_structural_noise.dir/bench_fig3_structural_noise.cc.
  /usr/include/c++/12/bits/random.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
+ /usr/include/c++/12/stdlib.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
@@ -235,7 +242,10 @@ bench/CMakeFiles/bench_fig3_structural_noise.dir/bench_fig3_structural_noise.cc.
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/graph/graph.h /root/repo/src/la/matrix.h \
- /root/repo/src/la/sparse.h /root/repo/src/graph/noise.h \
+ /root/repo/src/la/sparse.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/graph/noise.h \
  /root/repo/src/align/metrics.h /root/repo/src/baselines/cenalp.h \
  /root/repo/src/baselines/skipgram.h /root/repo/src/baselines/walks.h \
  /root/repo/src/baselines/deeplink.h /root/repo/src/baselines/final.h \

@@ -158,6 +158,13 @@ examples/CMakeFiles/movie_kb_alignment.dir/movie_kb_alignment.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
+ /usr/include/c++/12/stdlib.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
@@ -168,9 +175,7 @@ examples/CMakeFiles/movie_kb_alignment.dir/movie_kb_alignment.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/graph/graph.h /root/repo/src/la/matrix.h \
- /root/repo/src/la/sparse.h /root/repo/src/graph/noise.h \
- /root/repo/src/align/metrics.h /root/repo/src/core/galign.h \
- /usr/include/c++/12/memory \
+ /root/repo/src/la/sparse.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -239,7 +244,11 @@ examples/CMakeFiles/movie_kb_alignment.dir/movie_kb_alignment.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/graph/noise.h \
+ /root/repo/src/align/metrics.h /root/repo/src/core/galign.h \
  /root/repo/src/align/alignment.h /root/repo/src/core/config.h \
  /root/repo/src/core/gcn.h /root/repo/src/autograd/ops.h \
  /root/repo/src/autograd/tape.h /usr/include/c++/12/functional \

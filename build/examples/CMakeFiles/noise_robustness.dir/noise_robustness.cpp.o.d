@@ -149,6 +149,13 @@ examples/CMakeFiles/noise_robustness.dir/noise_robustness.cpp.o: \
  /usr/include/c++/12/bits/random.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
+ /usr/include/c++/12/stdlib.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
@@ -160,9 +167,8 @@ examples/CMakeFiles/noise_robustness.dir/noise_robustness.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/graph/graph.h /root/repo/src/la/matrix.h \
- /root/repo/src/la/sparse.h /root/repo/src/graph/noise.h \
- /root/repo/src/align/metrics.h /root/repo/src/align/pipeline.h \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/la/sparse.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/uses_allocator.h \
@@ -232,7 +238,11 @@ examples/CMakeFiles/noise_robustness.dir/noise_robustness.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/graph/noise.h \
+ /root/repo/src/align/metrics.h /root/repo/src/align/pipeline.h \
  /root/repo/src/align/alignment.h /root/repo/src/core/galign.h \
  /root/repo/src/core/config.h /root/repo/src/core/gcn.h \
  /root/repo/src/autograd/ops.h /root/repo/src/autograd/tape.h \

@@ -150,6 +150,13 @@ examples/CMakeFiles/social_deanonymization.dir/social_deanonymization.cpp.o: \
  /usr/include/c++/12/bits/random.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
+ /usr/include/c++/12/stdlib.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h /usr/include/c++/12/bit \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
@@ -161,8 +168,7 @@ examples/CMakeFiles/social_deanonymization.dir/social_deanonymization.cpp.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/align/datasets.h /root/repo/src/graph/graph.h \
- /root/repo/src/la/sparse.h /root/repo/src/graph/noise.h \
- /root/repo/src/align/pipeline.h /usr/include/c++/12/memory \
+ /root/repo/src/la/sparse.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h \
@@ -233,14 +239,17 @@ examples/CMakeFiles/social_deanonymization.dir/social_deanonymization.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h \
- /root/repo/src/align/alignment.h /root/repo/src/baselines/final.h \
- /root/repo/src/baselines/isorank.h /root/repo/src/baselines/pale.h \
- /root/repo/src/baselines/regal.h /root/repo/src/baselines/xnetmf.h \
- /root/repo/src/core/galign.h /root/repo/src/core/config.h \
- /root/repo/src/core/gcn.h /root/repo/src/autograd/ops.h \
- /root/repo/src/autograd/tape.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/graph/noise.h \
+ /root/repo/src/align/pipeline.h /root/repo/src/align/alignment.h \
+ /root/repo/src/baselines/final.h /root/repo/src/baselines/isorank.h \
+ /root/repo/src/baselines/pale.h /root/repo/src/baselines/regal.h \
+ /root/repo/src/baselines/xnetmf.h /root/repo/src/core/galign.h \
+ /root/repo/src/core/config.h /root/repo/src/core/gcn.h \
+ /root/repo/src/autograd/ops.h /root/repo/src/autograd/tape.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/node_handle.h \

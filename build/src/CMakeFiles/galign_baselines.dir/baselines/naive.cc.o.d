@@ -231,7 +231,10 @@ src/CMakeFiles/galign_baselines.dir/baselines/naive.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/graph/graph.h /root/repo/src/la/matrix.h \
- /root/repo/src/la/sparse.h /root/repo/src/graph/noise.h \
+ /root/repo/src/la/sparse.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/graph/noise.h \
  /root/repo/src/la/ops.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \

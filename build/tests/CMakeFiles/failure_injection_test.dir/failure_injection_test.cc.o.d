@@ -319,12 +319,20 @@ tests/CMakeFiles/failure_injection_test.dir/failure_injection_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /usr/include/c++/12/bits/random.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/opt_random.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/pmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/emmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/xmmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mmintrin.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mm_malloc.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/mwaitintrin.h \
  /usr/include/c++/12/bits/random.tcc /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
  /root/repo/src/common/status.h /root/repo/src/baselines/final.h \
  /root/repo/src/align/alignment.h /root/repo/src/graph/graph.h \
- /root/repo/src/la/sparse.h /root/repo/src/graph/noise.h \
+ /root/repo/src/la/sparse.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/graph/noise.h \
  /root/repo/src/baselines/isorank.h /root/repo/src/baselines/naive.h \
  /root/repo/src/baselines/regal.h /root/repo/src/baselines/xnetmf.h \
  /root/repo/src/baselines/unialign.h /root/repo/src/core/galign.h \

@@ -25,10 +25,12 @@ Var MatMul(Tape* t, Var a, Var b) {
       [a, b](Tape* tp, Var self) {
         const Matrix& g = tp->grad(self);
         if (tp->requires_grad(a)) {
-          tp->AccumulateGrad(a, MatMulTransposedB(g, tp->value(b)));
+          MatMulTransposedBInto(g, tp->value(b), tp->EnsureGrad(a),
+                                /*accumulate=*/true);
         }
         if (tp->requires_grad(b)) {
-          tp->AccumulateGrad(b, MatMulTransposedA(tp->value(a), g));
+          MatMulTransposedAInto(tp->value(a), g, tp->EnsureGrad(b),
+                                /*accumulate=*/true);
         }
       },
       rg);
@@ -42,7 +44,8 @@ Var SpMM(Tape* t, const SparseMatrix* sparse, Var x) {
       std::move(y), {x},
       [sparse, x](Tape* tp, Var self) {
         if (tp->requires_grad(x)) {
-          tp->AccumulateGrad(x, sparse->TransposedMultiply(tp->grad(self)));
+          sparse->TransposedMultiplyInto(tp->grad(self), tp->EnsureGrad(x),
+                                         /*accumulate=*/true);
         }
       },
       rg);
@@ -57,11 +60,10 @@ Var Tanh(Tape* t, Var x) {
         if (!tp->requires_grad(x)) return;
         const Matrix& y = tp->value(self);
         const Matrix& g = tp->grad(self);
-        Matrix dx(y.rows(), y.cols());
+        double* gx = tp->EnsureGrad(x)->data();
         for (int64_t i = 0; i < y.size(); ++i) {
-          dx.data()[i] = g.data()[i] * (1.0 - y.data()[i] * y.data()[i]);
+          gx[i] += g.data()[i] * (1.0 - y.data()[i] * y.data()[i]);
         }
-        tp->AccumulateGrad(x, dx);
       },
       rg);
 }
@@ -76,11 +78,10 @@ Var Sigmoid(Tape* t, Var x) {
         if (!tp->requires_grad(x)) return;
         const Matrix& y = tp->value(self);
         const Matrix& g = tp->grad(self);
-        Matrix dx(y.rows(), y.cols());
+        double* gx = tp->EnsureGrad(x)->data();
         for (int64_t i = 0; i < y.size(); ++i) {
-          dx.data()[i] = g.data()[i] * y.data()[i] * (1.0 - y.data()[i]);
+          gx[i] += g.data()[i] * y.data()[i] * (1.0 - y.data()[i]);
         }
-        tp->AccumulateGrad(x, dx);
       },
       rg);
 }
@@ -94,11 +95,10 @@ Var Relu(Tape* t, Var x) {
         if (!tp->requires_grad(x)) return;
         const Matrix& xv = tp->value(x);
         const Matrix& g = tp->grad(self);
-        Matrix dx(xv.rows(), xv.cols());
+        double* gx = tp->EnsureGrad(x)->data();
         for (int64_t i = 0; i < xv.size(); ++i) {
-          dx.data()[i] = xv.data()[i] > 0.0 ? g.data()[i] : 0.0;
+          if (xv.data()[i] > 0.0) gx[i] += g.data()[i];
         }
-        tp->AccumulateGrad(x, dx);
       },
       rg);
 }
@@ -311,7 +311,7 @@ Var ConsistencyLoss(Tape* t, const SparseMatrix* c, Var h) {
         const Matrix& hv = tp->value(h);
         // d||C - HH^T||^2 / dH = -2 (C + C^T) H + 4 H (H^T H)
         Matrix grad = c->Multiply(hv);
-        grad.Add(c->TransposedMultiply(hv));
+        c->TransposedMultiplyInto(hv, &grad, /*accumulate=*/true);
         grad.Scale(-2.0);
         grad.Axpy(4.0, galign::MatMul(hv, gram));
         // Chain rule for the sqrt: factor g / (2 norm).

@@ -36,6 +36,15 @@ void Tape::AccumulateGrad(Var v, double alpha, const Matrix& delta) {
   n.grad.Axpy(alpha, delta);
 }
 
+Matrix* Tape::EnsureGrad(Var v) {
+  Node& n = nodes_[v.id];
+  GALIGN_DCHECK(n.requires_grad);
+  if (n.grad.empty()) {
+    n.grad = Matrix(n.value.rows(), n.value.cols());
+  }
+  return &n.grad;
+}
+
 void Tape::Backward(Var root) {
   GALIGN_DCHECK(root.valid() && root.id < size());
   Node& r = nodes_[root.id];

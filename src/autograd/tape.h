@@ -56,6 +56,12 @@ class Tape {
   /// Adds alpha * delta into v's gradient accumulator.
   void AccumulateGrad(Var v, double alpha, const Matrix& delta);
 
+  /// Returns v's gradient accumulator, allocating a zero matrix of v's
+  /// shape on first use. Lets backward fns accumulate straight into the
+  /// buffer via the kernels' `*Into(..., accumulate=true)` forms instead of
+  /// materializing a temporary and Axpy-ing it in. v must require grad.
+  Matrix* EnsureGrad(Var v);
+
   /// Runs reverse-mode accumulation from `root`, which must hold a 1x1
   /// value. Gradients of all requires_grad nodes are populated.
   void Backward(Var root);

@@ -85,26 +85,34 @@ std::vector<Matrix> MultiOrderGcn::ForwardInference(
   GALIGN_DCHECK(features.cols() == input_dim_);
   std::vector<Matrix> layers;
   layers.reserve(weights_.size() + 1);
-  Matrix h = features;
-  h.NormalizeRows();
-  layers.push_back(h);
+  {
+    Matrix h = features;
+    h.NormalizeRows();
+    layers.push_back(std::move(h));
+  }
+  // `agg` is reused across layers (same n x d after layer one) and the
+  // activation is applied in place, so each layer allocates only the matrix
+  // that ends up stored in `layers`. The reserve above keeps row pointers
+  // stable, so reading the previous layer by reference is safe.
+  Matrix agg;
   for (const Matrix& w : weights_) {
-    Matrix pre = MatMul(laplacian.Multiply(h), w);
-    Matrix act;
+    laplacian.MultiplyInto(layers.back(), &agg);
+    Matrix pre;
+    MatMulInto(agg, w, &pre);
     switch (activation_) {
       case Activation::kTanh:
-        act = Tanh(pre);
+        TanhInto(pre, &pre);
         break;
       case Activation::kRelu:
-        act = Map(pre, [](double v) { return v > 0.0 ? v : 0.0; });
+        for (int64_t i = 0; i < pre.size(); ++i) {
+          pre.data()[i] = pre.data()[i] > 0.0 ? pre.data()[i] : 0.0;
+        }
         break;
       case Activation::kLinear:
-        act = std::move(pre);
         break;
     }
-    act.NormalizeRows();
-    layers.push_back(act);
-    h = layers.back();
+    pre.NormalizeRows();
+    layers.push_back(std::move(pre));
   }
   return layers;
 }

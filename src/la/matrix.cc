@@ -47,6 +47,13 @@ Matrix Matrix::Xavier(int64_t fan_in, int64_t fan_out, Rng* rng) {
   return Uniform(fan_in, fan_out, rng, -limit, limit);
 }
 
+void Matrix::Resize(int64_t rows, int64_t cols) {
+  GALIGN_DCHECK(rows >= 0 && cols >= 0);
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 Result<double> Matrix::At(int64_t r, int64_t c) const {
   if (r < 0 || r >= rows_ || c < 0 || c >= cols_) {
     return Status::OutOfRange("Matrix::At(" + std::to_string(r) + ", " +

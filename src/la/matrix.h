@@ -65,6 +65,13 @@ class Matrix {
   /// Copies the sub-block [r0, r0+nrows) x [c0, c0+ncols).
   Matrix Block(int64_t r0, int64_t c0, int64_t nrows, int64_t ncols) const;
 
+  /// Reshapes to rows x cols without preserving contents. Reuses the
+  /// existing allocation when the total size already matches, so kernels
+  /// writing through `*Into(..., Matrix* out)` out-parameters avoid per-call
+  /// allocation churn. Entries are unspecified after the call unless the
+  /// caller overwrites them.
+  void Resize(int64_t rows, int64_t cols);
+
   /// Sets all entries to v.
   void Fill(double v);
   /// In-place element-wise scale.

@@ -1,6 +1,21 @@
 // Dense kernels: GEMM variants, element-wise maps, row-wise reductions and
-// top-k selection. All O(n^2)+ kernels parallelize over rows via the common
-// thread pool.
+// top-k selection.
+//
+// The GEMM family (MatMul / MatMulTransposedB / MatMulTransposedA) is backed
+// by a single cache-blocked, register-tiled kernel: operands are packed into
+// contiguous MC x KC / KC x NC panels held in thread-local workspaces and
+// consumed by a 4x8 micro-kernel the compiler auto-vectorizes. Work is
+// decomposed over a 2D grid of output tiles so the n x n alignment product
+// S = H_s H_t^T (Eq. 11) scales past row-parallelism. Every output tile is
+// produced by exactly one task with a fixed accumulation order, so results
+// are bitwise deterministic across runs regardless of thread scheduling.
+//
+// Each kernel has a `*Into(..., Matrix* out)` form that writes into a
+// caller-owned matrix (reusing its allocation when the shape matches) and
+// optionally accumulates (`out += ...`) — the autograd backward pass uses
+// the accumulate forms to add straight into gradient buffers. The
+// allocating forms are thin wrappers. Naive reference kernels are retained
+// in `reference::` for equivalence tests and before/after benchmarks.
 #pragma once
 
 #include <cstdint>
@@ -20,8 +35,25 @@ Matrix MatMulTransposedB(const Matrix& a, const Matrix& b);
 /// C = A^T * B.
 Matrix MatMulTransposedA(const Matrix& a, const Matrix& b);
 
+/// out = A * B, or out += A * B when accumulate is true. `out` must not
+/// alias an input; when accumulating it must already have shape (m x n).
+void MatMulInto(const Matrix& a, const Matrix& b, Matrix* out,
+                bool accumulate = false);
+
+/// out = A * B^T (out += when accumulate). Same aliasing/shape contract.
+void MatMulTransposedBInto(const Matrix& a, const Matrix& b, Matrix* out,
+                           bool accumulate = false);
+
+/// out = A^T * B (out += when accumulate). Same aliasing/shape contract.
+void MatMulTransposedAInto(const Matrix& a, const Matrix& b, Matrix* out,
+                           bool accumulate = false);
+
 /// Out-of-place transpose.
 Matrix Transpose(const Matrix& a);
+
+/// out = A^T, cache-blocked and parallel over column blocks. `out` must not
+/// alias `a`.
+void TransposeInto(const Matrix& a, Matrix* out);
 
 /// C = A + B (shapes must match).
 Matrix Add(const Matrix& a, const Matrix& b);
@@ -41,6 +73,9 @@ Matrix Map(const Matrix& a, const std::function<double(double)>& f);
 /// tanh applied element-wise (the paper's GCN activation, §IV-A).
 Matrix Tanh(const Matrix& a);
 
+/// out = tanh(A) element-wise; out == &a computes in place.
+void TanhInto(const Matrix& a, Matrix* out);
+
 /// <A, B> = sum_ij A_ij B_ij.
 double Dot(const Matrix& a, const Matrix& b);
 
@@ -58,6 +93,8 @@ int64_t ArgMaxRow(const Matrix& m, int64_t r);
 double MaxRow(const Matrix& m, int64_t r);
 
 /// Indices of the q largest entries of row r, in descending value order.
+/// Ties break toward the smaller column index. Uses a bounded heap —
+/// O(n log k) time and O(k) extra space per call.
 std::vector<int64_t> TopKRow(const Matrix& m, int64_t r, int64_t k);
 
 /// Rank (1-based) of column `col` when row r is sorted descending. Ties use
@@ -70,5 +107,19 @@ Matrix ConcatCols(const std::vector<const Matrix*>& parts);
 
 /// Row-wise softmax.
 Matrix SoftmaxRows(const Matrix& a);
+
+/// out = row-wise softmax of A, parallel over rows; out == &a is allowed.
+void SoftmaxRowsInto(const Matrix& a, Matrix* out);
+
+namespace reference {
+
+/// Naive triple-loop GEMM kernels kept as the ground truth for the blocked
+/// implementations. Serial, allocation-per-call; use only in tests and
+/// before/after benchmarks.
+Matrix MatMul(const Matrix& a, const Matrix& b);
+Matrix MatMulTransposedB(const Matrix& a, const Matrix& b);
+Matrix MatMulTransposedA(const Matrix& a, const Matrix& b);
+
+}  // namespace reference
 
 }  // namespace galign

@@ -2,9 +2,18 @@
 // Laplacians are stored in this format; SpMM against dense activations is the
 // dominant kernel of GCN training (paper §VI-C relies on this sparsity for
 // the O(ed) complexity bound).
+//
+// SpMM parallelism is nnz-balanced: row ranges are chosen so each task owns
+// roughly equal stored-entry counts, which keeps power-law graphs (a few
+// huge-degree rows, many tiny ones) from serializing on one chunk. The
+// transpose needed by TransposedMultiply is built once with a counting sort
+// and memoized, so repeated backward passes over the same propagation matrix
+// stop redoing O(e) work per call.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "common/status.h"
@@ -23,11 +32,15 @@ struct Triplet {
 ///
 /// Construction sorts and coalesces duplicate coordinates (values of
 /// duplicates are summed). Structure is fixed after construction; values can
-/// be rescaled via ScaleRow/ScaleValues for the noise-aware propagation of
-/// Eq. 15.
+/// be rescaled via ScaleRow/mutable_values for the noise-aware propagation
+/// of Eq. 15 (either invalidates the memoized transpose).
 class SparseMatrix {
  public:
   SparseMatrix() : rows_(0), cols_(0) {}
+  SparseMatrix(const SparseMatrix& other);
+  SparseMatrix& operator=(const SparseMatrix& other);
+  SparseMatrix(SparseMatrix&& other) noexcept;
+  SparseMatrix& operator=(SparseMatrix&& other) noexcept;
 
   /// Builds from triplets; duplicates are summed, explicit zeros dropped.
   static SparseMatrix FromTriplets(int64_t rows, int64_t cols,
@@ -43,7 +56,10 @@ class SparseMatrix {
   const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
   const std::vector<int64_t>& col_idx() const { return col_idx_; }
   const std::vector<double>& values() const { return values_; }
-  std::vector<double>& mutable_values() { return values_; }
+  std::vector<double>& mutable_values() {
+    InvalidateTransposeCache();
+    return values_;
+  }
 
   /// Number of stored entries in row r.
   int64_t RowNnz(int64_t r) const { return row_ptr_[r + 1] - row_ptr_[r]; }
@@ -57,17 +73,32 @@ class SparseMatrix {
   /// Dense copy (small matrices / tests only).
   Matrix ToDense() const;
 
-  /// Transposed copy.
+  /// Transposed copy, built in O(e) with a counting sort.
   SparseMatrix Transposed() const;
+
+  /// Memoized transpose, built on first use and shared by subsequent calls
+  /// (TransposedMultiply uses this). Invalidated by ScaleRow /
+  /// mutable_values. Thread-safe.
+  std::shared_ptr<const SparseMatrix> TransposedCached() const;
 
   /// Multiplies all stored values in row r by s.
   void ScaleRow(int64_t r, double s);
 
-  /// out = this * dense. Parallel over rows. Shapes: (r x c) * (c x d).
+  /// out = this * dense. Parallel over nnz-balanced row ranges.
+  /// Shapes: (r x c) * (c x d).
   Matrix Multiply(const Matrix& dense) const;
 
-  /// out = this^T * dense without materializing the transpose.
+  /// out = this * dense (out += when accumulate). `out` must not alias
+  /// `dense`; when accumulating it must already have shape (rows x d).
+  void MultiplyInto(const Matrix& dense, Matrix* out,
+                    bool accumulate = false) const;
+
+  /// out = this^T * dense, via the memoized transpose.
   Matrix TransposedMultiply(const Matrix& dense) const;
+
+  /// out = this^T * dense (out += when accumulate).
+  void TransposedMultiplyInto(const Matrix& dense, Matrix* out,
+                              bool accumulate = false) const;
 
   /// Returns D^{-1/2} (this + I) D^{-1/2} where D is the degree (row-sum)
   /// matrix of (this + I) — the normalized Laplacian-style propagation
@@ -80,11 +111,19 @@ class SparseMatrix {
       const std::vector<double>& alpha) const;
 
  private:
+  void InvalidateTransposeCache();
+
   int64_t rows_;
   int64_t cols_;
   std::vector<int64_t> row_ptr_;   // size rows + 1
   std::vector<int64_t> col_idx_;   // size nnz
   std::vector<double> values_;     // size nnz
+
+  // Lazily built transpose shared across TransposedMultiply calls. Guarded
+  // by transpose_mu_; deliberately not propagated by copy/move (rebuilt on
+  // demand).
+  mutable std::mutex transpose_mu_;
+  mutable std::shared_ptr<const SparseMatrix> transpose_cache_;
 };
 
 }  // namespace galign

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 
@@ -54,6 +58,93 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(17, 9, 23), std::make_tuple(64, 64, 64),
                       std::make_tuple(130, 7, 130),
                       std::make_tuple(5, 200, 5)));
+
+double FrobDiff(const Matrix& a, const Matrix& b) {
+  EXPECT_TRUE(a.SameShape(b));
+  double s = 0.0;
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+// Blocked kernels vs. the retained naive references, on shapes chosen to
+// exercise every fringe of the blocking scheme: empty extents, single
+// elements, micro-tile remainders (non-multiples of 4/8), and dimensions
+// crossing the MC=96 / KC=256 / NC=1024 panel boundaries.
+TEST(BlockedGemmTest, MatchesReferenceAcrossShapes) {
+  const std::vector<std::tuple<int64_t, int64_t, int64_t>> shapes = {
+      {0, 5, 3},   {4, 0, 3},    {3, 5, 0},    {1, 1, 1},    {2, 3, 1},
+      {4, 8, 8},   {5, 9, 11},   {96, 16, 64}, {97, 13, 130}, {33, 257, 9},
+      {7, 300, 1029}, {100, 128, 100}, {130, 70, 1025}};
+  for (const auto& [m, k, n] : shapes) {
+    Rng rng(1000 + m * 31 + k * 7 + n);
+    Matrix a = Matrix::Gaussian(m, k, &rng);
+    Matrix b = Matrix::Gaussian(k, n, &rng);
+    Matrix at = Transpose(a);
+    Matrix bt = Transpose(b);
+    const Matrix expected = reference::MatMul(a, b);
+    EXPECT_LT(FrobDiff(MatMul(a, b), expected), 1e-9)
+        << "MatMul " << m << "x" << k << "x" << n;
+    EXPECT_LT(FrobDiff(MatMulTransposedB(a, bt), expected), 1e-9)
+        << "MatMulTransposedB " << m << "x" << k << "x" << n;
+    EXPECT_LT(FrobDiff(MatMulTransposedA(at, b), expected), 1e-9)
+        << "MatMulTransposedA " << m << "x" << k << "x" << n;
+  }
+}
+
+TEST(BlockedGemmTest, IntoReusesAndAccumulates) {
+  Rng rng(7);
+  Matrix a = Matrix::Gaussian(37, 19, &rng);
+  Matrix b = Matrix::Gaussian(19, 41, &rng);
+  const Matrix expected = reference::MatMul(a, b);
+  // Wrong-shaped out is resized; a second accumulate pass doubles it.
+  Matrix out(3, 2, 99.0);
+  MatMulInto(a, b, &out);
+  EXPECT_LT(FrobDiff(out, expected), 1e-9);
+  MatMulInto(a, b, &out, /*accumulate=*/true);
+  Matrix doubled = expected;
+  doubled.Scale(2.0);
+  EXPECT_LT(FrobDiff(out, doubled), 1e-9);
+
+  Matrix out_bt(37, 41, -5.0);
+  MatMulTransposedBInto(a, Transpose(b), &out_bt);
+  EXPECT_LT(FrobDiff(out_bt, expected), 1e-9);
+  Matrix out_at;
+  MatMulTransposedAInto(Transpose(a), b, &out_at);
+  EXPECT_LT(FrobDiff(out_at, expected), 1e-9);
+}
+
+// ParallelFor partitioning must not leak into results: every output tile is
+// owned by one task with a fixed accumulation order, so two runs must agree
+// bit for bit.
+TEST(BlockedGemmTest, RunToRunDeterministic) {
+  Rng rng(11);
+  Matrix a = Matrix::Gaussian(201, 130, &rng);
+  Matrix b = Matrix::Gaussian(130, 99, &rng);
+  Matrix c1 = MatMul(a, b);
+  Matrix c2 = MatMul(a, b);
+  ASSERT_TRUE(c1.SameShape(c2));
+  EXPECT_EQ(std::memcmp(c1.data(), c2.data(), c1.size() * sizeof(double)), 0);
+  Matrix s1 = MatMulTransposedB(a, Transpose(b));
+  Matrix s2 = MatMulTransposedB(a, Transpose(b));
+  EXPECT_EQ(std::memcmp(s1.data(), s2.data(), s1.size() * sizeof(double)), 0);
+}
+
+TEST(OpsTest, TransposeBlockedMatchesNaiveOddShapes) {
+  for (auto [r, c] : std::vector<std::pair<int64_t, int64_t>>{
+           {1, 1}, {5, 33}, {64, 64}, {37, 65}, {100, 3}}) {
+    Rng rng(r * 100 + c);
+    Matrix a = Matrix::Gaussian(r, c, &rng);
+    Matrix t = Transpose(a);
+    ASSERT_EQ(t.rows(), c);
+    ASSERT_EQ(t.cols(), r);
+    for (int64_t i = 0; i < r; ++i) {
+      for (int64_t j = 0; j < c; ++j) EXPECT_EQ(t(j, i), a(i, j));
+    }
+  }
+}
 
 TEST(OpsTest, TransposeRoundTrip) {
   Rng rng(1);
@@ -124,6 +215,41 @@ TEST(OpsTest, TopKRowOrdering) {
 TEST(OpsTest, TopKClampsToWidth) {
   Matrix m{{1.0, 2.0}};
   EXPECT_EQ(TopKRow(m, 0, 10).size(), 2u);
+}
+
+TEST(OpsTest, TopKRowMatchesSortReference) {
+  Rng rng(21);
+  // Duplicated values (coarse quantization) exercise the tie rule: equal
+  // values rank by ascending column index.
+  Matrix m(6, 200);
+  for (int64_t i = 0; i < m.size(); ++i) {
+    m.data()[i] = std::floor(rng.Uniform(0.0, 8.0));
+  }
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t k : {1, 3, 10, 199, 200}) {
+      std::vector<int64_t> ref(m.cols());
+      for (int64_t c = 0; c < m.cols(); ++c) ref[c] = c;
+      std::sort(ref.begin(), ref.end(), [&](int64_t a, int64_t b) {
+        return m(r, a) != m(r, b) ? m(r, a) > m(r, b) : a < b;
+      });
+      ref.resize(k);
+      EXPECT_EQ(TopKRow(m, r, k), ref) << "row " << r << " k " << k;
+    }
+  }
+}
+
+TEST(OpsTest, TanhIntoInPlaceAndSoftmaxInto) {
+  Rng rng(22);
+  Matrix a = Matrix::Gaussian(9, 13, &rng, 2.0);
+  Matrix expected = Tanh(a);
+  Matrix inplace = a;
+  TanhInto(inplace, &inplace);
+  EXPECT_LT(Matrix::MaxAbsDiff(inplace, expected), 1e-15);
+
+  Matrix sm_expected = SoftmaxRows(a);
+  Matrix sm = a;
+  SoftmaxRowsInto(sm, &sm);
+  EXPECT_LT(Matrix::MaxAbsDiff(sm, sm_expected), 1e-15);
 }
 
 TEST(OpsTest, RankInRow) {

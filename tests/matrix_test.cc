@@ -163,5 +163,18 @@ TEST(MatrixTest, SameShape) {
   EXPECT_FALSE(Matrix(2, 3).SameShape(Matrix(3, 2)));
 }
 
+TEST(MatrixTest, ResizeReshapesAndReusesStorage) {
+  Matrix m(4, 6, 1.0);
+  const double* before = m.data();
+  m.Resize(6, 4);  // same total size: must not reallocate
+  EXPECT_EQ(m.rows(), 6);
+  EXPECT_EQ(m.cols(), 4);
+  EXPECT_EQ(m.data(), before);
+  m.Resize(2, 3);
+  EXPECT_EQ(m.size(), 6);
+  m.Resize(0, 5);
+  EXPECT_TRUE(m.empty());
+}
+
 }  // namespace
 }  // namespace galign

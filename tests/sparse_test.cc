@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 #include "la/ops.h"
@@ -198,6 +201,98 @@ TEST(SparseTest, EmptyMatrixMultiply) {
   Matrix x(3, 2, 1.0);
   Matrix y = m.Multiply(x);
   EXPECT_DOUBLE_EQ(y.Sum(), 0.0);
+}
+
+// Random rectangular sparse matrix for the SpMM property tests. Skewed row
+// occupancy (quadratic in the row index) mimics the power-law degree
+// distributions the nnz-balanced partitioning is built for.
+SparseMatrix RandomSkewedSparse(int64_t rows, int64_t cols, Rng* rng) {
+  std::vector<Triplet> t;
+  for (int64_t r = 0; r < rows; ++r) {
+    const int64_t budget = 1 + (r * r) % 23;
+    for (int64_t i = 0; i < budget; ++i) {
+      t.push_back({r, rng->UniformInt(cols), rng->Uniform(-1.0, 1.0)});
+    }
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(t));
+}
+
+TEST(SparseTest, MultiplyMatchesDenseReference) {
+  Rng rng(31);
+  for (auto [rows, cols, d] :
+       std::vector<std::tuple<int64_t, int64_t, int64_t>>{
+           {1, 1, 1}, {17, 9, 5}, {200, 150, 33}, {150, 200, 8}}) {
+    SparseMatrix m = RandomSkewedSparse(rows, cols, &rng);
+    Matrix x = Matrix::Gaussian(cols, d, &rng);
+    Matrix expected = MatMul(m.ToDense(), x);
+    EXPECT_LT(Matrix::MaxAbsDiff(m.Multiply(x), expected), 1e-9);
+    // TransposedMultiply goes through the memoized transpose.
+    Matrix xt = Matrix::Gaussian(rows, d, &rng);
+    Matrix expected_t = MatMul(Transpose(m.ToDense()), xt);
+    EXPECT_LT(Matrix::MaxAbsDiff(m.TransposedMultiply(xt), expected_t), 1e-9);
+  }
+}
+
+TEST(SparseTest, MultiplyIntoAccumulates) {
+  Rng rng(32);
+  SparseMatrix m = RandomSkewedSparse(40, 30, &rng);
+  Matrix x = Matrix::Gaussian(30, 7, &rng);
+  Matrix once = m.Multiply(x);
+  Matrix out = once;
+  m.MultiplyInto(x, &out, /*accumulate=*/true);
+  Matrix doubled = once;
+  doubled.Scale(2.0);
+  EXPECT_LT(Matrix::MaxAbsDiff(out, doubled), 1e-12);
+}
+
+TEST(SparseTest, MultiplyRunToRunDeterministic) {
+  Rng rng(33);
+  SparseMatrix m = RandomSkewedSparse(300, 120, &rng);
+  Matrix x = Matrix::Gaussian(120, 17, &rng);
+  Matrix y1 = m.Multiply(x);
+  Matrix y2 = m.Multiply(x);
+  EXPECT_EQ(
+      std::memcmp(y1.data(), y2.data(), y1.size() * sizeof(double)), 0);
+}
+
+TEST(SparseTest, TransposedFastPathMatchesTriplets) {
+  Rng rng(34);
+  SparseMatrix m = RandomSkewedSparse(50, 70, &rng);
+  SparseMatrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 70);
+  EXPECT_EQ(t.cols(), 50);
+  EXPECT_EQ(t.nnz(), m.nnz());
+  EXPECT_LT(Matrix::MaxAbsDiff(t.ToDense(), Transpose(m.ToDense())), 0.0 + 1e-15);
+  // CSR invariant: columns ascending within each row.
+  for (int64_t r = 0; r < t.rows(); ++r) {
+    for (int64_t i = t.row_ptr()[r] + 1; i < t.row_ptr()[r + 1]; ++i) {
+      EXPECT_LT(t.col_idx()[i - 1], t.col_idx()[i]);
+    }
+  }
+}
+
+TEST(SparseTest, TransposeCacheIsInvalidatedByMutation) {
+  SparseMatrix m = SmallSparse();
+  Matrix x = Matrix::Identity(3);
+  Matrix before = m.TransposedMultiply(x);  // builds + memoizes transpose
+  EXPECT_LT(Matrix::MaxAbsDiff(before, Transpose(m.ToDense())), 1e-15);
+  m.ScaleRow(1, 10.0);  // must drop the memoized transpose
+  Matrix after = m.TransposedMultiply(x);
+  EXPECT_LT(Matrix::MaxAbsDiff(after, Transpose(m.ToDense())), 1e-15);
+  EXPECT_DOUBLE_EQ(after(0, 1), 10.0);  // value (1,0) scaled, seen transposed
+  m.mutable_values()[0] = -2.0;         // direct mutation also invalidates
+  Matrix again = m.TransposedMultiply(x);
+  EXPECT_DOUBLE_EQ(again(1, 0), -2.0);
+}
+
+TEST(SparseTest, CopyDoesNotShareTransposeCache) {
+  SparseMatrix m = SmallSparse();
+  (void)m.TransposedCached();
+  SparseMatrix copy = m;
+  copy.ScaleRow(0, 3.0);
+  EXPECT_DOUBLE_EQ(copy.TransposedMultiply(Matrix::Identity(3))(1, 0), 6.0);
+  // Original still sees its own (unscaled) values.
+  EXPECT_DOUBLE_EQ(m.TransposedMultiply(Matrix::Identity(3))(1, 0), 2.0);
 }
 
 }  // namespace
