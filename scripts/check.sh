@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Sanitizer gate: configures a dedicated ASan+UBSan build tree
+# (build-sanitize/) and runs the full test suite under it. Any heap error,
+# UB, or leak fails the run (-fno-sanitize-recover=all aborts on first
+# report).
+#
+# Usage: scripts/check.sh [ctest-args...]
+#   e.g. scripts/check.sh -R DivergenceRecovery
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build-sanitize"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DGALIGN_SANITIZE=ON \
+  -DGALIGN_NO_NATIVE=ON
+
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error keeps one crashing test from flooding the log; detecting
+# leaks matters for the Result<T>/Status error paths exercised by the
+# io_hardening and failure_injection suites.
+export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --test-dir "${build_dir}" --output-on-failure "$@"

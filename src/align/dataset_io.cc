@@ -10,6 +10,19 @@ namespace {
 std::string Join(const std::string& dir, const char* name) {
   return (std::filesystem::path(dir) / name).string();
 }
+
+// Prefixes a sub-loader failure with the dataset part it belongs to, so a
+// corrupt file inside a multi-file dataset names both the part and the file.
+Status Contextualize(const Status& st, const char* part) {
+  if (st.ok()) return st;
+  return Status(st.code(), std::string(part) + ": " + st.message());
+}
+
+#define GALIGN_RETURN_NOT_OK_CTX(expr, part)                  \
+  do {                                                        \
+    ::galign::Status _st = Contextualize((expr), (part));     \
+    if (!_st.ok()) return _st;                                \
+  } while (0)
 }  // namespace
 
 Status SaveAlignmentPair(const AlignmentPair& pair, const std::string& dir) {
@@ -29,32 +42,57 @@ Status SaveAlignmentPair(const AlignmentPair& pair, const std::string& dir) {
 
 Result<AlignmentPair> LoadAlignmentPair(const std::string& dir) {
   auto source_edges = LoadEdgeList(Join(dir, "source.edges"));
-  GALIGN_RETURN_NOT_OK(source_edges.status());
+  GALIGN_RETURN_NOT_OK_CTX(source_edges.status(), "source network");
   auto source_attrs = LoadAttributes(Join(dir, "source.attrs"));
-  GALIGN_RETURN_NOT_OK(source_attrs.status());
+  GALIGN_RETURN_NOT_OK_CTX(source_attrs.status(), "source attributes");
+  // An empty attribute file is a legal attribute-less graph; any other row
+  // count must match the node count exactly.
+  const int64_t source_attr_rows = source_attrs.ValueOrDie().rows();
+  if (source_attr_rows != 0 &&
+      source_attr_rows != source_edges.ValueOrDie().num_nodes()) {
+    return Status::IOError(
+        "source attributes: " + Join(dir, "source.attrs") + " holds " +
+        std::to_string(source_attr_rows) + " rows but " +
+        Join(dir, "source.edges") + " declares " +
+        std::to_string(source_edges.ValueOrDie().num_nodes()) + " nodes");
+  }
   auto source =
       source_edges.ValueOrDie().WithAttributes(source_attrs.MoveValueOrDie());
-  GALIGN_RETURN_NOT_OK(source.status());
+  GALIGN_RETURN_NOT_OK_CTX(source.status(), "source network");
 
   auto target_edges = LoadEdgeList(Join(dir, "target.edges"));
-  GALIGN_RETURN_NOT_OK(target_edges.status());
+  GALIGN_RETURN_NOT_OK_CTX(target_edges.status(), "target network");
   auto target_attrs = LoadAttributes(Join(dir, "target.attrs"));
-  GALIGN_RETURN_NOT_OK(target_attrs.status());
+  GALIGN_RETURN_NOT_OK_CTX(target_attrs.status(), "target attributes");
+  const int64_t target_attr_rows = target_attrs.ValueOrDie().rows();
+  if (target_attr_rows != 0 &&
+      target_attr_rows != target_edges.ValueOrDie().num_nodes()) {
+    return Status::IOError(
+        "target attributes: " + Join(dir, "target.attrs") + " holds " +
+        std::to_string(target_attr_rows) + " rows but " +
+        Join(dir, "target.edges") + " declares " +
+        std::to_string(target_edges.ValueOrDie().num_nodes()) + " nodes");
+  }
   auto target =
       target_edges.ValueOrDie().WithAttributes(target_attrs.MoveValueOrDie());
-  GALIGN_RETURN_NOT_OK(target.status());
+  GALIGN_RETURN_NOT_OK_CTX(target.status(), "target network");
 
   auto gt = LoadGroundTruth(Join(dir, "ground_truth.txt"),
                             source.ValueOrDie().num_nodes());
-  GALIGN_RETURN_NOT_OK(gt.status());
+  GALIGN_RETURN_NOT_OK_CTX(gt.status(), "ground truth");
 
   AlignmentPair pair;
   pair.source = source.MoveValueOrDie();
   pair.target = target.MoveValueOrDie();
   pair.ground_truth = gt.MoveValueOrDie();
-  for (int64_t t : pair.ground_truth) {
-    if (t >= pair.target.num_nodes()) {
-      return Status::IOError("ground truth references missing target node");
+  for (size_t v = 0; v < pair.ground_truth.size(); ++v) {
+    if (pair.ground_truth[v] >= pair.target.num_nodes()) {
+      return Status::IOError(
+          "ground truth: " + Join(dir, "ground_truth.txt") + " maps source " +
+          std::to_string(v) + " to target " +
+          std::to_string(pair.ground_truth[v]) +
+          ", but the target network has only " +
+          std::to_string(pair.target.num_nodes()) + " nodes");
     }
   }
   return pair;

@@ -16,6 +16,12 @@ void AdamOptimizer::Register(const std::vector<Matrix*>& params) {
   }
 }
 
+void AdamOptimizer::Reset() {
+  step_ = 0;
+  for (Matrix& m : m_) m.Fill(0.0);
+  for (Matrix& v : v_) v.Fill(0.0);
+}
+
 void AdamOptimizer::Step(const std::vector<Matrix*>& params,
                          const std::vector<const Matrix*>& grads) {
   GALIGN_DCHECK(params.size() == grads.size());
@@ -39,6 +45,21 @@ void AdamOptimizer::Step(const std::vector<Matrix*>& params,
       p.data()[j] -= opts_.lr * mhat / (std::sqrt(vhat) + opts_.eps);
     }
   }
+}
+
+GradientHealth ProbeGradients(const std::vector<const Matrix*>& grads) {
+  GradientHealth h;
+  double sum = 0.0;
+  for (const Matrix* g : grads) {
+    for (int64_t j = 0; j < g->size(); ++j) {
+      const double x = g->data()[j];
+      sum += x * x;
+    }
+  }
+  // A NaN/Inf anywhere poisons the sum, so one check covers all entries.
+  h.finite = std::isfinite(sum);
+  h.norm = h.finite ? std::sqrt(sum) : sum;
+  return h;
 }
 
 }  // namespace galign

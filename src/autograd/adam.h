@@ -34,6 +34,12 @@ class AdamOptimizer {
   void Step(const std::vector<Matrix*>& params,
             const std::vector<const Matrix*>& grads);
 
+  /// Clears moment state and the step counter while keeping the registered
+  /// shapes. Used by divergence recovery: after rolling parameters back to a
+  /// snapshot, stale moments (possibly contaminated by a non-finite
+  /// gradient) must not steer the restart.
+  void Reset();
+
   int64_t step_count() const { return step_; }
   const Options& options() const { return opts_; }
   void set_lr(double lr) { opts_.lr = lr; }
@@ -44,5 +50,16 @@ class AdamOptimizer {
   std::vector<Matrix> m_;
   std::vector<Matrix> v_;
 };
+
+/// \brief Numerical health of one backward pass.
+struct GradientHealth {
+  double norm = 0.0;   ///< global (all-parameter) L2 norm of the gradients
+  bool finite = true;  ///< false if any gradient entry is NaN/Inf
+};
+
+/// Probes the gradients of one step: global norm + finiteness, in one pass.
+/// The trainer consults this before handing gradients to Adam so a NaN or
+/// an exploding step never reaches the moment buffers.
+GradientHealth ProbeGradients(const std::vector<const Matrix*>& grads);
 
 }  // namespace galign

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "common/fault.h"
+#include "common/logging.h"
 #include "la/ops.h"
 
 namespace galign {
@@ -64,6 +66,7 @@ Result<Matrix> FinalAligner::Align(const AttributedGraph& source,
   SparseMatrix at_transposed = at.Transposed();
 
   Matrix s = h;
+  report_ = ConvergenceReport{};
   for (int it = 0; it < config_.max_iterations; ++it) {
     Matrix masked = Hadamard(n, s);
     Matrix left = as.Multiply(masked);
@@ -71,12 +74,23 @@ Result<Matrix> FinalAligner::Align(const AttributedGraph& source,
     Matrix next = Hadamard(n, propagated);
     next.Scale(config_.alpha);
     next.Axpy(1.0 - config_.alpha, h);
-    double delta = Matrix::MaxAbsDiff(next, s);
+    double delta =
+        fault::Perturb("solver.final.residual", Matrix::MaxAbsDiff(next, s));
     s = std::move(next);
-    if (delta < config_.tolerance) break;
+    report_.iterations = it + 1;
+    report_.residual = delta;
+    if (delta < config_.tolerance) {
+      report_.converged = true;
+      break;
+    }
   }
   if (!s.AllFinite()) {
     return Status::Internal("FINAL produced non-finite scores");
+  }
+  if (!report_.converged) {
+    report_.degraded = true;
+    GALIGN_LOG(Warning) << "FINAL: " << report_.ToString() << " (tolerance "
+                        << config_.tolerance << "); using last iterate";
   }
   return s;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "align/alignment.h"
+#include "common/convergence.h"
 
 namespace galign {
 
@@ -30,8 +31,13 @@ class FinalAligner : public Aligner {
                        const AttributedGraph& target,
                        const Supervision& supervision) override;
 
+  /// Convergence of the most recent Align() fixed-point iteration. When not
+  /// converged, the returned scores are the last (best-so-far) iterate.
+  const ConvergenceReport& last_report() const { return report_; }
+
  private:
   FinalConfig config_;
+  ConvergenceReport report_;
 };
 
 }  // namespace galign

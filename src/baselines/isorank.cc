@@ -1,5 +1,7 @@
 #include "baselines/isorank.h"
 
+#include "common/fault.h"
+#include "common/logging.h"
 #include "la/ops.h"
 
 namespace galign {
@@ -37,6 +39,7 @@ Result<Matrix> IsoRankAligner::Align(const AttributedGraph& source,
   SparseMatrix pt_transposed = pt.Transposed();
 
   Matrix r = prior;
+  report_ = ConvergenceReport{};
   for (int it = 0; it < config_.max_iterations; ++it) {
     // alpha * P_s^T R P_t: left multiply by P_s^T, then right multiply by
     // P_t via the transpose trick.
@@ -44,12 +47,26 @@ Result<Matrix> IsoRankAligner::Align(const AttributedGraph& source,
     Matrix next = Transpose(pt_transposed.Multiply(Transpose(left)));
     next.Scale(config_.alpha);
     next.Axpy(1.0 - config_.alpha, prior);
-    double delta = Matrix::MaxAbsDiff(next, r);
+    double delta =
+        fault::Perturb("solver.isorank.residual", Matrix::MaxAbsDiff(next, r));
     r = std::move(next);
-    if (delta < config_.tolerance) break;
+    report_.iterations = it + 1;
+    report_.residual = delta;
+    if (delta < config_.tolerance) {
+      report_.converged = true;
+      break;
+    }
   }
   if (!r.AllFinite()) {
     return Status::Internal("IsoRank produced non-finite scores");
+  }
+  if (!report_.converged) {
+    // The iteration is a contraction toward the fixed point, so the last
+    // iterate is the best estimate — return it, flagged degraded.
+    report_.degraded = true;
+    GALIGN_LOG(Warning) << "IsoRank: " << report_.ToString()
+                        << " (tolerance " << config_.tolerance
+                        << "); using last iterate";
   }
   return r;
 }

@@ -8,6 +8,7 @@
 #pragma once
 
 #include "align/alignment.h"
+#include "common/convergence.h"
 
 namespace galign {
 
@@ -29,8 +30,13 @@ class IsoRankAligner : public Aligner {
                        const AttributedGraph& target,
                        const Supervision& supervision) override;
 
+  /// Convergence of the most recent Align() power iteration. When not
+  /// converged, the returned scores are the last (best-so-far) iterate.
+  const ConvergenceReport& last_report() const { return report_; }
+
  private:
   IsoRankConfig config_;
+  ConvergenceReport report_;
 };
 
 }  // namespace galign

@@ -1,0 +1,36 @@
+// Convergence accounting shared by every iterative solver in the library
+// (Jacobi eigen, thin SVD, power iteration, IsoRank/FINAL fixed points,
+// alignment refinement). Solvers run under an explicit iteration + residual
+// budget and report how they exited instead of silently truncating; callers
+// decide whether a non-converged best-so-far result is acceptable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace galign {
+
+/// \brief How an iterative solve exited its budget.
+struct ConvergenceReport {
+  /// True when the residual criterion was met within the iteration budget.
+  bool converged = false;
+  /// Iterations (or sweeps) actually executed.
+  int iterations = 0;
+  /// Final residual measure (solver-specific: off-diagonal norm, max |delta|
+  /// between iterates, relative score improvement, ...).
+  double residual = 0.0;
+  /// True when the returned value is a best-so-far fallback rather than the
+  /// natural result of the iteration (e.g. refinement hit non-finite
+  /// embeddings and rolled back to the best finite iterate).
+  bool degraded = false;
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << (converged ? "converged" : "not converged") << " after "
+       << iterations << " iteration(s), residual=" << residual;
+    if (degraded) os << " (degraded: best-so-far result)";
+    return os.str();
+  }
+};
+
+}  // namespace galign

@@ -1,0 +1,131 @@
+#include "common/fault.h"
+
+#ifndef GALIGN_DISABLE_FAULT_INJECTION
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <mutex>
+#include <random>
+#include <unordered_map>
+
+namespace galign {
+namespace fault {
+
+namespace {
+
+struct SiteState {
+  Spec spec;
+  int64_t calls = 0;  // calls observed since Arm()
+};
+
+// Number of armed sites; lets disarmed instrumentation points bail out with
+// a single relaxed load instead of taking the mutex.
+std::atomic<int> g_armed{0};
+std::mutex g_mu;
+std::unordered_map<std::string, SiteState>& Sites() {
+  static auto* sites = new std::unordered_map<std::string, SiteState>();
+  return *sites;
+}
+
+// Bumps the site counter and returns the spec if this call fires.
+bool Fires(const char* site, Spec* spec, int64_t* call_index) {
+  if (g_armed.load(std::memory_order_relaxed) == 0) return false;
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Sites().find(site);
+  if (it == Sites().end()) return false;
+  SiteState& s = it->second;
+  const int64_t call = s.calls++;
+  if (call < s.spec.at_call || call >= s.spec.at_call + s.spec.repeat) {
+    return false;
+  }
+  *spec = s.spec;
+  *call_index = call;
+  return true;
+}
+
+}  // namespace
+
+void Arm(const std::string& site, const Spec& spec) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto [it, inserted] = Sites().insert_or_assign(site, SiteState{spec, 0});
+  (void)it;
+  if (inserted) g_armed.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (Sites().erase(site) > 0) {
+    g_armed.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_armed.fetch_sub(static_cast<int>(Sites().size()),
+                    std::memory_order_relaxed);
+  Sites().clear();
+}
+
+int64_t CallCount(const std::string& site) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  auto it = Sites().find(site);
+  return it == Sites().end() ? 0 : it->second.calls;
+}
+
+bool ShouldFailIO(const char* site) {
+  Spec spec;
+  int64_t call;
+  return Fires(site, &spec, &call) && spec.kind == Kind::kFailIO;
+}
+
+void CorruptBuffer(const char* site, double* data, int64_t size) {
+  Spec spec;
+  int64_t call;
+  if (size <= 0 || !Fires(site, &spec, &call)) return;
+  // The corrupted entry depends only on (seed, firing index), so two runs
+  // with the same arm spec corrupt the same entry on the same call.
+  std::mt19937_64 rng(spec.seed + static_cast<uint64_t>(call - spec.at_call));
+  const int64_t idx = static_cast<int64_t>(rng() % static_cast<uint64_t>(size));
+  switch (spec.kind) {
+    case Kind::kNaN:
+      data[idx] = std::numeric_limits<double>::quiet_NaN();
+      break;
+    case Kind::kInf:
+      data[idx] = std::numeric_limits<double>::infinity();
+      break;
+    case Kind::kPerturb: {
+      std::uniform_real_distribution<double> u(-1.0, 1.0);
+      data[idx] += spec.magnitude * u(rng);
+      break;
+    }
+    case Kind::kFailIO:
+      break;  // not meaningful for buffers
+  }
+}
+
+double Perturb(const char* site, double value) {
+  Spec spec;
+  int64_t call;
+  if (!Fires(site, &spec, &call)) return value;
+  switch (spec.kind) {
+    case Kind::kNaN:
+      return std::numeric_limits<double>::quiet_NaN();
+    case Kind::kInf:
+      return std::numeric_limits<double>::infinity();
+    case Kind::kPerturb: {
+      std::mt19937_64 rng(spec.seed +
+                          static_cast<uint64_t>(call - spec.at_call));
+      std::uniform_real_distribution<double> u(-1.0, 1.0);
+      return value + spec.magnitude * u(rng);
+    }
+    case Kind::kFailIO:
+      return value;
+  }
+  return value;
+}
+
+}  // namespace fault
+}  // namespace galign
+
+#endif  // GALIGN_DISABLE_FAULT_INJECTION

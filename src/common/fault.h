@@ -1,0 +1,82 @@
+// Deterministic fault injection for robustness testing.
+//
+// Every recovery path in the library (divergence rollback in the trainer,
+// solver degradation, IO error handling) is exercised by *injecting* the
+// fault it defends against, at an exactly chosen call count, under a fixed
+// seed — so the failure tests are reproducible bit for bit.
+//
+// A fault *site* is a string name compiled into an instrumentation point
+// (e.g. "train.grad", "io.model.load"). Sites are inert until a test arms
+// them with Arm(); the hot-path cost of a disarmed site is one relaxed
+// atomic load. Defining GALIGN_DISABLE_FAULT_INJECTION (CMake option
+// -DGALIGN_FAULT_INJECTION=OFF) compiles all hooks out entirely.
+//
+// Call counts are per-site and start at zero when the site is armed, which
+// makes "fail the 3rd read after this point" deterministic regardless of
+// what ran before the test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace galign {
+namespace fault {
+
+/// What an armed site injects when it fires.
+enum class Kind : int8_t {
+  kNaN,      ///< overwrite one buffer entry (or the scalar) with quiet NaN
+  kInf,      ///< overwrite with +infinity
+  kPerturb,  ///< add magnitude * uniform(-1, 1) noise
+  kFailIO,   ///< ShouldFailIO() returns true (caller returns an IOError)
+};
+
+/// An armed fault: fires on calls [at_call, at_call + repeat) of the site,
+/// counting from the moment it was armed.
+struct Spec {
+  Kind kind = Kind::kNaN;
+  int64_t at_call = 0;     ///< 0-based call index of the first firing
+  int64_t repeat = 1;      ///< number of consecutive firing calls
+  double magnitude = 1.0;  ///< perturbation amplitude (kPerturb only)
+  uint64_t seed = 1;       ///< picks the corrupted buffer entry
+};
+
+#ifndef GALIGN_DISABLE_FAULT_INJECTION
+
+/// Arms `site` with `spec`, resetting the site's call counter. Replaces any
+/// previously armed spec for the same site.
+void Arm(const std::string& site, const Spec& spec);
+
+/// Disarms one site / all sites. Counters are discarded.
+void Disarm(const std::string& site);
+void DisarmAll();
+
+/// Calls observed by `site` since it was armed (0 if not armed).
+int64_t CallCount(const std::string& site);
+
+// --- Instrumentation points (called from library code) -------------------
+
+/// IO sites: true when the armed kFailIO fault fires on this call.
+bool ShouldFailIO(const char* site);
+
+/// Buffer sites (gradients, weights): corrupts one deterministically chosen
+/// entry of data[0..size) when a kNaN/kInf/kPerturb fault fires.
+void CorruptBuffer(const char* site, double* data, int64_t size);
+
+/// Scalar sites (losses, solver residuals): returns the injected value when
+/// a fault fires, `value` unchanged otherwise.
+double Perturb(const char* site, double value);
+
+#else  // GALIGN_DISABLE_FAULT_INJECTION: hooks compile to nothing.
+
+inline void Arm(const std::string&, const Spec&) {}
+inline void Disarm(const std::string&) {}
+inline void DisarmAll() {}
+inline int64_t CallCount(const std::string&) { return 0; }
+inline constexpr bool ShouldFailIO(const char*) { return false; }
+inline constexpr void CorruptBuffer(const char*, double*, int64_t) {}
+inline constexpr double Perturb(const char*, double value) { return value; }
+
+#endif  // GALIGN_DISABLE_FAULT_INJECTION
+
+}  // namespace fault
+}  // namespace galign

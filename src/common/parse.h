@@ -1,0 +1,49 @@
+// Strict, non-throwing numeric parsing for loaders. std::stoll/std::stoi
+// throw on garbage and silently accept trailing junk ("12abc" -> 12); file
+// loaders must instead reject corrupt fields with a descriptive Status.
+#pragma once
+
+#include <cerrno>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+
+namespace galign {
+
+/// Parses a whole string as a base-10 signed 64-bit integer. The entire
+/// string must be consumed: "12abc", "", and out-of-range values all fail.
+/// `what` names the field for the error message ("node count", "layers").
+inline Result<int64_t> ParseInt64(const std::string& s, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::IOError(std::string("malformed ") + what + ": '" + s + "'");
+  }
+  if (errno == ERANGE) {
+    return Status::IOError(std::string(what) + " out of range: '" + s + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+/// Parses a whole string as a double. Unlike istream extraction (which
+/// fails outright on "nan"/"inf" text under libstdc++), strtod accepts
+/// them — so loaders can reject non-finite payloads with a precise message
+/// instead of a generic parse failure.
+inline Result<double> ParseDouble(const std::string& s, const char* what) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == s.c_str() || *end != '\0') {
+    return Status::IOError(std::string("malformed ") + what + ": '" + s + "'");
+  }
+  if (errno == ERANGE && (v == HUGE_VAL || v == -HUGE_VAL)) {
+    return Status::IOError(std::string(what) + " out of range: '" + s + "'");
+  }
+  return v;
+}
+
+}  // namespace galign

@@ -78,6 +78,18 @@ Status GAlignConfig::Validate() const {
   if (early_stop_patience < 0) {
     return Status::InvalidArgument("early_stop_patience must be >= 0");
   }
+  if (max_grad_norm < 0.0) {
+    return Status::InvalidArgument("max_grad_norm must be >= 0 (0 disables)");
+  }
+  if (max_rollbacks < 0) {
+    return Status::InvalidArgument("max_rollbacks must be >= 0");
+  }
+  if (rollback_lr_decay <= 0.0 || rollback_lr_decay >= 1.0) {
+    return Status::InvalidArgument("rollback_lr_decay must be in (0, 1)");
+  }
+  if (refinement_tolerance < 0.0) {
+    return Status::InvalidArgument("refinement_tolerance must be >= 0");
+  }
   return Status::OK();
 }
 

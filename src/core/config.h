@@ -26,6 +26,18 @@ struct GAlignConfig {
   int early_stop_patience = 0;
   double early_stop_tolerance = 1e-4;
 
+  // --- Numerical health & divergence recovery (DESIGN.md §7) ---
+  /// Global gradient-norm explosion threshold. A step whose all-parameter
+  /// gradient L2 norm exceeds this (or is non-finite) is rejected and
+  /// triggers a rollback. 0 disables the norm check (finiteness is always
+  /// enforced).
+  double max_grad_norm = 1e8;
+  /// Bounded retries: rollbacks allowed before training gives up with a
+  /// NotConverged status. 0 restores the old fail-fast behaviour.
+  int max_rollbacks = 3;
+  /// Learning-rate decay applied on every rollback (in (0, 1)).
+  double rollback_lr_decay = 0.5;
+
   // --- Loss (Eq. 10) ---
   double gamma = 0.8;  ///< balance between consistency and adaptivity loss
 
@@ -47,6 +59,10 @@ struct GAlignConfig {
   int refinement_iterations = 20;
   double stability_threshold = 0.94;  ///< lambda
   double accumulation_factor = 1.1;   ///< beta (> 1)
+  /// Residual tolerance of the refinement loop: stop once the relative
+  /// improvement of g(S) over the previous iterate falls below this. 0 runs
+  /// the full iteration budget (paper behaviour).
+  double refinement_tolerance = 0.0;
 
   // --- Ablation switches (Table IV) ---
   bool use_augmentation = true;   ///< false => GAlign-1

@@ -31,6 +31,7 @@ Result<Matrix> GAlignAligner::Align(const AttributedGraph& source,
                           : std::vector<std::pair<int64_t, int64_t>>{};
   GALIGN_RETURN_NOT_OK(trainer.Train(&gcn, source, target, &rng, seeds));
   last_loss_history_ = trainer.loss_history();
+  last_train_report_ = trainer.report();
   last_refinement_scores_.clear();
 
   if (config_.use_refinement) {

@@ -10,6 +10,7 @@
 #include "align/alignment.h"
 #include "core/config.h"
 #include "core/gcn.h"
+#include "core/trainer.h"
 
 namespace galign {
 
@@ -44,6 +45,9 @@ class GAlignAligner : public Aligner {
   const std::vector<double>& last_refinement_scores() const {
     return last_refinement_scores_;
   }
+  /// Numerical-health record of the most recent Align() training run
+  /// (epochs, rollbacks, final loss/lr — see TrainReport).
+  const TrainReport& last_train_report() const { return last_train_report_; }
 
   /// Ablation presets (Table IV).
   static GAlignConfig WithoutAugmentation(GAlignConfig base = {});  // GAlign-1
@@ -55,6 +59,7 @@ class GAlignAligner : public Aligner {
   std::string name_;
   std::vector<double> last_loss_history_;
   std::vector<double> last_refinement_scores_;
+  TrainReport last_train_report_;
 };
 
 /// \brief Trained multi-order embeddings of a network pair.

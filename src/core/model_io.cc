@@ -1,7 +1,11 @@
 #include "core/model_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
+
+#include "common/fault.h"
+#include "common/parse.h"
 
 namespace galign {
 
@@ -51,6 +55,9 @@ Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path) {
 }
 
 Result<MultiOrderGcn> LoadGcnModel(const std::string& path) {
+  if (fault::ShouldFailIO("io.model.load")) {
+    return Status::IOError("injected fault: cannot read model file " + path);
+  }
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
   std::string header;
@@ -61,10 +68,10 @@ Result<MultiOrderGcn> LoadGcnModel(const std::string& path) {
   std::string magic;
   hs >> magic;
   if (magic != "galign-gcn-v1") {
-    return Status::IOError("not a galign model file: " + path);
+    return Status::IOError("not a galign model file (bad magic '" + magic +
+                           "'): " + path);
   }
-  int layers = 0;
-  int64_t input_dim = 0, embedding_dim = 0;
+  int64_t layers = 0, input_dim = 0, embedding_dim = 0;
   std::string activation_name = "tanh";
   std::string field;
   while (hs >> field) {
@@ -72,36 +79,78 @@ Result<MultiOrderGcn> LoadGcnModel(const std::string& path) {
     if (eq == std::string::npos) continue;
     std::string key = field.substr(0, eq);
     std::string value = field.substr(eq + 1);
-    if (key == "layers") layers = std::stoi(value);
-    if (key == "input_dim") input_dim = std::stoll(value);
-    if (key == "embedding_dim") embedding_dim = std::stoll(value);
-    if (key == "activation") activation_name = value;
+    if (key == "activation") {
+      activation_name = value;
+      continue;
+    }
+    if (key == "layers" || key == "input_dim" || key == "embedding_dim") {
+      auto parsed = ParseInt64(value, key.c_str());
+      if (!parsed.ok()) {
+        return Status::IOError("bad model header in " + path + ": " +
+                               parsed.status().message());
+      }
+      if (key == "layers") layers = parsed.ValueOrDie();
+      if (key == "input_dim") input_dim = parsed.ValueOrDie();
+      if (key == "embedding_dim") embedding_dim = parsed.ValueOrDie();
+    }
   }
-  if (layers < 1 || input_dim < 1 || embedding_dim < 1) {
-    return Status::IOError("malformed model header: " + header);
+  // The layer cap guards against allocating absurd amounts of memory off a
+  // corrupt header before the per-layer shape checks would catch it.
+  if (layers < 1 || layers > 1024 || input_dim < 1 || embedding_dim < 1) {
+    return Status::IOError("malformed model header (expected layers in "
+                           "[1, 1024] and positive dims) in " +
+                           path + ": " + header);
   }
   auto activation = ParseActivation(activation_name);
   GALIGN_RETURN_NOT_OK(activation.status());
 
   Rng rng(0);  // weights are overwritten below
-  MultiOrderGcn gcn(layers, input_dim, embedding_dim, &rng,
+  MultiOrderGcn gcn(static_cast<int>(layers), input_dim, embedding_dim, &rng,
                     activation.ValueOrDie());
-  for (int l = 0; l < layers; ++l) {
+  for (int64_t l = 0; l < layers; ++l) {
     int64_t rows, cols;
     if (!(in >> rows >> cols)) {
-      return Status::IOError("truncated model file (layer header)");
+      return Status::IOError("truncated model file (missing shape of layer " +
+                             std::to_string(l) + "): " + path);
     }
     Matrix& w = gcn.weights()[l];
     if (rows != w.rows() || cols != w.cols()) {
-      return Status::IOError("layer shape mismatch in model file");
+      return Status::IOError(
+          "layer " + std::to_string(l) + " shape mismatch in " + path +
+          ": file says " + std::to_string(rows) + "x" + std::to_string(cols) +
+          ", header implies " + std::to_string(w.rows()) + "x" +
+          std::to_string(w.cols()));
     }
     for (int64_t r = 0; r < rows; ++r) {
       for (int64_t c = 0; c < cols; ++c) {
-        if (!(in >> w(r, c))) {
-          return Status::IOError("truncated model file (weights)");
+        std::string tok;
+        if (!(in >> tok)) {
+          return Status::IOError("truncated model file (layer " +
+                                 std::to_string(l) + ", weight (" +
+                                 std::to_string(r) + ", " +
+                                 std::to_string(c) + ")): " + path);
         }
+        auto v = ParseDouble(tok, "weight");
+        if (!v.ok()) {
+          return Status::IOError("layer " + std::to_string(l) + ", weight (" +
+                                 std::to_string(r) + ", " +
+                                 std::to_string(c) + ") in " + path + ": " +
+                                 v.status().message());
+        }
+        if (!std::isfinite(v.ValueOrDie())) {
+          return Status::IOError("non-finite weight at layer " +
+                                 std::to_string(l) + ", (" +
+                                 std::to_string(r) + ", " +
+                                 std::to_string(c) + ") in " + path);
+        }
+        w(r, c) = v.ValueOrDie();
       }
     }
+  }
+  std::string trailing;
+  if (in >> trailing) {
+    return Status::IOError("trailing data after last layer ('" + trailing +
+                           "' ...) in " + path);
   }
   return gcn;
 }

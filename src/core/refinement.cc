@@ -1,6 +1,7 @@
 #include "core/refinement.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -145,6 +146,7 @@ Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
   result.score_history.push_back(scan.aggregate_score);
   std::vector<Matrix> best_hs = hs, best_ht = ht;
 
+  result.report.converged = config.refinement_tolerance <= 0.0;
   for (int iter = 1; iter <= config.refinement_iterations; ++iter) {
     // Eq. 14: amplify the influence of the nodes found stable.
     for (int64_t v : scan.stable_source) {
@@ -155,13 +157,39 @@ Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
     }
     // Eq. 15: re-embed under the influence-scaled propagation matrix.
     GALIGN_RETURN_NOT_OK(embed(alpha_s, alpha_t, &hs, &ht));
+    // Influence factors compound geometrically (beta^iter); on large stable
+    // sets the propagation entries can overflow. Detect it here and fall
+    // back to the best finite iterate instead of emitting NaN embeddings.
+    bool finite = true;
+    for (const Matrix& h : hs) finite &= h.AllFinite();
+    for (const Matrix& h : ht) finite &= h.AllFinite();
+    if (!finite) {
+      result.report.degraded = true;
+      result.report.converged = false;
+      GALIGN_LOG(Warning)
+          << "RefineAlignment: non-finite embeddings at iteration " << iter
+          << " (influence overflow); degrading to best iterate "
+          << result.best_iteration;
+      break;
+    }
     scan = ScanStability(hs, ht, theta, config.stability_threshold);
     result.score_history.push_back(scan.aggregate_score);
+    const double prev = result.score_history[result.score_history.size() - 2];
+    const double improvement =
+        std::fabs(scan.aggregate_score - prev) /
+        std::max(1.0, std::fabs(prev));
+    result.report.iterations = iter;
+    result.report.residual = improvement;
     if (scan.aggregate_score > result.best_score) {
       result.best_score = scan.aggregate_score;
       result.best_iteration = iter;
       best_hs = hs;
       best_ht = ht;
+    }
+    if (config.refinement_tolerance > 0.0 &&
+        improvement < config.refinement_tolerance) {
+      result.report.converged = true;
+      break;
     }
   }
 

@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/convergence.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/gcn.h"
@@ -53,6 +54,12 @@ struct RefinementResult {
   /// refined multi-order features (used e.g. by the Fig. 8 visualization).
   std::vector<Matrix> source_embeddings;
   std::vector<Matrix> target_embeddings;
+  /// How the refinement loop exited: converged = the relative g(S)
+  /// improvement fell below config.refinement_tolerance (always true at
+  /// budget exhaustion when the tolerance is 0), residual = last relative
+  /// improvement. degraded = influence compounding drove the embeddings
+  /// non-finite and the loop fell back to the best finite iterate.
+  ConvergenceReport report;
 };
 
 /// \brief Runs Alg. 2 with the trained GCN.

@@ -1,8 +1,9 @@
 #include "core/trainer.h"
 
-
 #include <cmath>
 #include <limits>
+
+#include "common/fault.h"
 #include "common/logging.h"
 #include "core/losses.h"
 
@@ -51,8 +52,41 @@ Status Trainer::Train(MultiOrderGcn* gcn, const AttributedGraph& source,
 
   loss_history_.clear();
   loss_history_.reserve(config_.epochs);
+  report_ = TrainReport{};
+  report_.final_lr = config_.learning_rate;
   double best_loss = std::numeric_limits<double>::infinity();
   int epochs_without_improvement = 0;
+
+  // Rollback target: the weights of the best healthy epoch so far (the
+  // initial weights until one completes).
+  std::vector<Matrix> snapshot = gcn->weights();
+  double snapshot_loss = std::numeric_limits<double>::infinity();
+
+  // On a divergence event: restore the snapshot, drop contaminated Adam
+  // moments, decay the learning rate. Returns NotConverged once the retry
+  // budget is spent.
+  auto rollback = [&](int epoch, const std::string& why) -> Status {
+    ++report_.rollbacks;
+    report_.rollback_epochs.push_back(epoch);
+    if (report_.rollbacks > config_.max_rollbacks) {
+      report_.diverged = true;
+      return Status::NotConverged(
+          "training diverged at epoch " + std::to_string(epoch) + " (" + why +
+          ") after exhausting " + std::to_string(config_.max_rollbacks) +
+          " rollback(s)");
+    }
+    for (size_t i = 0; i < params.size(); ++i) *params[i] = snapshot[i];
+    adam.Reset();
+    const double lr = adam.options().lr * config_.rollback_lr_decay;
+    adam.set_lr(lr);
+    report_.final_lr = lr;
+    GALIGN_LOG(Warning) << "Trainer: " << why << " at epoch " << epoch
+                        << "; rolled back to best snapshot (loss="
+                        << snapshot_loss << "), lr decayed to " << lr << " ("
+                        << report_.rollbacks << "/" << config_.max_rollbacks
+                        << " rollbacks)";
+    return Status::OK();
+  };
 
   auto forward_augments =
       [&](Tape* tape, const std::vector<AugmentedNetwork>& augs,
@@ -96,34 +130,73 @@ Status Trainer::Train(MultiOrderGcn* gcn, const AttributedGraph& source,
     }
     Var total = ag::WeightedSum(&tape, terms);
 
-    loss_history_.push_back(tape.value(total)(0, 0));
+    ++report_.epochs_run;
+    const double loss_value =
+        fault::Perturb("train.loss", tape.value(total)(0, 0));
+    if (!std::isfinite(loss_value)) {
+      GALIGN_RETURN_NOT_OK(rollback(epoch, "non-finite loss"));
+      continue;
+    }
+
     tape.Backward(total);
+    if (!weight_vars.empty()) {
+      Matrix* g0 = tape.EnsureGrad(weight_vars.front());
+      fault::CorruptBuffer("train.grad", g0->data(), g0->size());
+    }
 
     std::vector<const Matrix*> grads;
     grads.reserve(weight_vars.size());
     for (Var w : weight_vars) grads.push_back(&tape.grad(w));
-    adam.Step(params, grads);
 
-    if (!gcn->weights().front().AllFinite()) {
-      return Status::Internal("training diverged (non-finite weights) at epoch " +
-                              std::to_string(epoch));
+    const GradientHealth health = ProbeGradients(grads);
+    if (!health.finite) {
+      GALIGN_RETURN_NOT_OK(rollback(epoch, "non-finite gradient"));
+      continue;
+    }
+    if (config_.max_grad_norm > 0.0 && health.norm > config_.max_grad_norm) {
+      GALIGN_RETURN_NOT_OK(rollback(
+          epoch, "gradient explosion (norm " + std::to_string(health.norm) +
+                     " > " + std::to_string(config_.max_grad_norm) + ")"));
+      continue;
+    }
+
+    adam.Step(params, grads);
+    ++report_.steps_applied;
+
+    bool weights_finite = true;
+    for (const Matrix* p : params) weights_finite &= p->AllFinite();
+    if (!weights_finite) {
+      GALIGN_RETURN_NOT_OK(rollback(epoch, "non-finite weights after step"));
+      continue;
+    }
+
+    loss_history_.push_back(loss_value);
+    report_.final_loss = loss_value;
+    if (loss_value < snapshot_loss) {
+      snapshot_loss = loss_value;
+      snapshot = gcn->weights();
     }
 
     if (config_.early_stop_patience > 0) {
-      const double loss = loss_history_.back();
       // First epoch always establishes the baseline (inf - tol*inf is NaN).
       const double bar =
           std::isfinite(best_loss)
               ? best_loss - config_.early_stop_tolerance * std::fabs(best_loss)
-              : loss + 1.0;
-      if (loss < bar) {
-        best_loss = loss;
+              : loss_value + 1.0;
+      if (loss_value < bar) {
+        best_loss = loss_value;
         epochs_without_improvement = 0;
       } else if (++epochs_without_improvement >=
                  config_.early_stop_patience) {
         break;
       }
     }
+  }
+  if (report_.recovered()) {
+    GALIGN_LOG(Info) << "Trainer recovered from " << report_.rollbacks
+                     << " divergence event(s); final loss "
+                     << report_.final_loss << ", final lr "
+                     << report_.final_lr;
   }
   return Status::OK();
 }

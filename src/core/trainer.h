@@ -1,8 +1,17 @@
 // Augmented learning for multi-order embedding (paper Alg. 1): trains one
 // weight-shared GCN on the source network, the target network, and their
 // augmented copies, optimizing J(G_s) + J(G_t) with Adam.
+//
+// Training is guarded by a numerical-health layer (DESIGN.md §7): every
+// epoch the loss and the global gradient norm are checked before the Adam
+// step is applied. On a detected divergence (non-finite loss/gradients/
+// weights, or gradient norm above config.max_grad_norm) the trainer rolls
+// the weights back to the best snapshot seen so far, resets the Adam
+// moments, decays the learning rate, and retries — up to
+// config.max_rollbacks times before giving up with a NotConverged status.
 #pragma once
 
+#include <limits>
 #include <vector>
 
 #include "autograd/adam.h"
@@ -14,6 +23,22 @@
 #include "graph/graph.h"
 
 namespace galign {
+
+/// \brief Health record of one training run, returned alongside the loss
+/// history. Lets callers (and benchmark sweeps) distinguish "trained
+/// cleanly", "recovered from a transient divergence", and "gave up".
+struct TrainReport {
+  int epochs_run = 0;      ///< forward/backward passes executed
+  int steps_applied = 0;   ///< Adam steps that actually updated the weights
+  int rollbacks = 0;       ///< divergence events that triggered a rollback
+  std::vector<int> rollback_epochs;  ///< epoch index of each event
+  double final_lr = 0.0;   ///< learning rate at exit (decayed per rollback)
+  double final_loss = std::numeric_limits<double>::quiet_NaN();
+  bool diverged = false;   ///< true when the rollback budget was exhausted
+
+  /// Training finished and at least one rollback was needed along the way.
+  bool recovered() const { return rollbacks > 0 && !diverged; }
+};
 
 /// \brief Runs Alg. 1: builds augmentations once, then iterates full-batch
 /// forward/backward/Adam steps over the shared weights.
@@ -35,12 +60,17 @@ class Trainer {
                const AttributedGraph& target, Rng* rng,
                const std::vector<std::pair<int64_t, int64_t>>& seeds);
 
-  /// Total loss J(G_s) + J(G_t) per epoch, for convergence inspection.
+  /// Total loss J(G_s) + J(G_t) per healthy epoch, for convergence
+  /// inspection. Epochs rejected by the health checks are not recorded.
   const std::vector<double>& loss_history() const { return loss_history_; }
+
+  /// Health record of the most recent Train() call.
+  const TrainReport& report() const { return report_; }
 
  private:
   GAlignConfig config_;
   std::vector<double> loss_history_;
+  TrainReport report_;
 };
 
 }  // namespace galign

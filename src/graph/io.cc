@@ -1,8 +1,12 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <sstream>
+
+#include "common/fault.h"
+#include "common/parse.h"
 
 namespace galign {
 
@@ -18,33 +22,57 @@ Status SaveEdgeList(const AttributedGraph& g, const std::string& path) {
 }
 
 Result<AttributedGraph> LoadEdgeList(const std::string& path) {
+  if (fault::ShouldFailIO("io.edges.load")) {
+    return Status::IOError("injected fault: cannot read edge list " + path);
+  }
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
   std::vector<Edge> edges;
   int64_t num_nodes = -1;
   int64_t max_id = -1;
   std::string line;
+  int64_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty()) continue;
     if (line[0] == '#') {
       auto pos = line.find("nodes=");
       if (pos != std::string::npos) {
-        num_nodes = std::stoll(line.substr(pos + 6));
+        std::string value = line.substr(pos + 6);
+        value = value.substr(0, value.find_first_of(" \t\r"));
+        auto parsed = ParseInt64(value, "node count");
+        if (!parsed.ok()) {
+          return Status::IOError(path + ":" + std::to_string(lineno) + ": " +
+                                 parsed.status().message());
+        }
+        num_nodes = parsed.ValueOrDie();
+        if (num_nodes < 0) {
+          return Status::IOError(path + ":" + std::to_string(lineno) +
+                                 ": negative node count " +
+                                 std::to_string(num_nodes));
+        }
       }
       continue;
     }
     std::istringstream ls(line);
     int64_t u, v;
     if (!(ls >> u >> v)) {
-      return Status::IOError("malformed edge line: '" + line + "'");
+      return Status::IOError(path + ":" + std::to_string(lineno) +
+                             ": malformed edge line: '" + line + "'");
     }
     if (u < 0 || v < 0) {
-      return Status::IOError("negative node id in: '" + line + "'");
+      return Status::IOError(path + ":" + std::to_string(lineno) +
+                             ": negative node id in: '" + line + "'");
     }
     edges.emplace_back(u, v);
     max_id = std::max({max_id, u, v});
   }
   if (num_nodes < 0) num_nodes = max_id + 1;
+  if (max_id >= num_nodes) {
+    return Status::IOError(path + ": edge endpoint " + std::to_string(max_id) +
+                           " exceeds declared node count " +
+                           std::to_string(num_nodes));
+  }
   return AttributedGraph::Create(num_nodes, std::move(edges), Matrix());
 }
 
@@ -64,21 +92,40 @@ Status SaveAttributes(const Matrix& attributes, const std::string& path) {
 }
 
 Result<Matrix> LoadAttributes(const std::string& path) {
+  if (fault::ShouldFailIO("io.attrs.load")) {
+    return Status::IOError("injected fault: cannot read attributes " + path);
+  }
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open for read: " + path);
   std::vector<std::vector<double>> rows;
   std::string line;
   size_t width = 0;
+  int64_t lineno = 0;
   while (std::getline(in, line)) {
+    ++lineno;
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::vector<double> row;
-    double v;
-    while (ls >> v) row.push_back(v);
+    std::string tok;
+    while (ls >> tok) {
+      auto v = ParseDouble(tok, "attribute value");
+      if (!v.ok()) {
+        return Status::IOError(path + ":" + std::to_string(lineno) + ": " +
+                               v.status().message());
+      }
+      if (!std::isfinite(v.ValueOrDie())) {
+        return Status::IOError(path + ":" + std::to_string(lineno) +
+                               ": non-finite attribute value '" + tok + "'");
+      }
+      row.push_back(v.ValueOrDie());
+    }
     if (rows.empty()) {
       width = row.size();
     } else if (row.size() != width) {
-      return Status::IOError("ragged attribute row in " + path);
+      return Status::IOError(path + ":" + std::to_string(lineno) +
+                             ": ragged attribute row (expected " +
+                             std::to_string(width) + " columns, got " +
+                             std::to_string(row.size()) + ")");
     }
     rows.push_back(std::move(row));
   }
@@ -115,10 +162,18 @@ Result<std::vector<int64_t>> LoadGroundTruth(const std::string& path,
     std::istringstream ls(line);
     int64_t s, t;
     if (!(ls >> s >> t)) {
-      return Status::IOError("malformed ground-truth line: '" + line + "'");
+      return Status::IOError(path + ": malformed ground-truth line: '" + line +
+                             "'");
     }
     if (s < 0 || s >= num_source_nodes) {
-      return Status::IOError("ground-truth source out of range");
+      return Status::IOError(path + ": ground-truth source " +
+                             std::to_string(s) + " out of range [0, " +
+                             std::to_string(num_source_nodes) + ")");
+    }
+    if (t < 0) {
+      return Status::IOError(path + ": negative ground-truth target " +
+                             std::to_string(t) + " for source " +
+                             std::to_string(s));
     }
     gt[s] = t;
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "common/fault.h"
 #include "common/logging.h"
 #include "la/ops.h"
 
@@ -13,6 +14,10 @@ Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
                                           double tol) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("SymmetricEigen requires square matrix");
+  }
+  if (!a.AllFinite()) {
+    return Status::InvalidArgument(
+        "SymmetricEigen: input contains non-finite entries");
   }
   const int64_t n = a.rows();
   Matrix m = a;
@@ -28,7 +33,10 @@ Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
 
   const double scale = std::max(1.0, a.MaxAbs());
   bool converged = (n <= 1);
+  int sweeps_run = 0;
+  double residual = converged ? 0.0 : off_diag_norm();
   for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    ++sweeps_run;
     for (int64_t p = 0; p < n - 1; ++p) {
       for (int64_t q = p + 1; q < n; ++q) {
         double apq = m(p, q);
@@ -57,13 +65,28 @@ Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
         }
       }
     }
-    converged = off_diag_norm() <= tol * scale * n;
+    residual = fault::Perturb("la.jacobi.residual", off_diag_norm());
+    converged = residual <= tol * scale * n;
   }
   if (!converged) {
-    return Status::NotConverged("Jacobi eigen failed to converge");
+    if (!std::isfinite(residual)) {
+      return Status::NotConverged(
+          "Jacobi eigen produced a non-finite residual (input likely "
+          "ill-conditioned beyond recovery)");
+    }
+    // Jacobi sweeps never increase the off-diagonal mass, so the current
+    // iterate is the best available — return it degraded rather than
+    // discarding the work.
+    GALIGN_LOG(Warning) << "Jacobi eigen: off-diagonal residual " << residual
+                        << " above tolerance after " << sweeps_run
+                        << " sweep(s); returning best-so-far decomposition";
   }
 
   EigenDecomposition out;
+  out.report.converged = converged;
+  out.report.iterations = sweeps_run;
+  out.report.residual = residual;
+  out.report.degraded = !converged;
   out.eigenvalues.resize(n);
   std::vector<int64_t> order(n);
   std::iota(order.begin(), order.end(), 0);
@@ -96,6 +119,7 @@ Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps) {
 
   const int64_t r = tall ? n : m;
   SVDResult out;
+  out.report = e.report;
   out.sigma.resize(r);
   for (int64_t i = 0; i < r; ++i) {
     out.sigma[i] = std::sqrt(std::max(0.0, e.eigenvalues[i]));
@@ -137,27 +161,43 @@ Result<Matrix> PseudoInverse(const Matrix& a, double rcond) {
 }
 
 Result<double> PowerIterationTopEigenvalue(const Matrix& a, int max_iters,
-                                           double tol) {
+                                           double tol,
+                                           ConvergenceReport* report) {
   if (a.rows() != a.cols() || a.rows() == 0) {
     return Status::InvalidArgument("power iteration requires square matrix");
   }
+  auto exit_with = [&](double value, bool converged, int iters,
+                       double residual) {
+    if (report != nullptr) {
+      report->converged = converged;
+      report->iterations = iters;
+      report->residual = residual;
+      report->degraded = !converged;
+    }
+    return value;
+  };
   Rng rng(7);
   Matrix x = Matrix::Gaussian(a.rows(), 1, &rng);
   x.Scale(1.0 / x.FrobeniusNorm());
   double lambda = 0.0;
+  double residual = 0.0;
   for (int it = 0; it < max_iters; ++it) {
     Matrix y = MatMul(a, x);
     double norm = y.FrobeniusNorm();
-    if (norm < 1e-30) return 0.0;
+    if (norm < 1e-30) return exit_with(0.0, true, it + 1, 0.0);
     y.Scale(1.0 / norm);
     double new_lambda = Dot(y, MatMul(a, y));
-    if (std::fabs(new_lambda - lambda) < tol * std::max(1.0, std::fabs(new_lambda))) {
-      return new_lambda;
+    residual = std::fabs(new_lambda - lambda);
+    if (residual < tol * std::max(1.0, std::fabs(new_lambda))) {
+      return exit_with(new_lambda, true, it + 1, residual);
     }
     lambda = new_lambda;
     x = y;
   }
-  return Status::NotConverged("power iteration did not converge");
+  GALIGN_LOG(Warning) << "power iteration: residual " << residual
+                      << " above tolerance after " << max_iters
+                      << " iteration(s); returning best-so-far estimate";
+  return exit_with(lambda, false, max_iters, residual);
 }
 
 }  // namespace galign

@@ -1,11 +1,18 @@
 // Matrix decompositions implemented from scratch: cyclic Jacobi for symmetric
 // eigenproblems and a thin SVD built on top of it. Used by REGAL's low-rank
 // similarity factorization and by PCA for the qualitative study.
+//
+// Every solver here runs under an explicit iteration + residual budget and
+// reports how it exited through a ConvergenceReport (DESIGN.md §7). A solve
+// that fails to meet its tolerance within the budget returns the best
+// iterate it reached, marked `degraded`, instead of erroring out — callers
+// that need strict convergence must check the report.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/convergence.h"
 #include "common/status.h"
 #include "la/matrix.h"
 
@@ -15,14 +22,19 @@ namespace galign {
 struct EigenDecomposition {
   std::vector<double> eigenvalues;  // descending order
   Matrix eigenvectors;              // columns correspond to eigenvalues
+  /// How the Jacobi sweep exited (iterations = sweeps executed, residual =
+  /// final off-diagonal Frobenius mass relative scale).
+  ConvergenceReport report;
 };
 
 /// \brief Eigendecomposition of a symmetric matrix via cyclic Jacobi
 /// rotations.
 ///
 /// Intended for small-to-medium matrices (landmark similarity blocks, PCA
-/// covariances). Returns NotConverged if the off-diagonal mass fails to
-/// vanish within max_sweeps.
+/// covariances). If the off-diagonal mass fails to vanish within
+/// max_sweeps, the best-so-far rotation is returned with
+/// report.converged == false (Jacobi sweeps are monotone, so the last
+/// iterate is the best).
 Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
                                           int max_sweeps = 64,
                                           double tol = 1e-12);
@@ -32,6 +44,8 @@ struct SVDResult {
   Matrix u;                    // rows x r
   std::vector<double> sigma;   // descending, size r
   Matrix v;                    // cols x r
+  /// Propagated from the underlying Gram-matrix eigendecomposition.
+  ConvergenceReport report;
 };
 
 /// \brief Thin SVD computed from the eigendecomposition of the Gram matrix
@@ -43,8 +57,11 @@ Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps = 64);
 Result<Matrix> PseudoInverse(const Matrix& a, double rcond = 1e-10);
 
 /// Top eigenvalue/eigenvector of a symmetric matrix by power iteration.
+/// Returns the last Rayleigh-quotient estimate even when the iteration did
+/// not meet `tol` within max_iters; pass `report` to observe convergence.
 Result<double> PowerIterationTopEigenvalue(const Matrix& a,
                                            int max_iters = 1000,
-                                           double tol = 1e-9);
+                                           double tol = 1e-9,
+                                           ConvergenceReport* report = nullptr);
 
 }  // namespace galign

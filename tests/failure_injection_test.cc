@@ -1,15 +1,23 @@
-// Failure-injection tests: every aligner must either handle or cleanly
-// reject degenerate-but-legal inputs (no crashes, no NaNs, no silent
-// garbage): edgeless graphs, isolated nodes, single-node graphs, star
-// graphs, disconnected components, constant attributes.
+// Failure-injection tests: every aligner in the registry must either handle
+// or cleanly reject degenerate-but-legal inputs (no crashes, no NaNs, no
+// silent garbage): edgeless graphs, isolated nodes, single-node graphs,
+// star graphs, disconnected components, constant attributes. Supervised
+// methods (PALE, DeepLink, IONE, CENALP) run both without supervision
+// (clean rejection expected) and with a handful of seed anchors.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "align/metrics.h"
+#include "baselines/cenalp.h"
+#include "baselines/deeplink.h"
 #include "baselines/final.h"
+#include "baselines/ione.h"
 #include "baselines/isorank.h"
 #include "baselines/naive.h"
+#include "baselines/netalign.h"
+#include "baselines/pale.h"
 #include "baselines/regal.h"
 #include "baselines/unialign.h"
 #include "core/galign.h"
@@ -19,6 +27,8 @@
 namespace galign {
 namespace {
 
+// Every Aligner implementation in the repo, configured small enough that
+// the full matrix of degenerate inputs stays fast.
 std::vector<std::unique_ptr<Aligner>> AllRobustAligners() {
   std::vector<std::unique_ptr<Aligner>> out;
   GAlignConfig cfg;
@@ -32,18 +42,66 @@ std::vector<std::unique_ptr<Aligner>> AllRobustAligners() {
   out.push_back(std::make_unique<UniAlignAligner>());
   out.push_back(std::make_unique<DegreeRankAligner>());
   out.push_back(std::make_unique<AttributeOnlyAligner>());
+  out.push_back(std::make_unique<RandomAligner>());
+
+  PaleConfig pale;
+  pale.embedding_dim = 8;
+  pale.embedding_epochs = 5;
+  pale.mapping_epochs = 20;
+  out.push_back(std::make_unique<PaleAligner>(pale));
+
+  DeepLinkConfig deeplink;
+  deeplink.walks.walks_per_node = 2;
+  deeplink.walks.walk_length = 5;
+  deeplink.skipgram.dim = 8;
+  deeplink.skipgram.epochs = 1;
+  deeplink.mapping_epochs = 20;
+  out.push_back(std::make_unique<DeepLinkAligner>(deeplink));
+
+  IoneConfig ione;
+  ione.dim = 8;
+  ione.epochs = 10;
+  out.push_back(std::make_unique<IoneAligner>(ione));
+
+  CenalpConfig cenalp;
+  cenalp.walks.walks_per_node = 2;
+  cenalp.walks.walk_length = 5;
+  cenalp.skipgram.dim = 8;
+  cenalp.skipgram.epochs = 1;
+  cenalp.expansion_rounds = 1;
+  out.push_back(std::make_unique<CenalpAligner>(cenalp));
+
+  NetAlignConfig netalign;
+  netalign.candidates_per_node = 5;
+  netalign.iterations = 5;
+  out.push_back(std::make_unique<NetAlignAligner>(netalign));
   return out;
+}
+
+// Seed supervision for supervised aligners: identity pairs over the first
+// few nodes that exist in both networks.
+Supervision SmallSeeds(const AttributedGraph& s, const AttributedGraph& t) {
+  Supervision sup;
+  const int64_t n = std::min({s.num_nodes(), t.num_nodes(), int64_t{4}});
+  for (int64_t v = 0; v < n; ++v) sup.seeds.emplace_back(v, v);
+  return sup;
 }
 
 void ExpectCleanOutcome(Aligner* a, const AttributedGraph& s,
                         const AttributedGraph& t) {
-  auto result = a->Align(s, t, {});
-  if (result.ok()) {
-    EXPECT_EQ(result.ValueOrDie().rows(), s.num_nodes()) << a->name();
-    EXPECT_EQ(result.ValueOrDie().cols(), t.num_nodes()) << a->name();
-    EXPECT_TRUE(result.ValueOrDie().AllFinite()) << a->name();
+  for (const Supervision& sup : {Supervision{}, SmallSeeds(s, t)}) {
+    auto result = a->Align(s, t, sup);
+    if (result.ok()) {
+      EXPECT_EQ(result.ValueOrDie().rows(), s.num_nodes())
+          << a->name() << " (seeds=" << sup.seeds.size() << ")";
+      EXPECT_EQ(result.ValueOrDie().cols(), t.num_nodes())
+          << a->name() << " (seeds=" << sup.seeds.size() << ")";
+      EXPECT_TRUE(result.ValueOrDie().AllFinite())
+          << a->name() << " (seeds=" << sup.seeds.size() << ")";
+    }
+    // A non-OK status is also acceptable: the contract is "no crash, no
+    // NaN" — supervised methods reject the seedless run descriptively.
   }
-  // A non-OK status is also acceptable: the contract is "no crash, no NaN".
 }
 
 TEST(FailureInjectionTest, EdgelessGraphs) {
