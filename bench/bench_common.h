@@ -1,11 +1,14 @@
 // Shared infrastructure for the paper-reproduction benches: CLI flags
-// (--quick / --full / --runs=N / --scale=X), the standard aligner roster of
-// Table III, and small aggregation helpers. Every bench binary prints the
-// corresponding paper table/figure as fixed-width text.
+// (--quick / --full / --runs=N / --scale=X / --resume / --budget=S), the
+// standard aligner roster of Table III, small aggregation helpers, and the
+// durable per-cell result cache that makes long sweeps resumable. Every
+// bench binary prints the corresponding paper table/figure as fixed-width
+// text.
 #pragma once
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -13,6 +16,8 @@
 #include <cctype>
 
 #include "align/pipeline.h"
+#include "common/durable_io.h"
+#include "common/run_context.h"
 #include "baselines/cenalp.h"
 #include "baselines/deeplink.h"
 #include "baselines/final.h"
@@ -35,6 +40,10 @@ struct BenchOptions {
   double scale = 0.0;   ///< explicit down-scale factor override (0 = auto)
   bool extended = false;  ///< include extra methods beyond the paper roster
   std::string csv;      ///< non-empty: write each table as <csv>_<tag>.csv
+  bool resume = false;  ///< skip cells already persisted in the state dir
+  std::string state_dir;  ///< durable per-cell results (--resume defaults
+                          ///< it to "bench_state")
+  double budget_seconds = 0.0;  ///< per-cell deadline; 0 = unbounded
 
   /// Down-scale factor for dataset specs: 1 (paper scale) in --full mode,
   /// otherwise the default quick factor (or the --scale override).
@@ -53,10 +62,87 @@ inline BenchOptions ParseOptions(int argc, char** argv) {
     if (std::strncmp(argv[i], "--scale=", 8) == 0) opt.scale = std::atof(argv[i] + 8);
     if (std::strcmp(argv[i], "--extended") == 0) opt.extended = true;
     if (std::strncmp(argv[i], "--csv=", 6) == 0) opt.csv = argv[i] + 6;
+    if (std::strcmp(argv[i], "--resume") == 0) opt.resume = true;
+    if (std::strncmp(argv[i], "--state-dir=", 12) == 0) {
+      opt.state_dir = argv[i] + 12;
+    }
+    if (std::strncmp(argv[i], "--budget=", 9) == 0) {
+      opt.budget_seconds = std::atof(argv[i] + 9);
+    }
   }
   if (opt.runs < 1) opt.runs = 1;
+  if (opt.resume && opt.state_dir.empty()) opt.state_dir = "bench_state";
   return opt;
 }
+
+/// The deadline context each table/figure cell runs under: expired cells
+/// degrade to best-so-far and are flagged in the output.
+inline RunContext BenchCellContext(const BenchOptions& opt) {
+  if (opt.budget_seconds > 0.0) {
+    return RunContext::WithTimeout(opt.budget_seconds);
+  }
+  return RunContext();
+}
+
+/// \brief Durable per-cell result cache behind --resume / --state-dir.
+///
+/// Each finished cell (one method on one dataset/noise-level) is written to
+/// its own CRC-checksummed file via AtomicWriteFile, so a crashed or killed
+/// sweep never leaves a torn cell; re-running with --resume replays
+/// finished cells from disk and computes only the missing ones. Torn or
+/// bit-rotted cell files fail CRC validation and are simply recomputed.
+class CellCache {
+ public:
+  explicit CellCache(const BenchOptions& opt)
+      : dir_(opt.state_dir), replay_(opt.resume) {
+    if (!dir_.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(dir_, ec);  // best effort
+    }
+  }
+
+  bool enabled() const { return !dir_.empty(); }
+
+  /// True (and fills `*value`) when `key` has a valid persisted result and
+  /// replay was requested.
+  bool Lookup(const std::string& key, std::string* value) const {
+    if (!replay_ || dir_.empty()) return false;
+    auto content = ReadFileToString(PathFor(key));
+    if (!content.ok()) return false;
+    auto payload = StripAndVerifyCrc32Trailer(content.ValueOrDie(),
+                                              /*require_trailer=*/true, key);
+    if (!payload.ok()) return false;  // torn/corrupt cell: recompute
+    *value = payload.MoveValueOrDie();
+    // Persisted payloads always end with the newline the trailer covers.
+    if (!value->empty() && value->back() == '\n') value->pop_back();
+    return true;
+  }
+
+  /// Durably persists one finished cell (no-op when caching is off).
+  void Store(const std::string& key, const std::string& value) const {
+    if (dir_.empty()) return;
+    Status st = AtomicWriteFile(PathFor(key), AppendCrc32Trailer(value));
+    if (!st.ok()) {
+      std::fprintf(stderr, "cell cache write failed: %s\n",
+                   st.ToString().c_str());
+    }
+  }
+
+ private:
+  std::string PathFor(const std::string& key) const {
+    std::string clean;
+    for (char c : key) {
+      clean += (std::isalnum(static_cast<unsigned char>(c)) || c == '-' ||
+                c == '_' || c == '.')
+                   ? c
+                   : '_';
+    }
+    return (std::filesystem::path(dir_) / (clean + ".cell")).string();
+  }
+
+  std::string dir_;
+  bool replay_;
+};
 
 /// GAlign configuration used across the benches (paper §VII-A defaults,
 /// shrunk in quick mode where it only changes cost, not behaviour shape).
@@ -140,6 +226,32 @@ inline AlignerSet MakeAlignerSet(const BenchOptions& opt) {
   set.attribute_only = std::make_unique<AttributeOnlyAligner>();
   set.random_aligner = std::make_unique<RandomAligner>();
   return set;
+}
+
+/// Tab-joins table cells for persistence in one CellCache entry. Cells
+/// never contain tabs (they are method names and formatted numbers).
+inline std::string JoinCells(const std::vector<std::string>& cells) {
+  std::string out;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i) out += '\t';
+    out += cells[i];
+  }
+  return out;
+}
+
+/// Inverse of JoinCells.
+inline std::vector<std::string> SplitCells(const std::string& value) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t tab = value.find('\t', start);
+    if (tab == std::string::npos) {
+      out.push_back(value.substr(start));
+      return out;
+    }
+    out.push_back(value.substr(start, tab - start));
+    start = tab + 1;
+  }
 }
 
 /// Element-wise mean of metric bundles (used when --runs > 1).

@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   const std::vector<double> noise_levels = {0.1, 0.2, 0.3, 0.4, 0.5};
   const double scale = opt.ScaleFactor(5.0);
 
+  CellCache cache(opt);
+
   for (const Network& net : networks) {
     std::printf("--- %s ---\n", net.name);
     TextTable table({"Method", "10%", "20%", "30%", "40%", "50%"});
@@ -34,6 +36,14 @@ int main(int argc, char** argv) {
     for (Aligner* aligner : set.all()) {
       std::vector<std::string> row{aligner->name()};
       for (double noise : noise_levels) {
+        const std::string cell_key =
+            std::string("fig3_") + net.name + "_" + aligner->name() + "_" +
+            TextTable::Num(noise, 1);
+        std::string cached;
+        if (cache.Lookup(cell_key, &cached)) {
+          row.push_back(std::move(cached));
+          continue;
+        }
         std::vector<AlignmentMetrics> runs;
         for (int run = 0; run < opt.runs; ++run) {
           Rng rng(4000 + run);
@@ -43,12 +53,15 @@ int main(int argc, char** argv) {
           opts.structural_noise = noise;
           auto pair = MakeNoisyCopyPair(base.ValueOrDie(), opts, &rng);
           if (!pair.ok()) continue;
-          RunResult r = RunAligner(aligner, pair.ValueOrDie(), 0.1, &rng);
+          RunResult r = RunAligner(aligner, pair.ValueOrDie(), 0.1, &rng,
+                                   BenchCellContext(opt));
           if (r.status.ok()) runs.push_back(r.metrics);
         }
-        row.push_back(runs.empty()
-                          ? std::string("n/a")
-                          : TextTable::Num(MeanMetrics(runs).success_at_1));
+        std::string cell =
+            runs.empty() ? std::string("n/a")
+                         : TextTable::Num(MeanMetrics(runs).success_at_1);
+        cache.Store(cell_key, cell);
+        row.push_back(std::move(cell));
       }
       table.AddRow(std::move(row));
     }

@@ -4,11 +4,29 @@
 # --csv=<prefix> to also dump CSV series for plotting. Extra flags are
 # forwarded to every bench binary.
 #
+# Crash safety: with --resume each bench persists every finished
+# table/figure cell to bench_state/<bench>/ through atomic, CRC-checksummed
+# writes. Killing the sweep (Ctrl-C, OOM, power loss) and re-running the
+# same command replays the finished cells from disk and computes only the
+# missing ones; torn cell files fail their checksum and are recomputed.
+# --budget=<seconds> additionally deadlines each cell so no single method
+# can stall the sweep — over-budget cells report their best-so-far result.
+#
 #   ./bench/run_all.sh                      # quick sweep (~10 min)
 #   ./bench/run_all.sh --full --runs=5      # paper-scale, averaged
+#   ./bench/run_all.sh --resume             # resumable sweep (re-run after
+#                                           # a crash to pick up where it died)
+#   ./bench/run_all.sh --resume --budget=60 # ...with a 60 s per-cell cap
 set -u
 BENCH_DIR="$(dirname "$0")/../build/bench"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 ARGS=("$@")
+
+# Give every bench its own state dir so --resume sweeps stay tidy.
+RESUME=0
+for a in "$@"; do
+  [ "$a" = "--resume" ] && RESUME=1
+done
 
 for b in \
     bench_table3_end_to_end \
@@ -23,7 +41,11 @@ for b in \
     bench_scalability \
     bench_hyperparams; do
   echo "### $b"
-  "${BENCH_DIR}/${b}" "${ARGS[@]}" || echo "(FAILED: $b)"
+  EXTRA=()
+  if [ "$RESUME" = 1 ]; then
+    EXTRA=("--state-dir=${REPO_ROOT}/bench_state/${b}")
+  fi
+  "${BENCH_DIR}/${b}" "${ARGS[@]}" "${EXTRA[@]}" || echo "(FAILED: $b)"
   echo
 done
 
@@ -33,7 +55,6 @@ echo "### bench_kernels"
 # Machine-readable kernel numbers at the repo root, seeding the perf
 # trajectory across PRs (BM_*Reference entries are the retained naive
 # kernels, so each snapshot carries its own before/after ratio).
-REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 echo "### bench_kernels (json -> BENCH_kernels.json)"
 "${BENCH_DIR}/bench_kernels" --benchmark_min_time=0.2 \
     --benchmark_format=json > "${REPO_ROOT}/BENCH_kernels.json" \

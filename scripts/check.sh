@@ -24,4 +24,12 @@ cmake --build "${build_dir}" -j "$(nproc)"
 export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
+# Crash-recovery gate (DESIGN.md §8): the kill-and-resume, torn-checkpoint,
+# and deadline-cancellation suites run first and explicitly, so a durability
+# regression fails loudly before the full sweep.
+echo "=== crash-recovery gate (ASan+UBSan) ==="
+ctest --test-dir "${build_dir}" --output-on-failure \
+  -R "CheckpointResume|DurableIo|Cancellation"
+
+echo "=== full suite (ASan+UBSan) ==="
 ctest --test-dir "${build_dir}" --output-on-failure "$@"

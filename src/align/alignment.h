@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "graph/noise.h"
@@ -36,9 +37,29 @@ class Aligner {
 
   /// Computes the alignment matrix S (n_source x n_target). Implementations
   /// must return finite entries; higher = better match.
+  ///
+  /// Unbounded convenience entry point; forwards to the RunContext overload.
+  /// Non-virtual on purpose: deadline behaviour belongs to one override,
+  /// and a default argument on a virtual would be statically bound.
+  Result<Matrix> Align(const AttributedGraph& source,
+                       const AttributedGraph& target,
+                       const Supervision& supervision) {
+    return Align(source, target, supervision, RunContext());
+  }
+
+  /// Deadline/cancellation-aware variant (DESIGN.md §8): implementations
+  /// poll ctx.ShouldStop() at iteration granularity and degrade to their
+  /// best-so-far alignment instead of running unbounded. A context that is
+  /// already expired yields the cheapest meaningful result the method can
+  /// produce (e.g. its prior or initial iterate) — still a valid matrix,
+  /// never an error.
+  ///
+  /// Note for implementers: also add `using Aligner::Align;` so the
+  /// three-argument convenience form stays visible on the derived type.
   virtual Result<Matrix> Align(const AttributedGraph& source,
                                const AttributedGraph& target,
-                               const Supervision& supervision) = 0;
+                               const Supervision& supervision,
+                               const RunContext& ctx) = 0;
 };
 
 /// Greedy anchor extraction: for each source node, the argmax target

@@ -4,14 +4,14 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/durable_io.h"
 #include "common/fault.h"
 #include "common/parse.h"
 
 namespace galign {
 
 Status SaveAlignmentMatrix(const Matrix& s, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+  std::ostringstream out;
   out.precision(17);
   out << "# alignment rows=" << s.rows() << " cols=" << s.cols() << "\n";
   for (int64_t r = 0; r < s.rows(); ++r) {
@@ -22,16 +22,22 @@ Status SaveAlignmentMatrix(const Matrix& s, const std::string& path) {
     }
     out << "\n";
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<Matrix> LoadAlignmentMatrix(const std::string& path) {
-  if (fault::ShouldFailIO("io.alignment.load")) {
-    return Status::IOError("injected fault: cannot read alignment " + path);
-  }
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+  // Bounded jittered retry over the raw read; parse failures are never
+  // retried (a corrupt file stays corrupt).
+  auto content =
+      RetryTransientResult(RetryPolicy{}, [&]() -> Result<std::string> {
+        if (fault::ShouldFailIO("io.alignment.load")) {
+          return Status::IOError("injected fault: cannot read alignment " +
+                                 path);
+        }
+        return ReadFileToString(path);
+      });
+  GALIGN_RETURN_NOT_OK(content.status());
+  std::istringstream in(content.ValueOrDie());
   std::string line;
   std::vector<std::vector<double>> rows;
   size_t width = 0;
@@ -105,16 +111,14 @@ Result<Matrix> LoadAlignmentMatrix(const std::string& path) {
 
 Status SaveAnchors(const Matrix& s, const std::vector<int64_t>& anchors,
                    const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+  std::ostringstream out;
   out.precision(10);
   for (size_t v = 0; v < anchors.size(); ++v) {
     int64_t t = anchors[v];
     if (t == -1) continue;
     out << v << "\t" << t << "\t" << s(static_cast<int64_t>(v), t) << "\n";
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  return AtomicWriteFile(path, out.str());
 }
 
 Result<std::vector<int64_t>> LoadAnchors(const std::string& path,

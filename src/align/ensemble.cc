@@ -60,7 +60,8 @@ Result<Matrix> FuseAlignments(const std::vector<const Matrix*>& matrices,
 
 Result<Matrix> EnsembleAligner::Align(const AttributedGraph& source,
                                       const AttributedGraph& target,
-                                      const Supervision& supervision) {
+                                      const Supervision& supervision,
+                                      const RunContext& ctx) {
   if (members_.empty()) {
     return Status::InvalidArgument("ensemble has no members");
   }
@@ -68,7 +69,7 @@ Result<Matrix> EnsembleAligner::Align(const AttributedGraph& source,
   std::vector<double> contributing_weights;
   Status last_error = Status::OK();
   for (size_t mi = 0; mi < members_.size(); ++mi) {
-    auto s = members_[mi]->Align(source, target, supervision);
+    auto s = members_[mi]->Align(source, target, supervision, ctx);
     if (s.ok()) {
       results.push_back(s.MoveValueOrDie());
       contributing_weights.push_back(mi < weights_.size() ? weights_[mi]

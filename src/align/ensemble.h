@@ -36,9 +36,11 @@ class EnsembleAligner : public Aligner {
 
   std::string name() const override { return "Ensemble"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
   /// Number of members whose matrix entered the last fusion.
   int64_t last_contributors() const { return last_contributors_; }

@@ -1,16 +1,16 @@
 #include "align/pipeline.h"
 
 #include <algorithm>
-#include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "common/durable_io.h"
 #include "common/timer.h"
 
 namespace galign {
 
 RunResult RunAligner(Aligner* aligner, const AlignmentPair& pair,
-                     double seed_fraction, Rng* rng) {
+                     double seed_fraction, Rng* rng, const RunContext& ctx) {
   RunResult out;
   out.method = aligner->name();
   Supervision sup;
@@ -18,8 +18,12 @@ RunResult RunAligner(Aligner* aligner, const AlignmentPair& pair,
     sup = SampleSeeds(pair.ground_truth, seed_fraction, rng);
   }
   Timer timer;
-  auto s = aligner->Align(pair.source, pair.target, sup);
+  auto s = aligner->Align(pair.source, pair.target, sup, ctx);
   double seconds = timer.Seconds();
+  // Flag a blown budget even for methods too cheap to ever poll the
+  // context: an expired deadline at exit is an expired deadline.
+  out.deadline_exceeded = ctx.DeadlineExceeded();
+  out.cancelled = ctx.Cancelled();
   if (!s.ok()) {
     out.status = s.status();
     return out;
@@ -31,12 +35,12 @@ RunResult RunAligner(Aligner* aligner, const AlignmentPair& pair,
 
 std::vector<RunResult> RunAll(const std::vector<Aligner*>& aligners,
                               const AlignmentPair& pair, double seed_fraction,
-                              Rng* rng) {
+                              Rng* rng, const RunContext& ctx) {
   std::vector<RunResult> results;
   results.reserve(aligners.size());
   for (Aligner* a : aligners) {
     Rng fork = rng->Fork();
-    results.push_back(RunAligner(a, pair, seed_fraction, &fork));
+    results.push_back(RunAligner(a, pair, seed_fraction, &fork, ctx));
   }
   return results;
 }
@@ -98,11 +102,9 @@ std::string TextTable::ToCsv() const {
 }
 
 Status TextTable::WriteCsv(const std::string& path) const {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out << ToCsv();
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // Temp-file + rename so a crash mid-write never leaves a torn CSV that a
+  // resumed bench run would mistake for a finished cell.
+  return AtomicWriteFile(path, ToCsv());
 }
 
 std::string TextTable::Num(double v, int digits) {

@@ -19,18 +19,25 @@ struct RunResult {
   std::string method;
   AlignmentMetrics metrics;
   Status status;  // non-OK if the aligner failed; metrics are zero then
+  /// The run hit its RunContext deadline (metrics score the degraded
+  /// best-so-far alignment the method wound down with).
+  bool deadline_exceeded = false;
+  bool cancelled = false;  ///< the cancellation token fired during the run
 };
 
 /// \brief Runs `aligner` on `pair`, sampling `seed_fraction` of the ground
 /// truth as supervision (paper gives supervised baselines 10%). Timing
-/// covers Align() only.
+/// covers Align() only. `ctx` bounds the run: on expiry the aligner
+/// degrades to best-so-far and the result is flagged deadline_exceeded.
 RunResult RunAligner(Aligner* aligner, const AlignmentPair& pair,
-                     double seed_fraction, Rng* rng);
+                     double seed_fraction, Rng* rng,
+                     const RunContext& ctx = RunContext());
 
-/// Runs every aligner on the pair with a forked RNG per method.
+/// Runs every aligner on the pair with a forked RNG per method. `ctx` is
+/// shared by all methods (one overall budget, not one per method).
 std::vector<RunResult> RunAll(const std::vector<Aligner*>& aligners,
                               const AlignmentPair& pair, double seed_fraction,
-                              Rng* rng);
+                              Rng* rng, const RunContext& ctx = RunContext());
 
 /// \brief Minimal fixed-width table printer for bench output.
 class TextTable {

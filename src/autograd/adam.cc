@@ -1,6 +1,7 @@
 #include "autograd/adam.h"
 
 #include <cmath>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -20,6 +21,15 @@ void AdamOptimizer::Reset() {
   step_ = 0;
   for (Matrix& m : m_) m.Fill(0.0);
   for (Matrix& v : v_) v.Fill(0.0);
+}
+
+void AdamOptimizer::RestoreState(int64_t step, std::vector<Matrix> m,
+                                 std::vector<Matrix> v) {
+  GALIGN_DCHECK(m.size() == m_.size());
+  GALIGN_DCHECK(v.size() == v_.size());
+  step_ = step;
+  m_ = std::move(m);
+  v_ = std::move(v);
 }
 
 void AdamOptimizer::Step(const std::vector<Matrix*>& params,

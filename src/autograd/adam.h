@@ -44,6 +44,16 @@ class AdamOptimizer {
   const Options& options() const { return opts_; }
   void set_lr(double lr) { opts_.lr = lr; }
 
+  /// Moment buffers, exposed for checkpointing (core/checkpoint.cc). Order
+  /// matches the Register() parameter list.
+  const std::vector<Matrix>& first_moments() const { return m_; }
+  const std::vector<Matrix>& second_moments() const { return v_; }
+
+  /// Restores the full optimizer state captured by a checkpoint. Shapes must
+  /// match the registered parameters; the caller (checkpoint restore)
+  /// validates them against the model before handing them over.
+  void RestoreState(int64_t step, std::vector<Matrix> m, std::vector<Matrix> v);
+
  private:
   Options opts_ = {};
   int64_t step_ = 0;

@@ -8,7 +8,8 @@ namespace galign {
 
 Result<Matrix> CenalpAligner::Align(const AttributedGraph& source,
                                     const AttributedGraph& target,
-                                    const Supervision& supervision) {
+                                    const Supervision& supervision,
+                                    const RunContext& ctx) {
   const int64_t n1 = source.num_nodes();
   const int64_t n2 = target.num_nodes();
   if (n1 == 0 || n2 == 0) {
@@ -39,6 +40,10 @@ Result<Matrix> CenalpAligner::Align(const AttributedGraph& source,
   const int64_t vocab = n1 + n2;
   Matrix s_matrix;
   for (int round = 0; round <= config_.expansion_rounds; ++round) {
+    // Best-so-far under a deadline: keep the score matrix of the last
+    // completed round; if none completed yet, run round 0 regardless so an
+    // expired context still yields a valid (cheapest) alignment.
+    if (ctx.ShouldStop() && !s_matrix.empty()) break;
     auto walks =
         CrossNetworkWalks(source, target, anchors, config_.walks, &rng);
     SkipGramConfig sg = config_.skipgram;

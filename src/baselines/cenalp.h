@@ -33,9 +33,11 @@ class CenalpAligner : public Aligner {
 
   std::string name() const override { return "CENALP"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
  private:
   CenalpConfig config_;

@@ -12,7 +12,8 @@ namespace {
 // Trains the MLP mapping x -> y on the given pairs and returns the mapped
 // version of `all_inputs`.
 Matrix TrainAndMap(const Matrix& x, const Matrix& y, const Matrix& all_inputs,
-                   const DeepLinkConfig& cfg, Rng* rng) {
+                   const DeepLinkConfig& cfg, Rng* rng,
+                   const RunContext& ctx) {
   const int64_t d = x.cols();
   Matrix w1 = Matrix::Xavier(d, cfg.mlp_hidden, rng);
   Matrix b1(1, cfg.mlp_hidden);
@@ -33,6 +34,7 @@ Matrix TrainAndMap(const Matrix& x, const Matrix& y, const Matrix& all_inputs,
   };
 
   for (int epoch = 0; epoch < cfg.mapping_epochs; ++epoch) {
+    if (ctx.ShouldStop()) break;  // best-so-far mapping weights
     Tape tape;
     std::vector<Var> leaves;
     Var pred = forward(&tape, x, &leaves);
@@ -54,7 +56,8 @@ Matrix TrainAndMap(const Matrix& x, const Matrix& y, const Matrix& all_inputs,
 
 Result<Matrix> DeepLinkAligner::Align(const AttributedGraph& source,
                                       const AttributedGraph& target,
-                                      const Supervision& supervision) {
+                                      const Supervision& supervision,
+                                      const RunContext& ctx) {
   if (supervision.seeds.empty()) {
     return Status::InvalidArgument(
         "DeepLink requires seed anchors to train its mapping");
@@ -82,12 +85,12 @@ Result<Matrix> DeepLinkAligner::Align(const AttributedGraph& source,
   }
 
   // Forward mapping source -> target space.
-  Matrix mapped_s = TrainAndMap(xs, yt, zs, config_, &rng);
+  Matrix mapped_s = TrainAndMap(xs, yt, zs, config_, &rng, ctx);
   Matrix score = MatMulTransposedB(mapped_s, zt);
   if (config_.dual) {
     // Backward mapping target -> source space; transpose its score matrix
     // and average (the dual-learning approximation).
-    Matrix mapped_t = TrainAndMap(yt, xs, zt, config_, &rng);
+    Matrix mapped_t = TrainAndMap(yt, xs, zt, config_, &rng, ctx);
     Matrix back = MatMulTransposedB(mapped_t, zs);  // n2 x n1
     score.Axpy(1.0, Transpose(back));
     score.Scale(0.5);

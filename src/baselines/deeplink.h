@@ -32,9 +32,11 @@ class DeepLinkAligner : public Aligner {
 
   std::string name() const override { return "DeepLink"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
  private:
   DeepLinkConfig config_;

@@ -34,7 +34,8 @@ SparseMatrix SymmetricNormalized(const AttributedGraph& g) {
 
 Result<Matrix> FinalAligner::Align(const AttributedGraph& source,
                                    const AttributedGraph& target,
-                                   const Supervision& supervision) {
+                                   const Supervision& supervision,
+                                   const RunContext& ctx) {
   const int64_t n1 = source.num_nodes();
   const int64_t n2 = target.num_nodes();
   if (n1 == 0 || n2 == 0) {
@@ -68,6 +69,10 @@ Result<Matrix> FinalAligner::Align(const AttributedGraph& source,
   Matrix s = h;
   report_ = ConvergenceReport{};
   for (int it = 0; it < config_.max_iterations; ++it) {
+    if (ctx.ShouldStop()) {
+      report_.degraded = true;  // best-so-far: the iteration is contractive
+      break;
+    }
     Matrix masked = Hadamard(n, s);
     Matrix left = as.Multiply(masked);
     Matrix propagated = Transpose(at_transposed.Multiply(Transpose(left)));

@@ -27,9 +27,11 @@ class FinalAligner : public Aligner {
 
   std::string name() const override { return "FINAL"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
   /// Convergence of the most recent Align() fixed-point iteration. When not
   /// converged, the returned scores are the last (best-so-far) iterate.

@@ -19,7 +19,8 @@ inline double FastSigmoid(double x) {
 
 Result<Matrix> IoneAligner::Align(const AttributedGraph& source,
                                   const AttributedGraph& target,
-                                  const Supervision& supervision) {
+                                  const Supervision& supervision,
+                                  const RunContext& ctx) {
   const int64_t n1 = source.num_nodes();
   const int64_t n2 = target.num_nodes();
   if (n1 == 0 || n2 == 0) {
@@ -73,6 +74,7 @@ Result<Matrix> IoneAligner::Align(const AttributedGraph& source,
                                config_.epochs);
   int64_t step = 0;
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    if (ctx.ShouldStop()) break;  // best-so-far token embeddings
     rng.Shuffle(&edges);
     for (const Tok& e : edges) {
       double lr = config_.lr *
@@ -83,14 +85,14 @@ Result<Matrix> IoneAligner::Align(const AttributedGraph& source,
       for (int dir = 0; dir < 2; ++dir) {
         int64_t center = dir == 0 ? e.a : e.b;
         int64_t context = dir == 0 ? e.b : e.a;
-        Matrix& ctx = dir == 0 ? ctx_in : ctx_out;
+        Matrix& ctx_mat = dir == 0 ? ctx_in : ctx_out;
         double* zc = identity.row_data(center);
         std::fill(grad.begin(), grad.end(), 0.0);
         for (int ns = 0; ns <= config_.negatives; ++ns) {
           int64_t tgt = ns == 0 ? context : random_token(e.from_source);
           if (ns > 0 && tgt == context) continue;
           double label = ns == 0 ? 1.0 : 0.0;
-          double* ct = ctx.row_data(tgt);
+          double* ct = ctx_mat.row_data(tgt);
           double dot = 0.0;
           for (int64_t k = 0; k < d; ++k) dot += zc[k] * ct[k];
           double g = (label - FastSigmoid(dot)) * lr;

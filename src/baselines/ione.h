@@ -32,9 +32,11 @@ class IoneAligner : public Aligner {
 
   std::string name() const override { return "IONE"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
  private:
   IoneConfig config_;

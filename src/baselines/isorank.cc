@@ -23,7 +23,8 @@ SparseMatrix RowNormalizedAdjacency(const AttributedGraph& g) {
 
 Result<Matrix> IsoRankAligner::Align(const AttributedGraph& source,
                                      const AttributedGraph& target,
-                                     const Supervision& supervision) {
+                                     const Supervision& supervision,
+                                     const RunContext& ctx) {
   const int64_t n1 = source.num_nodes();
   const int64_t n2 = target.num_nodes();
   if (n1 == 0 || n2 == 0) {
@@ -41,6 +42,12 @@ Result<Matrix> IsoRankAligner::Align(const AttributedGraph& source,
   Matrix r = prior;
   report_ = ConvergenceReport{};
   for (int it = 0; it < config_.max_iterations; ++it) {
+    if (ctx.ShouldStop()) {
+      // Best-so-far: each iterate contracts toward the fixed point, so the
+      // latest one is the best available under the budget.
+      report_.degraded = true;
+      break;
+    }
     // alpha * P_s^T R P_t: left multiply by P_s^T, then right multiply by
     // P_t via the transpose trick.
     Matrix left = ps.TransposedMultiply(r);

@@ -26,9 +26,11 @@ class IsoRankAligner : public Aligner {
 
   std::string name() const override { return "IsoRank"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
   /// Convergence of the most recent Align() power iteration. When not
   /// converged, the returned scores are the last (best-so-far) iterate.

@@ -8,8 +8,10 @@ namespace galign {
 
 Result<Matrix> DegreeRankAligner::Align(const AttributedGraph& source,
                                         const AttributedGraph& target,
-                                        const Supervision& supervision) {
+                                        const Supervision& supervision,
+                                        const RunContext& ctx) {
   (void)supervision;
+  (void)ctx;  // non-iterative: nothing to wind down early
   if (source.num_nodes() == 0 || target.num_nodes() == 0) {
     return Status::InvalidArgument("empty network");
   }
@@ -28,8 +30,10 @@ Result<Matrix> DegreeRankAligner::Align(const AttributedGraph& source,
 
 Result<Matrix> AttributeOnlyAligner::Align(const AttributedGraph& source,
                                            const AttributedGraph& target,
-                                           const Supervision& supervision) {
+                                           const Supervision& supervision,
+                                           const RunContext& ctx) {
   (void)supervision;
+  (void)ctx;  // non-iterative: nothing to wind down early
   if (source.num_nodes() == 0 || target.num_nodes() == 0) {
     return Status::InvalidArgument("empty network");
   }
@@ -47,8 +51,10 @@ Result<Matrix> AttributeOnlyAligner::Align(const AttributedGraph& source,
 
 Result<Matrix> RandomAligner::Align(const AttributedGraph& source,
                                     const AttributedGraph& target,
-                                    const Supervision& supervision) {
+                                    const Supervision& supervision,
+                                    const RunContext& ctx) {
   (void)supervision;
+  (void)ctx;  // non-iterative: nothing to wind down early
   if (source.num_nodes() == 0 || target.num_nodes() == 0) {
     return Status::InvalidArgument("empty network");
   }

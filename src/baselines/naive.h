@@ -13,18 +13,22 @@ namespace galign {
 class DegreeRankAligner : public Aligner {
  public:
   std::string name() const override { return "DegreeRank"; }
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 };
 
 /// Scores node pairs by attribute cosine similarity. Pure semantics.
 class AttributeOnlyAligner : public Aligner {
  public:
   std::string name() const override { return "AttributeOnly"; }
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 };
 
 /// Uniform random scores under a fixed seed: the chance floor.
@@ -32,9 +36,11 @@ class RandomAligner : public Aligner {
  public:
   explicit RandomAligner(uint64_t seed = 1234) : seed_(seed) {}
   std::string name() const override { return "Random"; }
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
  private:
   uint64_t seed_;

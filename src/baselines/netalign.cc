@@ -17,7 +17,8 @@ inline int64_t PairKey(int64_t i, int64_t j, int64_t n2) { return i * n2 + j; }
 
 Result<Matrix> NetAlignAligner::Align(const AttributedGraph& source,
                                       const AttributedGraph& target,
-                                      const Supervision& supervision) {
+                                      const Supervision& supervision,
+                                      const RunContext& ctx) {
   const int64_t n1 = source.num_nodes();
   const int64_t n2 = target.num_nodes();
   if (n1 == 0 || n2 == 0) {
@@ -107,12 +108,18 @@ Result<Matrix> NetAlignAligner::Align(const AttributedGraph& source,
   // reward; each round adds clamped square support and subtracts the
   // strongest same-row / same-column competitor (the matching constraint).
   std::vector<double> belief(m), raw(m);
-  for (int64_t c = 0; c < m; ++c) belief[c] = config_.alpha * cands[c].w;
+  for (int64_t c = 0; c < m; ++c) {
+    belief[c] = config_.alpha * cands[c].w;
+    // Also seed `raw` so a run stopped before its first iteration emits the
+    // prior-weighted candidates instead of an all-zero score set.
+    raw[c] = belief[c];
+  }
 
   std::vector<double> row_best(n1), row_second(n1);
   std::vector<double> col_best(n2), col_second(n2);
   const double kNegInf = -1e300;
   for (int iter = 0; iter < config_.iterations; ++iter) {
+    if (ctx.ShouldStop()) break;  // best-so-far beliefs
     for (int64_t c = 0; c < m; ++c) {
       double support = 0.0;
       for (int64_t c2 : squares[c]) {

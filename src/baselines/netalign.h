@@ -35,9 +35,11 @@ class NetAlignAligner : public Aligner {
 
   std::string name() const override { return "NetAlign"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
  private:
   NetAlignConfig config_;

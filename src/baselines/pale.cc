@@ -20,7 +20,8 @@ inline double FastSigmoid(double x) {
 }  // namespace
 
 Matrix EmbedByEdges(const AttributedGraph& g, int64_t dim, int epochs,
-                    int negatives, double lr, Rng* rng) {
+                    int negatives, double lr, Rng* rng,
+                    const RunContext* run_ctx) {
   const int64_t n = g.num_nodes();
   Matrix z = Matrix::Uniform(n, dim, rng, -0.5 / dim, 0.5 / dim);
   Matrix ctx(n, dim);
@@ -38,6 +39,7 @@ Matrix EmbedByEdges(const AttributedGraph& g, int64_t dim, int epochs,
       std::max<int64_t>(1, static_cast<int64_t>(edges.size()) * epochs);
   int64_t step = 0;
   for (int epoch = 0; epoch < epochs; ++epoch) {
+    if (run_ctx && run_ctx->ShouldStop()) break;
     rng->Shuffle(&edges);
     for (const auto& [u, v] : edges) {
       double cur_lr =
@@ -74,7 +76,8 @@ Matrix EmbedByEdges(const AttributedGraph& g, int64_t dim, int epochs,
 
 Result<Matrix> PaleAligner::Align(const AttributedGraph& source,
                                   const AttributedGraph& target,
-                                  const Supervision& supervision) {
+                                  const Supervision& supervision,
+                                  const RunContext& ctx) {
   if (supervision.seeds.empty()) {
     return Status::InvalidArgument(
         "PALE requires seed anchors to train its mapping function");
@@ -82,10 +85,10 @@ Result<Matrix> PaleAligner::Align(const AttributedGraph& source,
   Rng rng(config_.seed);
   Matrix zs = EmbedByEdges(source, config_.embedding_dim,
                            config_.embedding_epochs, config_.negatives,
-                           config_.embedding_lr, &rng);
+                           config_.embedding_lr, &rng, &ctx);
   Matrix zt = EmbedByEdges(target, config_.embedding_dim,
                            config_.embedding_epochs, config_.negatives,
-                           config_.embedding_lr, &rng);
+                           config_.embedding_lr, &rng, &ctx);
 
   // Training pairs for the mapping.
   const int64_t num_seeds = static_cast<int64_t>(supervision.seeds.size());
@@ -106,7 +109,7 @@ Result<Matrix> PaleAligner::Align(const AttributedGraph& source,
     // X^T Y = U S V^T. The orthogonality constraint keeps the mapping
     // well-posed even when seeds are far fewer than d^2 unknowns.
     Matrix xty = MatMulTransposedA(x, y);
-    auto svd = ThinSVD(xty);
+    auto svd = ThinSVD(xty, 64, &ctx);
     GALIGN_RETURN_NOT_OK(svd.status());
     Matrix m = MatMulTransposedB(svd.ValueOrDie().u, svd.ValueOrDie().v);
     Matrix mapped_zs = MatMul(zs, m);
@@ -137,6 +140,7 @@ Result<Matrix> PaleAligner::Align(const AttributedGraph& source,
   };
 
   for (int epoch = 0; epoch < config_.mapping_epochs; ++epoch) {
+    if (ctx.ShouldStop()) break;  // best-so-far mapping weights
     Tape tape;
     std::vector<Var> leaves;
     Var pred = forward_mapping(&tape, x, &leaves);

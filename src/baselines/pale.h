@@ -33,9 +33,11 @@ class PaleAligner : public Aligner {
 
   std::string name() const override { return "PALE"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
  private:
   PaleConfig config_;
@@ -43,7 +45,10 @@ class PaleAligner : public Aligner {
 
 /// First-order edge embedding shared by PALE (exposed for tests): maximizes
 /// sigma(z_u . z_v) over edges with `negatives` negative samples per edge.
+/// When `run_ctx` is given, the epoch loop winds down early once it expires
+/// and the rows trained so far are returned (normalized as usual).
 Matrix EmbedByEdges(const AttributedGraph& g, int64_t dim, int epochs,
-                    int negatives, double lr, Rng* rng);
+                    int negatives, double lr, Rng* rng,
+                    const RunContext* run_ctx = nullptr);
 
 }  // namespace galign

@@ -6,9 +6,10 @@ namespace galign {
 
 Result<Matrix> RegalAligner::Align(const AttributedGraph& source,
                                    const AttributedGraph& target,
-                                   const Supervision& supervision) {
+                                   const Supervision& supervision,
+                                   const RunContext& ctx) {
   (void)supervision;  // REGAL is unsupervised
-  auto embed = XNetMfEmbed(source, target, config_);
+  auto embed = XNetMfEmbed(source, target, config_, &ctx);
   GALIGN_RETURN_NOT_OK(embed.status());
   const Matrix& y = embed.ValueOrDie();
   const int64_t n1 = source.num_nodes();

@@ -16,9 +16,11 @@ class RegalAligner : public Aligner {
 
   std::string name() const override { return "REGAL"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
  private:
   XNetMfConfig config_;

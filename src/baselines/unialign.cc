@@ -9,7 +9,8 @@ namespace galign {
 
 Result<Matrix> UniAlignAligner::Align(const AttributedGraph& source,
                                       const AttributedGraph& target,
-                                      const Supervision& supervision) {
+                                      const Supervision& supervision,
+                                      const RunContext& ctx) {
   (void)supervision;  // unsupervised
   if (source.num_nodes() == 0 || target.num_nodes() == 0) {
     return Status::InvalidArgument("empty network");
@@ -43,7 +44,10 @@ Result<Matrix> UniAlignAligner::Align(const AttributedGraph& source,
   }
 
   // P = W_s W_t^+ : each source row expressed in the target's feature rows.
-  auto pinv = PseudoInverse(ft);
+  // The pseudo-inverse dominates the runtime, so the deadline is threaded
+  // into its Jacobi sweeps (an expired context yields the partial
+  // decomposition's best rotation — still a usable projection).
+  auto pinv = PseudoInverse(ft, 1e-10, &ctx);
   GALIGN_RETURN_NOT_OK(pinv.status());
   // pinv(ft) is width x n2; P = fs (n1 x width) * pinv = n1 x n2.
   Matrix p = MatMul(fs, pinv.ValueOrDie());

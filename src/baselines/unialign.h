@@ -26,9 +26,11 @@ class UniAlignAligner : public Aligner {
 
   std::string name() const override { return "UniAlign"; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
  private:
   UniAlignConfig config_;

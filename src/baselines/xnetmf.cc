@@ -58,7 +58,7 @@ Matrix StructuralFeatures(const AttributedGraph& g, const XNetMfConfig& cfg) {
 
 Result<Matrix> XNetMfEmbed(const AttributedGraph& source,
                            const AttributedGraph& target,
-                           const XNetMfConfig& cfg) {
+                           const XNetMfConfig& cfg, const RunContext* ctx) {
   const int64_t n1 = source.num_nodes();
   const int64_t n2 = target.num_nodes();
   const int64_t total = n1 + n2;
@@ -141,9 +141,9 @@ Result<Matrix> XNetMfEmbed(const AttributedGraph& source,
   for (int64_t j = 0; j < p; ++j) {
     for (int64_t k = 0; k < p; ++k) w(j, k) = c(landmarks[j], k);
   }
-  auto pinv = PseudoInverse(w);
+  auto pinv = PseudoInverse(w, 1e-10, ctx);
   GALIGN_RETURN_NOT_OK(pinv.status());
-  auto svd = ThinSVD(pinv.ValueOrDie());
+  auto svd = ThinSVD(pinv.ValueOrDie(), 64, ctx);
   GALIGN_RETURN_NOT_OK(svd.status());
   SVDResult& dec = svd.ValueOrDie();
   Matrix u_scaled = dec.u;

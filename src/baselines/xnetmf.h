@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "la/matrix.h"
@@ -35,8 +36,12 @@ Matrix StructuralFeatures(const AttributedGraph& g, const XNetMfConfig& cfg);
 /// Returns a (n1 + n2) x p embedding matrix: source nodes first. Both
 /// networks share the same landmark set, which is what makes the spaces
 /// comparable without anchors.
+/// The optional RunContext bounds the Nyström pseudo-inverse/SVD solves
+/// (the dominant cost); an expired context degrades them to their best
+/// partial decomposition (DESIGN.md §8).
 Result<Matrix> XNetMfEmbed(const AttributedGraph& source,
                            const AttributedGraph& target,
-                           const XNetMfConfig& cfg);
+                           const XNetMfConfig& cfg,
+                           const RunContext* ctx = nullptr);
 
 }  // namespace galign

@@ -1,0 +1,178 @@
+#include "common/durable_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <thread>
+
+namespace galign {
+
+namespace {
+
+std::array<uint32_t, 256> BuildCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+// Directory part of `path` ("." when the path has no separator), used to
+// fsync the directory entry after rename so the new name itself is durable.
+std::string DirOf(const std::string& path) {
+  auto slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const std::array<uint32_t, 256> table = BuildCrc32Table();
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& content) {
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError(ErrnoMessage("cannot create", tmp));
+
+  const char* buf = content.data();
+  size_t remaining = content.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, buf, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status st = Status::IOError(ErrnoMessage("write failed for", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return st;
+    }
+    buf += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status st = Status::IOError(ErrnoMessage("fsync failed for", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::close(fd) != 0) {
+    Status st = Status::IOError(ErrnoMessage("close failed for", tmp));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status st = Status::IOError(ErrnoMessage("rename failed onto", path));
+    ::unlink(tmp.c_str());
+    return st;
+  }
+  // Make the rename itself durable: fsync the directory entry. Failure here
+  // is non-fatal for correctness of readers (the file content is complete),
+  // so surface it but do not roll back.
+  int dfd = ::open(DirOf(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failed: " + path);
+  return out.str();
+}
+
+std::string AppendCrc32Trailer(const std::string& payload) {
+  std::string body = payload;
+  if (body.empty() || body.back() != '\n') body += '\n';
+  char hex[16];
+  std::snprintf(hex, sizeof(hex), "%08x", Crc32(body));
+  return body + kCrcTrailerPrefix + hex + "\n";
+}
+
+Result<std::string> StripAndVerifyCrc32Trailer(const std::string& content,
+                                               bool require_trailer,
+                                               const std::string& context) {
+  // The trailer is the last non-empty line; find its start.
+  size_t end = content.size();
+  while (end > 0 && content[end - 1] == '\n') --end;
+  size_t line_start = content.rfind('\n', end == 0 ? 0 : end - 1);
+  line_start = (line_start == std::string::npos) ? 0 : line_start + 1;
+  const std::string last_line = content.substr(line_start, end - line_start);
+
+  const size_t prefix_len = sizeof(kCrcTrailerPrefix) - 1;
+  if (last_line.compare(0, prefix_len, kCrcTrailerPrefix) != 0) {
+    if (require_trailer) {
+      return Status::IOError("missing #crc32 trailer in " + context);
+    }
+    return content;
+  }
+  uint32_t expected = 0;
+  {
+    std::istringstream hs(last_line.substr(prefix_len));
+    hs >> std::hex >> expected;
+    if (hs.fail()) {
+      return Status::IOError("malformed #crc32 trailer in " + context);
+    }
+  }
+  const std::string payload = content.substr(0, line_start);
+  uint32_t actual = Crc32(payload);
+  if (actual != expected) {
+    char buf[96];
+    std::snprintf(buf, sizeof(buf),
+                  "checksum mismatch (stored %08x, computed %08x) in ",
+                  expected, actual);
+    return Status::IOError(buf + context);
+  }
+  return payload;
+}
+
+namespace internal {
+
+void BackoffSleep(const RetryPolicy& policy, int attempt) {
+  double backoff = policy.base_backoff_ms;
+  for (int i = 1; i < attempt; ++i) backoff *= 2.0;
+  if (backoff > policy.max_backoff_ms) backoff = policy.max_backoff_ms;
+  // Deterministic per-(seed, attempt) jitter in [0.5, 1.0] decorrelates
+  // concurrent retriers without a global RNG dependency.
+  std::mt19937_64 gen(policy.seed + static_cast<uint64_t>(attempt));
+  std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(backoff * jitter(gen)));
+}
+
+}  // namespace internal
+
+}  // namespace galign

@@ -1,0 +1,115 @@
+// Durable file IO primitives (DESIGN.md §8).
+//
+// Three building blocks shared by model/alignment writers, the trainer
+// checkpointer, and the bench cell cache:
+//
+//  * AtomicWriteFile — write-to-temp → fsync → rename, so a reader (or a
+//    process resuming after a crash) never observes a torn file: it sees
+//    either the old complete content or the new complete content.
+//  * CRC32 trailers — AppendCrc32Trailer stamps a payload with a trailing
+//    `#crc32 <hex>` line; StripAndVerifyCrc32Trailer detects any bit rot or
+//    truncation that slipped past the rename barrier (e.g. media faults).
+//  * RetryTransient — seeded, jittered exponential backoff for transient
+//    IO failures, bounded in attempts so persistent faults still surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace galign {
+
+/// \brief CRC-32 (IEEE 802.3, reflected) of `data`.
+///
+/// Software table implementation; check value: Crc32("123456789") ==
+/// 0xCBF43926. Fast enough for the small text payloads we durably persist.
+uint32_t Crc32(const void* data, size_t size);
+uint32_t Crc32(const std::string& data);
+
+/// \brief Durably replaces `path` with `content`.
+///
+/// Writes `path`.tmp.<pid>, fsyncs it, then rename(2)s over `path` and
+/// fsyncs the containing directory. POSIX rename atomicity guarantees any
+/// concurrent or post-crash reader sees either the previous file or the
+/// full new content — never a prefix.
+Status AtomicWriteFile(const std::string& path, const std::string& content);
+
+/// \brief Reads the entire file at `path` into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Trailer line marking the CRC of everything before it in the file.
+inline constexpr char kCrcTrailerPrefix[] = "#crc32 ";
+
+/// \brief Returns `payload` with a `#crc32 <hex>` trailer line appended.
+///
+/// The checksum covers every byte before the trailer line (a trailing
+/// newline is added to the payload if missing, and is covered).
+std::string AppendCrc32Trailer(const std::string& payload);
+
+/// \brief Verifies and removes a `#crc32` trailer.
+///
+/// Returns the payload without the trailer. When `require_trailer` is
+/// false and no trailer is present the payload is returned as-is (legacy
+/// files written before checksumming); a present-but-wrong trailer is
+/// always an IOError mentioning "checksum mismatch".
+Result<std::string> StripAndVerifyCrc32Trailer(const std::string& content,
+                                               bool require_trailer,
+                                               const std::string& context);
+
+/// \brief Bounded retry schedule for transient IO faults.
+///
+/// Backoff for attempt k (1-based) is base_backoff_ms * 2^(k-1), capped at
+/// max_backoff_ms, each multiplied by a seeded jitter in [0.5, 1.0] so
+/// colliding retriers decorrelate deterministically.
+struct RetryPolicy {
+  int max_attempts = 3;
+  double base_backoff_ms = 1.0;
+  double max_backoff_ms = 8.0;
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+/// \brief Runs `fn` (a callable returning Status) under `policy`.
+///
+/// Only kIOError results are retried — parse/corruption errors surface on
+/// the first attempt. Sleeps the jittered backoff between attempts and
+/// returns the last Status when attempts are exhausted.
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, Fn&& fn);
+
+namespace internal {
+/// Sleeps the backoff for `attempt` (1-based) under `policy`.
+void BackoffSleep(const RetryPolicy& policy, int attempt);
+}  // namespace internal
+
+template <typename Fn>
+Status RetryTransient(const RetryPolicy& policy, Fn&& fn) {
+  Status last = Status::OK();
+  int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    last = fn();
+    if (last.ok() || last.code() != StatusCode::kIOError) return last;
+    if (attempt < attempts) internal::BackoffSleep(policy, attempt);
+  }
+  return last;
+}
+
+/// \brief Result-returning sibling of RetryTransient.
+///
+/// `fn` returns Result<T>; only kIOError outcomes are retried, and the
+/// final attempt's result (success or not) is returned verbatim.
+template <typename Fn>
+auto RetryTransientResult(const RetryPolicy& policy, Fn&& fn)
+    -> decltype(fn()) {
+  int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    auto res = fn();
+    if (res.ok() || res.status().code() != StatusCode::kIOError ||
+        attempt >= attempts) {
+      return res;
+    }
+    internal::BackoffSleep(policy, attempt);
+  }
+}
+
+}  // namespace galign

@@ -1,0 +1,104 @@
+// Cooperative cancellation and deadline propagation (DESIGN.md §8).
+//
+// A RunContext carries an optional wall-clock deadline and an optional
+// shared cancellation token. It is threaded through every long-running
+// computation in the library — Trainer epochs, refinement iterations, the
+// budgeted solvers behind ConvergenceReport, and all baseline aligners — so
+// a run that exceeds its budget degrades to its best-so-far result instead
+// of running unbounded. Checks are cooperative: loops poll ShouldStop() at
+// iteration granularity (one steady_clock read + one relaxed atomic load),
+// never inside kernels.
+//
+// A default-constructed RunContext is unbounded: ShouldStop() is always
+// false and the legacy Align()/Train() entry points behave exactly as
+// before.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace galign {
+
+/// \brief Shared cancellation flag.
+///
+/// Copies observe the same underlying flag, so a token handed to a worker
+/// can be cancelled from the coordinating thread. Cancel() is sticky —
+/// there is no un-cancel.
+class CancelToken {
+ public:
+  CancelToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Requests cancellation. Safe to call from any thread, idempotent.
+  void Cancel() const { state_->store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return state_->load(std::memory_order_acquire);
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// \brief Deadline + cancellation context of one run.
+///
+/// Cheap to copy; pass by const reference down call chains. Use
+/// RunContext::WithTimeout(seconds) for the common "bound this run" case.
+class RunContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unbounded: no deadline, token never fires unless explicitly shared.
+  RunContext() = default;
+
+  static RunContext Unbounded() { return RunContext(); }
+
+  /// A context expiring `seconds` from now (<= 0 is already expired).
+  static RunContext WithTimeout(double seconds) {
+    return WithDeadline(Clock::now() +
+                        std::chrono::duration_cast<Clock::duration>(
+                            std::chrono::duration<double>(seconds)));
+  }
+
+  static RunContext WithDeadline(Clock::time_point deadline) {
+    RunContext ctx;
+    ctx.deadline_ = deadline;
+    ctx.has_deadline_ = true;
+    return ctx;
+  }
+
+  /// Attaches a cancellation token (chainable with the factories above).
+  RunContext& SetToken(const CancelToken& token) {
+    token_ = token;
+    return *this;
+  }
+
+  const CancelToken& token() const { return token_; }
+
+  bool has_deadline() const { return has_deadline_; }
+
+  bool DeadlineExceeded() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  bool Cancelled() const { return token_.cancelled(); }
+
+  /// True when the run must wind down: deadline passed or token fired.
+  bool ShouldStop() const { return Cancelled() || DeadlineExceeded(); }
+
+  /// Seconds until the deadline (negative once passed); +infinity when
+  /// unbounded. Lets callers size remaining work (e.g. skip an expensive
+  /// refinement stage that cannot possibly fit).
+  double RemainingSeconds() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double>(deadline_ - Clock::now()).count();
+  }
+
+ private:
+  Clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  CancelToken token_{};
+};
+
+}  // namespace galign

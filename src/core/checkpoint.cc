@@ -1,0 +1,383 @@
+#include "core/checkpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+
+#include "common/durable_io.h"
+#include "common/fault.h"
+#include "common/logging.h"
+
+namespace galign {
+
+namespace {
+
+constexpr char kMagic[] = "galign-ckpt-v1";
+constexpr char kManifestMagic[] = "galign-ckpt-manifest-v1";
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kCkptPrefix[] = "ckpt_";
+
+// --- Bit-exact double encoding --------------------------------------------
+//
+// Text round-trips through operator<< lose nothing at precision(17) for
+// finite values, but (a) istream >> refuses "inf"/"nan" and (b) bit-identity
+// is the contract here, not value-identity. So every double is stored as
+// the hex of its IEEE-754 bit pattern.
+
+std::string HexDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+Result<double> ParseHexDouble(const std::string& tok,
+                              const std::string& context) {
+  if (tok.size() != 16 ||
+      tok.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::IOError("bad double bit pattern '" + tok + "' in " +
+                           context);
+  }
+  uint64_t bits = std::strtoull(tok.c_str(), nullptr, 16);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+void EmitMatrixList(std::ostringstream* out, const char* key,
+                    const std::vector<Matrix>& ms) {
+  *out << key << " " << ms.size() << "\n";
+  for (const Matrix& m : ms) {
+    *out << m.rows() << " " << m.cols() << "\n";
+    for (int64_t i = 0; i < m.size(); ++i) {
+      if (i) *out << (i % 8 == 0 ? "\n" : " ");
+      *out << HexDouble(m.data()[i]);
+    }
+    if (m.size()) *out << "\n";
+  }
+}
+
+// Reads `key n` then n (rows, cols, payload) blocks. All failures are
+// IOErrors naming the context so LoadLatest can fall back cleanly.
+Status ParseMatrixList(std::istringstream* in, const char* key,
+                       std::vector<Matrix>* out, const std::string& context) {
+  std::string tok;
+  size_t count = 0;
+  if (!(*in >> tok) || tok != key || !(*in >> count) || count > 4096) {
+    return Status::IOError("expected '" + std::string(key) +
+                           " <count>' in " + context);
+  }
+  out->clear();
+  out->reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    int64_t rows = -1, cols = -1;
+    if (!(*in >> rows >> cols) || rows < 0 || cols < 0 ||
+        rows > (int64_t{1} << 30) || cols > (int64_t{1} << 30) ||
+        rows * cols > (int64_t{1} << 32)) {
+      return Status::IOError("bad matrix shape under '" + std::string(key) +
+                             "' in " + context);
+    }
+    Matrix m(rows, cols);
+    for (int64_t i = 0; i < m.size(); ++i) {
+      if (!(*in >> tok)) {
+        return Status::IOError("truncated matrix under '" + std::string(key) +
+                               "' in " + context);
+      }
+      auto v = ParseHexDouble(tok, context);
+      GALIGN_RETURN_NOT_OK(v.status());
+      m.data()[i] = v.ValueOrDie();
+    }
+    out->push_back(std::move(m));
+  }
+  return Status::OK();
+}
+
+std::string CheckpointFileName(int epoch) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08d", kCkptPrefix, epoch);
+  return buf;
+}
+
+// Epoch encoded in a checkpoint filename, or -1 when the name does not
+// match ckpt_<digits>.
+int EpochOfFileName(const std::string& name) {
+  const size_t prefix_len = sizeof(kCkptPrefix) - 1;
+  if (name.compare(0, prefix_len, kCkptPrefix) != 0) return -1;
+  const std::string digits = name.substr(prefix_len);
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  return static_cast<int>(std::strtol(digits.c_str(), nullptr, 10));
+}
+
+}  // namespace
+
+std::string SerializeCheckpoint(const TrainerCheckpoint& ckpt) {
+  std::ostringstream out;
+  out << kMagic << "\n";
+  out << "epoch " << ckpt.epoch << "\n";
+  out << "lr " << HexDouble(ckpt.lr) << "\n";
+  out << "adam_step " << ckpt.adam_step << "\n";
+  out << "snapshot_loss " << HexDouble(ckpt.snapshot_loss) << "\n";
+  out << "best_loss " << HexDouble(ckpt.best_loss) << "\n";
+  out << "epochs_without_improvement " << ckpt.epochs_without_improvement
+      << "\n";
+  out << "epochs_run " << ckpt.epochs_run << "\n";
+  out << "steps_applied " << ckpt.steps_applied << "\n";
+  out << "rollbacks " << ckpt.rollbacks << "\n";
+  out << "rollback_epochs " << ckpt.rollback_epochs.size();
+  for (int e : ckpt.rollback_epochs) out << " " << e;
+  out << "\n";
+  out << "final_lr " << HexDouble(ckpt.final_lr) << "\n";
+  out << "final_loss " << HexDouble(ckpt.final_loss) << "\n";
+  out << "loss_history " << ckpt.loss_history.size();
+  for (double h : ckpt.loss_history) out << " " << HexDouble(h);
+  out << "\n";
+  // mt19937_64 serializes to whitespace-separated integers; token count is
+  // recorded so the parser knows how many to consume.
+  {
+    std::istringstream count_rng(ckpt.rng_state);
+    std::string tok;
+    size_t n = 0;
+    while (count_rng >> tok) ++n;
+    out << "rng " << n;
+    if (n) out << " " << ckpt.rng_state;
+    out << "\n";
+  }
+  EmitMatrixList(&out, "weights", ckpt.weights);
+  EmitMatrixList(&out, "adam_m", ckpt.adam_m);
+  EmitMatrixList(&out, "adam_v", ckpt.adam_v);
+  EmitMatrixList(&out, "snapshot", ckpt.snapshot);
+  out << "end\n";
+  return out.str();
+}
+
+Result<TrainerCheckpoint> ParseCheckpoint(const std::string& payload,
+                                          const std::string& context) {
+  std::istringstream in(payload);
+  std::string tok;
+  if (!(in >> tok) || tok != kMagic) {
+    return Status::IOError("not a galign checkpoint (bad magic) in " +
+                           context);
+  }
+  TrainerCheckpoint ckpt;
+
+  auto expect_key = [&](const char* key) -> Status {
+    if (!(in >> tok) || tok != key) {
+      return Status::IOError("expected '" + std::string(key) + "' in " +
+                             context);
+    }
+    return Status::OK();
+  };
+  auto read_int = [&](const char* key, auto* value) -> Status {
+    GALIGN_RETURN_NOT_OK(expect_key(key));
+    if (!(in >> *value)) {
+      return Status::IOError("bad integer for '" + std::string(key) +
+                             "' in " + context);
+    }
+    return Status::OK();
+  };
+  auto read_double = [&](const char* key, double* value) -> Status {
+    GALIGN_RETURN_NOT_OK(expect_key(key));
+    if (!(in >> tok)) {
+      return Status::IOError("truncated at '" + std::string(key) + "' in " +
+                             context);
+    }
+    auto v = ParseHexDouble(tok, context);
+    GALIGN_RETURN_NOT_OK(v.status());
+    *value = v.ValueOrDie();
+    return Status::OK();
+  };
+
+  GALIGN_RETURN_NOT_OK(read_int("epoch", &ckpt.epoch));
+  GALIGN_RETURN_NOT_OK(read_double("lr", &ckpt.lr));
+  GALIGN_RETURN_NOT_OK(read_int("adam_step", &ckpt.adam_step));
+  GALIGN_RETURN_NOT_OK(read_double("snapshot_loss", &ckpt.snapshot_loss));
+  GALIGN_RETURN_NOT_OK(read_double("best_loss", &ckpt.best_loss));
+  GALIGN_RETURN_NOT_OK(read_int("epochs_without_improvement",
+                                &ckpt.epochs_without_improvement));
+  GALIGN_RETURN_NOT_OK(read_int("epochs_run", &ckpt.epochs_run));
+  GALIGN_RETURN_NOT_OK(read_int("steps_applied", &ckpt.steps_applied));
+  GALIGN_RETURN_NOT_OK(read_int("rollbacks", &ckpt.rollbacks));
+
+  size_t count = 0;
+  GALIGN_RETURN_NOT_OK(read_int("rollback_epochs", &count));
+  if (count > 1u << 20) {
+    return Status::IOError("absurd rollback_epochs count in " + context);
+  }
+  ckpt.rollback_epochs.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(in >> ckpt.rollback_epochs[i])) {
+      return Status::IOError("truncated rollback_epochs in " + context);
+    }
+  }
+
+  GALIGN_RETURN_NOT_OK(read_double("final_lr", &ckpt.final_lr));
+  GALIGN_RETURN_NOT_OK(read_double("final_loss", &ckpt.final_loss));
+
+  GALIGN_RETURN_NOT_OK(read_int("loss_history", &count));
+  if (count > 1u << 24) {
+    return Status::IOError("absurd loss_history count in " + context);
+  }
+  ckpt.loss_history.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    if (!(in >> tok)) {
+      return Status::IOError("truncated loss_history in " + context);
+    }
+    auto v = ParseHexDouble(tok, context);
+    GALIGN_RETURN_NOT_OK(v.status());
+    ckpt.loss_history[i] = v.ValueOrDie();
+  }
+
+  GALIGN_RETURN_NOT_OK(read_int("rng", &count));
+  if (count > 1u << 16) {
+    return Status::IOError("absurd rng token count in " + context);
+  }
+  {
+    std::ostringstream rng;
+    for (size_t i = 0; i < count; ++i) {
+      if (!(in >> tok)) {
+        return Status::IOError("truncated rng state in " + context);
+      }
+      if (i) rng << " ";
+      rng << tok;
+    }
+    ckpt.rng_state = rng.str();
+  }
+
+  GALIGN_RETURN_NOT_OK(ParseMatrixList(&in, "weights", &ckpt.weights, context));
+  GALIGN_RETURN_NOT_OK(ParseMatrixList(&in, "adam_m", &ckpt.adam_m, context));
+  GALIGN_RETURN_NOT_OK(ParseMatrixList(&in, "adam_v", &ckpt.adam_v, context));
+  GALIGN_RETURN_NOT_OK(
+      ParseMatrixList(&in, "snapshot", &ckpt.snapshot, context));
+
+  if (!(in >> tok) || tok != "end") {
+    return Status::IOError("missing 'end' sentinel in " + context);
+  }
+  return ckpt;
+}
+
+CheckpointManager::CheckpointManager(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(keep < 1 ? 1 : keep) {}
+
+std::string CheckpointManager::ManifestPath() const {
+  return dir_ + "/" + kManifestName;
+}
+
+Status CheckpointManager::Save(const TrainerCheckpoint& ckpt) {
+  if (fault::ShouldFailIO("io.checkpoint.save")) {
+    return Status::IOError("injected fault: checkpoint save to " + dir_);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create checkpoint dir " + dir_ + ": " +
+                           ec.message());
+  }
+
+  const std::string name = CheckpointFileName(ckpt.epoch);
+  GALIGN_RETURN_NOT_OK(AtomicWriteFile(
+      dir_ + "/" + name, AppendCrc32Trailer(SerializeCheckpoint(ckpt))));
+
+  // Survivors: the new checkpoint plus the keep_-1 newest older ones.
+  std::vector<std::string> all;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (EpochOfFileName(fname) >= 0) all.push_back(fname);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return EpochOfFileName(a) > EpochOfFileName(b);
+  });
+  std::vector<std::string> survivors(
+      all.begin(),
+      all.begin() + std::min<size_t>(all.size(), static_cast<size_t>(keep_)));
+
+  std::string manifest = std::string(kManifestMagic) + "\n";
+  for (const std::string& s : survivors) manifest += s + "\n";
+  GALIGN_RETURN_NOT_OK(
+      AtomicWriteFile(ManifestPath(), AppendCrc32Trailer(manifest)));
+
+  // Prune only after the manifest no longer references the victims.
+  for (size_t i = survivors.size(); i < all.size(); ++i) {
+    std::filesystem::remove(dir_ + "/" + all[i], ec);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> CheckpointManager::Candidates() const {
+  // Preferred source: the manifest (it reflects save order even if epoch
+  // numbering ever changes). A missing/corrupt manifest degrades to a
+  // directory scan — the checkpoint files are self-validating anyway.
+  auto content = ReadFileToString(ManifestPath());
+  if (content.ok()) {
+    auto payload = StripAndVerifyCrc32Trailer(
+        content.ValueOrDie(), /*require_trailer=*/true, ManifestPath());
+    if (payload.ok()) {
+      std::istringstream in(payload.ValueOrDie());
+      std::string tok;
+      if (in >> tok && tok == kManifestMagic) {
+        std::vector<std::string> names;
+        while (in >> tok) {
+          if (EpochOfFileName(tok) >= 0) names.push_back(tok);
+        }
+        if (!names.empty()) return names;
+      }
+    } else {
+      GALIGN_LOG(Warning) << "Checkpoint manifest unreadable ("
+                          << payload.status().message()
+                          << "); falling back to directory scan";
+    }
+  }
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (EpochOfFileName(fname) >= 0) names.push_back(fname);
+  }
+  std::sort(names.begin(), names.end(), [](const auto& a, const auto& b) {
+    return EpochOfFileName(a) > EpochOfFileName(b);
+  });
+  return names;
+}
+
+Result<TrainerCheckpoint> CheckpointManager::LoadLatest() const {
+  for (const std::string& name : Candidates()) {
+    const std::string path = dir_ + "/" + name;
+    if (fault::ShouldFailIO("io.checkpoint.load")) {
+      GALIGN_LOG(Warning) << "Checkpoint " << path
+                          << " unreadable (injected fault); trying previous";
+      continue;
+    }
+    auto content = ReadFileToString(path);
+    if (!content.ok()) {
+      GALIGN_LOG(Warning) << "Checkpoint " << path << " unreadable ("
+                          << content.status().message()
+                          << "); trying previous";
+      continue;
+    }
+    auto payload = StripAndVerifyCrc32Trailer(content.ValueOrDie(),
+                                              /*require_trailer=*/true, path);
+    if (!payload.ok()) {
+      GALIGN_LOG(Warning) << "Checkpoint " << path << " failed validation ("
+                          << payload.status().message()
+                          << "); trying previous";
+      continue;
+    }
+    auto ckpt = ParseCheckpoint(payload.ValueOrDie(), path);
+    if (!ckpt.ok()) {
+      GALIGN_LOG(Warning) << "Checkpoint " << path << " corrupt ("
+                          << ckpt.status().message() << "); trying previous";
+      continue;
+    }
+    return ckpt;
+  }
+  return Status::NotFound("no valid checkpoint under " + dir_);
+}
+
+}  // namespace galign

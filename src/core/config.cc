@@ -90,6 +90,13 @@ Status GAlignConfig::Validate() const {
   if (refinement_tolerance < 0.0) {
     return Status::InvalidArgument("refinement_tolerance must be >= 0");
   }
+  if (checkpoint_every < 1) {
+    return Status::InvalidArgument("checkpoint_every must be >= 1");
+  }
+  if (resume_from_checkpoint && checkpoint_dir.empty()) {
+    return Status::InvalidArgument(
+        "resume_from_checkpoint requires a checkpoint_dir");
+  }
   return Status::OK();
 }
 

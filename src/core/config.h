@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/status.h"
@@ -68,6 +69,20 @@ struct GAlignConfig {
   bool use_augmentation = true;   ///< false => GAlign-1
   bool use_refinement = true;     ///< false => GAlign-2
   bool final_layer_only = false;  ///< true  => GAlign-3
+
+  // --- Crash safety (DESIGN.md §8) ---
+  /// Directory for durable trainer checkpoints. Empty (default) disables
+  /// checkpointing entirely — the paper pipeline has zero IO in its loop.
+  std::string checkpoint_dir;
+  /// Snapshot cadence: a checkpoint is written after every N healthy
+  /// epochs (and after the final one). Only meaningful with a non-empty
+  /// checkpoint_dir.
+  int checkpoint_every = 5;
+  /// When true and checkpoint_dir holds a valid checkpoint, Train() resumes
+  /// from it (bit-identical to the uninterrupted run) instead of starting
+  /// from epoch 0. Torn/corrupt checkpoints are skipped in favour of the
+  /// previous one.
+  bool resume_from_checkpoint = false;
 
   // --- Semi-supervised extension (beyond the paper) ---
   /// When seed anchors are supplied AND this weight is > 0, training adds

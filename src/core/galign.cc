@@ -8,7 +8,8 @@ namespace galign {
 
 Result<Matrix> GAlignAligner::Align(const AttributedGraph& source,
                                     const AttributedGraph& target,
-                                    const Supervision& supervision) {
+                                    const Supervision& supervision,
+                                    const RunContext& ctx) {
   GALIGN_RETURN_NOT_OK(config_.Validate());
   if (source.num_nodes() == 0 || target.num_nodes() == 0) {
     return Status::InvalidArgument("empty network");
@@ -29,13 +30,13 @@ Result<Matrix> GAlignAligner::Align(const AttributedGraph& source,
   const auto& seeds = config_.seed_loss_weight > 0.0
                           ? supervision.seeds
                           : std::vector<std::pair<int64_t, int64_t>>{};
-  GALIGN_RETURN_NOT_OK(trainer.Train(&gcn, source, target, &rng, seeds));
+  GALIGN_RETURN_NOT_OK(trainer.Train(&gcn, source, target, &rng, seeds, ctx));
   last_loss_history_ = trainer.loss_history();
   last_train_report_ = trainer.report();
   last_refinement_scores_.clear();
 
   if (config_.use_refinement) {
-    auto refined = RefineAlignment(gcn, source, target, config_);
+    auto refined = RefineAlignment(gcn, source, target, config_, ctx);
     if (!refined.ok()) return refined.status();
     last_refinement_scores_ = refined.ValueOrDie().score_history;
     return std::move(refined.ValueOrDie().alignment);

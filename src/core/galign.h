@@ -30,9 +30,11 @@ class GAlignAligner : public Aligner {
 
   std::string name() const override { return name_; }
 
+  using Aligner::Align;
   Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
-                       const Supervision& supervision) override;
+                       const Supervision& supervision,
+                       const RunContext& ctx) override;
 
   const GAlignConfig& config() const { return config_; }
 

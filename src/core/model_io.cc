@@ -1,9 +1,9 @@
 #include "core/model_io.h"
 
 #include <cmath>
-#include <fstream>
 #include <sstream>
 
+#include "common/durable_io.h"
 #include "common/fault.h"
 #include "common/parse.h"
 
@@ -33,8 +33,7 @@ Result<Activation> ParseActivation(const std::string& name) {
 }  // namespace
 
 Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
+  std::ostringstream out;
   out.precision(17);
   out << "galign-gcn-v1 layers=" << gcn.num_layers()
       << " input_dim=" << gcn.input_dim()
@@ -50,16 +49,30 @@ Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path) {
       out << "\n";
     }
   }
-  if (!out) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  // CRC trailer + temp-and-rename: a crash mid-save leaves either the old
+  // model or nothing, never a torn file that LoadGcnModel would half-parse.
+  return AtomicWriteFile(path, AppendCrc32Trailer(out.str()));
 }
 
 Result<MultiOrderGcn> LoadGcnModel(const std::string& path) {
-  if (fault::ShouldFailIO("io.model.load")) {
-    return Status::IOError("injected fault: cannot read model file " + path);
-  }
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+  // Transient faults (injected or real EINTR-class hiccups) get a bounded,
+  // jittered retry; everything past the raw read is deterministic parsing
+  // that retrying could never fix.
+  auto content =
+      RetryTransientResult(RetryPolicy{}, [&]() -> Result<std::string> {
+        if (fault::ShouldFailIO("io.model.load")) {
+          return Status::IOError("injected fault: cannot read model file " +
+                                 path);
+        }
+        return ReadFileToString(path);
+      });
+  GALIGN_RETURN_NOT_OK(content.status());
+  // Legacy files predate the trailer, so it is optional; when present it
+  // must verify.
+  auto payload = StripAndVerifyCrc32Trailer(content.ValueOrDie(),
+                                            /*require_trailer=*/false, path);
+  GALIGN_RETURN_NOT_OK(payload.status());
+  std::istringstream in(payload.ValueOrDie());
   std::string header;
   if (!std::getline(in, header)) {
     return Status::IOError("empty model file: " + path);

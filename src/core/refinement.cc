@@ -103,7 +103,8 @@ StabilityScan ScanStability(const std::vector<Matrix>& hs,
 Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
                                          const AttributedGraph& source,
                                          const AttributedGraph& target,
-                                         const GAlignConfig& config) {
+                                         const GAlignConfig& config,
+                                         const RunContext& ctx) {
   const std::vector<double> theta = config.EffectiveLayerWeights();
   if (theta.size() != gcn.weights().size() + 1) {
     return Status::InvalidArgument("layer weights do not match GCN depth");
@@ -148,6 +149,13 @@ Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
 
   result.report.converged = config.refinement_tolerance <= 0.0;
   for (int iter = 1; iter <= config.refinement_iterations; ++iter) {
+    if (ctx.ShouldStop()) {
+      // Deadline/cancellation: the best iterate so far is already tracked
+      // in best_hs/best_ht — degrade to it rather than erroring out.
+      result.report.degraded = true;
+      result.report.converged = false;
+      break;
+    }
     // Eq. 14: amplify the influence of the nodes found stable.
     for (int64_t v : scan.stable_source) {
       alpha_s[v] *= config.accumulation_factor;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/convergence.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/gcn.h"
@@ -65,10 +66,13 @@ struct RefinementResult {
 /// \brief Runs Alg. 2 with the trained GCN.
 ///
 /// Re-embeds both networks every iteration under the updated influence
-/// factors and returns the best-scoring aggregated alignment matrix.
+/// factors and returns the best-scoring aggregated alignment matrix. When
+/// `ctx` carries a deadline/cancellation token, the iteration loop winds
+/// down early and returns the best iterate found so far (report.degraded).
 Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
                                          const AttributedGraph& source,
                                          const AttributedGraph& target,
-                                         const GAlignConfig& config);
+                                         const GAlignConfig& config,
+                                         const RunContext& ctx = RunContext());
 
 }  // namespace galign

@@ -2,16 +2,44 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "common/fault.h"
 #include "common/logging.h"
+#include "core/checkpoint.h"
 #include "core/losses.h"
 
 namespace galign {
 
+namespace {
+
+// True when the checkpointed shapes can be poured back into the live model
+// (same layer count, same per-layer shapes for weights and both moments).
+bool CheckpointMatchesModel(const TrainerCheckpoint& ckpt,
+                            const std::vector<Matrix*>& params) {
+  if (ckpt.weights.size() != params.size() ||
+      ckpt.snapshot.size() != params.size() ||
+      ckpt.adam_m.size() != params.size() ||
+      ckpt.adam_v.size() != params.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (!ckpt.weights[i].SameShape(*params[i]) ||
+        !ckpt.snapshot[i].SameShape(*params[i]) ||
+        !ckpt.adam_m[i].SameShape(*params[i]) ||
+        !ckpt.adam_v[i].SameShape(*params[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
 Status Trainer::Train(MultiOrderGcn* gcn, const AttributedGraph& source,
                       const AttributedGraph& target, Rng* rng,
-                      const std::vector<std::pair<int64_t, int64_t>>& seeds) {
+                      const std::vector<std::pair<int64_t, int64_t>>& seeds,
+                      const RunContext& ctx) {
   if (source.num_attributes() != target.num_attributes()) {
     return Status::InvalidArgument(
         "source/target attribute dimensions differ (" +
@@ -62,6 +90,61 @@ Status Trainer::Train(MultiOrderGcn* gcn, const AttributedGraph& source,
   std::vector<Matrix> snapshot = gcn->weights();
   double snapshot_loss = std::numeric_limits<double>::infinity();
 
+  // Crash safety (DESIGN.md §8): restore the full mid-run state from the
+  // newest valid checkpoint. Anything that prevents the restore — no
+  // checkpoint yet, all copies corrupt, a config change that altered the
+  // model shape — degrades to a fresh start; resume is an optimization, not
+  // a correctness requirement.
+  int start_epoch = 0;
+  if (config_.resume_from_checkpoint && !config_.checkpoint_dir.empty()) {
+    CheckpointManager manager(config_.checkpoint_dir);
+    auto loaded = manager.LoadLatest();
+    if (loaded.ok()) {
+      TrainerCheckpoint& ckpt = loaded.ValueOrDie();
+      if (!CheckpointMatchesModel(ckpt, params)) {
+        GALIGN_LOG(Warning)
+            << "Trainer: checkpoint under " << config_.checkpoint_dir
+            << " does not match the model shape; starting fresh";
+      } else {
+        for (size_t i = 0; i < params.size(); ++i) {
+          *params[i] = ckpt.weights[i];
+        }
+        adam.RestoreState(ckpt.adam_step, std::move(ckpt.adam_m),
+                          std::move(ckpt.adam_v));
+        adam.set_lr(ckpt.lr);
+        snapshot = std::move(ckpt.snapshot);
+        snapshot_loss = ckpt.snapshot_loss;
+        best_loss = ckpt.best_loss;
+        epochs_without_improvement = ckpt.epochs_without_improvement;
+        loss_history_ = std::move(ckpt.loss_history);
+        report_.epochs_run = ckpt.epochs_run;
+        report_.steps_applied = ckpt.steps_applied;
+        report_.rollbacks = ckpt.rollbacks;
+        report_.rollback_epochs = std::move(ckpt.rollback_epochs);
+        report_.final_lr = ckpt.final_lr;
+        report_.final_loss = ckpt.final_loss;
+        if (!ckpt.rng_state.empty()) {
+          std::istringstream rs(ckpt.rng_state);
+          rs >> rng->engine();
+        }
+        start_epoch = ckpt.epoch;
+        report_.resumed = true;
+        report_.resume_epoch = start_epoch;
+        GALIGN_LOG(Info) << "Trainer: resumed from checkpoint at epoch "
+                         << start_epoch << " (loss "
+                         << report_.final_loss << ") under "
+                         << config_.checkpoint_dir;
+      }
+    } else if (loaded.status().code() == StatusCode::kNotFound) {
+      GALIGN_LOG(Info) << "Trainer: no checkpoint under "
+                       << config_.checkpoint_dir << "; starting fresh";
+    } else {
+      GALIGN_LOG(Warning) << "Trainer: checkpoint restore failed ("
+                          << loaded.status().message()
+                          << "); starting fresh";
+    }
+  }
+
   // On a divergence event: restore the snapshot, drop contaminated Adam
   // moments, decay the learning rate. Returns NotConverged once the retry
   // budget is spent.
@@ -100,7 +183,61 @@ Status Trainer::Train(MultiOrderGcn* gcn, const AttributedGraph& source,
         }
       };
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  CheckpointManager checkpointer(config_.checkpoint_dir);
+  // Persists the state as of the END of `epoch` (resume restarts at
+  // epoch + 1). Failures are logged, never fatal: losing a checkpoint must
+  // not take down a healthy training run, and the previous durable copy is
+  // untouched by a failed save.
+  auto maybe_checkpoint = [&](int epoch) {
+    if (config_.checkpoint_dir.empty()) return;
+    const bool cadence = (epoch + 1) % config_.checkpoint_every == 0;
+    const bool last = epoch + 1 == config_.epochs;
+    if (!cadence && !last) return;
+    TrainerCheckpoint ckpt;
+    ckpt.epoch = epoch + 1;
+    ckpt.lr = adam.options().lr;
+    ckpt.adam_step = adam.step_count();
+    for (const Matrix* p : params) ckpt.weights.push_back(*p);
+    ckpt.adam_m = adam.first_moments();
+    ckpt.adam_v = adam.second_moments();
+    ckpt.snapshot = snapshot;
+    ckpt.snapshot_loss = snapshot_loss;
+    ckpt.best_loss = best_loss;
+    ckpt.epochs_without_improvement = epochs_without_improvement;
+    ckpt.loss_history = loss_history_;
+    ckpt.epochs_run = report_.epochs_run;
+    ckpt.steps_applied = report_.steps_applied;
+    ckpt.rollbacks = report_.rollbacks;
+    ckpt.rollback_epochs = report_.rollback_epochs;
+    ckpt.final_lr = report_.final_lr;
+    ckpt.final_loss = report_.final_loss;
+    {
+      std::ostringstream rs;
+      rs << rng->engine();
+      ckpt.rng_state = rs.str();
+    }
+    Status st = checkpointer.Save(ckpt);
+    if (st.ok()) {
+      ++report_.checkpoints_written;
+    } else {
+      GALIGN_LOG(Warning) << "Trainer: checkpoint save at epoch " << epoch
+                          << " failed (" << st.message()
+                          << "); training continues";
+    }
+  };
+
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
+    // Cooperative cancellation: wind down with the best-so-far weights
+    // before spending another forward/backward pass.
+    if (ctx.ShouldStop()) {
+      report_.deadline_exceeded = ctx.DeadlineExceeded();
+      report_.cancelled = ctx.Cancelled();
+      GALIGN_LOG(Info) << "Trainer: stopping at epoch " << epoch << " ("
+                       << (report_.cancelled ? "cancelled"
+                                             : "deadline exceeded")
+                       << "); returning best-so-far weights";
+      break;
+    }
     Tape tape;
     std::vector<Var> weight_vars = gcn->MakeWeightLeaves(&tape);
     std::vector<Var> hs = gcn->ForwardWithWeights(
@@ -177,6 +314,7 @@ Status Trainer::Train(MultiOrderGcn* gcn, const AttributedGraph& source,
       snapshot = gcn->weights();
     }
 
+    bool early_stop = false;
     if (config_.early_stop_patience > 0) {
       // First epoch always establishes the baseline (inf - tol*inf is NaN).
       const double bar =
@@ -188,9 +326,14 @@ Status Trainer::Train(MultiOrderGcn* gcn, const AttributedGraph& source,
         epochs_without_improvement = 0;
       } else if (++epochs_without_improvement >=
                  config_.early_stop_patience) {
-        break;
+        early_stop = true;
       }
     }
+
+    // Checkpoint AFTER the early-stopping counters are folded in, so a
+    // resumed run replays the exact decision state of the original.
+    maybe_checkpoint(epoch);
+    if (early_stop) break;
   }
   if (report_.recovered()) {
     GALIGN_LOG(Info) << "Trainer recovered from " << report_.rollbacks

@@ -16,6 +16,7 @@
 
 #include "autograd/adam.h"
 #include "common/rng.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "core/augmenter.h"
 #include "core/config.h"
@@ -35,6 +36,15 @@ struct TrainReport {
   double final_lr = 0.0;   ///< learning rate at exit (decayed per rollback)
   double final_loss = std::numeric_limits<double>::quiet_NaN();
   bool diverged = false;   ///< true when the rollback budget was exhausted
+
+  // --- Crash safety (DESIGN.md §8) ---
+  bool resumed = false;     ///< true when state came from a checkpoint
+  int resume_epoch = 0;     ///< first epoch executed after the restore
+  int checkpoints_written = 0;
+  /// The run stopped early because its RunContext deadline passed / token
+  /// fired; the weights hold the best-so-far (latest healthy) state.
+  bool deadline_exceeded = false;
+  bool cancelled = false;
 
   /// Training finished and at least one rollback was needed along the way.
   bool recovered() const { return rollbacks > 0 && !diverged; }
@@ -58,7 +68,21 @@ class Trainer {
   /// and seeds are non-empty, adds the cross-network anchor loss.
   Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
                const AttributedGraph& target, Rng* rng,
-               const std::vector<std::pair<int64_t, int64_t>>& seeds);
+               const std::vector<std::pair<int64_t, int64_t>>& seeds) {
+    return Train(gcn, source, target, rng, seeds, RunContext());
+  }
+
+  /// Deadline/cancellation-aware variant: the epoch loop polls
+  /// ctx.ShouldStop() and winds down with the best-so-far weights (the
+  /// report marks deadline_exceeded/cancelled). With config.checkpoint_dir
+  /// set, trainer state is durably checkpointed every
+  /// config.checkpoint_every healthy epochs, and
+  /// config.resume_from_checkpoint restarts bit-identical from the latest
+  /// valid checkpoint (falling back past torn/corrupt files).
+  Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
+               const AttributedGraph& target, Rng* rng,
+               const std::vector<std::pair<int64_t, int64_t>>& seeds,
+               const RunContext& ctx);
 
   /// Total loss J(G_s) + J(G_t) per healthy epoch, for convergence
   /// inspection. Epochs rejected by the health checks are not recorded.

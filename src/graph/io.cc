@@ -5,6 +5,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/durable_io.h"
 #include "common/fault.h"
 #include "common/parse.h"
 
@@ -22,11 +23,18 @@ Status SaveEdgeList(const AttributedGraph& g, const std::string& path) {
 }
 
 Result<AttributedGraph> LoadEdgeList(const std::string& path) {
-  if (fault::ShouldFailIO("io.edges.load")) {
-    return Status::IOError("injected fault: cannot read edge list " + path);
-  }
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+  // Transient read faults get a bounded, jittered retry; malformed content
+  // fails on the first attempt.
+  auto content =
+      RetryTransientResult(RetryPolicy{}, [&]() -> Result<std::string> {
+        if (fault::ShouldFailIO("io.edges.load")) {
+          return Status::IOError("injected fault: cannot read edge list " +
+                                 path);
+        }
+        return ReadFileToString(path);
+      });
+  GALIGN_RETURN_NOT_OK(content.status());
+  std::istringstream in(content.ValueOrDie());
   std::vector<Edge> edges;
   int64_t num_nodes = -1;
   int64_t max_id = -1;
@@ -92,11 +100,16 @@ Status SaveAttributes(const Matrix& attributes, const std::string& path) {
 }
 
 Result<Matrix> LoadAttributes(const std::string& path) {
-  if (fault::ShouldFailIO("io.attrs.load")) {
-    return Status::IOError("injected fault: cannot read attributes " + path);
-  }
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+  auto content =
+      RetryTransientResult(RetryPolicy{}, [&]() -> Result<std::string> {
+        if (fault::ShouldFailIO("io.attrs.load")) {
+          return Status::IOError("injected fault: cannot read attributes " +
+                                 path);
+        }
+        return ReadFileToString(path);
+      });
+  GALIGN_RETURN_NOT_OK(content.status());
+  std::istringstream in(content.ValueOrDie());
   std::vector<std::vector<double>> rows;
   std::string line;
   size_t width = 0;

@@ -11,7 +11,7 @@
 namespace galign {
 
 Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
-                                          double tol) {
+                                          double tol, const RunContext* ctx) {
   if (a.rows() != a.cols()) {
     return Status::InvalidArgument("SymmetricEigen requires square matrix");
   }
@@ -36,6 +36,7 @@ Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
   int sweeps_run = 0;
   double residual = converged ? 0.0 : off_diag_norm();
   for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    if (ctx != nullptr && ctx->ShouldStop()) break;  // monotone: best-so-far
     ++sweeps_run;
     for (int64_t p = 0; p < n - 1; ++p) {
       for (int64_t q = p + 1; q < n; ++q) {
@@ -104,7 +105,8 @@ Result<EigenDecomposition> SymmetricEigen(const Matrix& a, int max_sweeps,
   return out;
 }
 
-Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps) {
+Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps,
+                          const RunContext* ctx) {
   const int64_t m = a.rows(), n = a.cols();
   if (m == 0 || n == 0) {
     return Status::InvalidArgument("ThinSVD of empty matrix");
@@ -113,7 +115,7 @@ Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps) {
   // Eigendecompose the smaller Gram matrix.
   Matrix gram = tall ? MatMulTransposedA(a, a)  // n x n = A^T A
                      : MatMulTransposedB(a, a);  // m x m = A A^T
-  auto eig = SymmetricEigen(gram, max_sweeps);
+  auto eig = SymmetricEigen(gram, max_sweeps, 1e-12, ctx);
   if (!eig.ok()) return eig.status();
   EigenDecomposition& e = eig.ValueOrDie();
 
@@ -145,8 +147,9 @@ Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps) {
   return out;
 }
 
-Result<Matrix> PseudoInverse(const Matrix& a, double rcond) {
-  auto svd = ThinSVD(a);
+Result<Matrix> PseudoInverse(const Matrix& a, double rcond,
+                             const RunContext* ctx) {
+  auto svd = ThinSVD(a, 64, ctx);
   if (!svd.ok()) return svd.status();
   SVDResult& s = svd.ValueOrDie();
   double smax = s.sigma.empty() ? 0.0 : s.sigma[0];
@@ -162,7 +165,8 @@ Result<Matrix> PseudoInverse(const Matrix& a, double rcond) {
 
 Result<double> PowerIterationTopEigenvalue(const Matrix& a, int max_iters,
                                            double tol,
-                                           ConvergenceReport* report) {
+                                           ConvergenceReport* report,
+                                           const RunContext* ctx) {
   if (a.rows() != a.cols() || a.rows() == 0) {
     return Status::InvalidArgument("power iteration requires square matrix");
   }
@@ -182,6 +186,9 @@ Result<double> PowerIterationTopEigenvalue(const Matrix& a, int max_iters,
   double lambda = 0.0;
   double residual = 0.0;
   for (int it = 0; it < max_iters; ++it) {
+    if (ctx != nullptr && ctx->ShouldStop()) {
+      return exit_with(lambda, false, it, residual);  // best-so-far estimate
+    }
     Matrix y = MatMul(a, x);
     double norm = y.FrobeniusNorm();
     if (norm < 1e-30) return exit_with(0.0, true, it + 1, 0.0);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "common/convergence.h"
+#include "common/run_context.h"
 #include "common/status.h"
 #include "la/matrix.h"
 
@@ -35,9 +36,14 @@ struct EigenDecomposition {
 /// max_sweeps, the best-so-far rotation is returned with
 /// report.converged == false (Jacobi sweeps are monotone, so the last
 /// iterate is the best).
+/// All solvers below additionally accept an optional RunContext: when it
+/// expires (deadline) or fires (cancellation), the sweep/iteration loop
+/// stops at the current best iterate, reported degraded — the same graceful
+/// exit as budget exhaustion (DESIGN.md §8).
 Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
                                           int max_sweeps = 64,
-                                          double tol = 1e-12);
+                                          double tol = 1e-12,
+                                          const RunContext* ctx = nullptr);
 
 /// Thin SVD A = U diag(s) V^T with r = min(rows, cols) columns.
 struct SVDResult {
@@ -50,11 +56,13 @@ struct SVDResult {
 
 /// \brief Thin SVD computed from the eigendecomposition of the Gram matrix
 /// of the smaller dimension.
-Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps = 64);
+Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps = 64,
+                          const RunContext* ctx = nullptr);
 
 /// Moore-Penrose pseudo-inverse (rank-revealing via ThinSVD; singular values
 /// below rcond * sigma_max are treated as zero).
-Result<Matrix> PseudoInverse(const Matrix& a, double rcond = 1e-10);
+Result<Matrix> PseudoInverse(const Matrix& a, double rcond = 1e-10,
+                             const RunContext* ctx = nullptr);
 
 /// Top eigenvalue/eigenvector of a symmetric matrix by power iteration.
 /// Returns the last Rayleigh-quotient estimate even when the iteration did
@@ -62,6 +70,7 @@ Result<Matrix> PseudoInverse(const Matrix& a, double rcond = 1e-10);
 Result<double> PowerIterationTopEigenvalue(const Matrix& a,
                                            int max_iters = 1000,
                                            double tol = 1e-9,
-                                           ConvergenceReport* report = nullptr);
+                                           ConvergenceReport* report = nullptr,
+                                           const RunContext* ctx = nullptr);
 
 }  // namespace galign

@@ -1,0 +1,163 @@
+// Durable IO primitives (DESIGN.md §8): atomic replace semantics, CRC32
+// trailer validation, and bounded transient-fault retry.
+#include "common/durable_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+
+namespace galign {
+namespace {
+
+class DurableIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("galign_durable_io_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string Path(const std::string& name) { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(DurableIoTest, Crc32MatchesCheckValue) {
+  // The standard CRC-32 (IEEE, reflected) check value.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
+}
+
+TEST_F(DurableIoTest, AtomicWriteCreatesThenReplaces) {
+  const std::string path = Path("f.txt");
+  ASSERT_TRUE(AtomicWriteFile(path, "first\n").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "first\n");
+  ASSERT_TRUE(AtomicWriteFile(path, "second\n").ok());
+  EXPECT_EQ(ReadFileToString(path).ValueOrDie(), "second\n");
+
+  // No temp droppings: the directory holds exactly the target file.
+  int entries = 0;
+  for (const auto& e : std::filesystem::directory_iterator(dir_)) {
+    (void)e;
+    ++entries;
+  }
+  EXPECT_EQ(entries, 1);
+}
+
+TEST_F(DurableIoTest, AtomicWriteFailsCleanlyIntoMissingDirectory) {
+  Status st = AtomicWriteFile(Path("no/such/dir/f.txt"), "x");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+}
+
+TEST_F(DurableIoTest, ReadMissingFileIsIOError) {
+  auto r = ReadFileToString(Path("missing.txt"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST_F(DurableIoTest, TrailerRoundTrips) {
+  const std::string payload = "line one\nline two\n";
+  const std::string stamped = AppendCrc32Trailer(payload);
+  auto stripped = StripAndVerifyCrc32Trailer(stamped,
+                                             /*require_trailer=*/true, "test");
+  ASSERT_TRUE(stripped.ok()) << stripped.status().ToString();
+  EXPECT_EQ(stripped.ValueOrDie(), payload);
+}
+
+TEST_F(DurableIoTest, TrailerCoversAddedFinalNewline) {
+  // A payload without a trailing newline gets one, and the CRC covers it.
+  const std::string stamped = AppendCrc32Trailer("no newline");
+  auto stripped = StripAndVerifyCrc32Trailer(stamped,
+                                             /*require_trailer=*/true, "test");
+  ASSERT_TRUE(stripped.ok());
+  EXPECT_EQ(stripped.ValueOrDie(), "no newline\n");
+}
+
+TEST_F(DurableIoTest, TrailerDetectsCorruption) {
+  std::string stamped = AppendCrc32Trailer("precious payload\n");
+  stamped[3] ^= 0x01;  // single bit flip in the payload
+  auto r = StripAndVerifyCrc32Trailer(stamped, /*require_trailer=*/false,
+                                      "test");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("checksum mismatch"), std::string::npos);
+}
+
+TEST_F(DurableIoTest, TrailerDetectsTruncation) {
+  // Truncating the payload while keeping the trailer must fail the CRC.
+  const std::string stamped = AppendCrc32Trailer("aaaa\nbbbb\ncccc\n");
+  const std::string truncated = stamped.substr(0, 5) + stamped.substr(10);
+  auto r = StripAndVerifyCrc32Trailer(truncated, /*require_trailer=*/true,
+                                      "test");
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(DurableIoTest, MissingTrailerPolicies) {
+  const std::string legacy = "old format content\n";
+  // Optional: legacy files pass through untouched.
+  auto pass = StripAndVerifyCrc32Trailer(legacy, /*require_trailer=*/false,
+                                         "test");
+  ASSERT_TRUE(pass.ok());
+  EXPECT_EQ(pass.ValueOrDie(), legacy);
+  // Required (checkpoints, manifests, bench cells): missing is an error.
+  auto fail = StripAndVerifyCrc32Trailer(legacy, /*require_trailer=*/true,
+                                         "test");
+  ASSERT_FALSE(fail.ok());
+  EXPECT_NE(fail.status().message().find("missing"), std::string::npos);
+}
+
+TEST_F(DurableIoTest, RetryTransientRecoversFromTransientFault) {
+  RetryPolicy fast;
+  fast.base_backoff_ms = 0.01;
+  fast.max_backoff_ms = 0.02;
+  int calls = 0;
+  Status st = RetryTransient(fast, [&] {
+    return ++calls < 3 ? Status::IOError("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST_F(DurableIoTest, RetryTransientDoesNotRetryNonIOErrors) {
+  int calls = 0;
+  Status st = RetryTransient(RetryPolicy{}, [&] {
+    ++calls;
+    return Status::InvalidArgument("deterministic");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(calls, 1);  // retrying a parse error cannot help
+}
+
+TEST_F(DurableIoTest, RetryTransientGivesUpAfterMaxAttempts) {
+  RetryPolicy fast;
+  fast.max_attempts = 4;
+  fast.base_backoff_ms = 0.01;
+  fast.max_backoff_ms = 0.02;
+  int calls = 0;
+  Status st = RetryTransient(fast, [&] {
+    ++calls;
+    return Status::IOError("persistent");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 4);
+}
+
+TEST_F(DurableIoTest, RetryTransientResultCarriesValueThrough) {
+  RetryPolicy fast;
+  fast.base_backoff_ms = 0.01;
+  fast.max_backoff_ms = 0.02;
+  int calls = 0;
+  auto r = RetryTransientResult(fast, [&]() -> Result<int> {
+    if (++calls < 2) return Status::IOError("flaky");
+    return 42;
+  });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(calls, 2);
+}
+
+}  // namespace
+}  // namespace galign

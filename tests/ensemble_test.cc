@@ -86,8 +86,10 @@ TEST(EnsembleTest, SkipsFailingMembers) {
   class FailingAligner : public Aligner {
    public:
     std::string name() const override { return "Failing"; }
+    using Aligner::Align;
     Result<Matrix> Align(const AttributedGraph&, const AttributedGraph&,
-                         const Supervision&) override {
+                         const Supervision&,
+                         const RunContext&) override {
       return Status::Internal("nope");
     }
   } failing;

@@ -101,21 +101,44 @@ TEST_F(IoHardeningTest, ModelRejectsTrailingData) {
   ExpectErrorMentioning(LoadGcnModel(Path("m.txt")), "trailing data");
 }
 
-TEST_F(IoHardeningTest, ModelLoadFaultSiteInjectsCleanIOError) {
+TEST_F(IoHardeningTest, ModelLoadRetriesTransientFaultThenFailsPersistent) {
   Rng rng(3);
   MultiOrderGcn gcn(2, 3, 4, &rng);
   ASSERT_TRUE(SaveGcnModel(gcn, Path("m.txt")).ok());
 
+  // A single-shot injection is transient: the loader's bounded retry
+  // absorbs it and the caller never sees an error.
   fault::Spec spec;
   spec.kind = fault::Kind::kFailIO;
+  fault::Arm("io.model.load", spec);
+  EXPECT_TRUE(LoadGcnModel(Path("m.txt")).ok());
+  EXPECT_GE(fault::CallCount("io.model.load"), 2) << "loader did not retry";
+
+  // A fault outlasting every retry attempt surfaces as a clean IOError.
+  spec.repeat = 1000;
   fault::Arm("io.model.load", spec);
   auto failed = LoadGcnModel(Path("m.txt"));
   ASSERT_FALSE(failed.ok());
   EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
   ExpectErrorMentioning(failed, "injected fault");
+}
 
-  // The spec fires once (repeat=1): the retry goes through untouched.
-  EXPECT_TRUE(LoadGcnModel(Path("m.txt")).ok());
+TEST_F(IoHardeningTest, ModelLoadDetectsChecksumMismatch) {
+  Rng rng(3);
+  MultiOrderGcn gcn(1, 2, 2, &rng);
+  ASSERT_TRUE(SaveGcnModel(gcn, Path("m.txt")).ok());
+
+  // Flip one payload byte without touching the trailer: rename atomicity
+  // can't catch post-write bit rot, the CRC must.
+  std::ifstream in(Path("m.txt"));
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  in.close();
+  auto digit = content.find_first_of("0123456789", content.find('\n'));
+  ASSERT_NE(digit, std::string::npos);
+  content[digit] = content[digit] == '9' ? '8' : '9';
+  WriteFile("m.txt", content);
+  ExpectErrorMentioning(LoadGcnModel(Path("m.txt")), "checksum mismatch");
 }
 
 // --- Edge lists and attributes --------------------------------------------
@@ -241,12 +264,18 @@ TEST_F(IoHardeningTest, EdgeListFaultSiteContextualizedByDataset) {
 
   fault::Spec spec;
   spec.kind = fault::Kind::kFailIO;
+  spec.repeat = 1000;  // persistent: must outlast the loader's retries
   fault::Arm("io.edges.load", spec);  // fires on the source network read
   auto r = LoadAlignmentPair(dir_.string());
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kIOError);
   ExpectErrorMentioning(r, "source network");
   ExpectErrorMentioning(r, "injected fault");
+
+  // A transient (single-shot) fault, by contrast, is retried away.
+  spec.repeat = 1;
+  fault::Arm("io.edges.load", spec);
+  EXPECT_TRUE(LoadAlignmentPair(dir_.string()).ok());
 
   fault::DisarmAll();
   EXPECT_TRUE(LoadAlignmentPair(dir_.string()).ok());

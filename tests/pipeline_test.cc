@@ -48,8 +48,10 @@ TEST(RunAlignerTest, FailureIsCaptured) {
   class FailingAligner : public Aligner {
    public:
     std::string name() const override { return "Failing"; }
+    using Aligner::Align;
     Result<Matrix> Align(const AttributedGraph&, const AttributedGraph&,
-                         const Supervision&) override {
+                         const Supervision&,
+                         const RunContext&) override {
       return Status::Internal("synthetic failure");
     }
   } failing;
