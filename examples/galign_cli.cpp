@@ -12,15 +12,24 @@
 //              [--matrix-out=matrix.tsv]      # full alignment matrix
 //              [--hungarian]                  # optimal 1-1 instead of greedy
 //              [--epochs=30] [--dim=128]
+//              [--mem-budget=512m]            # cap matrix memory (k/m/g)
 //
 // With no --*-out flags, the top anchors are printed to stdout.
+//
+// --mem-budget holds the run to a byte budget (DESIGN.md §9): when the
+// dense n1 x n2 alignment matrix does not fit, the tool degrades to the
+// row-blocked top-k kernel and emits top-1 anchors instead of dying on
+// bad_alloc (--matrix-out and --hungarian need the dense matrix and are
+// unavailable in that mode).
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
 #include <string>
 
 #include "align/alignment_io.h"
+#include "common/durable_io.h"
 #include "align/hungarian.h"
 #include "baselines/cenalp.h"
 #include "baselines/deeplink.h"
@@ -48,7 +57,23 @@ struct CliOptions {
   bool hungarian = false;
   int epochs = 30;
   int64_t dim = 128;
+  uint64_t mem_budget = 0;  ///< 0 = unbounded
 };
+
+// Parses "1073741824", "512m", "2g", "64k" (suffix case-insensitive).
+bool ParseByteSize(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  uint64_t mult = 1;
+  if (*end == 'k' || *end == 'K') mult = 1ull << 10;
+  else if (*end == 'm' || *end == 'M') mult = 1ull << 20;
+  else if (*end == 'g' || *end == 'G') mult = 1ull << 30;
+  else if (*end != '\0') return false;
+  if (mult > 1 && end[1] != '\0') return false;
+  *out = static_cast<uint64_t>(v) * mult;
+  return *out > 0;
+}
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   size_t len = std::strlen(name);
@@ -114,6 +139,13 @@ int main(int argc, char** argv) {
       opt.dim = std::atoll(flag.c_str());
       continue;
     }
+    if (ParseFlag(argv[i], "--mem-budget", &flag)) {
+      if (!ParseByteSize(flag, &opt.mem_budget)) {
+        std::fprintf(stderr, "bad --mem-budget value: %s\n", flag.c_str());
+        return 2;
+      }
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
     return 2;
   }
@@ -123,7 +155,7 @@ int main(int argc, char** argv) {
                  "[--method=galign|final|isorank|regal|pale|cenalp|unialign|netalign|deeplink|ione] "
                  "[--source-attrs=<tsv>] [--target-attrs=<tsv>] "
                  "[--seeds=<pairs>] [--anchors-out=<file>] "
-                 "[--matrix-out=<file>] [--hungarian]\n");
+                 "[--matrix-out=<file>] [--hungarian] [--mem-budget=512m]\n");
     return 2;
   }
 
@@ -165,8 +197,72 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::printf("aligning with %s...\n", aligner->name().c_str());
-  auto s = aligner->Align(src.ValueOrDie(), tgt.ValueOrDie(), sup);
+  RunContext ctx = opt.mem_budget > 0
+                       ? RunContext::WithMemoryBudget(opt.mem_budget)
+                       : RunContext();
+
+  // Budget-degraded path (DESIGN.md §9): compute only per-row top-k.
+  auto run_chunked = [&]() -> int {
+    std::printf(
+        "dense run exceeds --mem-budget (%llu bytes); degrading to the "
+        "chunked top-k kernel\n",
+        (unsigned long long)opt.mem_budget);
+    if (opt.hungarian || !opt.matrix_out.empty()) {
+      std::fprintf(stderr,
+                   "--hungarian/--matrix-out need the dense matrix and are "
+                   "unavailable under --mem-budget degradation\n");
+      return 2;
+    }
+    auto topk = aligner->AlignTopK(src.ValueOrDie(), tgt.ValueOrDie(), sup,
+                                   ctx, /*k=*/10);
+    if (!topk.ok()) {
+      std::fprintf(stderr, "alignment failed: %s\n",
+                   topk.status().ToString().c_str());
+      return 1;
+    }
+    const TopKAlignment& a = topk.ValueOrDie();
+    std::printf("peak tracked matrix memory: %llu bytes\n",
+                (unsigned long long)MemoryTracker::PeakBytes());
+    if (!opt.anchors_out.empty()) {
+      std::string text;
+      for (int64_t v = 0; v < a.rows_computed; ++v) {
+        int64_t t = a.Top1(v);
+        if (t < 0) continue;
+        text += std::to_string(v) + "\t" + std::to_string(t) + "\t" +
+                std::to_string(a.score[v * a.k]) + "\n";
+      }
+      auto st = AtomicWriteFile(opt.anchors_out, text);
+      if (!st.ok()) {
+        std::fprintf(stderr, "%s\n", st.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote top-1 anchors to %s\n", opt.anchors_out.c_str());
+    } else {
+      std::printf("top anchor links (source -> target, score):\n");
+      int64_t shown = 0;
+      for (int64_t v = 0; v < a.rows_computed && shown < 20; ++v) {
+        int64_t t = a.Top1(v);
+        if (t < 0) continue;
+        std::printf("  %lld -> %lld  (%.4f)\n", (long long)v, (long long)t,
+                    a.score[v * a.k]);
+        ++shown;
+      }
+    }
+    return 0;
+  };
+
+  if (opt.mem_budget > 0) {
+    const uint64_t estimate = aligner->EstimatePeakBytes(
+        src.ValueOrDie().num_nodes(), tgt.ValueOrDie().num_nodes(),
+        src.ValueOrDie().attributes().cols());
+    if (estimate > opt.mem_budget) return run_chunked();
+  }
+  auto s = aligner->Align(src.ValueOrDie(), tgt.ValueOrDie(), sup, ctx);
   if (!s.ok()) {
+    if (opt.mem_budget > 0 &&
+        s.status().code() == StatusCode::kResourceExhausted) {
+      return run_chunked();
+    }
     std::fprintf(stderr, "alignment failed: %s\n",
                  s.status().ToString().c_str());
     return 1;

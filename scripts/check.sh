@@ -31,5 +31,19 @@ echo "=== crash-recovery gate (ASan+UBSan) ==="
 ctest --test-dir "${build_dir}" --output-on-failure \
   -R "CheckpointResume|DurableIo|Cancellation"
 
+# Fuzz-smoke gate (DESIGN.md §9): a fixed-seed sanitized sweep of the
+# structure-aware fuzzer — hostile loader bytes, degenerate generator
+# recipes, and the full aligner roster under random budgets, deadlines,
+# and armed faults. Deterministic: failures replay with the printed seed.
+echo "=== fuzz-smoke gate (ASan+UBSan, fixed seed) ==="
+"${build_dir}/tests/fuzz/graph_fuzz" --seed 1337 --iters 60
+
+# Low-budget gate (DESIGN.md §9): the budget-degradation suite proves the
+# chunked fallback engages under a tight memory budget, stays under it,
+# and matches the dense run's Accuracy@1 within tolerance.
+echo "=== low-budget degradation gate (ASan+UBSan) ==="
+ctest --test-dir "${build_dir}" --output-on-failure \
+  -R "BudgetDegradation|DegenerateConformance|MemoryBudget|MemoryScope"
+
 echo "=== full suite (ASan+UBSan) ==="
 ctest --test-dir "${build_dir}" --output-on-failure "$@"

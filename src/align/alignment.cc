@@ -7,6 +7,37 @@
 
 namespace galign {
 
+uint64_t Aligner::EstimatePeakBytes(int64_t n_source, int64_t n_target,
+                                    int64_t dims) const {
+  // Generic dense-method bound: a handful of simultaneously-live
+  // n_source x n_target matrices (prior, iterate, scratch, result) plus the
+  // attribute inputs. Methods with a heavier or lighter footprint override.
+  return 4 * DenseBytes(n_source, n_target) +
+         DenseBytes(n_source + n_target, dims);
+}
+
+Result<TopKAlignment> Aligner::AlignTopK(const AttributedGraph& source,
+                                         const AttributedGraph& target,
+                                         const Supervision& supervision,
+                                         const RunContext& ctx, int64_t k) {
+  // Fallback adapter: no memory savings over Align() — methods with a
+  // genuinely row-blocked kernel override this.
+  auto dense = Align(source, target, supervision, ctx);
+  GALIGN_RETURN_NOT_OK(dense.status());
+  return TopKFromDense(dense.ValueOrDie(), k);
+}
+
+Status ReserveAlignerBudget(const Aligner& aligner,
+                            const AttributedGraph& source,
+                            const AttributedGraph& target,
+                            const RunContext& ctx, MemoryScope* scope) {
+  if (!ctx.HasMemoryLimit()) return Status::OK();
+  const uint64_t estimate = aligner.EstimatePeakBytes(
+      source.num_nodes(), target.num_nodes(), source.attributes().cols());
+  return MemoryScope::Reserve(ctx.budget(), estimate,
+                              aligner.name() + " admission", scope);
+}
+
 std::vector<int64_t> Top1Anchors(const Matrix& s) {
   std::vector<int64_t> anchors(s.rows());
   for (int64_t r = 0; r < s.rows(); ++r) {

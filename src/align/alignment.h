@@ -7,11 +7,13 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/rng.h"
 #include "common/run_context.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "graph/noise.h"
+#include "graph/similarity_chunked.h"
 #include "la/matrix.h"
 
 namespace galign {
@@ -60,7 +62,47 @@ class Aligner {
                                const AttributedGraph& target,
                                const Supervision& supervision,
                                const RunContext& ctx) = 0;
+
+  /// \brief Estimated peak heap bytes Align() needs for an
+  /// (n_source x n_target) problem with `dims`-dimensional attributes
+  /// (DESIGN.md §9).
+  ///
+  /// Used as the pre-flight admission check against ctx.budget(): a run
+  /// whose estimate does not fit is rejected with ResourceExhausted before
+  /// any large allocation, so callers can degrade to AlignTopK instead of
+  /// dying on bad_alloc mid-run. Estimates are deliberately coarse
+  /// (order-of-magnitude upper bounds on the simultaneously-live dense
+  /// matrices); the default covers methods whose footprint is a few
+  /// n_source x n_target similarity matrices plus the inputs.
+  virtual uint64_t EstimatePeakBytes(int64_t n_source, int64_t n_target,
+                                     int64_t dims) const;
+
+  /// \brief Budget-degraded entry point: computes only the top-k target
+  /// columns per source row (DESIGN.md §9).
+  ///
+  /// The base implementation runs the dense Align() and compresses — no
+  /// memory savings, but a uniform interface. Methods with a genuinely
+  /// row-blocked kernel (GAlign, REGAL) override it so the transient
+  /// working set stays within ctx.budget() and the O(n1 * n2) matrix is
+  /// never materialized.
+  virtual Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+                                          const AttributedGraph& target,
+                                          const Supervision& supervision,
+                                          const RunContext& ctx,
+                                          int64_t k);
 };
+
+/// \brief Pre-flight admission for one aligner run (DESIGN.md §9).
+///
+/// Reserves aligner.EstimatePeakBytes(...) against ctx.budget() into
+/// *scope for the duration of the run. A no-op success when the context
+/// carries no finite budget; ResourceExhausted (with the estimate and the
+/// remaining headroom in the message) when the run cannot fit. Every
+/// Aligner::Align implementation calls this first.
+Status ReserveAlignerBudget(const Aligner& aligner,
+                            const AttributedGraph& source,
+                            const AttributedGraph& target,
+                            const RunContext& ctx, MemoryScope* scope);
 
 /// Greedy anchor extraction: for each source node, the argmax target
 /// (paper §VI-A one-to-one instantiation by ranking).

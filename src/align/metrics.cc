@@ -92,6 +92,40 @@ AlignmentMetrics ComputeMetrics(const Matrix& s,
   return m;
 }
 
+AlignmentMetrics ComputeMetricsTopK(const TopKAlignment& s,
+                                    const std::vector<int64_t>& ground_truth) {
+  Accumulated acc;
+  const double negatives = static_cast<double>(s.cols - 1);
+  for (size_t v = 0; v < ground_truth.size(); ++v) {
+    int64_t t = ground_truth[v];
+    if (t < 0 || t >= s.cols || static_cast<int64_t>(v) >= s.rows_computed) {
+      continue;
+    }
+    int64_t rank = s.RankOf(static_cast<int64_t>(v), t);
+    if (rank < 0) rank = s.cols;  // outside top-k: score at the worst rank
+    if (rank <= 1) acc.s1 += 1;
+    if (rank <= 5) acc.s5 += 1;
+    if (rank <= 10) acc.s10 += 1;
+    acc.mrr += 1.0 / static_cast<double>(rank);
+    if (negatives > 0) {
+      acc.auc += (negatives + 1.0 - static_cast<double>(rank)) / negatives;
+    } else {
+      acc.auc += 1.0;
+    }
+    ++acc.count;
+  }
+  AlignmentMetrics m;
+  m.num_anchors = acc.count;
+  if (acc.count == 0) return m;
+  const double n = static_cast<double>(acc.count);
+  m.success_at_1 = acc.s1 / n;
+  m.success_at_5 = acc.s5 / n;
+  m.success_at_10 = acc.s10 / n;
+  m.map = acc.mrr / n;
+  m.auc = acc.auc / n;
+  return m;
+}
+
 PrecisionRecall EvaluateThreshold(const Matrix& s,
                                   const std::vector<int64_t>& ground_truth,
                                   double threshold) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "graph/similarity_chunked.h"
 #include "la/matrix.h"
 
 namespace galign {
@@ -39,6 +40,17 @@ double Auc(const Matrix& s, const std::vector<int64_t>& ground_truth);
 /// Computes all metrics in a single pass over the alignment matrix rows.
 AlignmentMetrics ComputeMetrics(const Matrix& s,
                                 const std::vector<int64_t>& ground_truth);
+
+/// \brief Metrics over a compressed top-k alignment (the budget-degraded
+/// path of DESIGN.md §9).
+///
+/// Success@q is exact whenever q <= s.k (the pipeline uses k >= 10, so all
+/// reported Success columns are exact). When the true anchor fell outside a
+/// row's stored top-k its rank is unknown; it is scored at the worst rank
+/// (s.cols), which makes MAP and AUC conservative lower bounds of their
+/// dense values. Rows past rows_computed (early wind-down) are skipped.
+AlignmentMetrics ComputeMetricsTopK(const TopKAlignment& s,
+                                    const std::vector<int64_t>& ground_truth);
 
 /// Precision/recall of a thresholded one-to-many instantiation (the
 /// paper's §II-B flexibility argument): predicted links are all entries

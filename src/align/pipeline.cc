@@ -9,26 +9,66 @@
 
 namespace galign {
 
+namespace {
+
+// k of the degraded top-k path: covers Success@10 exactly and keeps the
+// output a negligible O(n1 * k).
+constexpr int64_t kChunkedK = 10;
+
+}  // namespace
+
 RunResult RunAligner(Aligner* aligner, const AlignmentPair& pair,
                      double seed_fraction, Rng* rng, const RunContext& ctx) {
   RunResult out;
   out.method = aligner->name();
+  out.budget_bytes = ctx.HasMemoryLimit() ? ctx.budget()->limit() : 0;
   Supervision sup;
   if (seed_fraction > 0.0) {
     sup = SampleSeeds(pair.ground_truth, seed_fraction, rng);
   }
+  MemoryTracker::ResetPeak();
   Timer timer;
-  auto s = aligner->Align(pair.source, pair.target, sup, ctx);
+  // Pre-flight: when the dense estimate cannot fit the budget, go straight
+  // to the chunked path instead of letting admission fail inside Align().
+  bool try_dense = true;
+  if (ctx.HasMemoryLimit()) {
+    const uint64_t estimate = aligner->EstimatePeakBytes(
+        pair.source.num_nodes(), pair.target.num_nodes(),
+        pair.source.attributes().cols());
+    try_dense = estimate <= ctx.budget()->remaining();
+  }
+  if (try_dense) {
+    auto s = aligner->Align(pair.source, pair.target, sup, ctx);
+    if (s.ok()) {
+      out.metrics = ComputeMetrics(s.ValueOrDie(), pair.ground_truth);
+      out.metrics.seconds = timer.Seconds();
+      // Flag a blown budget even for methods too cheap to ever poll the
+      // context: an expired deadline at exit is an expired deadline.
+      out.deadline_exceeded = ctx.DeadlineExceeded();
+      out.cancelled = ctx.Cancelled();
+      out.peak_alloc_bytes = MemoryTracker::PeakBytes();
+      return out;
+    }
+    if (s.status().code() != StatusCode::kResourceExhausted) {
+      out.status = s.status();
+      out.deadline_exceeded = ctx.DeadlineExceeded();
+      out.cancelled = ctx.Cancelled();
+      out.peak_alloc_bytes = MemoryTracker::PeakBytes();
+      return out;
+    }
+    // ResourceExhausted from a dense run: degrade below.
+  }
+  auto topk = aligner->AlignTopK(pair.source, pair.target, sup, ctx, kChunkedK);
   double seconds = timer.Seconds();
-  // Flag a blown budget even for methods too cheap to ever poll the
-  // context: an expired deadline at exit is an expired deadline.
   out.deadline_exceeded = ctx.DeadlineExceeded();
   out.cancelled = ctx.Cancelled();
-  if (!s.ok()) {
-    out.status = s.status();
+  out.peak_alloc_bytes = MemoryTracker::PeakBytes();
+  if (!topk.ok()) {
+    out.status = topk.status();
     return out;
   }
-  out.metrics = ComputeMetrics(s.ValueOrDie(), pair.ground_truth);
+  out.degraded_chunked = true;
+  out.metrics = ComputeMetricsTopK(topk.ValueOrDie(), pair.ground_truth);
   out.metrics.seconds = seconds;
   return out;
 }

@@ -23,6 +23,15 @@ struct RunResult {
   /// best-so-far alignment the method wound down with).
   bool deadline_exceeded = false;
   bool cancelled = false;  ///< the cancellation token fired during the run
+  /// The dense run did not fit ctx.budget() and the pipeline fell back to
+  /// the chunked top-k path (DESIGN.md §9); metrics score the compressed
+  /// alignment (Success columns exact, MAP/AUC lower bounds).
+  bool degraded_chunked = false;
+  /// Peak tracked matrix bytes alive during this run (MemoryTracker gauge,
+  /// reset per run).
+  uint64_t peak_alloc_bytes = 0;
+  /// The budget the run was held to; 0 when unbounded.
+  uint64_t budget_bytes = 0;
 };
 
 /// \brief Runs `aligner` on `pair`, sampling `seed_fraction` of the ground

@@ -15,6 +15,9 @@ Result<Matrix> CenalpAligner::Align(const AttributedGraph& source,
   if (n1 == 0 || n2 == 0) {
     return Status::InvalidArgument("empty network");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
   Rng rng(config_.seed);
 
   // anchors[v] = matched target node or -1.

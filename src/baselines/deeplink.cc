@@ -62,6 +62,9 @@ Result<Matrix> DeepLinkAligner::Align(const AttributedGraph& source,
     return Status::InvalidArgument(
         "DeepLink requires seed anchors to train its mapping");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
   Rng rng(config_.seed);
 
   // (1) per-network DeepWalk embeddings.

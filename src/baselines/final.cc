@@ -41,6 +41,9 @@ Result<Matrix> FinalAligner::Align(const AttributedGraph& source,
   if (n1 == 0 || n2 == 0) {
     return Status::InvalidArgument("empty network");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
 
   Matrix h = supervision.seeds.empty()
                  ? AttributePrior(source, target)

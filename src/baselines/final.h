@@ -33,6 +33,15 @@ class FinalAligner : public Aligner {
                        const Supervision& supervision,
                        const RunContext& ctx) override;
 
+  /// FINAL keeps more simultaneously-live n1 x n2 matrices than the generic
+  /// bound: prior H, attribute kernel N, iterate S, masked copy, and the
+  /// two halves of the sandwich product.
+  uint64_t EstimatePeakBytes(int64_t n_source, int64_t n_target,
+                             int64_t dims) const override {
+    return 7 * DenseBytes(n_source, n_target) +
+           DenseBytes(n_source + n_target, dims);
+  }
+
   /// Convergence of the most recent Align() fixed-point iteration. When not
   /// converged, the returned scores are the last (best-so-far) iterate.
   const ConvergenceReport& last_report() const { return report_; }

@@ -30,6 +30,9 @@ Result<Matrix> IoneAligner::Align(const AttributedGraph& source,
     return Status::InvalidArgument(
         "IONE requires seed anchors to share embeddings across networks");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
 
   // Token space: source node v -> v; target node u -> n1 + u, EXCEPT
   // anchored targets, which share the source token (hard parameter tying —

@@ -30,6 +30,9 @@ Result<Matrix> IsoRankAligner::Align(const AttributedGraph& source,
   if (n1 == 0 || n2 == 0) {
     return Status::InvalidArgument("empty network");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
 
   Matrix prior = supervision.seeds.empty()
                      ? AttributePrior(source, target)

@@ -32,6 +32,14 @@ class IsoRankAligner : public Aligner {
                        const Supervision& supervision,
                        const RunContext& ctx) override;
 
+  /// Power iteration holds the prior, current iterate, the half product and
+  /// the next iterate at once — heavier than the generic bound.
+  uint64_t EstimatePeakBytes(int64_t n_source, int64_t n_target,
+                             int64_t dims) const override {
+    return 5 * DenseBytes(n_source, n_target) +
+           DenseBytes(n_source + n_target, dims);
+  }
+
   /// Convergence of the most recent Align() power iteration. When not
   /// converged, the returned scores are the last (best-so-far) iterate.
   const ConvergenceReport& last_report() const { return report_; }

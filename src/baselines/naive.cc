@@ -11,10 +11,12 @@ Result<Matrix> DegreeRankAligner::Align(const AttributedGraph& source,
                                         const Supervision& supervision,
                                         const RunContext& ctx) {
   (void)supervision;
-  (void)ctx;  // non-iterative: nothing to wind down early
   if (source.num_nodes() == 0 || target.num_nodes() == 0) {
     return Status::InvalidArgument("empty network");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
   Matrix s(source.num_nodes(), target.num_nodes());
   for (int64_t v = 0; v < source.num_nodes(); ++v) {
     double dv = static_cast<double>(source.Degree(v));
@@ -28,18 +30,53 @@ Result<Matrix> DegreeRankAligner::Align(const AttributedGraph& source,
   return s;
 }
 
+uint64_t DegreeRankAligner::EstimatePeakBytes(int64_t n_source,
+                                              int64_t n_target,
+                                              int64_t dims) const {
+  // One result matrix plus the (adapter) top-k copy; no iterate/scratch.
+  return 2 * DenseBytes(n_source, n_target) +
+         DenseBytes(n_source + n_target, dims);
+}
+
+Result<TopKAlignment> DegreeRankAligner::AlignTopK(
+    const AttributedGraph& source, const AttributedGraph& target,
+    const Supervision& supervision, const RunContext& ctx, int64_t k) {
+  (void)supervision;
+  if (source.num_nodes() == 0 || target.num_nodes() == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+  const int64_t n1 = source.num_nodes();
+  const int64_t n2 = target.num_nodes();
+  auto block_rows = BudgetedBlockRows(n1, k, DenseBytes(1, n2), ctx);
+  GALIGN_RETURN_NOT_OK(block_rows.status());
+  auto fill = [&](int64_t r0, int64_t nrows, Matrix* block) -> Status {
+    for (int64_t i = 0; i < nrows; ++i) {
+      double dv = static_cast<double>(source.Degree(r0 + i));
+      for (int64_t u = 0; u < n2; ++u) {
+        double du = static_cast<double>(target.Degree(u));
+        double denom = std::max(1.0, std::max(dv, du));
+        (*block)(i, u) = 1.0 - std::fabs(dv - du) / denom;
+      }
+    }
+    return Status::OK();
+  };
+  return ChunkedTopK(n1, n2, k, block_rows.ValueOrDie(), fill, ctx);
+}
+
 Result<Matrix> AttributeOnlyAligner::Align(const AttributedGraph& source,
                                            const AttributedGraph& target,
                                            const Supervision& supervision,
                                            const RunContext& ctx) {
   (void)supervision;
-  (void)ctx;  // non-iterative: nothing to wind down early
   if (source.num_nodes() == 0 || target.num_nodes() == 0) {
     return Status::InvalidArgument("empty network");
   }
   if (source.num_attributes() != target.num_attributes()) {
     return Status::InvalidArgument("attribute dimensions differ");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
   Matrix s(source.num_nodes(), target.num_nodes());
   for (int64_t v = 0; v < source.num_nodes(); ++v) {
     for (int64_t u = 0; u < target.num_nodes(); ++u) {
@@ -49,15 +86,50 @@ Result<Matrix> AttributeOnlyAligner::Align(const AttributedGraph& source,
   return s;
 }
 
+uint64_t AttributeOnlyAligner::EstimatePeakBytes(int64_t n_source,
+                                                 int64_t n_target,
+                                                 int64_t dims) const {
+  return 2 * DenseBytes(n_source, n_target) +
+         DenseBytes(n_source + n_target, dims);
+}
+
+Result<TopKAlignment> AttributeOnlyAligner::AlignTopK(
+    const AttributedGraph& source, const AttributedGraph& target,
+    const Supervision& supervision, const RunContext& ctx, int64_t k) {
+  (void)supervision;
+  if (source.num_nodes() == 0 || target.num_nodes() == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+  if (source.num_attributes() != target.num_attributes()) {
+    return Status::InvalidArgument("attribute dimensions differ");
+  }
+  const int64_t n1 = source.num_nodes();
+  const int64_t n2 = target.num_nodes();
+  auto block_rows = BudgetedBlockRows(n1, k, DenseBytes(1, n2), ctx);
+  GALIGN_RETURN_NOT_OK(block_rows.status());
+  auto fill = [&](int64_t r0, int64_t nrows, Matrix* block) -> Status {
+    for (int64_t i = 0; i < nrows; ++i) {
+      for (int64_t u = 0; u < n2; ++u) {
+        (*block)(i, u) =
+            RowCosine(source.attributes(), r0 + i, target.attributes(), u);
+      }
+    }
+    return Status::OK();
+  };
+  return ChunkedTopK(n1, n2, k, block_rows.ValueOrDie(), fill, ctx);
+}
+
 Result<Matrix> RandomAligner::Align(const AttributedGraph& source,
                                     const AttributedGraph& target,
                                     const Supervision& supervision,
                                     const RunContext& ctx) {
   (void)supervision;
-  (void)ctx;  // non-iterative: nothing to wind down early
   if (source.num_nodes() == 0 || target.num_nodes() == 0) {
     return Status::InvalidArgument("empty network");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
   Rng rng(seed_);
   return Matrix::Uniform(source.num_nodes(), target.num_nodes(), &rng);
 }

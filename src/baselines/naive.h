@@ -18,6 +18,14 @@ class DegreeRankAligner : public Aligner {
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;
+  uint64_t EstimatePeakBytes(int64_t n_source, int64_t n_target,
+                             int64_t dims) const override;
+  /// Row-blocked: the degree kernel is computable per row, so a budgeted
+  /// run never materializes the n1 x n2 matrix.
+  Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+                                  const AttributedGraph& target,
+                                  const Supervision& supervision,
+                                  const RunContext& ctx, int64_t k) override;
 };
 
 /// Scores node pairs by attribute cosine similarity. Pure semantics.
@@ -29,6 +37,14 @@ class AttributeOnlyAligner : public Aligner {
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;
+  uint64_t EstimatePeakBytes(int64_t n_source, int64_t n_target,
+                             int64_t dims) const override;
+  /// Row-blocked: cosine rows are independent, so a budgeted run never
+  /// materializes the n1 x n2 matrix.
+  Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+                                  const AttributedGraph& target,
+                                  const Supervision& supervision,
+                                  const RunContext& ctx, int64_t k) override;
 };
 
 /// Uniform random scores under a fixed seed: the chance floor.

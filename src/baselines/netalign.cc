@@ -27,6 +27,9 @@ Result<Matrix> NetAlignAligner::Align(const AttributedGraph& source,
   if (config_.candidates_per_node < 1) {
     return Status::InvalidArgument("candidates_per_node must be >= 1");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
 
   // Candidate recall decides everything downstream, so the prior always
   // includes attribute similarity; seeds boost their pair instead of

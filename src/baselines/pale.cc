@@ -82,6 +82,9 @@ Result<Matrix> PaleAligner::Align(const AttributedGraph& source,
     return Status::InvalidArgument(
         "PALE requires seed anchors to train its mapping function");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
   Rng rng(config_.seed);
   Matrix zs = EmbedByEdges(source, config_.embedding_dim,
                            config_.embedding_epochs, config_.negatives,

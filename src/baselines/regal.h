@@ -22,7 +22,24 @@ class RegalAligner : public Aligner {
                        const Supervision& supervision,
                        const RunContext& ctx) override;
 
+  /// xNetMF working set (features, landmark factorization, embeddings)
+  /// plus the dense n1 x n2 cosine matrix.
+  uint64_t EstimatePeakBytes(int64_t n_source, int64_t n_target,
+                             int64_t dims) const override;
+
+  /// Budget-degraded run (DESIGN.md §9): embeds exactly as Align(), then
+  /// streams the cosine similarity through the row-blocked top-k kernel
+  /// instead of materializing the n1 x n2 matrix.
+  Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+                                  const AttributedGraph& target,
+                                  const Supervision& supervision,
+                                  const RunContext& ctx, int64_t k) override;
+
  private:
+  /// Peak bytes of the embedding phase alone (what AlignTopK keeps).
+  uint64_t EstimateEmbedBytes(int64_t n_source, int64_t n_target,
+                              int64_t dims) const;
+
   XNetMfConfig config_;
 };
 

@@ -15,6 +15,9 @@ Result<Matrix> UniAlignAligner::Align(const AttributedGraph& source,
   if (source.num_nodes() == 0 || target.num_nodes() == 0) {
     return Status::InvalidArgument("empty network");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
   XNetMfConfig feat_cfg;
   feat_cfg.max_hops = config_.max_hops;
   feat_cfg.hop_discount = config_.hop_discount;

@@ -1,0 +1,165 @@
+#include "common/memory_budget.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <mutex>
+
+namespace galign {
+
+namespace {
+
+std::atomic<uint64_t> g_live{0};
+std::atomic<uint64_t> g_peak{0};
+
+// Trace hook: installed only by tests; the common path is one relaxed load.
+std::atomic<MemoryTracker::TraceFn> g_trace{nullptr};
+std::atomic<void*> g_trace_user{nullptr};
+std::mutex g_trace_mu;
+
+void BumpPeak(uint64_t live) noexcept {
+  uint64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak.compare_exchange_weak(peak, live,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void Trace(int64_t delta, uint64_t live_after) noexcept {
+  MemoryTracker::TraceFn fn = g_trace.load(std::memory_order_acquire);
+  if (fn == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  // Re-read under the lock so uninstall can't race a call into stale state.
+  fn = g_trace.load(std::memory_order_acquire);
+  if (fn != nullptr) fn(delta, live_after, g_trace_user.load());
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  const char* unit[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double v = static_cast<double>(bytes);
+  int u = 0;
+  while (v >= 1024.0 && u < 4) {
+    v /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), u == 0 ? "%.0f%s" : "%.1f%s", v, unit[u]);
+  return buf;
+}
+
+}  // namespace
+
+void MemoryTracker::OnAlloc(uint64_t bytes) noexcept {
+  const uint64_t live =
+      g_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  BumpPeak(live);
+  Trace(static_cast<int64_t>(bytes), live);
+}
+
+void MemoryTracker::OnFree(uint64_t bytes) noexcept {
+  uint64_t prev = g_live.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = prev >= bytes ? prev - bytes : 0;  // clamp against drift
+  } while (!g_live.compare_exchange_weak(prev, next,
+                                         std::memory_order_relaxed));
+  Trace(-static_cast<int64_t>(bytes), next);
+}
+
+uint64_t MemoryTracker::LiveBytes() noexcept {
+  return g_live.load(std::memory_order_relaxed);
+}
+
+uint64_t MemoryTracker::PeakBytes() noexcept {
+  return g_peak.load(std::memory_order_relaxed);
+}
+
+void MemoryTracker::ResetPeak() noexcept {
+  g_peak.store(g_live.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+void MemoryTracker::SetTrace(TraceFn fn, void* user) noexcept {
+  std::lock_guard<std::mutex> lock(g_trace_mu);
+  g_trace_user.store(user);
+  g_trace.store(fn, std::memory_order_release);
+}
+
+Status MemoryBudget::TryReserve(uint64_t bytes, const std::string& what) {
+  uint64_t prev = reserved_.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    if (bytes > limit_ || prev > limit_ - bytes) {
+      return Status::ResourceExhausted(
+          what + " needs " + HumanBytes(bytes) + " but only " +
+          HumanBytes(limit_ - std::min(prev, limit_)) +
+          " of the " + HumanBytes(limit_) + " budget remains");
+    }
+    next = prev + bytes;
+  } while (!reserved_.compare_exchange_weak(prev, next,
+                                            std::memory_order_acq_rel));
+  uint64_t peak = reserved_peak_.load(std::memory_order_relaxed);
+  while (next > peak &&
+         !reserved_peak_.compare_exchange_weak(peak, next,
+                                               std::memory_order_relaxed)) {
+  }
+  return Status::OK();
+}
+
+void MemoryBudget::Release(uint64_t bytes) noexcept {
+  uint64_t prev = reserved_.load(std::memory_order_relaxed);
+  uint64_t next;
+  do {
+    next = prev >= bytes ? prev - bytes : 0;
+  } while (!reserved_.compare_exchange_weak(prev, next,
+                                            std::memory_order_acq_rel));
+}
+
+Status MemoryBudget::Admit(uint64_t bytes, const std::string& what) const {
+  const uint64_t held = reserved();
+  if (bytes > limit_ || held > limit_ - bytes) {
+    return Status::ResourceExhausted(
+        what + " needs " + HumanBytes(bytes) + " but only " +
+        HumanBytes(limit_ - std::min(held, limit_)) + " of the " +
+        HumanBytes(limit_) + " budget remains");
+  }
+  return Status::OK();
+}
+
+uint64_t MemoryBudget::remaining() const {
+  if (!bounded()) return kUnlimited;
+  const uint64_t held = reserved();
+  return held >= limit_ ? 0 : limit_ - held;
+}
+
+Status MemoryScope::Reserve(MemoryBudget* budget, uint64_t bytes,
+                            const std::string& what, MemoryScope* scope) {
+  scope->reset();
+  if (budget == nullptr) return Status::OK();
+  GALIGN_RETURN_NOT_OK(budget->TryReserve(bytes, what));
+  scope->budget_ = budget;
+  scope->bytes_ = bytes;
+  return Status::OK();
+}
+
+Status MemoryScope::Grow(uint64_t extra, const std::string& what) {
+  if (budget_ == nullptr) return Status::OK();
+  GALIGN_RETURN_NOT_OK(budget_->TryReserve(extra, what));
+  bytes_ += extra;
+  return Status::OK();
+}
+
+uint64_t DenseBytes(int64_t rows, int64_t cols) {
+  if (rows <= 0 || cols <= 0) return 0;
+  const uint64_t r = static_cast<uint64_t>(rows);
+  const uint64_t c = static_cast<uint64_t>(cols);
+  if (c != 0 && r > MemoryBudget::kUnlimited / c) {
+    return MemoryBudget::kUnlimited;
+  }
+  const uint64_t cells = r * c;
+  if (cells > MemoryBudget::kUnlimited / sizeof(double)) {
+    return MemoryBudget::kUnlimited;
+  }
+  return cells * sizeof(double);
+}
+
+}  // namespace galign

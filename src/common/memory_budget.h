@@ -1,0 +1,188 @@
+// Resource governance: byte-accounted memory budgets (DESIGN.md §9).
+//
+// Three cooperating pieces defend the process against resource exhaustion —
+// the failure mode where an oversized alignment pair turns the O(n1*n2)
+// dense similarity matrix into an uncatchable std::bad_alloc process kill:
+//
+//   * MemoryTracker — an always-on, process-wide live/peak gauge of
+//     Matrix-owned heap bytes. TrackingAllocator (the allocator behind
+//     Matrix storage) reports every allocate/deallocate with two relaxed
+//     atomic ops, so RunAligner can report the true peak working set of a
+//     run and the budget tests can cross-check accounting.
+//
+//   * MemoryBudget — an admission-control ledger with a hard byte limit.
+//     Aligners reserve their EstimatePeakBytes() up front (TryReserve);
+//     a reservation that does not fit comes back as
+//     Status::ResourceExhausted *before* any large allocation happens, and
+//     callers degrade to the chunked kernels instead of dying.
+//
+//   * MemoryScope — RAII around a reservation so early returns and error
+//     paths always release what they admitted.
+//
+// The split matters: reservations (declared intent, enforced against the
+// limit) and live bytes (observed truth, never enforced) are tracked
+// separately, so an aligner that both reserves its estimate and then
+// allocates does not double-count against the limit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <new>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace galign {
+
+/// \brief Process-wide gauge of tracked heap bytes (Matrix storage).
+///
+/// All operations are lock-free; OnAlloc/OnFree cost two relaxed atomic
+/// RMWs and are called only when a Matrix (re)allocates, never per element.
+class MemoryTracker {
+ public:
+  /// Test hook observing every tracked delta. `delta` is signed bytes,
+  /// `live_after` the gauge after applying it. The hook runs under an
+  /// internal mutex (allocations from worker threads serialize through it)
+  /// and must not allocate tracked memory. Pass nullptr to uninstall.
+  using TraceFn = void (*)(int64_t delta, uint64_t live_after, void* user);
+
+  static void OnAlloc(uint64_t bytes) noexcept;
+  static void OnFree(uint64_t bytes) noexcept;
+
+  /// Currently live tracked bytes.
+  static uint64_t LiveBytes() noexcept;
+  /// High-water mark since the last ResetPeak() (or process start).
+  static uint64_t PeakBytes() noexcept;
+  /// Sets the peak to the current live gauge. Benches call this per run to
+  /// measure per-run peaks; concurrent runs share the one global window.
+  static void ResetPeak() noexcept;
+
+  static void SetTrace(TraceFn fn, void* user) noexcept;
+};
+
+/// \brief Minimal allocator that reports through MemoryTracker.
+///
+/// Used by Matrix for its element storage so every dense allocation in the
+/// library is visible to the tracker without touching call sites.
+template <typename T>
+class TrackingAllocator {
+ public:
+  using value_type = T;
+
+  TrackingAllocator() noexcept = default;
+  template <typename U>
+  TrackingAllocator(const TrackingAllocator<U>&) noexcept {}  // NOLINT
+
+  T* allocate(std::size_t n) {
+    T* p = static_cast<T*>(::operator new(n * sizeof(T)));
+    MemoryTracker::OnAlloc(n * sizeof(T));
+    return p;
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    MemoryTracker::OnFree(n * sizeof(T));
+    ::operator delete(p);
+  }
+
+  bool operator==(const TrackingAllocator&) const noexcept { return true; }
+  bool operator!=(const TrackingAllocator&) const noexcept { return false; }
+};
+
+/// \brief Admission-control ledger with a hard byte limit.
+///
+/// Thread-safe; attach one to a RunContext (shared_ptr) to bound every
+/// aligner running under that context. A default-constructed budget is
+/// unlimited and never rejects.
+class MemoryBudget {
+ public:
+  static constexpr uint64_t kUnlimited =
+      std::numeric_limits<uint64_t>::max();
+
+  explicit MemoryBudget(uint64_t limit_bytes = kUnlimited)
+      : limit_(limit_bytes) {}
+
+  /// True when a finite limit is set.
+  bool bounded() const { return limit_ != kUnlimited; }
+  uint64_t limit() const { return limit_; }
+
+  /// Reserves `bytes` against the limit. Fails with ResourceExhausted
+  /// (naming `what`, the request, and the remaining headroom) when the
+  /// reservation would exceed it. Pair every success with Release — or use
+  /// MemoryScope, which does it for you.
+  Status TryReserve(uint64_t bytes, const std::string& what);
+
+  /// Returns bytes to the ledger (clamped at zero against accounting bugs).
+  void Release(uint64_t bytes) noexcept;
+
+  /// Single-shot admission check: would `bytes` fit right now? Does not
+  /// record anything; cooperative call sites (Matrix::TryCreate) use it as
+  /// a cheap pre-flight without owning a reservation.
+  Status Admit(uint64_t bytes, const std::string& what) const;
+
+  uint64_t reserved() const { return reserved_.load(std::memory_order_acquire); }
+  /// High-water mark of reservations over the budget's lifetime.
+  uint64_t reserved_peak() const {
+    return reserved_peak_.load(std::memory_order_acquire);
+  }
+  /// Headroom left under the limit (kUnlimited when unbounded).
+  uint64_t remaining() const;
+
+ private:
+  uint64_t limit_;
+  std::atomic<uint64_t> reserved_{0};
+  std::atomic<uint64_t> reserved_peak_{0};
+};
+
+/// \brief RAII reservation against a MemoryBudget.
+///
+/// Movable, not copyable. A scope over a null budget is a no-op (the
+/// unbounded case costs nothing). Release happens at destruction or
+/// explicit reset().
+class MemoryScope {
+ public:
+  MemoryScope() = default;
+  MemoryScope(MemoryScope&& other) noexcept
+      : budget_(std::exchange(other.budget_, nullptr)),
+        bytes_(std::exchange(other.bytes_, 0)) {}
+  MemoryScope& operator=(MemoryScope&& other) noexcept {
+    if (this != &other) {
+      reset();
+      budget_ = std::exchange(other.budget_, nullptr);
+      bytes_ = std::exchange(other.bytes_, 0);
+    }
+    return *this;
+  }
+  MemoryScope(const MemoryScope&) = delete;
+  MemoryScope& operator=(const MemoryScope&) = delete;
+  ~MemoryScope() { reset(); }
+
+  /// Reserves `bytes` from `budget` (no-op success when budget is null).
+  /// On success the returned Status is OK and *scope owns the reservation;
+  /// on failure *scope is left empty.
+  static Status Reserve(MemoryBudget* budget, uint64_t bytes,
+                        const std::string& what, MemoryScope* scope);
+
+  /// Grows the held reservation by `extra` bytes against the same budget.
+  Status Grow(uint64_t extra, const std::string& what);
+
+  /// Releases the reservation now.
+  void reset() noexcept {
+    if (budget_ != nullptr && bytes_ > 0) budget_->Release(bytes_);
+    budget_ = nullptr;
+    bytes_ = 0;
+  }
+
+  uint64_t bytes() const { return bytes_; }
+  bool active() const { return budget_ != nullptr; }
+
+ private:
+  MemoryBudget* budget_ = nullptr;
+  uint64_t bytes_ = 0;
+};
+
+/// Overflow-safe rows x cols x sizeof(double) in bytes; returns kUnlimited
+/// on overflow (which no budget admits) and 0 for negative extents.
+uint64_t DenseBytes(int64_t rows, int64_t cols);
+
+}  // namespace galign

@@ -1,7 +1,8 @@
-// Cooperative cancellation and deadline propagation (DESIGN.md §8).
+// Cooperative cancellation, deadline, and memory-budget propagation
+// (DESIGN.md §8 and §9).
 //
-// A RunContext carries an optional wall-clock deadline and an optional
-// shared cancellation token. It is threaded through every long-running
+// A RunContext carries an optional wall-clock deadline, an optional
+// shared cancellation token, and an optional shared MemoryBudget. It is threaded through every long-running
 // computation in the library — Trainer epochs, refinement iterations, the
 // budgeted solvers behind ConvergenceReport, and all baseline aligners — so
 // a run that exceeds its budget degrades to its best-so-far result instead
@@ -18,6 +19,8 @@
 #include <chrono>
 #include <limits>
 #include <memory>
+
+#include "common/memory_budget.h"
 
 namespace galign {
 
@@ -68,10 +71,33 @@ class RunContext {
     return ctx;
   }
 
+  /// A context bounded only by a memory budget of `bytes` (DESIGN.md §9).
+  static RunContext WithMemoryBudget(uint64_t bytes) {
+    RunContext ctx;
+    ctx.SetBudget(std::make_shared<MemoryBudget>(bytes));
+    return ctx;
+  }
+
   /// Attaches a cancellation token (chainable with the factories above).
   RunContext& SetToken(const CancelToken& token) {
     token_ = token;
     return *this;
+  }
+
+  /// Attaches a memory budget shared by everything running under this
+  /// context. Aligners reserve their estimated peak against it before
+  /// allocating (admission control); a null budget means unbounded.
+  RunContext& SetBudget(std::shared_ptr<MemoryBudget> budget) {
+    budget_ = std::move(budget);
+    return *this;
+  }
+
+  /// The attached budget, or nullptr when memory is unbounded.
+  MemoryBudget* budget() const { return budget_.get(); }
+
+  /// True when a finite memory limit applies to this run.
+  bool HasMemoryLimit() const {
+    return budget_ != nullptr && budget_->bounded();
   }
 
   const CancelToken& token() const { return token_; }
@@ -99,6 +125,7 @@ class RunContext {
   Clock::time_point deadline_{};
   bool has_deadline_ = false;
   CancelToken token_{};
+  std::shared_ptr<MemoryBudget> budget_;
 };
 
 }  // namespace galign

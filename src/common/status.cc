@@ -20,6 +20,8 @@ const char* CodeName(StatusCode code) {
       return "IOError";
     case StatusCode::kNotConverged:
       return "NotConverged";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
   }

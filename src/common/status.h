@@ -18,6 +18,7 @@ enum class StatusCode : int8_t {
   kNotFound,
   kIOError,
   kNotConverged,
+  kResourceExhausted,
   kInternal,
 };
 
@@ -47,6 +48,11 @@ class Status {
   }
   static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  /// A memory (or other resource) budget would be exceeded. Degradable:
+  /// callers fall back to chunked computation where one exists.
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));

@@ -1,5 +1,8 @@
 #include "core/galign.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "core/refinement.h"
 #include "la/ops.h"
 #include "core/trainer.h"
@@ -18,6 +21,9 @@ Result<Matrix> GAlignAligner::Align(const AttributedGraph& source,
     return Status::InvalidArgument(
         "GAlign requires equal attribute dimensionality");
   }
+  MemoryScope admission;
+  GALIGN_RETURN_NOT_OK(
+      ReserveAlignerBudget(*this, source, target, ctx, &admission));
 
   Rng rng(config_.seed);
   MultiOrderGcn gcn(config_.num_layers, source.num_attributes(),
@@ -52,6 +58,97 @@ Result<Matrix> GAlignAligner::Align(const AttributedGraph& source,
   std::vector<Matrix> ht =
       gcn.ForwardInference(lap_t.ValueOrDie(), target.attributes());
   return AggregateAlignment(hs, ht, config_.EffectiveLayerWeights());
+}
+
+uint64_t GAlignAligner::EstimateTrainBytes(int64_t n_source, int64_t n_target,
+                                           int64_t dims) const {
+  const int64_t d = std::max<int64_t>(config_.embedding_dim, dims);
+  const int64_t layers = config_.num_layers + 1;
+  // One set of per-layer embeddings for both networks.
+  const uint64_t embeds = DenseBytes(n_source + n_target, d) *
+                          static_cast<uint64_t>(layers);
+  // Each training step embeds every (possibly augmented) view with forward
+  // activations, gradients, and Adam moments alive together; refinement
+  // keeps current + best embedding sets plus two scan chunks.
+  const uint64_t views =
+      config_.use_augmentation
+          ? static_cast<uint64_t>(1 + config_.num_augmentations)
+          : 1;
+  return 4 * views * embeds + 4 * embeds + 2 * DenseBytes(512, n_target);
+}
+
+uint64_t GAlignAligner::EstimatePeakBytes(int64_t n_source, int64_t n_target,
+                                          int64_t dims) const {
+  return EstimateTrainBytes(n_source, n_target, dims) +
+         DenseBytes(n_source, n_target);
+}
+
+Result<TopKAlignment> GAlignAligner::AlignTopK(const AttributedGraph& source,
+                                               const AttributedGraph& target,
+                                               const Supervision& supervision,
+                                               const RunContext& ctx,
+                                               int64_t k) {
+  GALIGN_RETURN_NOT_OK(config_.Validate());
+  if (source.num_nodes() == 0 || target.num_nodes() == 0) {
+    return Status::InvalidArgument("empty network");
+  }
+  if (source.num_attributes() != target.num_attributes()) {
+    return Status::InvalidArgument(
+        "GAlign requires equal attribute dimensionality");
+  }
+  // Admit only the training/refinement working set — this path never
+  // materializes the n1 x n2 aggregation the dense estimate includes.
+  MemoryScope train_scope;
+  if (ctx.HasMemoryLimit()) {
+    GALIGN_RETURN_NOT_OK(MemoryScope::Reserve(
+        ctx.budget(),
+        EstimateTrainBytes(source.num_nodes(), target.num_nodes(),
+                           source.num_attributes()),
+        name_ + " training admission", &train_scope));
+  }
+
+  Rng rng(config_.seed);
+  MultiOrderGcn gcn(config_.num_layers, source.num_attributes(),
+                    config_.embedding_dim, &rng);
+  Trainer trainer(config_);
+  const auto& seeds = config_.seed_loss_weight > 0.0
+                          ? supervision.seeds
+                          : std::vector<std::pair<int64_t, int64_t>>{};
+  GALIGN_RETURN_NOT_OK(trainer.Train(&gcn, source, target, &rng, seeds, ctx));
+  last_loss_history_ = trainer.loss_history();
+  last_train_report_ = trainer.report();
+  last_refinement_scores_.clear();
+
+  const std::vector<double> theta = config_.EffectiveLayerWeights();
+  std::vector<Matrix> hs, ht;
+  if (config_.use_refinement) {
+    auto refined = RefineAlignment(gcn, source, target, config_, ctx,
+                                   /*materialize=*/false);
+    if (!refined.ok()) return refined.status();
+    last_refinement_scores_ = refined.ValueOrDie().score_history;
+    hs = std::move(refined.ValueOrDie().source_embeddings);
+    ht = std::move(refined.ValueOrDie().target_embeddings);
+  } else {
+    auto lap_s = source.NormalizedAdjacency();
+    GALIGN_RETURN_NOT_OK(lap_s.status());
+    auto lap_t = target.NormalizedAdjacency();
+    GALIGN_RETURN_NOT_OK(lap_t.status());
+    hs = gcn.ForwardInference(lap_s.ValueOrDie(), source.attributes());
+    ht = gcn.ForwardInference(lap_t.ValueOrDie(), target.attributes());
+  }
+
+  // Training transients are gone; re-reserve only the surviving embeddings
+  // so the chunked scan sizes its block from the true remaining headroom.
+  train_scope.reset();
+  MemoryScope embed_scope;
+  if (ctx.HasMemoryLimit()) {
+    uint64_t live = 0;
+    for (const Matrix& h : hs) live += DenseBytes(h.rows(), h.cols());
+    for (const Matrix& h : ht) live += DenseBytes(h.rows(), h.cols());
+    GALIGN_RETURN_NOT_OK(MemoryScope::Reserve(
+        ctx.budget(), live, name_ + " refined embeddings", &embed_scope));
+  }
+  return ChunkedEmbeddingTopK(hs, ht, theta, k, ctx);
 }
 
 Result<MultiOrderEmbeddings> EmbedNetworks(const GAlignConfig& config,

@@ -36,6 +36,20 @@ class GAlignAligner : public Aligner {
                        const Supervision& supervision,
                        const RunContext& ctx) override;
 
+  /// Training working set (augmented views, activations, optimizer state)
+  /// plus the refinement scan chunks and the final dense aggregation.
+  uint64_t EstimatePeakBytes(int64_t n_source, int64_t n_target,
+                             int64_t dims) const override;
+
+  /// Budget-degraded run (DESIGN.md §9): trains and refines exactly as
+  /// Align() — ScanStability is already row-chunked — then ranks the
+  /// refined embeddings through ChunkedEmbeddingTopK instead of
+  /// materializing the n1 x n2 aggregation.
+  Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+                                  const AttributedGraph& target,
+                                  const Supervision& supervision,
+                                  const RunContext& ctx, int64_t k) override;
+
   const GAlignConfig& config() const { return config_; }
 
   /// Per-epoch training loss of the most recent Align() call.
@@ -57,6 +71,11 @@ class GAlignAligner : public Aligner {
   static GAlignConfig FinalLayerOnly(GAlignConfig base = {});       // GAlign-3
 
  private:
+  /// Peak bytes of the training + refinement phases alone (everything the
+  /// chunked AlignTopK path keeps from EstimatePeakBytes).
+  uint64_t EstimateTrainBytes(int64_t n_source, int64_t n_target,
+                              int64_t dims) const;
+
   GAlignConfig config_;
   std::string name_;
   std::vector<double> last_loss_history_;

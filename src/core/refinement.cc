@@ -104,7 +104,8 @@ Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
                                          const AttributedGraph& source,
                                          const AttributedGraph& target,
                                          const GAlignConfig& config,
-                                         const RunContext& ctx) {
+                                         const RunContext& ctx,
+                                         bool materialize) {
   const std::vector<double> theta = config.EffectiveLayerWeights();
   if (theta.size() != gcn.weights().size() + 1) {
     return Status::InvalidArgument("layer weights do not match GCN depth");
@@ -201,7 +202,9 @@ Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
     }
   }
 
-  result.alignment = AggregateAlignment(best_hs, best_ht, theta);
+  if (materialize) {
+    result.alignment = AggregateAlignment(best_hs, best_ht, theta);
+  }
   result.source_embeddings = std::move(best_hs);
   result.target_embeddings = std::move(best_ht);
   return result;

@@ -47,7 +47,10 @@ StabilityScan ScanStability(const std::vector<Matrix>& hs,
 
 /// Outcome of the refinement search.
 struct RefinementResult {
-  Matrix alignment;                   ///< best aggregated S found
+  /// Best aggregated S found. Empty (0 x 0) when RefineAlignment was asked
+  /// not to materialize it — budget-degraded callers rank the
+  /// source/target_embeddings through the chunked top-k kernel instead.
+  Matrix alignment;
   double best_score = 0.0;            ///< g of that S
   int best_iteration = 0;             ///< iteration it was found at
   std::vector<double> score_history;  ///< g(S) per iteration (index 0 = init)
@@ -69,10 +72,16 @@ struct RefinementResult {
 /// factors and returns the best-scoring aggregated alignment matrix. When
 /// `ctx` carries a deadline/cancellation token, the iteration loop winds
 /// down early and returns the best iterate found so far (report.degraded).
+///
+/// The refinement loop itself never holds an n1 x n2 matrix (ScanStability
+/// streams in row chunks); the only dense materialization is the final
+/// aggregation, skipped when `materialize` is false (DESIGN.md §9's
+/// budget-degraded path, which consumes the embeddings instead).
 Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
                                          const AttributedGraph& source,
                                          const AttributedGraph& target,
                                          const GAlignConfig& config,
-                                         const RunContext& ctx = RunContext());
+                                         const RunContext& ctx = RunContext(),
+                                         bool materialize = true);
 
 }  // namespace galign

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/logging.h"
 
@@ -20,6 +22,37 @@ Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
   for (const auto& r : rows) {
     GALIGN_DCHECK(static_cast<int64_t>(r.size()) == cols_);
     data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Result<Matrix> Matrix::TryCreate(int64_t rows, int64_t cols, double fill,
+                                 MemoryBudget* budget) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument(
+        "Matrix::TryCreate: negative extent " + std::to_string(rows) + "x" +
+        std::to_string(cols));
+  }
+  const uint64_t bytes = DenseBytes(rows, cols);
+  if (bytes == MemoryBudget::kUnlimited) {
+    return Status::ResourceExhausted(
+        "Matrix::TryCreate: " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " overflows the addressable size");
+  }
+  if (budget != nullptr) {
+    GALIGN_RETURN_NOT_OK(budget->Admit(
+        bytes, std::to_string(rows) + "x" + std::to_string(cols) + " matrix"));
+  }
+  try {
+    return Matrix(rows, cols, fill);
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "Matrix::TryCreate: allocation of " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " (" + std::to_string(bytes) +
+        " bytes) failed");
+  } catch (const std::length_error&) {
+    return Status::ResourceExhausted(
+        "Matrix::TryCreate: " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " exceeds the allocator's maximum size");
   }
 }
 

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/rng.h"
 #include "common/status.h"
 
@@ -24,6 +25,15 @@ class Matrix {
   Matrix(int64_t rows, int64_t cols, double fill = 0.0);
   /// Builds from nested initializer lists; all rows must have equal length.
   Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// \brief Fallible construction (DESIGN.md §9): validates extents,
+  /// optionally pre-admits the allocation against `budget`, and converts
+  /// std::bad_alloc into Status::ResourceExhausted instead of killing the
+  /// process. Use this for size-dependent allocations (anything O(n1*n2));
+  /// the throwing constructor remains for shapes bounded by configuration.
+  static Result<Matrix> TryCreate(int64_t rows, int64_t cols,
+                                  double fill = 0.0,
+                                  MemoryBudget* budget = nullptr);
 
   /// Identity matrix of size n.
   static Matrix Identity(int64_t n);
@@ -107,7 +117,9 @@ class Matrix {
  private:
   int64_t rows_;
   int64_t cols_;
-  std::vector<double> data_;
+  // Tracked storage: every allocate/deallocate of Matrix payload reports to
+  // the process-wide MemoryTracker gauge (DESIGN.md §9).
+  std::vector<double, TrackingAllocator<double>> data_;
 };
 
 }  // namespace galign

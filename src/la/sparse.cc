@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
+#include <stdexcept>
 
 #include "common/logging.h"
 #include "common/parallel.h"
@@ -85,6 +87,45 @@ SparseMatrix SparseMatrix::FromTriplets(int64_t rows, int64_t cols,
   }
   for (int64_t r = 0; r < rows; ++r) m.row_ptr_[r + 1] += m.row_ptr_[r];
   return m;
+}
+
+Result<SparseMatrix> SparseMatrix::TryCreate(int64_t rows, int64_t cols,
+                                             std::vector<Triplet> triplets,
+                                             MemoryBudget* budget) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument(
+        "SparseMatrix::TryCreate: negative extent " + std::to_string(rows) +
+        "x" + std::to_string(cols));
+  }
+  for (const Triplet& t : triplets) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      return Status::InvalidArgument(
+          "SparseMatrix::TryCreate: triplet (" + std::to_string(t.row) +
+          ", " + std::to_string(t.col) + ") outside " + std::to_string(rows) +
+          "x" + std::to_string(cols));
+    }
+  }
+  // CSR footprint upper bound: col_idx (8B) + values (8B) per entry, the
+  // triplet sort scratch (~24B per entry, transient), row_ptr 8B per row.
+  const uint64_t nnz = static_cast<uint64_t>(triplets.size());
+  const uint64_t bytes = nnz * (sizeof(int64_t) + sizeof(double)) +
+                         static_cast<uint64_t>(rows + 1) * sizeof(int64_t);
+  if (budget != nullptr) {
+    GALIGN_RETURN_NOT_OK(budget->Admit(
+        bytes, std::to_string(rows) + "x" + std::to_string(cols) +
+                   " sparse matrix (" + std::to_string(nnz) + " nnz)"));
+  }
+  try {
+    return FromTriplets(rows, cols, std::move(triplets));
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "SparseMatrix::TryCreate: allocation of " + std::to_string(nnz) +
+        " entries failed");
+  } catch (const std::length_error&) {
+    return Status::ResourceExhausted(
+        "SparseMatrix::TryCreate: entry count exceeds the allocator's "
+        "maximum size");
+  }
 }
 
 SparseMatrix SparseMatrix::Identity(int64_t n) {

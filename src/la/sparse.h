@@ -16,6 +16,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/status.h"
 #include "la/matrix.h"
 
@@ -45,6 +46,14 @@ class SparseMatrix {
   /// Builds from triplets; duplicates are summed, explicit zeros dropped.
   static SparseMatrix FromTriplets(int64_t rows, int64_t cols,
                                    std::vector<Triplet> triplets);
+
+  /// \brief Fallible FromTriplets (DESIGN.md §9): validates extents and
+  /// triplet coordinates, optionally pre-admits the CSR footprint
+  /// (~20 bytes/nnz + 8 bytes/row) against `budget`, and converts
+  /// std::bad_alloc into Status::ResourceExhausted.
+  static Result<SparseMatrix> TryCreate(int64_t rows, int64_t cols,
+                                        std::vector<Triplet> triplets,
+                                        MemoryBudget* budget = nullptr);
 
   /// Sparse identity.
   static SparseMatrix Identity(int64_t n);

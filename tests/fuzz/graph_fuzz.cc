@@ -1,0 +1,462 @@
+// Structure-aware graph fuzzer (DESIGN.md §9).
+//
+// Each iteration draws a random graph recipe (generator family, size,
+// attribute scheme, degenerate mutations), then drives it through the
+// public surface: text loaders on hostile bytes, normalized propagation
+// matrices, graph statistics, and a randomly chosen aligner under a random
+// combination of memory budget, deadline, supervision, and armed fault.
+//
+// The invariant is the robustness contract: every call returns a valid
+// finite result or a clean non-OK Status — never a crash, hang, NaN in a
+// "successful" result, or UB (run under sanitizers in scripts/check.sh).
+//
+// Deterministic: `graph_fuzz --seed S --iters N` replays bit for bit, and a
+// failure report prints the seed and iteration to reproduce.
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "align/alignment.h"
+#include "baselines/cenalp.h"
+#include "baselines/deeplink.h"
+#include "baselines/final.h"
+#include "baselines/ione.h"
+#include "baselines/isorank.h"
+#include "baselines/naive.h"
+#include "baselines/netalign.h"
+#include "baselines/pale.h"
+#include "baselines/regal.h"
+#include "baselines/unialign.h"
+#include "common/fault.h"
+#include "core/galign.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/noise.h"
+#include "graph/stats.h"
+
+namespace galign {
+namespace {
+
+struct FuzzFailure {
+  std::string stage;
+  std::string detail;
+};
+
+// Forward readable failure context instead of assert(): the harness must
+// keep the seed/iteration in the report so every finding replays.
+#define FUZZ_CHECK(cond, stage_str, detail_str)            \
+  do {                                                     \
+    if (!(cond)) return FuzzFailure{(stage_str), (detail_str)}; \
+  } while (0)
+
+constexpr FuzzFailure kOk{"", ""};
+
+bool Failed(const FuzzFailure& f) { return !f.stage.empty(); }
+
+Matrix RandomAttributes(int64_t n, Rng* rng) {
+  switch (rng->UniformInt(3)) {
+    case 0:
+      return Matrix();  // attribute-free graph
+    case 1:
+      return BinaryAttributes(n, 2 + rng->UniformInt(6), 0.05 + rng->Uniform() * 0.6,
+                              rng);
+    default: {
+      // Binary attributes with some all-zero rows (degenerate cosine input).
+      Matrix m = BinaryAttributes(n, 2 + rng->UniformInt(6), 0.3, rng);
+      for (int64_t v = 0; v < n; ++v) {
+        if (rng->Bernoulli(0.2)) {
+          for (int64_t c = 0; c < m.cols(); ++c) m(v, c) = 0.0;
+        }
+      }
+      return m;
+    }
+  }
+}
+
+Result<AttributedGraph> RandomGraph(Rng* rng) {
+  const int64_t kind = rng->UniformInt(8);
+  const int64_t n = 2 + rng->UniformInt(38);
+  Matrix attrs = RandomAttributes(n, rng);
+  switch (kind) {
+    case 0:
+      return ErdosRenyi(n, rng->Uniform() * 0.3, rng, std::move(attrs));
+    case 1:
+      return BarabasiAlbert(n, 1 + rng->UniformInt(3), rng, std::move(attrs));
+    case 2:
+      return WattsStrogatz(n, 2, rng->Uniform(), rng, std::move(attrs));
+    case 3:
+      return PowerLawGraph(n, n + rng->UniformInt(2 * n), 2.5, rng,
+                           std::move(attrs));
+    case 4:  // no edges at all
+      return AttributedGraph::Create(n, {}, std::move(attrs));
+    case 5:  // empty graph
+      return AttributedGraph::Create(0, {}, Matrix(0, attrs.cols()));
+    case 6:  // single node
+      return AttributedGraph::Create(
+          1, {}, attrs.rows() > 0 ? Matrix(1, attrs.cols(), 1.0) : Matrix());
+    default: {  // star hub plus isolated tail nodes: degree skew + degree 0
+      std::vector<Edge> edges;
+      for (int64_t v = 1; v < n - 1 - rng->UniformInt(2); ++v) {
+        edges.push_back({0, v});
+      }
+      return AttributedGraph::Create(n, std::move(edges), std::move(attrs));
+    }
+  }
+}
+
+// --- Stage 1: text loaders on hostile bytes --------------------------------
+
+const char* const kHostileEdgeFiles[] = {
+    "",                          // empty file
+    "\n\n\n",                    // blank lines only
+    "a b\n",                     // non-numeric
+    "1\n",                       // truncated pair
+    "1 2 3 4 5\n",               // too many fields
+    "-5 2\n",                    // negative id
+    "0 99999999999999999999\n",  // overflowing id
+    "1 2\n1 2\n2 1\n",           // duplicates both directions
+    "3 3\n",                     // self loop
+    "0 1\x00trailing\n",         // embedded NUL (written via size below)
+    "9223372036854775807 0\n",   // INT64_MAX id
+};
+
+const char* const kHostileAttrFiles[] = {
+    "",
+    "1.0\t2.0\n3.0\n",        // ragged rows
+    "nan\tinf\n-inf\t1e999\n",  // non-finite and overflowing literals
+    "1.0,2.0\n",              // wrong separator
+    "\t\t\t\n",
+};
+
+FuzzFailure FuzzLoaders(const std::string& tmp_prefix, Rng* rng) {
+  const std::string edge_path = tmp_prefix + ".edges";
+  const std::string attr_path = tmp_prefix + ".attrs";
+  // Hostile fixed corpus entry, occasionally bit-flipped.
+  {
+    const size_t pick =
+        static_cast<size_t>(rng->UniformInt(std::size(kHostileEdgeFiles)));
+    std::string bytes = kHostileEdgeFiles[pick];
+    if (!bytes.empty() && rng->Bernoulli(0.5)) {
+      bytes[static_cast<size_t>(rng->UniformInt(
+          static_cast<int64_t>(bytes.size())))] ^=
+          static_cast<char>(1 << rng->UniformInt(7));
+    }
+    std::ofstream(edge_path, std::ios::binary).write(bytes.data(),
+                                                     static_cast<std::streamsize>(bytes.size()));
+    auto g = LoadEdgeList(edge_path);
+    if (g.ok()) {
+      FUZZ_CHECK(g.ValueOrDie().num_nodes() >= 0, "loader.edges",
+                 "negative node count from: " + bytes);
+    }
+  }
+  {
+    const size_t pick =
+        static_cast<size_t>(rng->UniformInt(std::size(kHostileAttrFiles)));
+    std::ofstream(attr_path, std::ios::binary) << kHostileAttrFiles[pick];
+    auto m = LoadAttributes(attr_path);
+    if (m.ok()) {
+      FUZZ_CHECK(m.ValueOrDie().rows() >= 0, "loader.attrs", "negative rows");
+    }
+  }
+  // Round-trip a valid graph, sometimes with an injected IO read fault:
+  // the loader must surface a clean IOError, never a torn graph.
+  auto g = RandomGraph(rng);
+  if (g.ok() && g.ValueOrDie().num_nodes() > 0) {
+    const AttributedGraph& graph = g.ValueOrDie();
+    if (SaveEdgeList(graph, edge_path).ok()) {
+      const bool inject = rng->Bernoulli(0.3);
+      if (inject) {
+        fault::Spec spec;
+        spec.kind = fault::Kind::kFailIO;
+        spec.at_call = rng->UniformInt(3);
+        fault::Arm("io.edges.load", spec);
+      }
+      auto back = LoadEdgeList(edge_path);
+      fault::DisarmAll();
+      if (back.ok()) {
+        FUZZ_CHECK(back.ValueOrDie().num_edges() == graph.num_edges(),
+                   "loader.roundtrip", "edge count changed in round trip");
+      } else {
+        FUZZ_CHECK(inject, "loader.roundtrip",
+                   "clean save failed to load: " + back.status().ToString());
+      }
+    }
+  }
+  std::remove(edge_path.c_str());
+  std::remove(attr_path.c_str());
+  return kOk;
+}
+
+// --- Stage 2: propagation matrices and statistics --------------------------
+
+FuzzFailure FuzzPropagation(const AttributedGraph& g, Rng* rng) {
+  auto norm = g.NormalizedAdjacency();
+  if (norm.ok()) {
+    for (double v : norm.ValueOrDie().values()) {
+      FUZZ_CHECK(std::isfinite(v), "laplacian", "non-finite entry");
+    }
+  }
+  std::vector<double> influence(static_cast<size_t>(g.num_nodes()), 1.0);
+  for (double& x : influence) {
+    // Includes zero and negative influence: must be a clean status, not UB.
+    x = rng->Uniform(-0.5, 2.0);
+  }
+  auto weighted = g.NormalizedAdjacency(influence);
+  if (weighted.ok()) {
+    for (double v : weighted.ValueOrDie().values()) {
+      FUZZ_CHECK(std::isfinite(v), "laplacian.influence", "non-finite entry");
+    }
+  }
+  const GraphStats stats = ComputeStats(g, /*clustering_samples=*/64);
+  FUZZ_CHECK(std::isfinite(stats.avg_degree) &&
+                 std::isfinite(stats.avg_clustering) &&
+                 std::isfinite(stats.degree_assortativity),
+             "stats", "non-finite statistic");
+  FUZZ_CHECK(stats.num_nodes == g.num_nodes(), "stats", "node count mismatch");
+  return kOk;
+}
+
+// --- Stage 3: aligners under budget, deadline, and faults -------------------
+
+std::unique_ptr<Aligner> PickAligner(Rng* rng) {
+  switch (rng->UniformInt(13)) {
+    case 0: {
+      GAlignConfig cfg;
+      cfg.epochs = 1 + rng->UniformInt(3);
+      cfg.embedding_dim = 4 + 4 * rng->UniformInt(2);
+      cfg.refinement_iterations = rng->UniformInt(2);
+      cfg.use_augmentation = rng->Bernoulli(0.5);
+      return std::make_unique<GAlignAligner>(cfg);
+    }
+    case 1:
+      return std::make_unique<FinalAligner>();
+    case 2:
+      return std::make_unique<IsoRankAligner>();
+    case 3:
+      return std::make_unique<RegalAligner>();
+    case 4:
+      return std::make_unique<UniAlignAligner>();
+    case 5:
+      return std::make_unique<DegreeRankAligner>();
+    case 6:
+      return std::make_unique<AttributeOnlyAligner>();
+    case 7:
+      return std::make_unique<RandomAligner>();
+    case 8: {
+      PaleConfig cfg;
+      cfg.embedding_dim = 8;
+      cfg.embedding_epochs = 2;
+      cfg.mapping_epochs = 5;
+      return std::make_unique<PaleAligner>(cfg);
+    }
+    case 9: {
+      DeepLinkConfig cfg;
+      cfg.walks.walks_per_node = 2;
+      cfg.walks.walk_length = 4;
+      cfg.skipgram.dim = 8;
+      cfg.skipgram.epochs = 1;
+      cfg.mapping_epochs = 5;
+      return std::make_unique<DeepLinkAligner>(cfg);
+    }
+    case 10: {
+      IoneConfig cfg;
+      cfg.dim = 8;
+      cfg.epochs = 3;
+      return std::make_unique<IoneAligner>(cfg);
+    }
+    case 11: {
+      CenalpConfig cfg;
+      cfg.walks.walks_per_node = 2;
+      cfg.walks.walk_length = 4;
+      cfg.skipgram.dim = 8;
+      cfg.skipgram.epochs = 1;
+      cfg.expansion_rounds = 1;
+      return std::make_unique<CenalpAligner>(cfg);
+    }
+    default: {
+      NetAlignConfig cfg;
+      cfg.candidates_per_node = 3;
+      cfg.iterations = 2;
+      return std::make_unique<NetAlignAligner>(cfg);
+    }
+  }
+}
+
+const char* const kBufferFaultSites[] = {"train.grad"};
+const char* const kScalarFaultSites[] = {"train.loss", "solver.final.residual",
+                                         "solver.isorank.residual",
+                                         "la.jacobi.residual"};
+
+FuzzFailure FuzzAligner(const AttributedGraph& s, const AttributedGraph& t,
+                        Rng* rng) {
+  std::unique_ptr<Aligner> aligner = PickAligner(rng);
+
+  Supervision sup;
+  const int64_t max_seeds = std::min(s.num_nodes(), t.num_nodes());
+  if (max_seeds > 0 && rng->Bernoulli(0.5)) {
+    const int64_t count = 1 + rng->UniformInt(std::min<int64_t>(max_seeds, 5));
+    for (int64_t v = 0; v < count; ++v) sup.seeds.emplace_back(v, v);
+  }
+
+  RunContext ctx;
+  switch (rng->UniformInt(4)) {
+    case 0:
+      break;  // unbounded
+    case 1:
+      ctx = RunContext::WithMemoryBudget(
+          static_cast<uint64_t>(1) << (12 + rng->UniformInt(12)));
+      break;
+    case 2:
+      ctx = RunContext::WithTimeout(rng->Bernoulli(0.3) ? 0.0 : 0.25);
+      break;
+    default:
+      ctx = RunContext::WithMemoryBudget(
+          static_cast<uint64_t>(1) << (14 + rng->UniformInt(10)));
+      ctx.SetToken(CancelToken());  // armed but never fired
+      break;
+  }
+
+  const bool inject = rng->Bernoulli(0.4);
+  if (inject) {
+    fault::Spec spec;
+    spec.at_call = rng->UniformInt(4);
+    spec.seed = static_cast<uint64_t>(rng->UniformInt(1 << 20)) + 1;
+    if (rng->Bernoulli(0.5)) {
+      spec.kind = rng->Bernoulli(0.5) ? fault::Kind::kNaN : fault::Kind::kInf;
+      fault::Arm(kBufferFaultSites[rng->UniformInt(
+                     std::size(kBufferFaultSites))],
+                 spec);
+    } else {
+      spec.kind = fault::Kind::kPerturb;
+      spec.magnitude = std::pow(10.0, rng->Uniform(-2.0, 4.0));
+      fault::Arm(kScalarFaultSites[rng->UniformInt(
+                     std::size(kScalarFaultSites))],
+                 spec);
+    }
+  }
+
+  FuzzFailure failure = kOk;
+  const std::string label = aligner->name();
+  if (rng->Bernoulli(0.5)) {
+    auto dense = aligner->Align(s, t, sup, ctx);
+    if (dense.ok()) {
+      const Matrix& m = dense.ValueOrDie();
+      if (m.rows() != s.num_nodes() || m.cols() != t.num_nodes()) {
+        failure = {"align." + label, "dense result has wrong shape"};
+      } else if (!m.AllFinite()) {
+        failure = {"align." + label, "dense result has non-finite scores"};
+      }
+    }
+  } else {
+    const int64_t k = 1 + rng->UniformInt(5);
+    auto topk = aligner->AlignTopK(s, t, sup, ctx, k);
+    if (topk.ok()) {
+      const TopKAlignment& c = topk.ValueOrDie();
+      if (c.rows != s.num_nodes() || c.cols != t.num_nodes()) {
+        failure = {"topk." + label, "compressed result has wrong shape"};
+      } else {
+        for (size_t i = 0; i < c.score.size() && !Failed(failure); ++i) {
+          if (c.index[i] >= 0 &&
+              (c.index[i] >= c.cols || !std::isfinite(c.score[i]))) {
+            failure = {"topk." + label, "invalid top-k slot"};
+          }
+        }
+      }
+    }
+  }
+  fault::DisarmAll();
+  return failure;
+}
+
+// --- Driver -----------------------------------------------------------------
+
+FuzzFailure RunIteration(uint64_t seed, int64_t iter,
+                         const std::string& tmp_prefix) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + static_cast<uint64_t>(iter) + 1);
+
+  FuzzFailure f = FuzzLoaders(tmp_prefix, &rng);
+  if (Failed(f)) return f;
+
+  auto gs = RandomGraph(&rng);
+  if (!gs.ok()) return kOk;  // a clean rejection is conforming
+  AttributedGraph source = gs.MoveValueOrDie();
+
+  f = FuzzPropagation(source, &rng);
+  if (Failed(f)) return f;
+
+  // Partner graph: a noisy copy when possible (realistic alignment input),
+  // otherwise an independent draw (mismatched shapes, attribute dims...).
+  AttributedGraph target = source;
+  if (rng.Bernoulli(0.6) && source.num_nodes() > 2) {
+    NoisyCopyOptions opts;
+    opts.structural_noise = rng.Uniform() * 0.3;
+    opts.attribute_noise = rng.Uniform() * 0.3;
+    auto pair = MakeNoisyCopyPair(source, opts, &rng);
+    if (pair.ok()) target = std::move(pair.ValueOrDie().target);
+  } else {
+    auto gt = RandomGraph(&rng);
+    if (gt.ok()) target = gt.MoveValueOrDie();
+  }
+
+  return FuzzAligner(source, target, &rng);
+}
+
+int FuzzMain(int argc, char** argv) {
+  uint64_t seed = 1;
+  int64_t iters = 50;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      seed = static_cast<uint64_t>(std::strtoull(arg.c_str() + 7, nullptr, 10));
+    } else if (arg == "--seed" && i + 1 < argc) {
+      seed = static_cast<uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg.rfind("--iters=", 0) == 0) {
+      iters = std::strtoll(arg.c_str() + 8, nullptr, 10);
+    } else if (arg == "--iters" && i + 1 < argc) {
+      iters = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: graph_fuzz [--seed N] [--iters M] [--verbose]\n");
+      return 2;
+    }
+  }
+
+  const std::string tmp_prefix =
+      "graph_fuzz_tmp_" + std::to_string(seed);
+  for (int64_t iter = 0; iter < iters; ++iter) {
+    const FuzzFailure f = RunIteration(seed, iter, tmp_prefix);
+    if (Failed(f)) {
+      std::fprintf(stderr,
+                   "FUZZ FAILURE: stage=%s detail=%s\n"
+                   "reproduce with: graph_fuzz --seed %" PRIu64
+                   " --iters %" PRId64 "  (fails at iteration %" PRId64 ")\n",
+                   f.stage.c_str(), f.detail.c_str(), seed, iter + 1, iter);
+      return 1;
+    }
+    if (verbose && (iter + 1) % 10 == 0) {
+      std::fprintf(stderr, "graph_fuzz: %" PRId64 "/%" PRId64 " iterations\n",
+                   iter + 1, iters);
+    }
+  }
+  std::printf("graph_fuzz: %" PRId64 " iterations, 0 failures (seed %" PRIu64
+              ")\n",
+              iters, seed);
+  return 0;
+}
+
+}  // namespace
+}  // namespace galign
+
+int main(int argc, char** argv) { return galign::FuzzMain(argc, argv); }
