@@ -45,7 +45,10 @@ for b in \
   if [ "$RESUME" = 1 ]; then
     EXTRA=("--state-dir=${REPO_ROOT}/bench_state/${b}")
   fi
-  "${BENCH_DIR}/${b}" "${ARGS[@]}" "${EXTRA[@]}" || echo "(FAILED: $b)"
+  # ${arr[@]+...} guards: expanding an empty array under `set -u` is an
+  # error on older bash; the guard expands to nothing instead.
+  "${BENCH_DIR}/${b}" ${ARGS[@]+"${ARGS[@]}"} ${EXTRA[@]+"${EXTRA[@]}"} \
+    || echo "(FAILED: $b)"
   echo
 done
 

@@ -1,49 +1,136 @@
 #!/usr/bin/env bash
-# Sanitizer gate: configures a dedicated ASan+UBSan build tree
-# (build-sanitize/) and runs the full test suite under it. Any heap error,
-# UB, or leak fails the run (-fno-sanitize-recover=all aborts on first
-# report).
+# Correctness gates (DESIGN.md §10), in fail-fast order:
 #
-# Usage: scripts/check.sh [ctest-args...]
+#   lint  galign_lint project-contract scan (unchecked-status,
+#         banned-nondeterminism, unbudgeted-alloc, layering DAG,
+#         no-naked-throw) + shellcheck of the shell entry points. Runs
+#         before any library build: the lint binary is one
+#         dependency-free TU compiled directly with g++.
+#   asan  dedicated ASan+UBSan tree (build-sanitize/): crash-recovery,
+#         fuzz-smoke, and low-budget gates, then the full suite. Any heap
+#         error, UB, or leak fails the run.
+#   tsan  dedicated ThreadSanitizer tree (build-tsan/): the race-stress
+#         suite plus the parallel and kernel-equivalence suites, so the
+#         parallel_for pool, MemoryBudget/MemoryTracker atomics,
+#         CancelToken, and fault-site registry run under a race detector.
+#
+# Usage: scripts/check.sh [--stage=lint|asan|tsan|all] [ctest-args...]
 #   e.g. scripts/check.sh -R DivergenceRecovery
+#        scripts/check.sh --stage=tsan
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-build_dir="${repo_root}/build-sanitize"
 
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DGALIGN_SANITIZE=ON \
-  -DGALIGN_NO_NATIVE=ON
+stage="all"
+ctest_args=()
+for a in "$@"; do
+  case "$a" in
+    --stage=*) stage="${a#--stage=}" ;;
+    *) ctest_args+=("$a") ;;
+  esac
+done
 
-cmake --build "${build_dir}" -j "$(nproc)"
+run_lint_stage() {
+  echo "=== lint gate (galign_lint: contracts + layering DAG) ==="
+  local lint_bin="${repo_root}/build-tools/galign_lint"
+  local lint_src="${repo_root}/tools/lint/galign_lint.cc"
+  mkdir -p "${repo_root}/build-tools"
+  if [ ! -x "${lint_bin}" ] || [ "${lint_src}" -nt "${lint_bin}" ]; then
+    g++ -std=c++20 -O2 -Wall -Wextra -o "${lint_bin}" "${lint_src}"
+  fi
+  "${lint_bin}" --root "${repo_root}"
 
-# halt_on_error keeps one crashing test from flooding the log; detecting
-# leaks matters for the Result<T>/Status error paths exercised by the
-# io_hardening and failure_injection suites.
-export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
-export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+  if command -v shellcheck >/dev/null 2>&1; then
+    echo "=== lint gate (shellcheck) ==="
+    shellcheck "${repo_root}/scripts/check.sh" "${repo_root}/bench/run_all.sh"
+  else
+    echo "(shellcheck not installed; skipping shell lint)"
+  fi
 
-# Crash-recovery gate (DESIGN.md §8): the kill-and-resume, torn-checkpoint,
-# and deadline-cancellation suites run first and explicitly, so a durability
-# regression fails loudly before the full sweep.
-echo "=== crash-recovery gate (ASan+UBSan) ==="
-ctest --test-dir "${build_dir}" --output-on-failure \
-  -R "CheckpointResume|DurableIo|Cancellation"
+  if command -v run-clang-tidy >/dev/null 2>&1 && \
+     [ -f "${repo_root}/build/compile_commands.json" ]; then
+    echo "=== lint gate (clang-tidy, .clang-tidy config) ==="
+    run-clang-tidy -quiet -p "${repo_root}/build" "src/.*\\.cc\$"
+  else
+    echo "(run-clang-tidy or build/compile_commands.json missing; skipping)"
+  fi
+}
 
-# Fuzz-smoke gate (DESIGN.md §9): a fixed-seed sanitized sweep of the
-# structure-aware fuzzer — hostile loader bytes, degenerate generator
-# recipes, and the full aligner roster under random budgets, deadlines,
-# and armed faults. Deterministic: failures replay with the printed seed.
-echo "=== fuzz-smoke gate (ASan+UBSan, fixed seed) ==="
-"${build_dir}/tests/fuzz/graph_fuzz" --seed 1337 --iters 60
+run_asan_stage() {
+  local build_dir="${repo_root}/build-sanitize"
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGALIGN_SANITIZE=ON \
+    -DGALIGN_NO_NATIVE=ON
+  cmake --build "${build_dir}" -j "$(nproc)"
 
-# Low-budget gate (DESIGN.md §9): the budget-degradation suite proves the
-# chunked fallback engages under a tight memory budget, stays under it,
-# and matches the dense run's Accuracy@1 within tolerance.
-echo "=== low-budget degradation gate (ASan+UBSan) ==="
-ctest --test-dir "${build_dir}" --output-on-failure \
-  -R "BudgetDegradation|DegenerateConformance|MemoryBudget|MemoryScope"
+  # halt_on_error keeps one crashing test from flooding the log; detecting
+  # leaks matters for the Result<T>/Status error paths exercised by the
+  # io_hardening and failure_injection suites.
+  export ASAN_OPTIONS="halt_on_error=1:detect_leaks=1"
+  export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
-echo "=== full suite (ASan+UBSan) ==="
-ctest --test-dir "${build_dir}" --output-on-failure "$@"
+  # Crash-recovery gate (DESIGN.md §8): the kill-and-resume, torn-checkpoint,
+  # and deadline-cancellation suites run first and explicitly, so a durability
+  # regression fails loudly before the full sweep.
+  echo "=== crash-recovery gate (ASan+UBSan) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure \
+    -R "CheckpointResume|DurableIo|Cancellation"
+
+  # Fuzz-smoke gate (DESIGN.md §9): a fixed-seed sanitized sweep of the
+  # structure-aware fuzzer — hostile loader bytes, degenerate generator
+  # recipes, and the full aligner roster under random budgets, deadlines,
+  # and armed faults. Deterministic: failures replay with the printed seed.
+  echo "=== fuzz-smoke gate (ASan+UBSan, fixed seed) ==="
+  "${build_dir}/tests/fuzz/graph_fuzz" --seed 1337 --iters 60
+
+  # Low-budget gate (DESIGN.md §9): the budget-degradation suite proves the
+  # chunked fallback engages under a tight memory budget, stays under it,
+  # and matches the dense run's Accuracy@1 within tolerance.
+  echo "=== low-budget degradation gate (ASan+UBSan) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure \
+    -R "BudgetDegradation|DegenerateConformance|MemoryBudget|MemoryScope"
+
+  echo "=== full suite (ASan+UBSan) ==="
+  if [ "${#ctest_args[@]}" -gt 0 ]; then
+    ctest --test-dir "${build_dir}" --output-on-failure "${ctest_args[@]}"
+  else
+    ctest --test-dir "${build_dir}" --output-on-failure
+  fi
+}
+
+run_tsan_stage() {
+  # Race gate (DESIGN.md §10): the concurrency machinery under
+  # ThreadSanitizer. Scoped to the suites that exercise shared state —
+  # RaceStress (pool, budget ledger, tracker gauge, cancel token, fault
+  # registry), ParallelTest (parallel_for semantics), and the
+  # kernel-equivalence GEMM suites (tile-parallel kernels) — so the stage
+  # stays minutes, not hours, under TSan's ~10x slowdown.
+  local tsan_dir="${repo_root}/build-tsan"
+  cmake -B "${tsan_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DGALIGN_TSAN=ON \
+    -DGALIGN_NO_NATIVE=ON
+  cmake --build "${tsan_dir}" -j "$(nproc)" \
+    --target race_stress_test common_test la_ops_test
+
+  echo "=== race gate (ThreadSanitizer) ==="
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+    ctest --test-dir "${tsan_dir}" --output-on-failure \
+    -R "RaceStress|ParallelTest|BlockedGemm|GemmSizes|OpsTest"
+}
+
+case "${stage}" in
+  lint) run_lint_stage ;;
+  asan) run_asan_stage ;;
+  tsan) run_tsan_stage ;;
+  all)
+    run_lint_stage
+    run_asan_stage
+    run_tsan_stage
+    ;;
+  *)
+    echo "unknown --stage=${stage} (expected lint|asan|tsan|all)" >&2
+    exit 2
+    ;;
+esac

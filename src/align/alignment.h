@@ -43,7 +43,7 @@ class Aligner {
   /// Unbounded convenience entry point; forwards to the RunContext overload.
   /// Non-virtual on purpose: deadline behaviour belongs to one override,
   /// and a default argument on a virtual would be statically bound.
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision) {
     return Align(source, target, supervision, RunContext());
@@ -58,7 +58,7 @@ class Aligner {
   ///
   /// Note for implementers: also add `using Aligner::Align;` so the
   /// three-argument convenience form stays visible on the derived type.
-  virtual Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] virtual Result<Matrix> Align(const AttributedGraph& source,
                                const AttributedGraph& target,
                                const Supervision& supervision,
                                const RunContext& ctx) = 0;
@@ -85,7 +85,7 @@ class Aligner {
   /// row-blocked kernel (GAlign, REGAL) override it so the transient
   /// working set stays within ctx.budget() and the O(n1 * n2) matrix is
   /// never materialized.
-  virtual Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+  [[nodiscard]] virtual Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
                                           const AttributedGraph& target,
                                           const Supervision& supervision,
                                           const RunContext& ctx,
@@ -99,7 +99,7 @@ class Aligner {
 /// carries no finite budget; ResourceExhausted (with the estimate and the
 /// remaining headroom in the message) when the run cannot fit. Every
 /// Aligner::Align implementation calls this first.
-Status ReserveAlignerBudget(const Aligner& aligner,
+[[nodiscard]] Status ReserveAlignerBudget(const Aligner& aligner,
                             const AttributedGraph& source,
                             const AttributedGraph& target,
                             const RunContext& ctx, MemoryScope* scope);

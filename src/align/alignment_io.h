@@ -12,19 +12,19 @@
 namespace galign {
 
 /// Writes the alignment matrix as TSV, one source node per row.
-Status SaveAlignmentMatrix(const Matrix& s, const std::string& path);
+[[nodiscard]] Status SaveAlignmentMatrix(const Matrix& s, const std::string& path);
 
 /// Reads a TSV alignment matrix written by SaveAlignmentMatrix.
-Result<Matrix> LoadAlignmentMatrix(const std::string& path);
+[[nodiscard]] Result<Matrix> LoadAlignmentMatrix(const std::string& path);
 
 /// Writes "source target score" lines for an anchor assignment
 /// (entries of -1 are skipped).
-Status SaveAnchors(const Matrix& s, const std::vector<int64_t>& anchors,
+[[nodiscard]] Status SaveAnchors(const Matrix& s, const std::vector<int64_t>& anchors,
                    const std::string& path);
 
 /// Reads anchors written by SaveAnchors back into an assignment vector of
 /// length num_source_nodes (missing sources = -1). Scores are discarded.
-Result<std::vector<int64_t>> LoadAnchors(const std::string& path,
+[[nodiscard]] Result<std::vector<int64_t>> LoadAnchors(const std::string& path,
                                          int64_t num_source_nodes);
 
 }  // namespace galign

@@ -37,7 +37,7 @@ struct BootstrapMetrics {
 ///
 /// Ranks are computed once per anchor (the expensive part) and reused across
 /// resamples, so cost is O(#anchors * n2 + B * #anchors).
-Result<BootstrapMetrics> BootstrapEvaluate(
+[[nodiscard]] Result<BootstrapMetrics> BootstrapEvaluate(
     const Matrix& s, const std::vector<int64_t>& ground_truth,
     int64_t resamples = 1000, uint64_t seed = 7);
 

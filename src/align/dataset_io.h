@@ -15,9 +15,9 @@
 namespace galign {
 
 /// Writes the pair into `dir` (created if missing).
-Status SaveAlignmentPair(const AlignmentPair& pair, const std::string& dir);
+[[nodiscard]] Status SaveAlignmentPair(const AlignmentPair& pair, const std::string& dir);
 
 /// Reads a pair written by SaveAlignmentPair.
-Result<AlignmentPair> LoadAlignmentPair(const std::string& dir);
+[[nodiscard]] Result<AlignmentPair> LoadAlignmentPair(const std::string& dir);
 
 }  // namespace galign

@@ -51,9 +51,9 @@ DatasetSpec AllmovieImdbSpec();    // 6011/124709 vs 5713/119073, 14 attrs
 
 /// Base networks for the synthetic noise experiments (Figs. 3-5); the
 /// alignment pair is produced separately via MakeNoisyCopyPair.
-Result<AttributedGraph> MakeBnLike(Rng* rng, double scale = 1.0);    // 1781/9016
-Result<AttributedGraph> MakeEconLike(Rng* rng, double scale = 1.0);  // 1258/7619
-Result<AttributedGraph> MakeEmailLike(Rng* rng, double scale = 1.0); // 1133/5451
+[[nodiscard]] Result<AttributedGraph> MakeBnLike(Rng* rng, double scale = 1.0);    // 1781/9016
+[[nodiscard]] Result<AttributedGraph> MakeEconLike(Rng* rng, double scale = 1.0);  // 1258/7619
+[[nodiscard]] Result<AttributedGraph> MakeEmailLike(Rng* rng, double scale = 1.0); // 1133/5451
 
 /// \brief Synthesizes a full alignment pair from a spec.
 ///
@@ -64,7 +64,7 @@ Result<AttributedGraph> MakeEmailLike(Rng* rng, double scale = 1.0); // 1133/545
 /// structural and attribute noise, and is finally randomly permuted. The
 /// recorded ground truth maps each anchored source node to its permuted
 /// target id.
-Result<AlignmentPair> SynthesizePair(const DatasetSpec& spec, Rng* rng);
+[[nodiscard]] Result<AlignmentPair> SynthesizePair(const DatasetSpec& spec, Rng* rng);
 
 /// Generates the spec's attribute matrix (shared by source & target copies).
 Matrix MakeAttributes(const DatasetSpec& spec, int64_t n, Rng* rng);

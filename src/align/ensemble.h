@@ -37,7 +37,7 @@ class EnsembleAligner : public Aligner {
   std::string name() const override { return "Ensemble"; }
 
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;
@@ -53,7 +53,7 @@ class EnsembleAligner : public Aligner {
 };
 
 /// Fuses already-computed score matrices (same shapes) directly.
-Result<Matrix> FuseAlignments(const std::vector<const Matrix*>& matrices,
+[[nodiscard]] Result<Matrix> FuseAlignments(const std::vector<const Matrix*>& matrices,
                               FusionRule rule,
                               const std::vector<double>& weights = {});
 

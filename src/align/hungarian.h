@@ -20,7 +20,7 @@ namespace galign {
 /// columns and v is left unmatched. Every column is used at most once. The
 /// matching maximizes the sum of selected scores over complete matchings of
 /// min(rows, cols) pairs (scores may be negative).
-Result<std::vector<int64_t>> HungarianMatch(const Matrix& scores);
+[[nodiscard]] Result<std::vector<int64_t>> HungarianMatch(const Matrix& scores);
 
 /// Total weight of an assignment under `scores` (unmatched rows contribute
 /// zero).

@@ -59,7 +59,7 @@ class TextTable {
   /// Renders as comma-separated values (header first) for plotting tools.
   std::string ToCsv() const;
   /// Writes the CSV rendering to `path`.
-  Status WriteCsv(const std::string& path) const;
+  [[nodiscard]] Status WriteCsv(const std::string& path) const;
 
   /// Formats a double with `digits` decimals.
   static std::string Num(double v, int digits = 4);

@@ -16,13 +16,13 @@ namespace galign {
 
 /// Metrics computed from layer embeddings without building S. Equivalent to
 /// ComputeMetrics(AggregateAlignment(hs, ht, theta), ground_truth).
-Result<AlignmentMetrics> ComputeMetricsStreaming(
+[[nodiscard]] Result<AlignmentMetrics> ComputeMetricsStreaming(
     const std::vector<Matrix>& hs, const std::vector<Matrix>& ht,
     const std::vector<double>& theta,
     const std::vector<int64_t>& ground_truth, int64_t chunk_rows = 256);
 
 /// Top-1 anchors computed the same way (argmax per streamed row).
-Result<std::vector<int64_t>> Top1AnchorsStreaming(
+[[nodiscard]] Result<std::vector<int64_t>> Top1AnchorsStreaming(
     const std::vector<Matrix>& hs, const std::vector<Matrix>& ht,
     const std::vector<double>& theta, int64_t chunk_rows = 256);
 

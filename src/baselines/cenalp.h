@@ -34,7 +34,7 @@ class CenalpAligner : public Aligner {
   std::string name() const override { return "CENALP"; }
 
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;

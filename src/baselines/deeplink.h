@@ -33,7 +33,7 @@ class DeepLinkAligner : public Aligner {
   std::string name() const override { return "DeepLink"; }
 
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;

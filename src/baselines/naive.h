@@ -14,7 +14,7 @@ class DegreeRankAligner : public Aligner {
  public:
   std::string name() const override { return "DegreeRank"; }
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;
@@ -22,7 +22,7 @@ class DegreeRankAligner : public Aligner {
                              int64_t dims) const override;
   /// Row-blocked: the degree kernel is computable per row, so a budgeted
   /// run never materializes the n1 x n2 matrix.
-  Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+  [[nodiscard]] Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
                                   const AttributedGraph& target,
                                   const Supervision& supervision,
                                   const RunContext& ctx, int64_t k) override;
@@ -33,7 +33,7 @@ class AttributeOnlyAligner : public Aligner {
  public:
   std::string name() const override { return "AttributeOnly"; }
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;
@@ -41,7 +41,7 @@ class AttributeOnlyAligner : public Aligner {
                              int64_t dims) const override;
   /// Row-blocked: cosine rows are independent, so a budgeted run never
   /// materializes the n1 x n2 matrix.
-  Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+  [[nodiscard]] Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
                                   const AttributedGraph& target,
                                   const Supervision& supervision,
                                   const RunContext& ctx, int64_t k) override;
@@ -53,7 +53,7 @@ class RandomAligner : public Aligner {
   explicit RandomAligner(uint64_t seed = 1234) : seed_(seed) {}
   std::string name() const override { return "Random"; }
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;

@@ -36,7 +36,7 @@ class NetAlignAligner : public Aligner {
   std::string name() const override { return "NetAlign"; }
 
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;

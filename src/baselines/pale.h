@@ -34,7 +34,7 @@ class PaleAligner : public Aligner {
   std::string name() const override { return "PALE"; }
 
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;

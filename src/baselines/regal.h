@@ -17,7 +17,7 @@ class RegalAligner : public Aligner {
   std::string name() const override { return "REGAL"; }
 
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;
@@ -30,7 +30,7 @@ class RegalAligner : public Aligner {
   /// Budget-degraded run (DESIGN.md §9): embeds exactly as Align(), then
   /// streams the cosine similarity through the row-blocked top-k kernel
   /// instead of materializing the n1 x n2 matrix.
-  Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+  [[nodiscard]] Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
                                   const AttributedGraph& target,
                                   const Supervision& supervision,
                                   const RunContext& ctx, int64_t k) override;

@@ -39,7 +39,7 @@ Matrix StructuralFeatures(const AttributedGraph& g, const XNetMfConfig& cfg);
 /// The optional RunContext bounds the Nyström pseudo-inverse/SVD solves
 /// (the dominant cost); an expired context degrades them to their best
 /// partial decomposition (DESIGN.md §8).
-Result<Matrix> XNetMfEmbed(const AttributedGraph& source,
+[[nodiscard]] Result<Matrix> XNetMfEmbed(const AttributedGraph& source,
                            const AttributedGraph& target,
                            const XNetMfConfig& cfg,
                            const RunContext* ctx = nullptr);

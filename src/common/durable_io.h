@@ -33,10 +33,10 @@ uint32_t Crc32(const std::string& data);
 /// fsyncs the containing directory. POSIX rename atomicity guarantees any
 /// concurrent or post-crash reader sees either the previous file or the
 /// full new content — never a prefix.
-Status AtomicWriteFile(const std::string& path, const std::string& content);
+[[nodiscard]] Status AtomicWriteFile(const std::string& path, const std::string& content);
 
 /// \brief Reads the entire file at `path` into a string.
-Result<std::string> ReadFileToString(const std::string& path);
+[[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
 /// Trailer line marking the CRC of everything before it in the file.
 inline constexpr char kCrcTrailerPrefix[] = "#crc32 ";
@@ -53,7 +53,7 @@ std::string AppendCrc32Trailer(const std::string& payload);
 /// false and no trailer is present the payload is returned as-is (legacy
 /// files written before checksumming); a present-but-wrong trailer is
 /// always an IOError mentioning "checksum mismatch".
-Result<std::string> StripAndVerifyCrc32Trailer(const std::string& content,
+[[nodiscard]] Result<std::string> StripAndVerifyCrc32Trailer(const std::string& content,
                                                bool require_trailer,
                                                const std::string& context);
 
@@ -75,7 +75,7 @@ struct RetryPolicy {
 /// the first attempt. Sleeps the jittered backoff between attempts and
 /// returns the last Status when attempts are exhausted.
 template <typename Fn>
-Status RetryTransient(const RetryPolicy& policy, Fn&& fn);
+[[nodiscard]] Status RetryTransient(const RetryPolicy& policy, Fn&& fn);
 
 namespace internal {
 /// Sleeps the backoff for `attempt` (1-based) under `policy`.
@@ -83,7 +83,7 @@ void BackoffSleep(const RetryPolicy& policy, int attempt);
 }  // namespace internal
 
 template <typename Fn>
-Status RetryTransient(const RetryPolicy& policy, Fn&& fn) {
+[[nodiscard]] Status RetryTransient(const RetryPolicy& policy, Fn&& fn) {
   Status last = Status::OK();
   int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
   for (int attempt = 1; attempt <= attempts; ++attempt) {

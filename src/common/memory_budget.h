@@ -110,7 +110,7 @@ class MemoryBudget {
   /// (naming `what`, the request, and the remaining headroom) when the
   /// reservation would exceed it. Pair every success with Release — or use
   /// MemoryScope, which does it for you.
-  Status TryReserve(uint64_t bytes, const std::string& what);
+  [[nodiscard]] Status TryReserve(uint64_t bytes, const std::string& what);
 
   /// Returns bytes to the ledger (clamped at zero against accounting bugs).
   void Release(uint64_t bytes) noexcept;
@@ -118,7 +118,7 @@ class MemoryBudget {
   /// Single-shot admission check: would `bytes` fit right now? Does not
   /// record anything; cooperative call sites (Matrix::TryCreate) use it as
   /// a cheap pre-flight without owning a reservation.
-  Status Admit(uint64_t bytes, const std::string& what) const;
+  [[nodiscard]] Status Admit(uint64_t bytes, const std::string& what) const;
 
   uint64_t reserved() const { return reserved_.load(std::memory_order_acquire); }
   /// High-water mark of reservations over the budget's lifetime.
@@ -160,11 +160,11 @@ class MemoryScope {
   /// Reserves `bytes` from `budget` (no-op success when budget is null).
   /// On success the returned Status is OK and *scope owns the reservation;
   /// on failure *scope is left empty.
-  static Status Reserve(MemoryBudget* budget, uint64_t bytes,
+  [[nodiscard]] static Status Reserve(MemoryBudget* budget, uint64_t bytes,
                         const std::string& what, MemoryScope* scope);
 
   /// Grows the held reservation by `extra` bytes against the same budget.
-  Status Grow(uint64_t extra, const std::string& what);
+  [[nodiscard]] Status Grow(uint64_t extra, const std::string& what);
 
   /// Releases the reservation now.
   void reset() noexcept {

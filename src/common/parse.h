@@ -16,7 +16,7 @@ namespace galign {
 /// Parses a whole string as a base-10 signed 64-bit integer. The entire
 /// string must be consumed: "12abc", "", and out-of-range values all fail.
 /// `what` names the field for the error message ("node count", "layers").
-inline Result<int64_t> ParseInt64(const std::string& s, const char* what) {
+[[nodiscard]] inline Result<int64_t> ParseInt64(const std::string& s, const char* what) {
   errno = 0;
   char* end = nullptr;
   const long long v = std::strtoll(s.c_str(), &end, 10);
@@ -33,7 +33,7 @@ inline Result<int64_t> ParseInt64(const std::string& s, const char* what) {
 /// fails outright on "nan"/"inf" text under libstdc++), strtod accepts
 /// them — so loaders can reject non-finite payloads with a precise message
 /// instead of a generic parse failure.
-inline Result<double> ParseDouble(const std::string& s, const char* what) {
+[[nodiscard]] inline Result<double> ParseDouble(const std::string& s, const char* what) {
   errno = 0;
   char* end = nullptr;
   const double v = std::strtod(s.c_str(), &end);

@@ -27,34 +27,39 @@ enum class StatusCode : int8_t {
 /// A Status is cheap to copy in the OK case (no allocation) and carries a
 /// human-readable message otherwise. Use the GALIGN_RETURN_NOT_OK macro to
 /// propagate errors.
-class Status {
+///
+/// [[nodiscard]] at class level: any function returning a Status by value
+/// is implicitly nodiscard, so a silently dropped error is a compile error
+/// (-Werror=unused-result). galign_lint's unchecked-status rule covers the
+/// same contract at statement level (DESIGN.md §10).
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string msg)
       : code_(code), msg_(std::move(msg)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status IOError(std::string msg) {
+  [[nodiscard]] static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
   }
-  static Status NotConverged(std::string msg) {
+  [[nodiscard]] static Status NotConverged(std::string msg) {
     return Status(StatusCode::kNotConverged, std::move(msg));
   }
   /// A memory (or other resource) budget would be exceeded. Degradable:
   /// callers fall back to chunked computation where one exists.
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
 
@@ -75,8 +80,9 @@ class Status {
 };
 
 /// \brief A value or an error, for fallible factory-style functions.
+/// Class-level [[nodiscard]], same rationale as Status.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
   Result(Status status) : status_(std::move(status)) {}  // NOLINT

@@ -28,7 +28,7 @@ struct AugmentedNetwork {
 /// Even-indexed copies carry structural noise (edge add/remove with
 /// probability p_s), odd-indexed copies carry attribute noise (p_a) — the
 /// two violation types the model must adapt to (R2).
-Result<std::vector<AugmentedNetwork>> MakeAugmentations(
+[[nodiscard]] Result<std::vector<AugmentedNetwork>> MakeAugmentations(
     const AttributedGraph& g, const GAlignConfig& cfg, Rng* rng);
 
 }  // namespace galign

@@ -67,7 +67,7 @@ std::string SerializeCheckpoint(const TrainerCheckpoint& ckpt);
 
 /// \brief Parses a checkpoint payload (trailer already stripped). `context`
 /// names the source in error messages.
-Result<TrainerCheckpoint> ParseCheckpoint(const std::string& payload,
+[[nodiscard]] Result<TrainerCheckpoint> ParseCheckpoint(const std::string& payload,
                                           const std::string& context);
 
 /// \brief Writes/reads checkpoints under one directory.
@@ -82,12 +82,12 @@ class CheckpointManager {
   explicit CheckpointManager(std::string dir, int keep = 2);
 
   /// Durably writes `ckpt` and updates the manifest.
-  Status Save(const TrainerCheckpoint& ckpt);
+  [[nodiscard]] Status Save(const TrainerCheckpoint& ckpt);
 
   /// Loads the newest valid checkpoint, falling back past torn/corrupt
   /// files (each skip is logged). NotFound when the directory holds no
   /// usable checkpoint at all.
-  Result<TrainerCheckpoint> LoadLatest() const;
+  [[nodiscard]] Result<TrainerCheckpoint> LoadLatest() const;
 
   const std::string& dir() const { return dir_; }
 

@@ -99,7 +99,7 @@ struct GAlignConfig {
   /// Checks every field for validity (positive dimensions, probabilities in
   /// range, beta > 1, ...) and returns a descriptive error otherwise.
   /// GAlignAligner::Align validates automatically.
-  Status Validate() const;
+  [[nodiscard]] Status Validate() const;
 };
 
 }  // namespace galign

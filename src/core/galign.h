@@ -31,7 +31,7 @@ class GAlignAligner : public Aligner {
   std::string name() const override { return name_; }
 
   using Aligner::Align;
-  Result<Matrix> Align(const AttributedGraph& source,
+  [[nodiscard]] Result<Matrix> Align(const AttributedGraph& source,
                        const AttributedGraph& target,
                        const Supervision& supervision,
                        const RunContext& ctx) override;
@@ -45,7 +45,7 @@ class GAlignAligner : public Aligner {
   /// Align() — ScanStability is already row-chunked — then ranks the
   /// refined embeddings through ChunkedEmbeddingTopK instead of
   /// materializing the n1 x n2 aggregation.
-  Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
+  [[nodiscard]] Result<TopKAlignment> AlignTopK(const AttributedGraph& source,
                                   const AttributedGraph& target,
                                   const Supervision& supervision,
                                   const RunContext& ctx, int64_t k) override;
@@ -98,7 +98,7 @@ struct MultiOrderEmbeddings {
 
 /// Runs Alg. 1 (training only) and returns the learnt multi-order
 /// embeddings of both networks, without computing an alignment matrix.
-Result<MultiOrderEmbeddings> EmbedNetworks(const GAlignConfig& config,
+[[nodiscard]] Result<MultiOrderEmbeddings> EmbedNetworks(const GAlignConfig& config,
                                            const AttributedGraph& source,
                                            const AttributedGraph& target);
 

@@ -12,10 +12,10 @@
 namespace galign {
 
 /// Writes the model architecture + weights to `path`.
-Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path);
+[[nodiscard]] Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path);
 
 /// Reads a model written by SaveGcnModel. The activation is restored from
 /// the header.
-Result<MultiOrderGcn> LoadGcnModel(const std::string& path);
+[[nodiscard]] Result<MultiOrderGcn> LoadGcnModel(const std::string& path);
 
 }  // namespace galign

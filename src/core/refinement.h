@@ -77,7 +77,7 @@ struct RefinementResult {
 /// streams in row chunks); the only dense materialization is the final
 /// aggregation, skipped when `materialize` is false (DESIGN.md §9's
 /// budget-degraded path, which consumes the embeddings instead).
-Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
+[[nodiscard]] Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
                                          const AttributedGraph& source,
                                          const AttributedGraph& target,
                                          const GAlignConfig& config,

@@ -59,14 +59,14 @@ class Trainer {
   /// Trains gcn's weights in place. Source and target must have the same
   /// attribute dimensionality (attribute consistency presumes comparable
   /// profiles, §II-C).
-  Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
+  [[nodiscard]] Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
                const AttributedGraph& target, Rng* rng) {
     return Train(gcn, source, target, rng, /*seeds=*/{});
   }
 
   /// Semi-supervised variant (extension): when config.seed_loss_weight > 0
   /// and seeds are non-empty, adds the cross-network anchor loss.
-  Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
+  [[nodiscard]] Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
                const AttributedGraph& target, Rng* rng,
                const std::vector<std::pair<int64_t, int64_t>>& seeds) {
     return Train(gcn, source, target, rng, seeds, RunContext());
@@ -79,7 +79,7 @@ class Trainer {
   /// config.checkpoint_every healthy epochs, and
   /// config.resume_from_checkpoint restarts bit-identical from the latest
   /// valid checkpoint (falling back past torn/corrupt files).
-  Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
+  [[nodiscard]] Status Train(MultiOrderGcn* gcn, const AttributedGraph& source,
                const AttributedGraph& target, Rng* rng,
                const std::vector<std::pair<int64_t, int64_t>>& seeds,
                const RunContext& ctx);

@@ -13,16 +13,16 @@
 namespace galign {
 
 /// G(n, p): every pair independently connected with probability p.
-Result<AttributedGraph> ErdosRenyi(int64_t n, double p, Rng* rng,
+[[nodiscard]] Result<AttributedGraph> ErdosRenyi(int64_t n, double p, Rng* rng,
                                    Matrix attributes = {});
 
 /// Preferential attachment: each new node attaches m edges to existing nodes
 /// with probability proportional to degree. Produces a power-law tail.
-Result<AttributedGraph> BarabasiAlbert(int64_t n, int64_t m, Rng* rng,
+[[nodiscard]] Result<AttributedGraph> BarabasiAlbert(int64_t n, int64_t m, Rng* rng,
                                        Matrix attributes = {});
 
 /// Ring lattice with k nearest neighbours per side rewired with prob. beta.
-Result<AttributedGraph> WattsStrogatz(int64_t n, int64_t k, double beta,
+[[nodiscard]] Result<AttributedGraph> WattsStrogatz(int64_t n, int64_t k, double beta,
                                       Rng* rng, Matrix attributes = {});
 
 /// \brief Power-law configuration model targeting ~target_edges edges.
@@ -31,7 +31,7 @@ Result<AttributedGraph> WattsStrogatz(int64_t n, int64_t k, double beta,
 /// exponent, scales it to the target edge count, then wires stubs uniformly
 /// (discarding multi-edges and self-loops). Used to mimic the published
 /// size/density statistics of the paper's datasets (Table II).
-Result<AttributedGraph> PowerLawGraph(int64_t n, int64_t target_edges,
+[[nodiscard]] Result<AttributedGraph> PowerLawGraph(int64_t n, int64_t target_edges,
                                       double exponent, Rng* rng,
                                       Matrix attributes = {});
 

@@ -35,14 +35,14 @@ class AttributedGraph {
   /// Builds a graph with `num_nodes` nodes, the given undirected edges, and
   /// the given attribute matrix (rows = num_nodes). An empty attribute
   /// matrix is replaced by a single constant attribute column.
-  static Result<AttributedGraph> Create(int64_t num_nodes,
+  [[nodiscard]] static Result<AttributedGraph> Create(int64_t num_nodes,
                                         std::vector<Edge> edges,
                                         Matrix attributes);
 
   /// Weighted variant: duplicate edges have their weights summed; weights
   /// must be positive (the GCN normalization needs positive degrees). The
   /// unweighted factory is equivalent to all-ones weights.
-  static Result<AttributedGraph> CreateWeighted(
+  [[nodiscard]] static Result<AttributedGraph> CreateWeighted(
       int64_t num_nodes, std::vector<WeightedEdge> edges, Matrix attributes);
 
   int64_t num_nodes() const { return num_nodes_; }
@@ -73,23 +73,23 @@ class AttributedGraph {
   double AverageDegree() const;
 
   /// The GCN propagation matrix C = D̂^{-1/2} Â D̂^{-1/2} (Eq. 1).
-  Result<SparseMatrix> NormalizedAdjacency() const;
+  [[nodiscard]] Result<SparseMatrix> NormalizedAdjacency() const;
 
   /// Like NormalizedAdjacency with per-node influence factors (Eq. 15).
-  Result<SparseMatrix> NormalizedAdjacency(
+  [[nodiscard]] Result<SparseMatrix> NormalizedAdjacency(
       const std::vector<double>& influence) const;
 
   /// Returns the graph relabeled by `perm`: node i becomes perm[i]. Edges and
   /// attribute rows move with the node. perm must be a permutation of 0..n-1.
-  Result<AttributedGraph> Permuted(const std::vector<int64_t>& perm) const;
+  [[nodiscard]] Result<AttributedGraph> Permuted(const std::vector<int64_t>& perm) const;
 
   /// Induced subgraph on `nodes` (relabeled 0..|nodes|-1 in list order).
-  Result<AttributedGraph> InducedSubgraph(
+  [[nodiscard]] Result<AttributedGraph> InducedSubgraph(
       const std::vector<int64_t>& nodes) const;
 
   /// Returns a copy with the attribute matrix replaced (row count must
   /// match).
-  Result<AttributedGraph> WithAttributes(Matrix attributes) const;
+  [[nodiscard]] Result<AttributedGraph> WithAttributes(Matrix attributes) const;
 
  private:
   int64_t num_nodes_ = 0;

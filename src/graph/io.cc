@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 #include "common/durable_io.h"
@@ -75,7 +76,14 @@ Result<AttributedGraph> LoadEdgeList(const std::string& path) {
     edges.emplace_back(u, v);
     max_id = std::max({max_id, u, v});
   }
-  if (num_nodes < 0) num_nodes = max_id + 1;
+  if (num_nodes < 0) {
+    // max_id + 1 would overflow for an id of INT64_MAX.
+    if (max_id == std::numeric_limits<int64_t>::max()) {
+      return Status::IOError(path + ": node id " + std::to_string(max_id) +
+                             " too large");
+    }
+    num_nodes = max_id + 1;
+  }
   if (max_id >= num_nodes) {
     return Status::IOError(path + ": edge endpoint " + std::to_string(max_id) +
                            " exceeds declared node count " +

@@ -11,26 +11,26 @@ namespace galign {
 
 /// Writes "u v" lines (one canonical undirected edge per line) preceded by a
 /// "# nodes=<n>" header so isolated trailing nodes survive a round trip.
-Status SaveEdgeList(const AttributedGraph& g, const std::string& path);
+[[nodiscard]] Status SaveEdgeList(const AttributedGraph& g, const std::string& path);
 
 /// Reads an edge list written by SaveEdgeList (or any "u v" file; node count
 /// defaults to max id + 1 when the header is absent). Attributes are not
 /// loaded — combine with LoadAttributes / WithAttributes.
-Result<AttributedGraph> LoadEdgeList(const std::string& path);
+[[nodiscard]] Result<AttributedGraph> LoadEdgeList(const std::string& path);
 
 /// Writes the attribute matrix as TSV (one node per row).
-Status SaveAttributes(const Matrix& attributes, const std::string& path);
+[[nodiscard]] Status SaveAttributes(const Matrix& attributes, const std::string& path);
 
 /// Reads a TSV attribute matrix.
-Result<Matrix> LoadAttributes(const std::string& path);
+[[nodiscard]] Result<Matrix> LoadAttributes(const std::string& path);
 
 /// Writes "source_node target_node" ground-truth anchor pairs.
-Status SaveGroundTruth(const std::vector<int64_t>& ground_truth,
+[[nodiscard]] Status SaveGroundTruth(const std::vector<int64_t>& ground_truth,
                        const std::string& path);
 
 /// Reads ground-truth anchors into a vector indexed by source node
 /// (missing sources map to -1). num_source_nodes sizes the vector.
-Result<std::vector<int64_t>> LoadGroundTruth(const std::string& path,
+[[nodiscard]] Result<std::vector<int64_t>> LoadGroundTruth(const std::string& path,
                                              int64_t num_source_nodes);
 
 }  // namespace galign

@@ -23,6 +23,6 @@ int64_t Degeneracy(const AttributedGraph& g);
 std::vector<int64_t> KCore(const AttributedGraph& g, int64_t k);
 
 /// The k-core as an induced subgraph.
-Result<AttributedGraph> KCoreSubgraph(const AttributedGraph& g, int64_t k);
+[[nodiscard]] Result<AttributedGraph> KCoreSubgraph(const AttributedGraph& g, int64_t k);
 
 }  // namespace galign

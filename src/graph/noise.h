@@ -16,16 +16,16 @@
 namespace galign {
 
 /// Removes each edge independently with probability ratio.
-Result<AttributedGraph> RemoveEdges(const AttributedGraph& g, double ratio,
+[[nodiscard]] Result<AttributedGraph> RemoveEdges(const AttributedGraph& g, double ratio,
                                     Rng* rng);
 
 /// Adds approximately ratio * |E| random non-existing edges.
-Result<AttributedGraph> AddRandomEdges(const AttributedGraph& g, double ratio,
+[[nodiscard]] Result<AttributedGraph> AddRandomEdges(const AttributedGraph& g, double ratio,
                                        Rng* rng);
 
 /// Structural perturbation per §V-C: each existing edge is dropped with
 /// probability p_s and an equal expected number of spurious edges is added.
-Result<AttributedGraph> PerturbStructure(const AttributedGraph& g, double p_s,
+[[nodiscard]] Result<AttributedGraph> PerturbStructure(const AttributedGraph& g, double p_s,
                                          Rng* rng);
 
 /// Binary attribute noise: with probability p_a per row, relocates each
@@ -64,14 +64,14 @@ struct NoisyCopyOptions {
 /// permuted copy of `g` with structural and attribute noise applied; node
 /// identity is preserved through the permutation and recorded as ground
 /// truth (§VII-A "Synthetic data").
-Result<AlignmentPair> MakeNoisyCopyPair(const AttributedGraph& g,
+[[nodiscard]] Result<AlignmentPair> MakeNoisyCopyPair(const AttributedGraph& g,
                                         const NoisyCopyOptions& opts,
                                         Rng* rng);
 
 /// \brief Builds the isomorphic-level workload (Fig. 5): source and target
 /// are induced subgraphs of `g` sharing `overlap` fraction of the original
 /// nodes; non-shared nodes appear in only one side.
-Result<AlignmentPair> MakeOverlapPair(const AttributedGraph& g, double overlap,
+[[nodiscard]] Result<AlignmentPair> MakeOverlapPair(const AttributedGraph& g, double overlap,
                                       const NoisyCopyOptions& opts, Rng* rng);
 
 }  // namespace galign

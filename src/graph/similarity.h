@@ -21,7 +21,7 @@ double DegreeDistributionDivergence(const AttributedGraph& a,
 ///
 /// Dense eigendecomposition — intended for graphs up to a few thousand
 /// nodes.
-Result<double> SpectralDistance(const AttributedGraph& a,
+[[nodiscard]] Result<double> SpectralDistance(const AttributedGraph& a,
                                 const AttributedGraph& b, int64_t k = 16);
 
 /// Jaccard overlap of edge sets under an explicit node correspondence:

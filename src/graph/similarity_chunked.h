@@ -44,7 +44,7 @@ struct TopKAlignment {
   /// Materializes the dense matrix with `fill` in unstored cells (tests
   /// and small-scale interop only — this re-creates the O(rows*cols) cost
   /// the chunked path exists to avoid).
-  Result<Matrix> ToDense(double fill = 0.0) const;
+  [[nodiscard]] Result<Matrix> ToDense(double fill = 0.0) const;
 };
 
 /// Fills `block` (pre-shaped nrows x cols) with similarity rows
@@ -60,7 +60,7 @@ using RowBlockFiller =
 /// set) and polls ctx.ShouldStop() between blocks: an expired context
 /// returns the rows computed so far (rows_computed < rows), never an
 /// error.
-Result<TopKAlignment> ChunkedTopK(int64_t rows, int64_t cols, int64_t k,
+[[nodiscard]] Result<TopKAlignment> ChunkedTopK(int64_t rows, int64_t cols, int64_t k,
                                   int64_t block_rows,
                                   const RowBlockFiller& fill,
                                   const RunContext& ctx = RunContext());
@@ -73,7 +73,7 @@ Result<TopKAlignment> ChunkedTopK(int64_t rows, int64_t cols, int64_t k,
 /// cache-friendly default when unbounded); fails with ResourceExhausted
 /// only when even a single-row block plus the O(n1 * k) output does not
 /// fit.
-Result<TopKAlignment> ChunkedEmbeddingTopK(const std::vector<Matrix>& hs,
+[[nodiscard]] Result<TopKAlignment> ChunkedEmbeddingTopK(const std::vector<Matrix>& hs,
                                            const std::vector<Matrix>& ht,
                                            const std::vector<double>& theta,
                                            int64_t k,
@@ -91,7 +91,7 @@ TopKAlignment TopKFromDense(const Matrix& s, int64_t k);
 /// The cache-friendly default (512) when ctx carries no finite budget;
 /// ResourceExhausted when even a single-row block does not fit the
 /// remaining headroom.
-Result<int64_t> BudgetedBlockRows(int64_t rows, int64_t k, uint64_t row_bytes,
+[[nodiscard]] Result<int64_t> BudgetedBlockRows(int64_t rows, int64_t k, uint64_t row_bytes,
                                   const RunContext& ctx);
 
 /// Bytes of transient working set the chunked embedding scan needs per

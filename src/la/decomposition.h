@@ -40,7 +40,7 @@ struct EigenDecomposition {
 /// expires (deadline) or fires (cancellation), the sweep/iteration loop
 /// stops at the current best iterate, reported degraded — the same graceful
 /// exit as budget exhaustion (DESIGN.md §8).
-Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
+[[nodiscard]] Result<EigenDecomposition> SymmetricEigen(const Matrix& a,
                                           int max_sweeps = 64,
                                           double tol = 1e-12,
                                           const RunContext* ctx = nullptr);
@@ -56,18 +56,18 @@ struct SVDResult {
 
 /// \brief Thin SVD computed from the eigendecomposition of the Gram matrix
 /// of the smaller dimension.
-Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps = 64,
+[[nodiscard]] Result<SVDResult> ThinSVD(const Matrix& a, int max_sweeps = 64,
                           const RunContext* ctx = nullptr);
 
 /// Moore-Penrose pseudo-inverse (rank-revealing via ThinSVD; singular values
 /// below rcond * sigma_max are treated as zero).
-Result<Matrix> PseudoInverse(const Matrix& a, double rcond = 1e-10,
+[[nodiscard]] Result<Matrix> PseudoInverse(const Matrix& a, double rcond = 1e-10,
                              const RunContext* ctx = nullptr);
 
 /// Top eigenvalue/eigenvector of a symmetric matrix by power iteration.
 /// Returns the last Rayleigh-quotient estimate even when the iteration did
 /// not meet `tol` within max_iters; pass `report` to observe convergence.
-Result<double> PowerIterationTopEigenvalue(const Matrix& a,
+[[nodiscard]] Result<double> PowerIterationTopEigenvalue(const Matrix& a,
                                            int max_iters = 1000,
                                            double tol = 1e-9,
                                            ConvergenceReport* report = nullptr,

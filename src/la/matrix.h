@@ -31,7 +31,7 @@ class Matrix {
   /// std::bad_alloc into Status::ResourceExhausted instead of killing the
   /// process. Use this for size-dependent allocations (anything O(n1*n2));
   /// the throwing constructor remains for shapes bounded by configuration.
-  static Result<Matrix> TryCreate(int64_t rows, int64_t cols,
+  [[nodiscard]] static Result<Matrix> TryCreate(int64_t rows, int64_t cols,
                                   double fill = 0.0,
                                   MemoryBudget* budget = nullptr);
 
@@ -62,7 +62,7 @@ class Matrix {
   }
 
   /// Bounds-checked access.
-  Result<double> At(int64_t r, int64_t c) const;
+  [[nodiscard]] Result<double> At(int64_t r, int64_t c) const;
 
   bool SameShape(const Matrix& other) const {
     return rows_ == other.rows_ && cols_ == other.cols_;

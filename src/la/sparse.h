@@ -51,7 +51,7 @@ class SparseMatrix {
   /// triplet coordinates, optionally pre-admits the CSR footprint
   /// (~20 bytes/nnz + 8 bytes/row) against `budget`, and converts
   /// std::bad_alloc into Status::ResourceExhausted.
-  static Result<SparseMatrix> TryCreate(int64_t rows, int64_t cols,
+  [[nodiscard]] static Result<SparseMatrix> TryCreate(int64_t rows, int64_t cols,
                                         std::vector<Triplet> triplets,
                                         MemoryBudget* budget = nullptr);
 
@@ -112,11 +112,11 @@ class SparseMatrix {
   /// Returns D^{-1/2} (this + I) D^{-1/2} where D is the degree (row-sum)
   /// matrix of (this + I) — the normalized Laplacian-style propagation
   /// matrix C of GCN (paper Eq. 1). Requires a square matrix.
-  Result<SparseMatrix> NormalizedWithSelfLoops() const;
+  [[nodiscard]] Result<SparseMatrix> NormalizedWithSelfLoops() const;
 
   /// Like NormalizedWithSelfLoops but with per-node influence factors alpha:
   /// C_q = Dq^{-1/2} Â Dq^{-1/2}, Dq = D̂ Q, Q = diag(alpha) (paper Eq. 15).
-  Result<SparseMatrix> NormalizedWithInfluence(
+  [[nodiscard]] Result<SparseMatrix> NormalizedWithInfluence(
       const std::vector<double>& alpha) const;
 
  private:

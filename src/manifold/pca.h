@@ -9,6 +9,6 @@ namespace galign {
 
 /// Projects rows of x onto the top `components` principal directions.
 /// Rows are mean-centered first. Returns an (n x components) matrix.
-Result<Matrix> Pca(const Matrix& x, int64_t components);
+[[nodiscard]] Result<Matrix> Pca(const Matrix& x, int64_t components);
 
 }  // namespace galign

@@ -23,6 +23,6 @@ struct TsneConfig {
 };
 
 /// Embeds the rows of `x` into `cfg.output_dim` dimensions.
-Result<Matrix> Tsne(const Matrix& x, const TsneConfig& cfg = {});
+[[nodiscard]] Result<Matrix> Tsne(const Matrix& x, const TsneConfig& cfg = {});
 
 }  // namespace galign

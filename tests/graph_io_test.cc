@@ -72,6 +72,15 @@ TEST_F(IoTest, LoadEdgeListMissingFile) {
   EXPECT_FALSE(LoadEdgeList(Path("nonexistent")).ok());
 }
 
+TEST_F(IoTest, LoadEdgeListRejectsMaxNodeId) {
+  // Without a declared node count, num_nodes = max_id + 1, which would
+  // overflow for an id of INT64_MAX (found by the fuzz-smoke gate).
+  std::ofstream out(Path("huge.edges"));
+  out << "0 9223372036854775807\n";
+  out.close();
+  EXPECT_FALSE(LoadEdgeList(Path("huge.edges")).ok());
+}
+
 TEST_F(IoTest, AttributesRoundTripExact) {
   Rng rng(2);
   Matrix f = Matrix::Gaussian(12, 5, &rng);

@@ -1,0 +1,9 @@
+// Fixture: an allow without a reason is itself a violation (bad-allow)
+// and does not suppress the underlying rule.
+#include <stdexcept>
+
+namespace demo {
+void Boom() {
+  throw std::runtime_error("x");  // galign-lint: allow(no-naked-throw)
+}
+}  // namespace demo

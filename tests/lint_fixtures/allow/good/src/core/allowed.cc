@@ -1,0 +1,8 @@
+// Fixture: an allow comment with a reason suppresses the rule.
+#include <stdexcept>
+
+namespace demo {
+void Boom() {
+  throw std::runtime_error("x");  // galign-lint: allow(no-naked-throw): fixture proves suppression works
+}
+}  // namespace demo

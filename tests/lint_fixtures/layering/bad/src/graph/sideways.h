@@ -1,0 +1,3 @@
+// Fixture: graph must not include align or baselines.
+#pragma once
+#include "align/alignment.h"

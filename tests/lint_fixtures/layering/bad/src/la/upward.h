@@ -1,0 +1,5 @@
+// Fixture: la reaching up into graph and core breaks the DAG.
+#pragma once
+#include "common/status.h"
+#include "graph/graph.h"
+#include "core/gcn.h"

@@ -1,0 +1,6 @@
+// Fixture: graph may include la and common (and itself).
+#pragma once
+#include "common/status.h"
+#include "graph/graph.h"
+#include "la/matrix.h"
+#include <vector>

@@ -1,0 +1,4 @@
+// Fixture: la may include common.
+#pragma once
+#include "common/status.h"
+#include "la/ops.h"

@@ -1,0 +1,6 @@
+// Fixture: library code must not throw.
+#include <stdexcept>
+
+namespace demo {
+void Boom() { throw std::runtime_error("boom"); }
+}  // namespace demo

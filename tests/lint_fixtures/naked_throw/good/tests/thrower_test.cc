@@ -1,0 +1,6 @@
+// Fixture: test code may throw (gtest itself does).
+#include <stdexcept>
+
+namespace demo {
+void Boom() { throw std::runtime_error("expected in tests"); }
+}  // namespace demo

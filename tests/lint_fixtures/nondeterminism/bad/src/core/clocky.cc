@@ -1,0 +1,12 @@
+// Fixture: raw clock/entropy calls outside the whitelisted homes.
+#include <chrono>
+#include <random>
+
+namespace demo {
+void Clocky() {
+  std::random_device rd;
+  auto t = std::chrono::steady_clock::now();
+  (void)rd;
+  (void)t;
+}
+}  // namespace demo

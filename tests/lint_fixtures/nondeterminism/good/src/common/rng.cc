@@ -1,0 +1,9 @@
+// Fixture: common/rng is a whitelisted home for entropy.
+#include <random>
+
+namespace demo {
+unsigned Seed() {
+  std::random_device rd;
+  return rd();
+}
+}  // namespace demo

@@ -1,0 +1,5 @@
+// Fixture: banned names inside strings/comments must not fire.
+// A comment mentioning std::random_device and rand() is fine.
+namespace demo {
+const char* Label() { return "run time (seconds) vs rand() baseline"; }
+}  // namespace demo

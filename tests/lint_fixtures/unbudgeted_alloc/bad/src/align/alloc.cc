@@ -1,0 +1,11 @@
+// Fixture: the retired raw factories must fire in budget-aware code.
+#include "la/matrix.h"
+
+namespace demo {
+void Alloc() {
+  auto m = galign::Matrix::Create(10, 10);
+  auto s = galign::SparseMatrix::Create(10, 10, {});
+  (void)m;
+  (void)s;
+}
+}  // namespace demo

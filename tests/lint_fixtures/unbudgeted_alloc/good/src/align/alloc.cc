@@ -1,0 +1,10 @@
+// Fixture: TryCreate under a budget is the sanctioned path.
+#include "la/matrix.h"
+
+namespace demo {
+galign::Status Alloc(galign::MemoryBudget* budget) {
+  auto m = galign::Matrix::TryCreate(10, 10, 0.0, budget);
+  if (!m.ok()) return m.status();
+  return galign::Status::OK();
+}
+}  // namespace demo

@@ -1,0 +1,9 @@
+// Fixture: discards a Status and a Result — both must fire.
+#include "api/api.h"
+
+namespace demo {
+void Caller() {
+  DoWork();
+  Compute();
+}
+}  // namespace demo

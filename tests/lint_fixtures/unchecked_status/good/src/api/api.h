@@ -1,0 +1,7 @@
+// Fixture: declares Status-returning functions the lint must track.
+#pragma once
+
+namespace demo {
+galign::Status DoWork();
+galign::Status Propagate();
+}  // namespace demo

@@ -1,0 +1,14 @@
+// Fixture: every Status is consumed — nothing may fire.
+#include "api/api.h"
+
+namespace demo {
+galign::Status Propagate() {
+  GALIGN_RETURN_NOT_OK(DoWork());
+  galign::Status s = DoWork();
+  if (!s.ok()) return s;
+  DoWork().CheckOK();
+  DoWork()
+      .CheckOK();
+  return galign::Status::OK();
+}
+}  // namespace demo

@@ -1,0 +1,213 @@
+// Concurrency stress suite for the ThreadSanitizer gate (DESIGN.md §10).
+//
+// The parallel_for pool, the MemoryBudget/MemoryTracker atomics, the shared
+// CancelToken, and the fault-injection registry are all assumed data-race
+// free by the rest of the library; this suite hammers each one from many
+// threads so a TSan build (scripts/check.sh tsan stage, -DGALIGN_TSAN=ON)
+// turns any racy access into a hard failure. The tests also assert
+// functional invariants (exact sums, balanced ledgers) so they earn their
+// keep in plain builds.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/memory_budget.h"
+#include "common/parallel.h"
+#include "common/run_context.h"
+#include "la/matrix.h"
+
+namespace galign {
+namespace {
+
+// ------------------------------------------------------------- ParallelFor
+
+TEST(RaceStress, ParallelForManyConcurrentCallers) {
+  // Several external threads issue ParallelFor calls into the shared pool
+  // at once; every range must still be covered exactly once.
+  constexpr int kCallers = 6;
+  constexpr int64_t kRange = 200000;
+  std::vector<std::thread> callers;
+  std::vector<int64_t> sums(kCallers, 0);
+  for (int t = 0; t < kCallers; ++t) {
+    callers.emplace_back([t, &sums] {
+      std::atomic<int64_t> sum{0};
+      ParallelFor(0, kRange, [&sum](int64_t b, int64_t e) {
+        int64_t local = 0;
+        for (int64_t i = b; i < e; ++i) local += i;
+        sum.fetch_add(local, std::memory_order_relaxed);
+      });
+      sums[t] = sum.load();
+    });
+  }
+  for (auto& th : callers) th.join();
+  const int64_t expect = kRange * (kRange - 1) / 2;
+  for (int t = 0; t < kCallers; ++t) EXPECT_EQ(sums[t], expect);
+}
+
+TEST(RaceStress, ParallelForNestedAndUnbalanced) {
+  // Outer parallel loop spawning inner parallel loops with deliberately
+  // unbalanced chunk work — the re-entrant path must neither deadlock nor
+  // race on the pool's internal queue.
+  std::atomic<int64_t> total{0};
+  ParallelFor(
+      0, 64,
+      [&total](int64_t ob, int64_t oe) {
+        for (int64_t o = ob; o < oe; ++o) {
+          const int64_t inner = (o % 7 == 0) ? 20000 : 50;  // unbalanced
+          ParallelFor(
+              0, inner,
+              [&total](int64_t b, int64_t e) {
+                total.fetch_add(e - b, std::memory_order_relaxed);
+              },
+              /*min_chunk=*/16);
+        }
+      },
+      /*min_chunk=*/1);
+  int64_t expect = 0;
+  for (int64_t o = 0; o < 64; ++o) expect += (o % 7 == 0) ? 20000 : 50;
+  EXPECT_EQ(total.load(), expect);
+}
+
+// ------------------------------------- MemoryBudget / MemoryTracker gauge
+
+TEST(RaceStress, BudgetReserveReleaseConcurrent) {
+  // N threads fight over a budget that only fits a few reservations at a
+  // time. Invariants: no thread ever observes success past the limit, and
+  // the ledger drains back to zero when everyone is done.
+  MemoryBudget budget(1 << 20);  // 1 MiB
+  constexpr int kThreads = 8;
+  constexpr int kIters = 400;
+  constexpr uint64_t kChunk = 200 * 1024;  // five fit, eight don't
+  std::atomic<int64_t> admitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        MemoryScope scope;
+        Status st = MemoryScope::Reserve(&budget, kChunk, "race", &scope);
+        if (st.ok()) {
+          admitted.fetch_add(1, std::memory_order_relaxed);
+          EXPECT_LE(budget.reserved(), budget.limit());
+        }
+        // scope releases at end of iteration either way
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(admitted.load(), 0);
+  EXPECT_EQ(budget.reserved(), 0u);
+  EXPECT_LE(budget.reserved_peak(), budget.limit());
+}
+
+TEST(RaceStress, TrackerGaugeUnderConcurrentMatrixChurn) {
+  // Matrix allocations feed the process-wide MemoryTracker through
+  // TrackingAllocator from every thread; live bytes must return exactly to
+  // the baseline once all matrices die.
+  const uint64_t baseline = MemoryTracker::LiveBytes();
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 200; ++i) {
+        Matrix m(16 + t, 32 + i % 7, 1.0);
+        ASSERT_GT(MemoryTracker::LiveBytes(), 0u);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(MemoryTracker::LiveBytes(), baseline);
+  EXPECT_GE(MemoryTracker::PeakBytes(), baseline);
+}
+
+// --------------------------------------- CancelToken + deadline polling
+
+TEST(RaceStress, CancelTokenTripWhileManyPollers) {
+  // Pollers spin on ShouldStop() while another thread trips the shared
+  // token; every poller must observe the (sticky) cancellation.
+  CancelToken token;
+  RunContext ctx = RunContext::WithTimeout(30.0);
+  ctx.SetToken(token);
+  constexpr int kPollers = 8;
+  std::atomic<int> seen{0};
+  std::vector<std::thread> pollers;
+  for (int t = 0; t < kPollers; ++t) {
+    pollers.emplace_back([&] {
+      while (!ctx.ShouldStop()) std::this_thread::yield();
+      EXPECT_TRUE(ctx.Cancelled());
+      EXPECT_FALSE(ctx.DeadlineExceeded());
+      seen.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  std::thread tripper([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.Cancel();
+    token.Cancel();  // idempotent from any thread
+  });
+  tripper.join();
+  for (auto& th : pollers) th.join();
+  EXPECT_EQ(seen.load(), kPollers);
+}
+
+TEST(RaceStress, DeadlinePollingFromManyThreads) {
+  // An already-short deadline polled concurrently: RemainingSeconds() and
+  // DeadlineExceeded() read the same immutable deadline from every thread.
+  RunContext ctx = RunContext::WithTimeout(0.02);
+  constexpr int kPollers = 8;
+  std::vector<std::thread> pollers;
+  std::atomic<int> expired{0};
+  for (int t = 0; t < kPollers; ++t) {
+    pollers.emplace_back([&] {
+      while (!ctx.DeadlineExceeded()) std::this_thread::yield();
+      EXPECT_LE(ctx.RemainingSeconds(), 0.0);
+      expired.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : pollers) th.join();
+  EXPECT_EQ(expired.load(), kPollers);
+  EXPECT_TRUE(ctx.ShouldStop());
+}
+
+// ------------------------------------------------ fault-site registry
+
+#ifndef GALIGN_DISABLE_FAULT_INJECTION
+TEST(RaceStress, FaultRegistryConcurrentArmFireDisarm) {
+  // Writers arm/disarm sites while readers hit the instrumentation points;
+  // the registry must serialize internally without losing determinism for
+  // a site armed and probed by a single thread.
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      const std::string site = "race.site." + std::to_string(t);
+      fault::Spec spec;
+      spec.kind = fault::Kind::kFailIO;
+      spec.at_call = 3;
+      for (int i = 0; i < 100; ++i) {
+        fault::Arm(site, spec);
+        int fired = 0;
+        for (int c = 0; c < 6; ++c) {
+          if (fault::ShouldFailIO(site.c_str())) ++fired;
+        }
+        EXPECT_EQ(fired, 1) << site;  // fires exactly at call 3
+        EXPECT_EQ(fault::CallCount(site), 6);
+        // Hammer a *shared* site concurrently with everyone else; only
+        // the serialization matters here, not who wins.
+        fault::Arm("race.shared", spec);
+        (void)fault::ShouldFailIO("race.shared");
+        (void)fault::CallCount("race.shared");
+        fault::Disarm(site);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  fault::DisarmAll();
+}
+#endif  // GALIGN_DISABLE_FAULT_INJECTION
+
+}  // namespace
+}  // namespace galign

@@ -1,0 +1,637 @@
+// galign_lint: project-contract static analysis (DESIGN.md §10).
+//
+// A standalone token/regex-level scanner (no libclang) that enforces the
+// contracts the compiler cannot see on its own:
+//
+//   unchecked-status       a Status/Result<T>-returning call whose result is
+//                          discarded (second net behind [[nodiscard]]).
+//   banned-nondeterminism  std::random_device, rand(), time(), or a
+//                          std::chrono clock ::now() outside the whitelisted
+//                          homes (common/rng, common/timer,
+//                          common/run_context, common/durable_io).
+//   unbudgeted-alloc       Matrix::Create / SparseMatrix::Create — the raw
+//                          factories PR 4 replaced with TryCreate under a
+//                          reserved MemoryScope. They must not come back.
+//   layering               an #include that violates the module DAG
+//                          (kLayerDag below). New subsystems extend the
+//                          table; everything else is a diagnostic.
+//   no-naked-throw         `throw` outside test code. Library errors travel
+//                          as Status/Result, never as exceptions.
+//
+// Diagnostics are `file:line: rule-id: message`, one per line on stdout.
+// Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+//
+// Suppression: append `// galign-lint: allow(rule-id): reason` to the
+// offending line. The reason is mandatory; an allow without one is itself a
+// violation (rule-id `bad-allow`).
+//
+// Scanning model: every file is first "sanitized" — string literals,
+// character literals, and comments are blanked out (line structure
+// preserved) — so a clock call mentioned in a log message or a banned name
+// in a comment never fires a rule. Suppression comments are read from the
+// original text.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------- DAG table
+//
+// Allowed module-level includes under src/ ("module" = first path component
+// of a quoted include). A module may always include itself. Extend this
+// table when adding a subsystem; an unknown module is a diagnostic, not a
+// free pass.
+struct LayerRule {
+  const char* module;
+  std::vector<const char*> may_include;
+};
+const std::vector<LayerRule> kLayerDag = {
+    {"common", {}},
+    {"la", {"common"}},
+    {"graph", {"la", "common"}},
+    {"autograd", {"la", "common"}},
+    {"manifold", {"la", "common"}},
+    {"align", {"graph", "la", "common"}},
+    {"baselines", {"align", "autograd", "graph", "la", "common"}},
+    {"core", {"align", "autograd", "graph", "la", "common"}},
+};
+
+// Files allowed to touch clocks/entropy directly: the abstractions every
+// other call site must go through (plus durable_io's retry jitter).
+const std::vector<const char*> kNondeterminismHomes = {
+    "common/rng.h",         "common/rng.cc",        "common/timer.h",
+    "common/run_context.h", "common/durable_io.h",  "common/durable_io.cc",
+};
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string rule;
+  std::string message;
+};
+
+struct FileText {
+  std::string path;       // path as reported in diagnostics
+  std::string rel;        // path relative to the scan root, '/'-separated
+  std::vector<std::string> raw;        // original lines
+  std::vector<std::string> sanitized;  // strings/comments blanked
+};
+
+// Blanks string literals, char literals, // and /* */ comments with spaces,
+// preserving newlines so line numbers survive. Handles raw strings
+// R"delim(...)delim" and escape sequences inside quotes.
+std::string Sanitize(const std::string& text) {
+  std::string out(text);
+  enum class St { kCode, kString, kChar, kLineComment, kBlockComment, kRaw };
+  St st = St::kCode;
+  std::string raw_delim;  // for raw strings: )delim"
+  size_t i = 0;
+  const size_t n = text.size();
+  auto blank = [&](size_t at) {
+    if (out[at] != '\n') out[at] = ' ';
+  };
+  while (i < n) {
+    const char c = text[i];
+    switch (st) {
+      case St::kCode:
+        if (c == '"') {
+          // Raw string? Look back for R / uR / u8R / LR prefix.
+          size_t j = i;
+          bool is_raw = false;
+          if (j > 0 && text[j - 1] == 'R') {
+            size_t k = j - 1;
+            if (k == 0 || !(isalnum(text[k - 1]) || text[k - 1] == '_'))
+              is_raw = true;
+            else if (k >= 1 && (text[k - 1] == 'u' || text[k - 1] == 'U' ||
+                                text[k - 1] == 'L'))
+              is_raw = true;
+            else if (k >= 2 && text[k - 2] == 'u' && text[k - 1] == '8')
+              is_raw = true;
+          }
+          if (is_raw) {
+            size_t open = text.find('(', i + 1);
+            if (open == std::string::npos) { ++i; break; }
+            raw_delim = ")" + text.substr(i + 1, open - i - 1) + "\"";
+            for (size_t k = i; k <= open; ++k) blank(k);
+            i = open + 1;
+            st = St::kRaw;
+          } else {
+            blank(i);
+            ++i;
+            st = St::kString;
+          }
+        } else if (c == '\'') {
+          blank(i);
+          ++i;
+          st = St::kChar;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          st = St::kLineComment;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          st = St::kBlockComment;
+        } else {
+          ++i;
+        }
+        break;
+      case St::kString:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '"') {
+          blank(i);
+          ++i;
+          st = St::kCode;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case St::kChar:
+        if (c == '\\' && i + 1 < n) {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+        } else if (c == '\'') {
+          blank(i);
+          ++i;
+          st = St::kCode;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case St::kLineComment:
+        if (c == '\n') {
+          st = St::kCode;
+          ++i;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case St::kBlockComment:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          blank(i);
+          blank(i + 1);
+          i += 2;
+          st = St::kCode;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+      case St::kRaw:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (size_t k = i; k < i + raw_delim.size(); ++k) blank(k);
+          i += raw_delim.size();
+          st = St::kCode;
+        } else {
+          blank(i);
+          ++i;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool Contains(const std::string& s, const char* needle) {
+  return s.find(needle) != std::string::npos;
+}
+
+// `// galign-lint: allow(rule-id): reason` — returns true when `rule` is
+// suppressed on this raw line. An allow with an empty reason emits a
+// `bad-allow` diagnostic (once per line) instead of suppressing.
+const std::regex kAllowRe(
+    R"(galign-lint:\s*allow\(([a-z-]+)\)\s*(?::\s*(\S.*)?)?)");
+
+bool LineAllows(const std::string& raw_line, const std::string& rule,
+                const std::string& file, int line_no,
+                std::vector<Diagnostic>* diags, std::set<int>* bad_allow_seen) {
+  auto begin =
+      std::sregex_iterator(raw_line.begin(), raw_line.end(), kAllowRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string allowed_rule = (*it)[1].str();
+    const std::string reason = (*it)[2].matched ? (*it)[2].str() : "";
+    if (reason.empty()) {
+      if (bad_allow_seen->insert(line_no).second) {
+        diags->push_back({file, line_no, "bad-allow",
+                          "allow(" + allowed_rule +
+                              ") needs a reason: `// galign-lint: allow(" +
+                              allowed_rule + "): why`"});
+      }
+      continue;
+    }
+    if (allowed_rule == rule) return true;
+  }
+  return false;
+}
+
+// ------------------------------------------------------- rule: layering
+void CheckLayering(const FileText& f, std::vector<Diagnostic>* diags,
+                   std::set<int>* bad_allow) {
+  if (f.rel.rfind("src/", 0) != 0) return;  // only library code is layered
+  const std::string after = f.rel.substr(4);
+  const size_t slash = after.find('/');
+  if (slash == std::string::npos) return;
+  const std::string module = after.substr(0, slash);
+
+  const LayerRule* rule = nullptr;
+  for (const auto& r : kLayerDag)
+    if (module == r.module) rule = &r;
+
+  // Raw lines, not sanitized: the include path is itself a string literal.
+  static const std::regex inc_re(R"(^\s*#\s*include\s+\"([^\"]+)\")");
+  for (size_t i = 0; i < f.raw.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.raw[i], m, inc_re)) continue;
+    const std::string target = m[1].str();
+    const size_t tslash = target.find('/');
+    if (tslash == std::string::npos) continue;  // same-dir include
+    const std::string tmodule = target.substr(0, tslash);
+    bool known_target = false;
+    for (const auto& r : kLayerDag)
+      if (tmodule == r.module) known_target = true;
+    if (!known_target) continue;  // not a module include (e.g. "gtest/...")
+    const int line_no = static_cast<int>(i) + 1;
+    if (rule == nullptr) {
+      if (LineAllows(f.raw[i], "layering", f.path, line_no, diags, bad_allow))
+        continue;
+      diags->push_back({f.path, line_no, "layering",
+                        "module '" + module +
+                            "' is not in the layering DAG table; add it to "
+                            "kLayerDag in tools/lint/galign_lint.cc"});
+      continue;
+    }
+    if (tmodule == module) continue;
+    bool ok = false;
+    for (const char* allowed : rule->may_include)
+      if (tmodule == allowed) ok = true;
+    if (ok) continue;
+    if (LineAllows(f.raw[i], "layering", f.path, line_no, diags, bad_allow))
+      continue;
+    diags->push_back({f.path, line_no, "layering",
+                      "'" + module + "' may not include '" + tmodule +
+                          "' (allowed: self" +
+                          [&] {
+                            std::string s;
+                            for (const char* a : rule->may_include)
+                              s += std::string(", ") + a;
+                            return s;
+                          }() +
+                          ")"});
+  }
+}
+
+// --------------------------------------- rule: banned-nondeterminism
+void CheckNondeterminism(const FileText& f, std::vector<Diagnostic>* diags,
+                         std::set<int>* bad_allow) {
+  for (const char* home : kNondeterminismHomes)
+    if (EndsWith(f.rel, home)) return;
+
+  static const std::regex bad_re(
+      R"(std\s*::\s*random_device|\brand\s*\(|\bsrand\s*\(|\btime\s*\(|std\s*::\s*chrono\s*::\s*(steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\()");
+  for (size_t i = 0; i < f.sanitized.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.sanitized[i], m, bad_re)) continue;
+    const int line_no = static_cast<int>(i) + 1;
+    if (LineAllows(f.raw[i], "banned-nondeterminism", f.path, line_no, diags,
+                   bad_allow))
+      continue;
+    diags->push_back(
+        {f.path, line_no, "banned-nondeterminism",
+         "direct clock/entropy call '" + m[0].str() +
+             "'; use common/rng (seeded), common/timer, or RunContext "
+             "deadlines so runs stay bit-reproducible"});
+  }
+}
+
+// ------------------------------------------- rule: unbudgeted-alloc
+void CheckUnbudgetedAlloc(const FileText& f, std::vector<Diagnostic>* diags,
+                          std::set<int>* bad_allow) {
+  static const std::regex bad_re(R"(\b(Matrix|SparseMatrix)\s*::\s*Create\s*\()");
+  for (size_t i = 0; i < f.sanitized.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.sanitized[i], m, bad_re)) continue;
+    const int line_no = static_cast<int>(i) + 1;
+    if (LineAllows(f.raw[i], "unbudgeted-alloc", f.path, line_no, diags,
+                   bad_allow))
+      continue;
+    diags->push_back({f.path, line_no, "unbudgeted-alloc",
+                      m[1].str() +
+                          "::Create was retired by the memory-budget work; "
+                          "use " +
+                          m[1].str() +
+                          "::TryCreate under a reserved MemoryScope "
+                          "(DESIGN.md §9)"});
+  }
+}
+
+// --------------------------------------------- rule: no-naked-throw
+void CheckNakedThrow(const FileText& f, std::vector<Diagnostic>* diags,
+                     std::set<int>* bad_allow) {
+  if (f.rel.rfind("tests/", 0) == 0) return;  // test code may throw
+  static const std::regex throw_re(R"(\bthrow\b)");
+  for (size_t i = 0; i < f.sanitized.size(); ++i) {
+    std::smatch m;
+    if (!std::regex_search(f.sanitized[i], m, throw_re)) continue;
+    const int line_no = static_cast<int>(i) + 1;
+    if (LineAllows(f.raw[i], "no-naked-throw", f.path, line_no, diags,
+                   bad_allow))
+      continue;
+    diags->push_back({f.path, line_no, "no-naked-throw",
+                      "library code reports failure through Status/Result, "
+                      "never exceptions (DESIGN.md §7)"});
+  }
+}
+
+// ------------------------------------------- rule: unchecked-status
+//
+// Phase 1 (per run): collect the names of functions declared in src/ headers
+// whose return type is Status or Result<...>.  Phase 2: flag any statement
+// that *begins* with a call to one of those names — i.e. the returned value
+// is discarded. `(void)` casts, returns, assignments, macro wrapping, and
+// condition contexts all consume the value and do not fire.
+std::set<std::string> CollectStatusFunctions(
+    const std::vector<FileText>& files) {
+  std::set<std::string> names;
+  static const std::regex decl_re(
+      R"(^\s*(?:\[\[nodiscard\]\]\s*)?(?:static\s+|virtual\s+|inline\s+)*(?:::)?(?:galign::)?(?:Status|Result<[^;=]*>)\s+([A-Za-z_]\w*)\s*\()");
+  for (const auto& f : files) {
+    if (f.rel.rfind("src/", 0) != 0 || !EndsWith(f.rel, ".h")) continue;
+    for (const auto& line : f.sanitized) {
+      std::smatch m;
+      if (std::regex_search(line, m, decl_re)) names.insert(m[1].str());
+    }
+  }
+  // Never treat common identifier names as Status factories even if a
+  // declaration matches: these collide with std/and member names too easily.
+  for (const char* generic : {"OK", "get", "value", "status"})
+    names.erase(generic);
+  return names;
+}
+
+void CheckUncheckedStatus(const FileText& f,
+                          const std::set<std::string>& status_fns,
+                          std::vector<Diagnostic>* diags,
+                          std::set<int>* bad_allow) {
+  // Matches a line that *begins* with a call chain ending in NAME( — e.g.
+  //   Foo(...);   obj.Foo(...)   ns::Obj::Foo(...)   ptr->Foo(...)
+  // Anything consuming the value (return/=/(void)/macro wrap/if-cond) puts a
+  // token before the chain and fails the anchored match.
+  static const std::regex stmt_re(
+      R"(^\s*(?:[A-Za-z_]\w*\s*(?:::|\.|->)\s*)*([A-Za-z_]\w*)\s*\()");
+  for (size_t i = 0; i < f.sanitized.size(); ++i) {
+    const std::string& line = f.sanitized[i];
+    std::smatch m;
+    if (!std::regex_search(line, m, stmt_re) || m.position(0) != 0) continue;
+    const std::string name = m[1].str();
+    if (status_fns.count(name) == 0) continue;
+    // The value is only discarded when the statement ends right after the
+    // call: balance parentheses from the call's '(' and require the next
+    // token to be ';'. A following '.', '->', etc. (e.g. .CheckOK(), .ok())
+    // consumes the result. Calls spanning lines are matched by scanning the
+    // following lines too (bounded lookahead).
+    size_t open = line.find('(', m.position(1));
+    int depth = 0;
+    size_t row = i, col = open;
+    bool closed = false;
+    for (size_t lookahead = 0; lookahead < 40 && row < f.sanitized.size();
+         ++lookahead) {
+      const std::string& l = f.sanitized[row];
+      for (; col < l.size(); ++col) {
+        if (l[col] == '(') ++depth;
+        if (l[col] == ')' && --depth == 0) {
+          closed = true;
+          break;
+        }
+      }
+      if (closed) break;
+      ++row;
+      col = 0;
+    }
+    if (!closed) continue;
+    // Next non-space character after the close paren decides.
+    char next = '\0';
+    for (size_t r2 = row, c2 = col + 1; r2 < f.sanitized.size(); ++r2) {
+      const std::string& l = f.sanitized[r2];
+      const size_t pos = l.find_first_not_of(" \t", c2);
+      if (pos != std::string::npos) {
+        next = l[pos];
+        break;
+      }
+      c2 = 0;
+    }
+    if (next != ';') continue;
+    // Heuristic: the previous sanitized line must end a statement/block so
+    // this really is an expression statement, not e.g. a continuation of
+    // `return` or `=` from the line above, a declaration, or an if-cond.
+    std::string prev;
+    for (size_t j = i; j-- > 0;) {
+      const auto& pl = f.sanitized[j];
+      const size_t last = pl.find_last_not_of(" \t");
+      if (last == std::string::npos) continue;
+      prev = pl.substr(0, last + 1);
+      break;
+    }
+    if (!prev.empty()) {
+      const char tail = prev.back();
+      if (tail != ';' && tail != '{' && tail != '}' && tail != ':') continue;
+    }
+    const int line_no = static_cast<int>(i) + 1;
+    if (LineAllows(f.raw[i], "unchecked-status", f.path, line_no, diags,
+                   bad_allow))
+      continue;
+    diags->push_back({f.path, line_no, "unchecked-status",
+                      "result of Status/Result-returning call '" + name +
+                          "' is discarded; check it, propagate it "
+                          "(GALIGN_RETURN_NOT_OK), or assert it "
+                          "(GALIGN_CHECK_OK)"});
+  }
+}
+
+// -------------------------------------------------------------- scanning
+bool IsSourceFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+std::string RelPath(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec ? p : rel).generic_string();
+  return s;
+}
+
+bool LoadFile(const fs::path& root, const fs::path& p, FileText* out) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  out->path = p.generic_string();
+  out->rel = RelPath(root, p);
+  out->raw = SplitLines(text);
+  out->sanitized = SplitLines(Sanitize(text));
+  return true;
+}
+
+void PrintDag() {
+  std::printf("# galign layering DAG (module: allowed includes)\n");
+  for (const auto& r : kLayerDag) {
+    std::printf("%s:", r.module);
+    if (r.may_include.empty()) std::printf(" (nothing below it)");
+    for (const char* a : r.may_include) std::printf(" %s", a);
+    std::printf("\n");
+  }
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: galign_lint [--root=DIR] [--print-dag] [paths...]\n"
+      "  Scans src/ bench/ examples/ tests/ tools/ under --root (default:\n"
+      "  current directory) unless explicit paths are given. Paths may be\n"
+      "  files or directories. Exit: 0 clean, 1 violations, 2 error.\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  std::vector<fs::path> paths;
+  bool print_dag = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--root=", 0) == 0) {
+      root = fs::path(arg.substr(7));
+    } else if (arg == "--root" && i + 1 < argc) {
+      root = fs::path(argv[++i]);
+    } else if (arg == "--print-dag") {
+      print_dag = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      paths.emplace_back(arg);
+    }
+  }
+  if (print_dag) {
+    PrintDag();
+    return 0;
+  }
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::fprintf(stderr, "galign_lint: bad --root: %s\n", ec.message().c_str());
+    return 2;
+  }
+  if (paths.empty()) {
+    for (const char* d : {"src", "bench", "examples", "tests", "tools"}) {
+      if (fs::exists(root / d)) paths.push_back(root / d);
+    }
+  }
+
+  std::vector<FileText> files;
+  for (const auto& p : paths) {
+    const fs::path abs = p.is_absolute() ? p : root / p;
+    if (!fs::exists(abs)) {
+      std::fprintf(stderr, "galign_lint: no such path: %s\n",
+                   abs.generic_string().c_str());
+      return 2;
+    }
+    if (fs::is_directory(abs)) {
+      for (auto it = fs::recursive_directory_iterator(abs);
+           it != fs::recursive_directory_iterator(); ++it) {
+        const fs::path& f = it->path();
+        const std::string g = f.generic_string();
+        // Fixture trees deliberately contain violations; skip them unless
+        // the fixture dir itself was passed as the scan path.
+        if (Contains(g, "lint_fixtures") &&
+            !Contains(abs.generic_string(), "lint_fixtures")) {
+          if (it->is_directory()) it.disable_recursion_pending();
+          continue;
+        }
+        if (Contains(g, "/build")) {
+          if (it->is_directory()) it.disable_recursion_pending();
+          continue;
+        }
+        if (it->is_regular_file() && IsSourceFile(f)) {
+          FileText ft;
+          if (LoadFile(root, f, &ft)) files.push_back(std::move(ft));
+        }
+      }
+    } else if (IsSourceFile(abs)) {
+      FileText ft;
+      if (LoadFile(root, abs, &ft)) files.push_back(std::move(ft));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const FileText& a, const FileText& b) { return a.rel < b.rel; });
+
+  const std::set<std::string> status_fns = CollectStatusFunctions(files);
+
+  std::vector<Diagnostic> diags;
+  for (const auto& f : files) {
+    std::set<int> bad_allow_seen;
+    CheckLayering(f, &diags, &bad_allow_seen);
+    CheckNondeterminism(f, &diags, &bad_allow_seen);
+    CheckUnbudgetedAlloc(f, &diags, &bad_allow_seen);
+    CheckNakedThrow(f, &diags, &bad_allow_seen);
+    CheckUncheckedStatus(f, status_fns, &diags, &bad_allow_seen);
+  }
+
+  for (const auto& d : diags) {
+    std::printf("%s:%d: %s: %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  if (!diags.empty()) {
+    std::fprintf(stderr, "galign_lint: %zu violation(s) in %zu file(s)\n",
+                 diags.size(), files.size());
+    return 1;
+  }
+  std::printf("galign_lint: clean (%zu files scanned)\n", files.size());
+  return 0;
+}
