@@ -5,6 +5,8 @@
 // full training epoch. Run with --benchmark_filter=... to narrow.
 #include <benchmark/benchmark.h>
 
+#include "bench/gbench_main.h"
+
 #include "autograd/ops.h"
 #include "autograd/tape.h"
 #include "core/gcn.h"
@@ -211,4 +213,4 @@ BENCHMARK(BM_NormalizedAdjacency)->Arg(1000)->Arg(10000)->Arg(100000);
 }  // namespace
 }  // namespace galign
 
-BENCHMARK_MAIN();
+GALIGN_BENCHMARK_MAIN();

@@ -22,6 +22,35 @@ BENCH_DIR="$(dirname "$0")/../build/bench"
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 ARGS=("$@")
 
+# Recorded BENCH_*.json snapshots carry provenance (bench/gbench_main.h):
+# the galign build flavor and the git SHA below land in the JSON context.
+GALIGN_GIT_SHA="$(git -C "${REPO_ROOT}" describe --always --dirty 2>/dev/null \
+  || echo unknown)"
+export GALIGN_GIT_SHA
+
+# Refuse to (over)write perf snapshots from a non-release tree: a debug
+# recording would poison the cross-PR perf trajectory. The stamp is read
+# back from the binary itself, not from the build cache, so a stale
+# reconfigure can't lie about what was actually compiled.
+build_type_of() {
+  "$1" --galign_print_build_type 2>/dev/null || echo missing
+}
+
+record_json() {
+  # record_json <binary> <output.json> [extra bench args...]
+  local bin="$1" out="$2"
+  shift 2
+  local flavor
+  flavor="$(build_type_of "${bin}")"
+  if [ "${flavor}" != "release" ] && [ "${flavor}" != "relwithdebinfo" ]; then
+    echo "(REFUSED: $(basename "${bin}") is a '${flavor:-unknown}' build;" \
+         "rebuild with CMAKE_BUILD_TYPE=Release to record $(basename "${out}"))"
+    return 1
+  fi
+  "${bin}" "$@" --benchmark_format=json > "${out}.tmp" \
+    && mv "${out}.tmp" "${out}"
+}
+
 # Give every bench its own state dir so --resume sweeps stay tidy.
 RESUME=0
 for a in "$@"; do
@@ -59,6 +88,13 @@ echo "### bench_kernels"
 # trajectory across PRs (BM_*Reference entries are the retained naive
 # kernels, so each snapshot carries its own before/after ratio).
 echo "### bench_kernels (json -> BENCH_kernels.json)"
-"${BENCH_DIR}/bench_kernels" --benchmark_min_time=0.2 \
-    --benchmark_format=json > "${REPO_ROOT}/BENCH_kernels.json" \
+record_json "${BENCH_DIR}/bench_kernels" "${REPO_ROOT}/BENCH_kernels.json" \
+    --benchmark_min_time=0.2 \
   || echo "(FAILED: bench_kernels json)"
+
+# ANN retrieval layer (DESIGN.md §11): build cost, recall-vs-QPS sweeps,
+# and the headline ANN-routed vs exact AlignTopK speedup at 20k nodes.
+echo "### bench_ann (json -> BENCH_ann.json)"
+record_json "${BENCH_DIR}/bench_ann" "${REPO_ROOT}/BENCH_ann.json" \
+    --benchmark_min_time=0.2 \
+  || echo "(FAILED: bench_ann json)"

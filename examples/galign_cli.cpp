@@ -13,6 +13,10 @@
 //              [--hungarian]                  # optimal 1-1 instead of greedy
 //              [--epochs=30] [--dim=128]
 //              [--mem-budget=512m]            # cap matrix memory (k/m/g)
+//              [--topk=10]                    # k for the top-k path
+//              [--ann=auto|on|off]            # sublinear candidate retrieval
+//              [--ann-backend=lsh|hnsw]
+//              [--ann-recall-target=0.98]
 //
 // With no --*-out flags, the top anchors are printed to stdout.
 //
@@ -21,6 +25,12 @@
 // row-blocked top-k kernel and emits top-1 anchors instead of dying on
 // bad_alloc (--matrix-out and --hungarian need the dense matrix and are
 // unavailable in that mode).
+//
+// --ann controls the DESIGN.md §11 retrieval layer on the top-k path:
+// "auto" (default) routes AlignTopK through the ANN index when both
+// networks clear the size threshold, "on" forces it, "off" keeps the
+// exact chunked scan. Only methods with an ANN route (galign, regal,
+// degree, attrs) consult it; the dense Align path is always exact.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,11 +46,13 @@
 #include "baselines/final.h"
 #include "baselines/ione.h"
 #include "baselines/isorank.h"
+#include "baselines/naive.h"
 #include "baselines/netalign.h"
 #include "baselines/pale.h"
 #include "baselines/regal.h"
 #include "baselines/unialign.h"
 #include "core/galign.h"
+#include "graph/ann/ann_index.h"
 #include "graph/io.h"
 #include "graph/stats.h"
 
@@ -58,6 +70,8 @@ struct CliOptions {
   int epochs = 30;
   int64_t dim = 128;
   uint64_t mem_budget = 0;  ///< 0 = unbounded
+  int64_t topk = 10;        ///< k for the budget-degraded top-k path
+  AnnPolicy ann;            ///< DESIGN.md §11 retrieval policy
 };
 
 // Parses "1073741824", "512m", "2g", "64k" (suffix case-insensitive).
@@ -110,6 +124,8 @@ std::unique_ptr<Aligner> MakeAligner(const CliOptions& opt) {
   if (opt.method == "netalign") return std::make_unique<NetAlignAligner>();
   if (opt.method == "deeplink") return std::make_unique<DeepLinkAligner>();
   if (opt.method == "ione") return std::make_unique<IoneAligner>();
+  if (opt.method == "degree") return std::make_unique<DegreeRankAligner>();
+  if (opt.method == "attrs") return std::make_unique<AttributeOnlyAligner>();
   return nullptr;
 }
 
@@ -146,16 +162,56 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (ParseFlag(argv[i], "--topk", &flag)) {
+      opt.topk = std::atoll(flag.c_str());
+      if (opt.topk <= 0) {
+        std::fprintf(stderr, "bad --topk value: %s\n", flag.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (ParseFlag(argv[i], "--ann", &flag)) {
+      if (flag == "auto") opt.ann.mode = AnnMode::kAuto;
+      else if (flag == "on") opt.ann.mode = AnnMode::kOn;
+      else if (flag == "off") opt.ann.mode = AnnMode::kOff;
+      else {
+        std::fprintf(stderr, "bad --ann value (auto|on|off): %s\n",
+                     flag.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (ParseFlag(argv[i], "--ann-backend", &flag)) {
+      if (flag == "lsh") opt.ann.config.backend = AnnBackend::kLsh;
+      else if (flag == "hnsw") opt.ann.config.backend = AnnBackend::kHnsw;
+      else {
+        std::fprintf(stderr, "bad --ann-backend value (lsh|hnsw): %s\n",
+                     flag.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (ParseFlag(argv[i], "--ann-recall-target", &flag)) {
+      opt.ann.recall_target = std::atof(flag.c_str());
+      if (!(opt.ann.recall_target > 0.0 && opt.ann.recall_target <= 1.0)) {
+        std::fprintf(stderr, "bad --ann-recall-target value (0 < r <= 1): %s\n",
+                     flag.c_str());
+        return 2;
+      }
+      continue;
+    }
     std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
     return 2;
   }
   if (opt.source.empty() || opt.target.empty()) {
     std::fprintf(stderr,
                  "usage: galign_cli --source=<edges> --target=<edges> "
-                 "[--method=galign|final|isorank|regal|pale|cenalp|unialign|netalign|deeplink|ione] "
+                 "[--method=galign|final|isorank|regal|pale|cenalp|unialign|netalign|deeplink|ione|degree|attrs] "
                  "[--source-attrs=<tsv>] [--target-attrs=<tsv>] "
                  "[--seeds=<pairs>] [--anchors-out=<file>] "
-                 "[--matrix-out=<file>] [--hungarian] [--mem-budget=512m]\n");
+                 "[--matrix-out=<file>] [--hungarian] [--mem-budget=512m] "
+                 "[--topk=10] [--ann=auto|on|off] [--ann-backend=lsh|hnsw] "
+                 "[--ann-recall-target=0.98]\n");
     return 2;
   }
 
@@ -196,25 +252,25 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "unknown method: %s\n", opt.method.c_str());
     return 2;
   }
+  aligner->set_ann_policy(opt.ann);
   std::printf("aligning with %s...\n", aligner->name().c_str());
   RunContext ctx = opt.mem_budget > 0
                        ? RunContext::WithMemoryBudget(opt.mem_budget)
                        : RunContext();
 
-  // Budget-degraded path (DESIGN.md §9): compute only per-row top-k.
-  auto run_chunked = [&]() -> int {
-    std::printf(
-        "dense run exceeds --mem-budget (%llu bytes); degrading to the "
-        "chunked top-k kernel\n",
-        (unsigned long long)opt.mem_budget);
+  // Top-k path: budget degradation (DESIGN.md §9) and the --ann=on route
+  // (DESIGN.md §11) both answer per-row top-k instead of the dense matrix.
+  auto run_chunked = [&](const char* reason) -> int {
+    std::printf("%s; using the top-k path (k=%lld)\n", reason,
+                (long long)opt.topk);
     if (opt.hungarian || !opt.matrix_out.empty()) {
       std::fprintf(stderr,
                    "--hungarian/--matrix-out need the dense matrix and are "
-                   "unavailable under --mem-budget degradation\n");
+                   "unavailable on the top-k path\n");
       return 2;
     }
     auto topk = aligner->AlignTopK(src.ValueOrDie(), tgt.ValueOrDie(), sup,
-                                   ctx, /*k=*/10);
+                                   ctx, opt.topk);
     if (!topk.ok()) {
       std::fprintf(stderr, "alignment failed: %s\n",
                    topk.status().ToString().c_str());
@@ -251,17 +307,22 @@ int main(int argc, char** argv) {
     return 0;
   };
 
+  if (opt.ann.mode == AnnMode::kOn) {
+    return run_chunked("--ann=on requests index-routed retrieval");
+  }
   if (opt.mem_budget > 0) {
     const uint64_t estimate = aligner->EstimatePeakBytes(
         src.ValueOrDie().num_nodes(), tgt.ValueOrDie().num_nodes(),
         src.ValueOrDie().attributes().cols());
-    if (estimate > opt.mem_budget) return run_chunked();
+    if (estimate > opt.mem_budget) {
+      return run_chunked("dense run exceeds --mem-budget");
+    }
   }
   auto s = aligner->Align(src.ValueOrDie(), tgt.ValueOrDie(), sup, ctx);
   if (!s.ok()) {
     if (opt.mem_budget > 0 &&
         s.status().code() == StatusCode::kResourceExhausted) {
-      return run_chunked();
+      return run_chunked("dense run exhausted --mem-budget");
     }
     std::fprintf(stderr, "alignment failed: %s\n",
                  s.status().ToString().c_str());

@@ -91,6 +91,13 @@ run_asan_stage() {
   ctest --test-dir "${build_dir}" --output-on-failure \
     -R "BudgetDegradation|DegenerateConformance|MemoryBudget|MemoryScope"
 
+  # ANN recall smoke gate (DESIGN.md §11): fixed-seed generator graphs run
+  # end to end through ANN-routed aligners, measured against the exact
+  # chunked oracle — both backends must hold the recall target, and the
+  # degenerate/conformance sweep covers empty/single-node/k>=n inputs.
+  echo "=== ANN recall smoke gate (ASan+UBSan) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -R "AnnRecall"
+
   echo "=== full suite (ASan+UBSan) ==="
   if [ "${#ctest_args[@]}" -gt 0 ]; then
     ctest --test-dir "${build_dir}" --output-on-failure "${ctest_args[@]}"

@@ -11,6 +11,7 @@
 #include "common/rng.h"
 #include "common/run_context.h"
 #include "common/status.h"
+#include "graph/ann/ann_index.h"
 #include "graph/graph.h"
 #include "graph/noise.h"
 #include "graph/similarity_chunked.h"
@@ -90,6 +91,19 @@ class Aligner {
                                           const Supervision& supervision,
                                           const RunContext& ctx,
                                           int64_t k);
+
+  /// \brief Candidate-retrieval policy consulted by AlignTopK overrides
+  /// with an ANN route (GAlign, REGAL, DegreeRank, AttributeOnly —
+  /// DESIGN.md §11).
+  ///
+  /// Defaults to AnnMode::kAuto: small problems keep the exact chunked
+  /// scan, problems past policy.min_rows route through the index. Methods
+  /// without an ANN route ignore it.
+  void set_ann_policy(const AnnPolicy& policy) { ann_policy_ = policy; }
+  const AnnPolicy& ann_policy() const { return ann_policy_; }
+
+ protected:
+  AnnPolicy ann_policy_;
 };
 
 /// \brief Pre-flight admission for one aligner run (DESIGN.md §9).

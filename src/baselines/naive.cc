@@ -1,10 +1,145 @@
 #include "baselines/naive.h"
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
+#include <new>
+#include <utility>
+#include <vector>
 
+#include "graph/ann/ann.h"
 #include "la/ops.h"
 
 namespace galign {
+
+namespace {
+
+// The degree-similarity kernel shared by every DegreeRank path. One
+// expression, so the retrieval route below produces bitwise-identical
+// scores (and therefore identical ties) to the dense scan.
+inline double DegreeScore(double dv, double du) {
+  const double denom = std::max(1.0, std::max(dv, du));
+  return 1.0 - std::fabs(dv - du) / denom;
+}
+
+// Exact sublinear DegreeRank retrieval: the score is monotone on both
+// sides of du == dv (non-increasing as du walks away from dv), so the
+// top-k of a row is contained in a contiguous band of the degree-sorted
+// target list. Targets are grouped by degree; groups are consumed in
+// descending score order by a two-sided merge, and every group tied with
+// the k-th best score is included so TopKSelect can settle ties by lowest
+// id — making the output identical to the O(n1 * n2) chunked scan.
+// Worst case (many groups tied, e.g. isolated query nodes scoring 0
+// against everything) degrades to O(n2) for that row, the exact cost the
+// dense path always pays.
+Result<TopKAlignment> DegreeTopK(const AttributedGraph& source,
+                                 const AttributedGraph& target, int64_t k,
+                                 const RunContext& ctx) {
+  if (k <= 0) {
+    return Status::InvalidArgument("DegreeTopK: k must be > 0");
+  }
+  const int64_t n1 = source.num_nodes();
+  const int64_t n2 = target.num_nodes();
+  k = std::min(k, n2);
+
+  TopKAlignment out;
+  out.rows = n1;
+  out.cols = n2;
+  out.k = k;
+  MemoryScope scope;
+  GALIGN_RETURN_NOT_OK(MemoryScope::Reserve(
+      ctx.budget(),
+      TopKOutputBytes(n1, k) + static_cast<uint64_t>(n2) * 3 * sizeof(int64_t),
+      "degree top-k retrieval", &scope));
+  try {
+    out.index.assign(static_cast<size_t>(n1) * k, -1);
+    out.score.assign(static_cast<size_t>(n1) * k,
+                     -std::numeric_limits<double>::infinity());
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("DegreeTopK: output does not fit");
+  }
+  if (k == 0) {
+    out.rows_computed = n1;
+    return out;
+  }
+
+  // Degree-sorted target ids (ascending id within equal degree) and the
+  // group structure over them.
+  std::vector<std::pair<int64_t, int64_t>> by_deg(static_cast<size_t>(n2));
+  for (int64_t u = 0; u < n2; ++u) by_deg[u] = {target.Degree(u), u};
+  std::sort(by_deg.begin(), by_deg.end());
+  std::vector<int64_t> gstart;  // index of each group's first entry
+  for (int64_t i = 0; i < n2; ++i) {
+    if (i == 0 || by_deg[i].first != by_deg[i - 1].first) gstart.push_back(i);
+  }
+  gstart.push_back(n2);
+  const int64_t groups = static_cast<int64_t>(gstart.size()) - 1;
+
+  std::vector<int64_t> cand;
+  std::vector<double> scores;
+  std::vector<int64_t> sel(static_cast<size_t>(k));
+  constexpr int64_t kPollRows = 256;
+  for (int64_t v = 0; v < n1; ++v) {
+    if ((v % kPollRows) == 0 && ctx.ShouldStop()) break;
+    const double dv = static_cast<double>(source.Degree(v));
+    // First group with degree >= dv.
+    int64_t lo = 0, hi = groups;
+    while (lo < hi) {
+      const int64_t mid = (lo + hi) / 2;
+      if (static_cast<double>(by_deg[gstart[mid]].first) < dv) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    int64_t left = lo - 1, right = lo;
+    cand.clear();
+    int64_t count = 0;
+    double threshold = 0.0;
+    bool have_threshold = false;
+    auto group_score = [&](int64_t g) {
+      return DegreeScore(dv, static_cast<double>(by_deg[gstart[g]].first));
+    };
+    while (left >= 0 || right < groups) {
+      const double sl = left >= 0 ? group_score(left) : -1.0;
+      const double sr = right < groups ? group_score(right) : -1.0;
+      const double s = std::max(sl, sr);
+      if (have_threshold && s < threshold) break;
+      const int64_t g = sr >= sl ? right : left;
+      for (int64_t i = gstart[g]; i < gstart[g + 1]; ++i) {
+        cand.push_back(by_deg[i].second);
+      }
+      count += gstart[g + 1] - gstart[g];
+      if (sr >= sl) {
+        ++right;
+      } else {
+        --left;
+      }
+      if (!have_threshold && count >= k) {
+        threshold = s;  // the k-th best score lives in this group
+        have_threshold = true;
+      }
+    }
+    std::sort(cand.begin(), cand.end());
+    scores.resize(cand.size());
+    for (size_t c = 0; c < cand.size(); ++c) {
+      scores[c] = DegreeScore(
+          dv, static_cast<double>(target.Degree(cand[c])));
+    }
+    TopKSelect(scores.data(), static_cast<int64_t>(cand.size()), k,
+               sel.data(), &out.score[v * k]);
+    for (int64_t j = 0; j < k; ++j) {
+      out.index[v * k + j] =
+          sel[static_cast<size_t>(j)] >= 0
+              ? cand[static_cast<size_t>(sel[static_cast<size_t>(j)])]
+              : -1;
+    }
+    out.rows_computed = v + 1;
+  }
+  return out;
+}
+
+}  // namespace
 
 Result<Matrix> DegreeRankAligner::Align(const AttributedGraph& source,
                                         const AttributedGraph& target,
@@ -21,10 +156,8 @@ Result<Matrix> DegreeRankAligner::Align(const AttributedGraph& source,
   for (int64_t v = 0; v < source.num_nodes(); ++v) {
     double dv = static_cast<double>(source.Degree(v));
     for (int64_t u = 0; u < target.num_nodes(); ++u) {
-      double du = static_cast<double>(target.Degree(u));
       // Relative-difference kernel keeps hubs comparable with hubs.
-      double denom = std::max(1.0, std::max(dv, du));
-      s(v, u) = 1.0 - std::fabs(dv - du) / denom;
+      s(v, u) = DegreeScore(dv, static_cast<double>(target.Degree(u)));
     }
   }
   return s;
@@ -47,6 +180,12 @@ Result<TopKAlignment> DegreeRankAligner::AlignTopK(
   }
   const int64_t n1 = source.num_nodes();
   const int64_t n2 = target.num_nodes();
+  // The degree kernel admits *exact* sublinear retrieval (no recall loss),
+  // so the routed path answers from the degree-sorted group structure in
+  // O(k log k) per row; kOff keeps the O(n1 * n2) chunked scan.
+  if (ShouldUseAnn(ann_policy_, n1, n2)) {
+    return DegreeTopK(source, target, k, ctx);
+  }
   auto block_rows = BudgetedBlockRows(n1, k, DenseBytes(1, n2), ctx);
   GALIGN_RETURN_NOT_OK(block_rows.status());
   auto fill = [&](int64_t r0, int64_t nrows, Matrix* block) -> Status {
@@ -54,8 +193,7 @@ Result<TopKAlignment> DegreeRankAligner::AlignTopK(
       double dv = static_cast<double>(source.Degree(r0 + i));
       for (int64_t u = 0; u < n2; ++u) {
         double du = static_cast<double>(target.Degree(u));
-        double denom = std::max(1.0, std::max(dv, du));
-        (*block)(i, u) = 1.0 - std::fabs(dv - du) / denom;
+        (*block)(i, u) = DegreeScore(dv, du);
       }
     }
     return Status::OK();
@@ -105,18 +243,24 @@ Result<TopKAlignment> AttributeOnlyAligner::AlignTopK(
   }
   const int64_t n1 = source.num_nodes();
   const int64_t n2 = target.num_nodes();
-  auto block_rows = BudgetedBlockRows(n1, k, DenseBytes(1, n2), ctx);
-  GALIGN_RETURN_NOT_OK(block_rows.status());
-  auto fill = [&](int64_t r0, int64_t nrows, Matrix* block) -> Status {
-    for (int64_t i = 0; i < nrows; ++i) {
-      for (int64_t u = 0; u < n2; ++u) {
-        (*block)(i, u) =
-            RowCosine(source.attributes(), r0 + i, target.attributes(), u);
-      }
-    }
-    return Status::OK();
-  };
-  return ChunkedTopK(n1, n2, k, block_rows.ValueOrDie(), fill, ctx);
+  // Cosine over rows is an inner product of row-normalized attributes, so
+  // both routes ride the blocked GEMM kernels: exact via the chunked
+  // embedding scan (replacing the old scalar RowCosine loops), approximate
+  // via the ANN index above the policy threshold.
+  const int64_t d = source.num_attributes();
+  MemoryScope norm_scope;
+  GALIGN_RETURN_NOT_OK(MemoryScope::Reserve(
+      ctx.budget(), DenseBytes(n1, d) + DenseBytes(n2, d),
+      "attribute normalization", &norm_scope));
+  std::vector<Matrix> hs, ht;
+  hs.push_back(source.attributes());
+  ht.push_back(target.attributes());
+  hs[0].NormalizeRows();
+  ht[0].NormalizeRows();
+  if (ShouldUseAnn(ann_policy_, n1, n2)) {
+    return AnnEmbeddingTopK(hs, ht, {1.0}, k, ann_policy_, ctx);
+  }
+  return ChunkedEmbeddingTopK(hs, ht, {1.0}, k, ctx);
 }
 
 Result<Matrix> RandomAligner::Align(const AttributedGraph& source,

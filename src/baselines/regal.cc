@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "graph/ann/ann.h"
 #include "la/ops.h"
 
 namespace galign {
@@ -81,6 +82,11 @@ Result<TopKAlignment> RegalAligner::AlignTopK(const AttributedGraph& source,
   std::vector<Matrix> hs, ht;
   hs.push_back(y.Block(0, 0, n1, y.cols()));
   ht.push_back(y.Block(n1, 0, n2, y.cols()));
+  // Rows are unit-normalized, so the single-layer inner product is cosine —
+  // exactly the metric the ANN backends index.
+  if (ShouldUseAnn(ann_policy_, n1, n2)) {
+    return AnnEmbeddingTopK(hs, ht, {1.0}, k, ann_policy_, ctx);
+  }
   return ChunkedEmbeddingTopK(hs, ht, {1.0}, k, ctx);
 }
 

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/refinement.h"
+#include "graph/ann/ann.h"
 #include "la/ops.h"
 #include "core/trainer.h"
 
@@ -123,7 +124,7 @@ Result<TopKAlignment> GAlignAligner::AlignTopK(const AttributedGraph& source,
   std::vector<Matrix> hs, ht;
   if (config_.use_refinement) {
     auto refined = RefineAlignment(gcn, source, target, config_, ctx,
-                                   /*materialize=*/false);
+                                   /*materialize=*/false, &ann_policy_);
     if (!refined.ok()) return refined.status();
     last_refinement_scores_ = refined.ValueOrDie().score_history;
     hs = std::move(refined.ValueOrDie().source_embeddings);
@@ -147,6 +148,9 @@ Result<TopKAlignment> GAlignAligner::AlignTopK(const AttributedGraph& source,
     for (const Matrix& h : ht) live += DenseBytes(h.rows(), h.cols());
     GALIGN_RETURN_NOT_OK(MemoryScope::Reserve(
         ctx.budget(), live, name_ + " refined embeddings", &embed_scope));
+  }
+  if (ShouldUseAnn(ann_policy_, source.num_nodes(), target.num_nodes())) {
+    return AnnEmbeddingTopK(hs, ht, theta, k, ann_policy_, ctx);
   }
   return ChunkedEmbeddingTopK(hs, ht, theta, k, ctx);
 }

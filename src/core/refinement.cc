@@ -5,6 +5,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "graph/ann/ann.h"
 #include "la/ops.h"
 
 namespace galign {
@@ -100,16 +101,115 @@ StabilityScan ScanStability(const std::vector<Matrix>& hs,
   return out;
 }
 
+Result<StabilityScan> ScanStabilityCandidates(const std::vector<Matrix>& hs,
+                                              const std::vector<Matrix>& ht,
+                                              const std::vector<double>& theta,
+                                              double lambda,
+                                              const AnnPolicy& policy,
+                                              const RunContext& ctx) {
+  GALIGN_DCHECK(hs.size() == ht.size() && hs.size() == theta.size());
+  const size_t layers = hs.size();
+  const int64_t n1 = hs[0].rows();
+  const int64_t n2 = ht[0].rows();
+  const int64_t kc =
+      std::max<int64_t>(1, std::min(policy.refine_candidates, n2));
+
+  auto cand = AnnEmbeddingTopK(hs, ht, theta, kc, policy, ctx);
+  GALIGN_RETURN_NOT_OK(cand.status());
+  const TopKAlignment& topk = cand.ValueOrDie();
+
+  std::vector<std::vector<int64_t>> row_arg(layers,
+                                            std::vector<int64_t>(n1, -1));
+  std::vector<std::vector<double>> row_max(
+      layers, std::vector<double>(n1, -1e300));
+  std::vector<std::vector<int64_t>> col_arg(layers,
+                                            std::vector<int64_t>(n2, -1));
+  std::vector<std::vector<double>> col_max(
+      layers, std::vector<double>(n2, -1e300));
+
+  StabilityScan out;
+  std::vector<int64_t> cands;
+  cands.reserve(static_cast<size_t>(topk.k));
+  for (int64_t v = 0; v < topk.rows_computed; ++v) {
+    cands.clear();
+    for (int64_t j = 0; j < topk.k; ++j) {
+      const int64_t u = topk.index[v * topk.k + j];
+      if (u >= 0) cands.push_back(u);
+    }
+    // Ascending ids so the strict `>` updates below break ties exactly
+    // like the exact scan (first maximum wins).
+    std::sort(cands.begin(), cands.end());
+    double agg_max = -1e300;
+    bool any = false;
+    for (const int64_t u : cands) {
+      double agg = 0.0;
+      for (size_t l = 0; l < layers; ++l) {
+        double s = 0.0;
+        const double* a = hs[l].row_data(v);
+        const double* b = ht[l].row_data(u);
+        for (int64_t c = 0; c < hs[l].cols(); ++c) s += a[c] * b[c];
+        if (s > row_max[l][v]) {
+          row_max[l][v] = s;
+          row_arg[l][v] = u;
+        }
+        if (s > col_max[l][u]) {
+          col_max[l][u] = s;
+          col_arg[l][u] = v;
+        }
+        if (theta[l] != 0.0) agg += theta[l] * s;
+      }
+      if (agg > agg_max) agg_max = agg;
+      any = true;
+    }
+    if (any) out.aggregate_score += agg_max;
+  }
+
+  const size_t first = layers > 1 ? 1 : 0;
+  for (int64_t v = 0; v < n1; ++v) {
+    if (row_arg[first][v] < 0) continue;  // no candidates retrieved
+    bool stable = true;
+    for (size_t l = first; l < layers && stable; ++l) {
+      stable = row_arg[l][v] == row_arg[first][v] && row_max[l][v] > lambda;
+    }
+    if (stable) out.stable_source.push_back(v);
+  }
+  for (int64_t u = 0; u < n2; ++u) {
+    if (col_arg[first][u] < 0) continue;  // never retrieved as a candidate
+    bool stable = true;
+    for (size_t l = first; l < layers && stable; ++l) {
+      stable = col_arg[l][u] == col_arg[first][u] && col_max[l][u] > lambda;
+    }
+    if (stable) out.stable_target.push_back(u);
+  }
+  return out;
+}
+
 Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
                                          const AttributedGraph& source,
                                          const AttributedGraph& target,
                                          const GAlignConfig& config,
                                          const RunContext& ctx,
-                                         bool materialize) {
+                                         bool materialize,
+                                         const AnnPolicy* ann) {
   const std::vector<double> theta = config.EffectiveLayerWeights();
   if (theta.size() != gcn.weights().size() + 1) {
     return Status::InvalidArgument("layer weights do not match GCN depth");
   }
+  // Candidate-pair scan when the policy admits the problem size; the exact
+  // chunked pass otherwise (and as the fallback when an iteration's index
+  // cannot be built, e.g. under a tight memory budget).
+  auto scan_stability = [&](const std::vector<Matrix>& s_layers,
+                            const std::vector<Matrix>& t_layers) {
+    if (ann != nullptr &&
+        ShouldUseAnn(*ann, s_layers[0].rows(), t_layers[0].rows())) {
+      auto approx =
+          ScanStabilityCandidates(s_layers, t_layers, theta,
+                                  config.stability_threshold, *ann, ctx);
+      if (approx.ok()) return approx.MoveValueOrDie();
+    }
+    return ScanStability(s_layers, t_layers, theta,
+                         config.stability_threshold);
+  };
 
   std::vector<double> alpha_s(source.num_nodes(), 1.0);
   std::vector<double> alpha_t(target.num_nodes(), 1.0);
@@ -142,7 +242,7 @@ Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
   GALIGN_RETURN_NOT_OK(embed(alpha_s, alpha_t, &hs, &ht));
 
   RefinementResult result;
-  StabilityScan scan = ScanStability(hs, ht, theta, config.stability_threshold);
+  StabilityScan scan = scan_stability(hs, ht);
   result.best_score = scan.aggregate_score;
   result.best_iteration = 0;
   result.score_history.push_back(scan.aggregate_score);
@@ -181,7 +281,7 @@ Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
           << result.best_iteration;
       break;
     }
-    scan = ScanStability(hs, ht, theta, config.stability_threshold);
+    scan = scan_stability(hs, ht);
     result.score_history.push_back(scan.aggregate_score);
     const double prev = result.score_history[result.score_history.size() - 2];
     const double improvement =

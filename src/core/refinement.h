@@ -17,6 +17,7 @@
 #include "common/status.h"
 #include "core/config.h"
 #include "core/gcn.h"
+#include "graph/ann/ann_index.h"
 #include "graph/graph.h"
 #include "la/matrix.h"
 
@@ -44,6 +45,21 @@ struct StabilityScan {
 StabilityScan ScanStability(const std::vector<Matrix>& hs,
                             const std::vector<Matrix>& ht,
                             const std::vector<double>& theta, double lambda);
+
+/// \brief Candidate-pair stability scan (DESIGN.md §11): O(n * k̃) instead
+/// of O(n1 * n2).
+///
+/// Retrieves policy.refine_candidates targets per source row from an ANN
+/// index over the concatenated target layers, then evaluates the per-layer
+/// argmax statistics of Eq. 13 over those pairs only. Row statistics are
+/// exact whenever the aggregate argmax is recalled; column statistics are
+/// maxima over the retrieved pair set (the symmetric condition evaluated
+/// on the same candidates, not a second index). Tie-breaking matches
+/// ScanStability: first maximum wins, scanning ascending ids.
+[[nodiscard]] Result<StabilityScan> ScanStabilityCandidates(
+    const std::vector<Matrix>& hs, const std::vector<Matrix>& ht,
+    const std::vector<double>& theta, double lambda, const AnnPolicy& policy,
+    const RunContext& ctx);
 
 /// Outcome of the refinement search.
 struct RefinementResult {
@@ -77,11 +93,17 @@ struct RefinementResult {
 /// streams in row chunks); the only dense materialization is the final
 /// aggregation, skipped when `materialize` is false (DESIGN.md §9's
 /// budget-degraded path, which consumes the embeddings instead).
+///
+/// When `ann` is non-null and ShouldUseAnn admits the problem size, each
+/// iteration's stability scan runs over retrieved candidate pairs
+/// (ScanStabilityCandidates) instead of the full cross product; a scan
+/// whose index cannot be admitted falls back to the exact pass.
 [[nodiscard]] Result<RefinementResult> RefineAlignment(const MultiOrderGcn& gcn,
                                          const AttributedGraph& source,
                                          const AttributedGraph& target,
                                          const GAlignConfig& config,
                                          const RunContext& ctx = RunContext(),
-                                         bool materialize = true);
+                                         bool materialize = true,
+                                         const AnnPolicy* ann = nullptr);
 
 }  // namespace galign

@@ -1,0 +1,38 @@
+// Internal seams of the ANN module: per-backend build entry points and the
+// small helpers both backends share. Not part of the public surface —
+// include graph/ann/ann_index.h instead.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "graph/ann/ann_index.h"
+#include "la/matrix.h"
+
+namespace galign {
+namespace ann_internal {
+
+Result<std::unique_ptr<AnnIndex>> BuildLshIndex(Matrix base,
+                                                const AnnConfig& config,
+                                                const RunContext& ctx);
+
+Result<std::unique_ptr<AnnIndex>> BuildHnswIndex(Matrix base,
+                                                 const AnnConfig& config,
+                                                 const RunContext& ctx);
+
+/// Allocates the -1 / -inf padded TopKAlignment skeleton shared by both
+/// QueryBatch implementations (rows_computed stays 0 for the caller to
+/// advance).
+Result<TopKAlignment> MakeEmptyTopK(int64_t rows, int64_t cols, int64_t k);
+
+/// Plain inner product of two length-d rows (the re-ranking metric).
+inline double RowDot(const double* a, const double* b, int64_t d) {
+  double acc = 0.0;
+  for (int64_t i = 0; i < d; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace ann_internal
+}  // namespace galign

@@ -1,0 +1,458 @@
+// HNSW-style navigable small-world index (Malkov & Yashunin 2018),
+// simplified for determinism and an immutable serving path:
+//
+//   * nodes are inserted strictly in row order 0..n-1 and level draws come
+//     from one seeded Rng stream, so the graph is identical run-to-run;
+//   * every heap comparison breaks similarity ties toward the smaller id,
+//     keeping search results well-ordered under the repo's lowest-index
+//     tie contract;
+//   * after construction the per-level adjacency is frozen into CSR-style
+//     offset + neighbor arrays (the same layout graph/ uses for sparse
+//     structure), which is what queries traverse — no per-node vectors on
+//     the read path.
+//
+// The metric is inner product. Callers hand in rows of constant norm
+// (unit-normalized layers / their theta-scaled concatenation), which makes
+// inner product order-equivalent to cosine and keeps greedy routing sound.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <queue>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "common/run_context.h"
+#include "common/status.h"
+#include "graph/ann/backends.h"
+#include "graph/similarity_chunked.h"
+#include "la/matrix.h"
+
+namespace galign {
+namespace ann_internal {
+namespace {
+
+constexpr int64_t kQueryBlockRows = 256;
+constexpr int32_t kMaxLevelCap = 30;
+// Visited-stamp epochs consumed per insert/query: one per descended level
+// plus one per insert-layer search, kept disjoint by construction.
+constexpr int64_t kEpochStride = 2 * (kMaxLevelCap + 2);
+
+struct Cand {
+  double sim;
+  int32_t id;
+};
+
+// Descending by similarity, ties toward the smaller id — the one ordering
+// every heap and result list below uses.
+inline bool Better(const Cand& a, const Cand& b) {
+  return a.sim != b.sim ? a.sim > b.sim : a.id < b.id;
+}
+
+// Pops the best candidate first (a "less" that ranks worse elements higher).
+struct WorseFirst {
+  bool operator()(const Cand& a, const Cand& b) const { return Better(b, a); }
+};
+// Keeps the worst element on top (bounded result set eviction).
+struct BestFirst {
+  bool operator()(const Cand& a, const Cand& b) const { return Better(a, b); }
+};
+
+using CandMaxHeap = std::priority_queue<Cand, std::vector<Cand>, WorseFirst>;
+using CandMinHeap = std::priority_queue<Cand, std::vector<Cand>, BestFirst>;
+
+class HnswIndex final : public AnnIndex {
+ public:
+  HnswIndex(Matrix base, const AnnConfig& config, MemoryScope scope)
+      : base_(std::move(base)),
+        m_(std::max<int64_t>(2, config.hnsw_degree)),
+        m0_(2 * std::max<int64_t>(2, config.hnsw_degree)),
+        ef_construction_(
+            std::max<int64_t>(config.hnsw_ef_construction, m_ + 1)),
+        ef_search_(std::max<int64_t>(1, config.hnsw_ef_search)),
+        seed_(config.seed),
+        scope_(std::move(scope)) {}
+
+  std::string name() const override { return "hnsw"; }
+  int64_t size() const override { return indexed_; }
+  int64_t dim() const override { return base_.cols(); }
+  bool truncated() const override { return indexed_ < base_.rows(); }
+
+  uint64_t MemoryBytes() const override {
+    uint64_t bytes = DenseBytes(base_.rows(), base_.cols());
+    for (const auto& l : level_offsets_) bytes += l.size() * sizeof(int64_t);
+    for (const auto& l : level_nbrs_) bytes += l.size() * sizeof(int32_t);
+    return bytes;
+  }
+
+  Status Build(const RunContext& ctx);
+
+  [[nodiscard]] Result<TopKAlignment> QueryBatch(
+      const Matrix& queries, int64_t k, const RunContext& ctx) const override;
+
+ private:
+  int64_t Cap(int32_t level) const { return level == 0 ? m0_ : m_; }
+
+  double Sim(const double* q, int32_t id) const {
+    return RowDot(q, base_.row_data(id), base_.cols());
+  }
+
+  // Beam search over one level of the build-time adjacency. Entry points
+  // must already be stamped `epoch` in *visited. Results land in `out`
+  // sorted best-first.
+  void SearchLayerBuild(const double* q, const std::vector<Cand>& entries,
+                        int64_t ef, int32_t level, int64_t epoch,
+                        std::vector<int64_t>* visited,
+                        std::vector<Cand>* out) const {
+    const auto& adj = build_adj_[static_cast<size_t>(level)];
+    CandMaxHeap candidates;
+    CandMinHeap results;
+    for (const Cand& e : entries) {
+      candidates.push(e);
+      results.push(e);
+    }
+    while (results.size() > static_cast<size_t>(ef)) results.pop();
+    while (!candidates.empty()) {
+      const Cand c = candidates.top();
+      candidates.pop();
+      if (results.size() >= static_cast<size_t>(ef) &&
+          Better(results.top(), c)) {
+        break;
+      }
+      for (int32_t u : adj[static_cast<size_t>(c.id)]) {
+        if ((*visited)[u] == epoch) continue;
+        (*visited)[u] = epoch;
+        const Cand uc{Sim(q, u), u};
+        if (results.size() < static_cast<size_t>(ef) ||
+            Better(uc, results.top())) {
+          candidates.push(uc);
+          results.push(uc);
+          if (results.size() > static_cast<size_t>(ef)) results.pop();
+        }
+      }
+    }
+    out->clear();
+    while (!results.empty()) {
+      out->push_back(results.top());
+      results.pop();
+    }
+    std::sort(out->begin(), out->end(), Better);
+  }
+
+  // Same beam search over the frozen CSR arrays (query path, no locks, no
+  // mutation — safe under concurrent callers).
+  void SearchLayerFrozen(const double* q, const std::vector<Cand>& entries,
+                         int64_t ef, int32_t level, int64_t epoch,
+                         std::vector<int64_t>* visited,
+                         std::vector<Cand>* out) const {
+    const auto& offsets = level_offsets_[static_cast<size_t>(level)];
+    const auto& nbrs = level_nbrs_[static_cast<size_t>(level)];
+    CandMaxHeap candidates;
+    CandMinHeap results;
+    for (const Cand& e : entries) {
+      candidates.push(e);
+      results.push(e);
+    }
+    while (results.size() > static_cast<size_t>(ef)) results.pop();
+    while (!candidates.empty()) {
+      const Cand c = candidates.top();
+      candidates.pop();
+      if (results.size() >= static_cast<size_t>(ef) &&
+          Better(results.top(), c)) {
+        break;
+      }
+      const int64_t b = offsets[static_cast<size_t>(c.id)];
+      const int64_t e = offsets[static_cast<size_t>(c.id) + 1];
+      for (int64_t j = b; j < e; ++j) {
+        const int32_t u = nbrs[static_cast<size_t>(j)];
+        if ((*visited)[u] == epoch) continue;
+        (*visited)[u] = epoch;
+        const Cand uc{Sim(q, u), u};
+        if (results.size() < static_cast<size_t>(ef) ||
+            Better(uc, results.top())) {
+          candidates.push(uc);
+          results.push(uc);
+          if (results.size() > static_cast<size_t>(ef)) results.pop();
+        }
+      }
+    }
+    out->clear();
+    while (!results.empty()) {
+      out->push_back(results.top());
+      results.pop();
+    }
+    std::sort(out->begin(), out->end(), Better);
+  }
+
+  // Neighbor selection heuristic (Malkov & Yashunin Alg. 4): walking the
+  // candidates best-first, keep one only if it is more similar to the
+  // anchor than to every neighbor already kept (each Cand's sim is its
+  // similarity to the anchor), then backfill with the pruned ones up to
+  // `cap`. Pure top-cap pruning fails on clustered data — all of a node's
+  // links collapse into its own cluster and greedy routing can never cross
+  // cluster boundaries; the dominance test preserves the long-range edges
+  // navigation depends on.
+  void SelectNeighbors(std::vector<Cand>* cands, int64_t cap,
+                       std::vector<int32_t>* out) const {
+    std::sort(cands->begin(), cands->end(), Better);
+    out->clear();
+    std::vector<int32_t> pruned;
+    for (const Cand& c : *cands) {
+      if (static_cast<int64_t>(out->size()) >= cap) break;
+      bool keep = true;
+      const double* cr = base_.row_data(c.id);
+      for (int32_t s : *out) {
+        if (RowDot(cr, base_.row_data(s), base_.cols()) > c.sim) {
+          keep = false;
+          break;
+        }
+      }
+      if (keep) {
+        out->push_back(c.id);
+      } else {
+        pruned.push_back(c.id);
+      }
+    }
+    for (int32_t id : pruned) {
+      if (static_cast<int64_t>(out->size()) >= cap) break;
+      out->push_back(id);
+    }
+  }
+
+  // Greedy level descent from the entry point down to `target_level + 1`,
+  // returning the best node found (query and insert share it). Consumes
+  // epochs [epoch, epoch + kMaxLevelCap + 1) at most.
+  template <typename SearchFn>
+  Cand Descend(const double* q, int32_t target_level, int64_t epoch,
+               std::vector<int64_t>* visited, SearchFn&& search) const {
+    Cand ep{Sim(q, entry_), entry_};
+    std::vector<Cand> frontier;
+    for (int32_t lc = max_level_; lc > target_level; --lc) {
+      (*visited)[ep.id] = epoch;
+      search(q, std::vector<Cand>{ep}, /*ef=*/1, lc, epoch, visited,
+             &frontier);
+      if (!frontier.empty()) ep = frontier.front();
+      ++epoch;
+    }
+    return ep;
+  }
+
+  Matrix base_;
+  int64_t m_;
+  int64_t m0_;
+  int64_t ef_construction_;
+  int64_t ef_search_;
+  uint64_t seed_;
+  int64_t indexed_ = 0;
+  int32_t entry_ = -1;
+  int32_t max_level_ = -1;
+  MemoryScope scope_;
+
+  // Build-time adjacency: [level][node] -> neighbor ids. Freed on freeze.
+  std::vector<std::vector<std::vector<int32_t>>> build_adj_;
+  // Frozen CSR per level: offsets (n + 1) and packed neighbor ids.
+  std::vector<std::vector<int64_t>> level_offsets_;
+  std::vector<std::vector<int32_t>> level_nbrs_;
+};
+
+Status HnswIndex::Build(const RunContext& ctx) {
+  const int64_t n = base_.rows();
+  if (n == 0) return Status::OK();
+  if (n > (int64_t{1} << 31) - 2) {
+    return Status::InvalidArgument("HnswIndex: > 2^31 rows unsupported");
+  }
+
+  Rng rng(seed_);
+  const double inv_log_m = 1.0 / std::log(static_cast<double>(m_));
+  std::vector<int32_t> levels(static_cast<size_t>(n), 0);
+  for (int64_t i = 0; i < n; ++i) {
+    const double u = std::max(rng.Uniform(), 1e-12);
+    levels[static_cast<size_t>(i)] = std::min<int32_t>(
+        kMaxLevelCap, static_cast<int32_t>(-std::log(u) * inv_log_m));
+  }
+  const int32_t top_level =
+      *std::max_element(levels.begin(), levels.end());
+
+  try {
+    build_adj_.assign(static_cast<size_t>(top_level) + 1, {});
+    for (auto& l : build_adj_) l.assign(static_cast<size_t>(n), {});
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted("HnswIndex: adjacency for " +
+                                     std::to_string(n) + " rows does not fit");
+  }
+
+  std::vector<int64_t> visited(static_cast<size_t>(n), -1);
+  int64_t epoch = 0;
+  std::vector<Cand> frontier;
+  std::vector<Cand> merged;
+
+  auto search = [this](const double* q, const std::vector<Cand>& entries,
+                       int64_t ef, int32_t level, int64_t ep,
+                       std::vector<int64_t>* vis, std::vector<Cand>* out) {
+    SearchLayerBuild(q, entries, ef, level, ep, vis, out);
+  };
+
+  for (int64_t v = 0; v < n; ++v) {
+    if (ctx.ShouldStop()) break;  // truncated index over the prefix
+    const int32_t level = levels[static_cast<size_t>(v)];
+    if (entry_ < 0) {
+      entry_ = static_cast<int32_t>(v);
+      max_level_ = level;
+      indexed_ = v + 1;
+      continue;
+    }
+    const double* q = base_.row_data(v);
+    epoch += kEpochStride;  // fresh disjoint epoch block for this insert
+    Cand ep = Descend(q, level, epoch, &visited, search);
+    std::vector<Cand> entries{ep};
+    const int32_t start = std::min(level, max_level_);
+    for (int32_t lc = start; lc >= 0; --lc) {
+      // Past the descent's epoch range (which ends at epoch + cap + 1).
+      const int64_t le = epoch + kMaxLevelCap + 2 + (start - lc);
+      visited[ep.id] = le;
+      for (const Cand& e : entries) visited[e.id] = le;
+      SearchLayerBuild(q, entries, ef_construction_, lc, le, &visited,
+                       &frontier);
+      const int64_t cap = Cap(lc);
+      // Diversity-pruned selection of v's outgoing links (Alg. 4), not a
+      // plain top-cap cut — see SelectNeighbors.
+      std::vector<Cand> pool = frontier;
+      auto& my = build_adj_[static_cast<size_t>(lc)][static_cast<size_t>(v)];
+      SelectNeighbors(&pool, cap, &my);
+      for (int32_t u : my) {
+        // Back-link u -> v, re-selecting u's neighborhood with the same
+        // heuristic when it overflows the level cap.
+        auto& theirs =
+            build_adj_[static_cast<size_t>(lc)][static_cast<size_t>(u)];
+        theirs.push_back(static_cast<int32_t>(v));
+        if (static_cast<int64_t>(theirs.size()) > cap) {
+          const double* ur = base_.row_data(u);
+          merged.clear();
+          for (int32_t w : theirs) merged.push_back({Sim(ur, w), w});
+          SelectNeighbors(&merged, cap, &theirs);
+        }
+      }
+      entries = frontier;
+      if (!frontier.empty()) ep = frontier.front();
+    }
+    if (level > max_level_) {
+      max_level_ = level;
+      entry_ = static_cast<int32_t>(v);
+    }
+    indexed_ = v + 1;
+  }
+
+  // Freeze into CSR and drop the build-time nested vectors.
+  const size_t nlevels = build_adj_.size();
+  level_offsets_.assign(nlevels, {});
+  level_nbrs_.assign(nlevels, {});
+  for (size_t l = 0; l < nlevels; ++l) {
+    auto& offsets = level_offsets_[l];
+    auto& nbrs = level_nbrs_[l];
+    offsets.assign(static_cast<size_t>(n) + 1, 0);
+    int64_t total = 0;
+    for (int64_t i = 0; i < n; ++i) {
+      offsets[static_cast<size_t>(i)] = total;
+      total += static_cast<int64_t>(build_adj_[l][static_cast<size_t>(i)].size());
+    }
+    offsets[static_cast<size_t>(n)] = total;
+    nbrs.reserve(static_cast<size_t>(total));
+    for (int64_t i = 0; i < n; ++i) {
+      const auto& a = build_adj_[l][static_cast<size_t>(i)];
+      nbrs.insert(nbrs.end(), a.begin(), a.end());
+    }
+  }
+  build_adj_.clear();
+  build_adj_.shrink_to_fit();
+  return Status::OK();
+}
+
+Result<TopKAlignment> HnswIndex::QueryBatch(const Matrix& queries, int64_t k,
+                                            const RunContext& ctx) const {
+  if (queries.cols() != base_.cols()) {
+    return Status::InvalidArgument(
+        "HnswIndex::QueryBatch: query dim " + std::to_string(queries.cols()) +
+        " != index dim " + std::to_string(base_.cols()));
+  }
+  if (k <= 0) {
+    return Status::InvalidArgument("HnswIndex::QueryBatch: k must be > 0");
+  }
+  const int64_t rows = queries.rows();
+  const int64_t kq = std::min(k, indexed_);
+  auto out_r = MakeEmptyTopK(rows, base_.rows(), kq);
+  GALIGN_RETURN_NOT_OK(out_r.status());
+  TopKAlignment& out = out_r.ValueOrDie();
+  if (rows == 0 || kq == 0) {
+    out.rows_computed = rows;
+    return out_r;
+  }
+
+  const int64_t ef = std::max(ef_search_, kq);
+  const int64_t qblock = std::min(kQueryBlockRows, rows);
+  MemoryScope scope;
+  GALIGN_RETURN_NOT_OK(MemoryScope::Reserve(
+      ctx.budget(),
+      TopKOutputBytes(rows, kq) +
+          static_cast<uint64_t>(ParallelismLevel()) *
+              static_cast<uint64_t>(base_.rows()) * sizeof(int64_t),
+      "hnsw query batch", &scope));
+
+  auto search = [this](const double* q, const std::vector<Cand>& entries,
+                       int64_t efx, int32_t level, int64_t ep,
+                       std::vector<int64_t>* vis, std::vector<Cand>* out_v) {
+    SearchLayerFrozen(q, entries, efx, level, ep, vis, out_v);
+  };
+
+  for (int64_t r0 = 0; r0 < rows; r0 += qblock) {
+    if (ctx.ShouldStop()) break;  // wind down with the rows finished so far
+    const int64_t nrows = std::min(qblock, rows - r0);
+    ParallelFor(
+        0, nrows,
+        [&](int64_t cb, int64_t ce) {
+          std::vector<int64_t> visited(static_cast<size_t>(base_.rows()), -1);
+          std::vector<Cand> result;
+          for (int64_t i = cb; i < ce; ++i) {
+            const double* q = queries.row_data(r0 + i);
+            const int64_t epoch = i * kEpochStride;
+            Cand ep = Descend(q, 0, epoch, &visited, search);
+            const int64_t le = epoch + kMaxLevelCap + 1;
+            visited[ep.id] = le;
+            SearchLayerFrozen(q, {ep}, ef, 0, le, &visited, &result);
+            const int64_t take =
+                std::min<int64_t>(kq, static_cast<int64_t>(result.size()));
+            for (int64_t j = 0; j < take; ++j) {
+              out.index[(r0 + i) * kq + j] = result[static_cast<size_t>(j)].id;
+              out.score[(r0 + i) * kq + j] = result[static_cast<size_t>(j)].sim;
+            }
+          }
+        },
+        /*min_chunk=*/8);
+    out.rows_computed = r0 + nrows;
+  }
+  return out_r;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<AnnIndex>> BuildHnswIndex(Matrix base,
+                                                 const AnnConfig& config,
+                                                 const RunContext& ctx) {
+  MemoryScope scope;
+  GALIGN_RETURN_NOT_OK(
+      MemoryScope::Reserve(ctx.budget(),
+                           EstimateAnnIndexBytes(base.rows(), base.cols(),
+                                                 config),
+                           "hnsw index", &scope));
+  auto index =
+      std::make_unique<HnswIndex>(std::move(base), config, std::move(scope));
+  GALIGN_RETURN_NOT_OK(index->Build(ctx));
+  return Result<std::unique_ptr<AnnIndex>>(std::move(index));
+}
+
+}  // namespace ann_internal
+}  // namespace galign

@@ -19,40 +19,13 @@ constexpr double kNoScore = -std::numeric_limits<double>::infinity();
 // the chunking ScanStability already uses).
 constexpr int64_t kDefaultBlockRows = 512;
 
-// Selects the top-k of `row` (length cols) into the output slots of
-// `out_row`. Bounded min-heap over (score, -index) so ties break toward the
-// smaller column, matching TopKRow.
+// Selects the top-k of `row` (length cols) into the output slots. Routed
+// through the canonical TopKSelect so the chunked scan, TopKRow, and the
+// ANN re-ranking kernels share one tie-breaking contract (lowest index
+// wins) regardless of block size or thread count.
 void SelectTopK(const double* row, int64_t cols, int64_t k, int64_t* idx_out,
                 double* score_out) {
-  // (score, index) pairs; the worst kept entry sits at heap[0].
-  auto worse = [](const std::pair<double, int64_t>& a,
-                  const std::pair<double, int64_t>& b) {
-    return a.first != b.first ? a.first > b.first : a.second < b.second;
-  };
-  std::vector<std::pair<double, int64_t>> heap;
-  heap.reserve(k);
-  for (int64_t c = 0; c < cols; ++c) {
-    if (static_cast<int64_t>(heap.size()) < k) {
-      heap.emplace_back(row[c], c);
-      std::push_heap(heap.begin(), heap.end(), worse);
-    } else if (row[c] > heap.front().first) {
-      std::pop_heap(heap.begin(), heap.end(), worse);
-      heap.back() = {row[c], c};
-      std::push_heap(heap.begin(), heap.end(), worse);
-    }
-  }
-  std::sort_heap(heap.begin(), heap.end(), worse);
-  // sort_heap with a > comparator leaves ascending-by-worse order, i.e.
-  // descending score; ties ascending index.
-  for (int64_t j = 0; j < k; ++j) {
-    if (j < static_cast<int64_t>(heap.size())) {
-      idx_out[j] = heap[j].second;
-      score_out[j] = heap[j].first;
-    } else {
-      idx_out[j] = -1;
-      score_out[j] = kNoScore;
-    }
-  }
+  TopKSelect(row, cols, k, idx_out, score_out);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/logging.h"
@@ -383,24 +384,25 @@ double MaxRow(const Matrix& m, int64_t r) {
   return m(r, ArgMaxRow(m, r));
 }
 
-std::vector<int64_t> TopKRow(const Matrix& m, int64_t r, int64_t k) {
-  const double* p = m.row_data(r);
-  const int64_t n = m.cols();
-  k = std::min<int64_t>(k, n);
-  if (k <= 0) return {};
-  // Min-heap over (value, -index): the root is the worst retained candidate
-  // (smallest value, with the larger index losing ties), so the scan evicts
-  // in O(log k) and never materializes an n-length index vector.
+void TopKSelect(const double* values, int64_t n, int64_t k, int64_t* idx_out,
+                double* score_out) {
+  if (k <= 0) return;
+  // Bounded min-heap over (value, column): the root is the worst retained
+  // candidate (smallest value, with the larger index losing ties), so the
+  // scan evicts in O(log k) without materializing an n-length index vector.
+  // Eviction is strict (>), so among equal values the earliest-seen (lowest)
+  // indices are retained — the "lowest index wins" determinism contract.
   using Entry = std::pair<double, int64_t>;  // (value, column)
   auto better = [](const Entry& a, const Entry& b) {
     return a.first != b.first ? a.first > b.first : a.second < b.second;
   };
+  const int64_t kept = std::min<int64_t>(k, std::max<int64_t>(n, 0));
   std::vector<Entry> heap;
-  heap.reserve(k);
-  for (int64_t c = 0; c < k; ++c) heap.emplace_back(p[c], c);
+  heap.reserve(kept);
+  for (int64_t c = 0; c < kept; ++c) heap.emplace_back(values[c], c);
   std::make_heap(heap.begin(), heap.end(), better);
-  for (int64_t c = k; c < n; ++c) {
-    Entry cand{p[c], c};
+  for (int64_t c = kept; c < n; ++c) {
+    Entry cand{values[c], c};
     if (better(cand, heap.front())) {
       std::pop_heap(heap.begin(), heap.end(), better);
       heap.back() = cand;
@@ -408,8 +410,24 @@ std::vector<int64_t> TopKRow(const Matrix& m, int64_t r, int64_t k) {
     }
   }
   std::sort(heap.begin(), heap.end(), better);
+  for (int64_t j = 0; j < k; ++j) {
+    if (j < kept) {
+      idx_out[j] = heap[j].second;
+      score_out[j] = heap[j].first;
+    } else {
+      idx_out[j] = -1;
+      score_out[j] = -std::numeric_limits<double>::infinity();
+    }
+  }
+}
+
+std::vector<int64_t> TopKRow(const Matrix& m, int64_t r, int64_t k) {
+  const int64_t n = m.cols();
+  k = std::min<int64_t>(k, n);
+  if (k <= 0) return {};
   std::vector<int64_t> idx(k);
-  for (int64_t i = 0; i < k; ++i) idx[i] = heap[i].second;
+  std::vector<double> score(k);
+  TopKSelect(m.row_data(r), n, k, idx.data(), score.data());
   return idx;
 }
 

@@ -97,6 +97,19 @@ double MaxRow(const Matrix& m, int64_t r);
 /// O(n log k) time and O(k) extra space per call.
 std::vector<int64_t> TopKRow(const Matrix& m, int64_t r, int64_t k);
 
+/// \brief Canonical bounded-heap top-k selection over a contiguous value
+/// array — THE tie-breaking contract of every ranking path in the repo.
+///
+/// Selects the k largest of values[0..n) into idx_out/score_out (each with
+/// room for k entries), descending by value with ties broken toward the
+/// smaller index ("lowest index wins"). Slots past the available entries
+/// are padded with index -1 / score -infinity. TopKRow, the chunked top-k
+/// scan (ChunkedTopK / TopKFromDense), and the ANN re-ranking kernels all
+/// route through this one function so exact-vs-approximate recall
+/// comparisons are well-defined regardless of block size or thread count.
+void TopKSelect(const double* values, int64_t n, int64_t k, int64_t* idx_out,
+                double* score_out);
+
 /// Rank (1-based) of column `col` when row r is sorted descending. Ties use
 /// the mid-rank (expected rank under random tie-breaking), so a degenerate
 /// constant row ranks every column at ~(n+1)/2 instead of 1.

@@ -8,6 +8,7 @@
 // put 1/sqrt(0) infinities into any propagation matrix.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <string>
@@ -25,6 +26,7 @@
 #include "baselines/regal.h"
 #include "baselines/unialign.h"
 #include "core/galign.h"
+#include "graph/ann/ann_index.h"
 #include "graph/generators.h"
 
 namespace galign {
@@ -201,6 +203,94 @@ TEST(DegenerateConformanceTest, BudgetedRunsOnDegenerateShapesStayClean) {
       if (topk.ok()) {
         EXPECT_EQ(topk.ValueOrDie().rows, shape.source.num_nodes())
             << a->name() << " on " << shape.name;
+      }
+    }
+  }
+}
+
+// --- ANN-routed conformance (DESIGN.md §11) -------------------------------
+//
+// Every aligner that gained an ANN route (GAlign, REGAL, DegreeRank,
+// AttributeOnly) is forced through it (mode kOn bypasses the size
+// threshold) over the degenerate shapes, plus the ANN-specific hazards:
+// k >= n (padding, not out-of-range ids), all-identical embeddings (every
+// point in one LSH bucket / one HNSW cluster), and a low memory budget.
+
+std::vector<std::unique_ptr<Aligner>> AnnRoutedAligners() {
+  std::vector<std::unique_ptr<Aligner>> out;
+  GAlignConfig cfg;
+  cfg.epochs = 4;
+  cfg.embedding_dim = 8;
+  cfg.refinement_iterations = 1;
+  out.push_back(std::make_unique<GAlignAligner>(cfg));
+  out.push_back(std::make_unique<RegalAligner>());
+  out.push_back(std::make_unique<DegreeRankAligner>());
+  out.push_back(std::make_unique<AttributeOnlyAligner>());
+  return out;
+}
+
+// All nodes share one attribute row: embeddings collapse to a single point.
+AttributedGraph IdenticalAttributes(int64_t n) {
+  std::vector<Edge> edges;
+  for (int64_t v = 1; v < n; ++v) edges.push_back({v - 1, v});
+  return AttributedGraph::Create(n, std::move(edges), Matrix(n, 4, 1.0))
+      .MoveValueOrDie();
+}
+
+void ExpectAnnConformance(Aligner* a, const AttributedGraph& s,
+                          const AttributedGraph& t, const std::string& shape,
+                          const RunContext& ctx) {
+  for (int64_t k : {int64_t{3}, t.num_nodes() + 5}) {
+    const std::string label = a->name() + " (ann) on " + shape +
+                              " k=" + std::to_string(k);
+    auto topk = a->AlignTopK(s, t, Supervision{}, ctx, k);
+    if (!topk.ok()) continue;  // a clean Status is conforming
+    const TopKAlignment& c = topk.ValueOrDie();
+    EXPECT_EQ(c.rows, s.num_nodes()) << label;
+    EXPECT_EQ(c.cols, t.num_nodes()) << label;
+    EXPECT_LE(c.k, std::max<int64_t>(k, 0)) << label;
+    for (int64_t i = 0; i < c.rows_computed * c.k; ++i) {
+      EXPECT_GE(c.index[i], -1) << label << " slot " << i;
+      EXPECT_LT(c.index[i], t.num_nodes()) << label << " slot " << i;
+      if (c.index[i] >= 0) {
+        EXPECT_TRUE(std::isfinite(c.score[i])) << label << " slot " << i;
+      }
+    }
+  }
+}
+
+TEST(DegenerateConformanceTest, AnnRoutedAlignersAllShapes) {
+  auto shapes = DegenerateShapes();
+  shapes.push_back(
+      {"identical-attributes", IdenticalAttributes(10), IdenticalAttributes(8)});
+  for (AnnBackend backend : {AnnBackend::kLsh, AnnBackend::kHnsw}) {
+    for (auto& a : AnnRoutedAligners()) {
+      AnnPolicy policy;
+      policy.mode = AnnMode::kOn;
+      policy.config.backend = backend;
+      a->set_ann_policy(policy);
+      for (const auto& shape : shapes) {
+        ExpectAnnConformance(a.get(), shape.source, shape.target, shape.name,
+                             RunContext());
+      }
+    }
+  }
+}
+
+TEST(DegenerateConformanceTest, AnnRoutedBudgetedRunsStayClean) {
+  auto shapes = DegenerateShapes();
+  shapes.push_back(
+      {"identical-attributes", IdenticalAttributes(10), IdenticalAttributes(8)});
+  for (AnnBackend backend : {AnnBackend::kLsh, AnnBackend::kHnsw}) {
+    for (auto& a : AnnRoutedAligners()) {
+      AnnPolicy policy;
+      policy.mode = AnnMode::kOn;
+      policy.config.backend = backend;
+      a->set_ann_policy(policy);
+      for (const auto& shape : shapes) {
+        RunContext ctx = RunContext::WithMemoryBudget(32 << 10);
+        ExpectAnnConformance(a.get(), shape.source, shape.target, shape.name,
+                             ctx);
       }
     }
   }

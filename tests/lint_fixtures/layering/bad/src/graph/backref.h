@@ -1,0 +1,3 @@
+// Fixture: graph must not reach back up into the graph/ann sub-layer.
+#pragma once
+#include "graph/ann/ann_index.h"

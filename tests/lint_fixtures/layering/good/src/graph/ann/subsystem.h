@@ -1,0 +1,7 @@
+// Fixture: graph/ann sits above graph and may include it (and la, common,
+// itself) — the longest-prefix module rule, not first-path-component.
+#pragma once
+#include "common/status.h"
+#include "graph/ann/other.h"
+#include "graph/graph.h"
+#include "la/matrix.h"

@@ -116,7 +116,13 @@ TEST(LintLayering, UpwardAndSidewaysIncludesFire) {
                 "sideways.h:3: layering: 'graph' may not include 'align'"),
             std::string::npos)
       << run.output;
-  EXPECT_EQ(CountOccurrences(run.output, ": layering:"), 3) << run.output;
+  // Nested sub-layer: graph may not reach back up into graph/ann.
+  EXPECT_NE(
+      run.output.find(
+          "backref.h:3: layering: 'graph' may not include 'graph/ann'"),
+      std::string::npos)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, ": layering:"), 4) << run.output;
 }
 
 TEST(LintLayering, DownwardIncludesStayQuiet) {
@@ -136,15 +142,20 @@ TEST(LintLayering, PrintDagExposesTheTable) {
   EXPECT_NE(run.output.find("la: common"), std::string::npos) << run.output;
   EXPECT_NE(run.output.find("graph: la common"), std::string::npos)
       << run.output;
+  // graph/ann is a distinct layer above graph (longest-prefix matching):
+  // it may use graph's kernels, graph may not depend back on it.
+  EXPECT_NE(run.output.find("graph/ann: graph la common"), std::string::npos)
+      << run.output;
   EXPECT_NE(run.output.find("autograd: la common"), std::string::npos)
       << run.output;
-  EXPECT_NE(run.output.find("align: graph la common"), std::string::npos)
+  EXPECT_NE(run.output.find("align: graph graph/ann la common"),
+            std::string::npos)
       << run.output;
   EXPECT_NE(
-      run.output.find("baselines: align autograd graph la common"),
+      run.output.find("baselines: align autograd graph graph/ann la common"),
       std::string::npos)
       << run.output;
-  EXPECT_NE(run.output.find("core: align autograd graph la common"),
+  EXPECT_NE(run.output.find("core: align autograd graph graph/ann la common"),
             std::string::npos)
       << run.output;
 }

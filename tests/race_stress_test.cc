@@ -18,7 +18,9 @@
 #include "common/fault.h"
 #include "common/memory_budget.h"
 #include "common/parallel.h"
+#include "common/rng.h"
 #include "common/run_context.h"
+#include "graph/ann/ann_index.h"
 #include "la/matrix.h"
 
 namespace galign {
@@ -208,6 +210,49 @@ TEST(RaceStress, FaultRegistryConcurrentArmFireDisarm) {
   fault::DisarmAll();
 }
 #endif  // GALIGN_DISABLE_FAULT_INJECTION
+
+// ----------------------------------------------------- shared ANN index
+
+TEST(RaceStress, ConcurrentQueriesAgainstSharedAnnIndex) {
+  // The serving contract of DESIGN.md §11: an AnnIndex is immutable after
+  // construction and QueryBatch is const, so many threads may query one
+  // shared index concurrently. Every thread must get the same answer as a
+  // pre-computed serial baseline — and under TSan any mutation hiding in
+  // the query path (scratch sharing, lazy caching) becomes a hard failure.
+  Rng rng(77);
+  Matrix base = Matrix::Gaussian(400, 12, &rng);
+  base.NormalizeRows();
+  Matrix queries = Matrix::Gaussian(64, 12, &rng);
+  queries.NormalizeRows();
+  for (AnnBackend backend : {AnnBackend::kLsh, AnnBackend::kHnsw}) {
+    AnnConfig cfg;
+    cfg.backend = backend;
+    auto index = BuildAnnIndex(base, cfg, RunContext());
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    const AnnIndex& shared = *index.ValueOrDie();
+    auto baseline = shared.QueryBatch(queries, 5);
+    ASSERT_TRUE(baseline.ok());
+
+    constexpr int kThreads = 6;
+    std::vector<std::thread> threads;
+    std::atomic<int> mismatches{0};
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&shared, &queries, &baseline, &mismatches] {
+        for (int round = 0; round < 4; ++round) {
+          auto got = shared.QueryBatch(queries, 5);
+          if (!got.ok() ||
+              got.ValueOrDie().index != baseline.ValueOrDie().index ||
+              got.ValueOrDie().score != baseline.ValueOrDie().score) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(mismatches.load(), 0)
+        << (backend == AnnBackend::kLsh ? "lsh" : "hnsw");
+  }
+}
 
 }  // namespace
 }  // namespace galign

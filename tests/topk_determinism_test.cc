@@ -1,0 +1,145 @@
+// Tie-breaking determinism regression for the top-k selection kernels
+// (DESIGN.md §11's comparability contract): TopKSelect, TopKRow, and the
+// chunked scans must order ties toward the lowest column index, and the
+// result must be invariant to the block size the scan happened to run with
+// (and, by per-row independence, to the thread count — every row's top-k
+// is a pure function of that row, so ParallelFor partitioning cannot
+// change it; block geometry is the axis that could, and is pinned here).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/similarity_chunked.h"
+#include "la/matrix.h"
+#include "la/ops.h"
+
+namespace galign {
+namespace {
+
+TEST(TopKDeterminismTest, TopKSelectBreaksTiesTowardLowestIndex) {
+  // Heavy duplication: every value appears many times.
+  const std::vector<double> values = {2.0, 1.0, 2.0, 3.0, 1.0, 3.0,
+                                      2.0, 3.0, 1.0, 2.0};
+  std::vector<int64_t> idx(5);
+  std::vector<double> score(5);
+  TopKSelect(values.data(), static_cast<int64_t>(values.size()), 5, idx.data(),
+             score.data());
+  // Descending value, ascending index among equals: 3.0 at {3,5,7}, then
+  // 2.0 at {0,2}.
+  const std::vector<int64_t> want_idx = {3, 5, 7, 0, 2};
+  const std::vector<double> want_score = {3.0, 3.0, 3.0, 2.0, 2.0};
+  EXPECT_EQ(idx, want_idx);
+  EXPECT_EQ(score, want_score);
+}
+
+TEST(TopKDeterminismTest, TopKSelectPadsBeyondN) {
+  const std::vector<double> values = {5.0, 7.0};
+  std::vector<int64_t> idx(4);
+  std::vector<double> score(4);
+  TopKSelect(values.data(), 2, 4, idx.data(), score.data());
+  EXPECT_EQ(idx[0], 1);
+  EXPECT_EQ(idx[1], 0);
+  EXPECT_EQ(idx[2], -1);
+  EXPECT_EQ(idx[3], -1);
+  EXPECT_EQ(score[2], -std::numeric_limits<double>::infinity());
+}
+
+TEST(TopKDeterminismTest, TopKRowAgreesWithTopKSelect) {
+  Rng rng(9);
+  Matrix m = Matrix::Gaussian(6, 40, &rng);
+  // Inject ties within rows.
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t c = 0; c < m.cols(); ++c) {
+      m(r, c) = std::round(m(r, c) * 2.0) / 2.0;
+    }
+  }
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    std::vector<int64_t> idx(7);
+    std::vector<double> score(7);
+    TopKSelect(m.row_data(r), m.cols(), 7, idx.data(), score.data());
+    const std::vector<int64_t> row = TopKRow(m, r, 7);
+    ASSERT_EQ(row.size(), 7u);
+    for (size_t j = 0; j < row.size(); ++j) {
+      EXPECT_EQ(row[j], idx[j]) << "row " << r << " slot " << j;
+    }
+  }
+}
+
+// Quantized similarity filler: scores collide constantly, so any
+// block-boundary or merge-order sensitivity in tie handling shows up as a
+// diff between block sizes.
+Status QuantizedFill(int64_t r0, int64_t nrows, Matrix* block) {
+  for (int64_t i = 0; i < nrows; ++i) {
+    for (int64_t u = 0; u < block->cols(); ++u) {
+      (*block)(i, u) = static_cast<double>(((r0 + i) * 7 + u * 3) % 5);
+    }
+  }
+  return Status::OK();
+}
+
+TEST(TopKDeterminismTest, ChunkedTopKInvariantAcrossBlockSizes) {
+  const int64_t rows = 37, cols = 53, k = 6;
+  auto reference = ChunkedTopK(rows, cols, k, /*block_rows=*/rows,
+                               QuantizedFill, RunContext());
+  ASSERT_TRUE(reference.ok());
+  for (int64_t block_rows : {int64_t{1}, int64_t{3}, int64_t{7}, int64_t{16},
+                             int64_t{64}}) {
+    auto got = ChunkedTopK(rows, cols, k, block_rows, QuantizedFill,
+                           RunContext());
+    ASSERT_TRUE(got.ok()) << "block_rows=" << block_rows;
+    EXPECT_EQ(got.ValueOrDie().index, reference.ValueOrDie().index)
+        << "block_rows=" << block_rows;
+    EXPECT_EQ(got.ValueOrDie().score, reference.ValueOrDie().score)
+        << "block_rows=" << block_rows;
+  }
+  // And the ties really resolve to the lowest column: recompute row 0
+  // directly.
+  Matrix row(1, cols);
+  ASSERT_TRUE(QuantizedFill(0, 1, &row).ok());
+  std::vector<int64_t> idx(k);
+  std::vector<double> score(k);
+  TopKSelect(row.row_data(0), cols, k, idx.data(), score.data());
+  for (int64_t j = 0; j < k; ++j) {
+    EXPECT_EQ(reference.ValueOrDie().index[j], idx[j]) << "slot " << j;
+  }
+}
+
+TEST(TopKDeterminismTest, ChunkedEmbeddingTopKInvariantUnderBudgetBlocks) {
+  // Duplicate target rows force exact score ties in the GEMM path; the
+  // budget sizes below force different internal block heights. All runs
+  // must agree bitwise with the unbudgeted scan.
+  Rng rng(17);
+  Matrix ht_base = Matrix::Gaussian(30, 8, &rng);
+  ht_base.NormalizeRows();
+  Matrix ht_dup(60, 8);
+  for (int64_t r = 0; r < 60; ++r) {
+    for (int64_t c = 0; c < 8; ++c) ht_dup(r, c) = ht_base(r % 30, c);
+  }
+  Matrix hs = Matrix::Gaussian(200, 8, &rng);
+  hs.NormalizeRows();
+  auto reference = ChunkedEmbeddingTopK({hs}, {ht_dup}, {1.0}, 9,
+                                        RunContext());
+  ASSERT_TRUE(reference.ok());
+  // Every duplicated column pair ties; the lower index must win each pair.
+  const TopKAlignment& ref = reference.ValueOrDie();
+  for (int64_t v = 0; v < ref.rows; ++v) {
+    EXPECT_LT(ref.Top1(v), 30) << "row " << v;
+  }
+  // 40K affords ~20-row blocks, 64K ~60, 512K the full default: three
+  // different block geometries over the same implicit matrix.
+  for (uint64_t budget : {40u << 10, 64u << 10, 512u << 10}) {
+    RunContext ctx = RunContext::WithMemoryBudget(budget);
+    auto got = ChunkedEmbeddingTopK({hs}, {ht_dup}, {1.0}, 9, ctx);
+    ASSERT_TRUE(got.ok()) << "budget=" << budget << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(got.ValueOrDie().index, ref.index) << "budget=" << budget;
+    EXPECT_EQ(got.ValueOrDie().score, ref.score) << "budget=" << budget;
+  }
+}
+
+}  // namespace
+}  // namespace galign

@@ -50,10 +50,13 @@ namespace {
 
 // ---------------------------------------------------------------- DAG table
 //
-// Allowed module-level includes under src/ ("module" = first path component
-// of a quoted include). A module may always include itself. Extend this
-// table when adding a subsystem; an unknown module is a diagnostic, not a
-// free pass.
+// Allowed module-level includes under src/ ("module" = the longest DAG
+// entry that path-prefixes the file, falling back to the first path
+// component). A module may always include itself. Nested entries such as
+// graph/ann are layered *above* their parent directory: graph/ann may use
+// graph, but graph may not reach back into graph/ann. Extend this table
+// when adding a subsystem; an unknown module is a diagnostic, not a free
+// pass.
 struct LayerRule {
   const char* module;
   std::vector<const char*> may_include;
@@ -62,12 +65,28 @@ const std::vector<LayerRule> kLayerDag = {
     {"common", {}},
     {"la", {"common"}},
     {"graph", {"la", "common"}},
+    {"graph/ann", {"graph", "la", "common"}},
     {"autograd", {"la", "common"}},
     {"manifold", {"la", "common"}},
-    {"align", {"graph", "la", "common"}},
-    {"baselines", {"align", "autograd", "graph", "la", "common"}},
-    {"core", {"align", "autograd", "graph", "la", "common"}},
+    {"align", {"graph", "graph/ann", "la", "common"}},
+    {"baselines", {"align", "autograd", "graph", "graph/ann", "la", "common"}},
+    {"core", {"align", "autograd", "graph", "graph/ann", "la", "common"}},
 };
+
+// Longest kLayerDag module that path-prefixes `path` at a '/' boundary;
+// empty when none matches. "graph/ann/lsh_index.cc" resolves to graph/ann,
+// not graph, so nested subsystems get their own layer rule.
+std::string DagModuleOf(const std::string& path) {
+  std::string best;
+  for (const auto& r : kLayerDag) {
+    const std::string m = r.module;
+    if (path.size() > m.size() && path.compare(0, m.size(), m) == 0 &&
+        path[m.size()] == '/' && m.size() > best.size()) {
+      best = m;
+    }
+  }
+  return best;
+}
 
 // Files allowed to touch clocks/entropy directly: the abstractions every
 // other call site must go through (plus durable_io's retry jitter).
@@ -273,7 +292,8 @@ void CheckLayering(const FileText& f, std::vector<Diagnostic>* diags,
   const std::string after = f.rel.substr(4);
   const size_t slash = after.find('/');
   if (slash == std::string::npos) return;
-  const std::string module = after.substr(0, slash);
+  std::string module = DagModuleOf(after);
+  if (module.empty()) module = after.substr(0, slash);
 
   const LayerRule* rule = nullptr;
   for (const auto& r : kLayerDag)
@@ -285,13 +305,10 @@ void CheckLayering(const FileText& f, std::vector<Diagnostic>* diags,
     std::smatch m;
     if (!std::regex_search(f.raw[i], m, inc_re)) continue;
     const std::string target = m[1].str();
-    const size_t tslash = target.find('/');
-    if (tslash == std::string::npos) continue;  // same-dir include
-    const std::string tmodule = target.substr(0, tslash);
-    bool known_target = false;
-    for (const auto& r : kLayerDag)
-      if (tmodule == r.module) known_target = true;
-    if (!known_target) continue;  // not a module include (e.g. "gtest/...")
+    const std::string tmodule = DagModuleOf(target);
+    // Same-dir includes and non-module includes (e.g. "gtest/...") have no
+    // DAG prefix and are not layered.
+    if (tmodule.empty()) continue;
     const int line_no = static_cast<int>(i) + 1;
     if (rule == nullptr) {
       if (LineAllows(f.raw[i], "layering", f.path, line_no, diags, bad_allow))
