@@ -1,0 +1,184 @@
+// Google-benchmark suite for the serving layer (DESIGN.md §12): one
+// immutable AlignmentIndex behind an AlignServer, burst at 1x / 4x / 16x
+// the admission queue's capacity. Each entry records the numbers the
+// overload contract is judged by:
+//
+//   * p50_ms / p99_ms  — admission-to-completion latency of answered
+//     requests (queue wait included, since the deadline starts at
+//     admission);
+//   * qps              — answered requests per wall-clock second of the
+//     burst;
+//   * shed             — typed kOverloaded rejections (queue full or
+//     budget exhausted), the load the server refused rather than queued;
+//   * answered/degraded — resolved answers and how many of those were
+//     less than full effort (reduced ANN effort or anchor-table rows).
+//
+// At 1x the queue absorbs everything and shed must be ~0; at 16x most of
+// the load must shed — the interesting number is that p99 of what *was*
+// answered stays bounded instead of growing with offered load. Run via
+// bench/run_all.sh to record BENCH_serving.json with provenance stamps.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench/gbench_main.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/galign.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
+#include "serve/alignment_index.h"
+#include "serve/server.h"
+
+namespace galign {
+namespace {
+
+constexpr int64_t kNodes = 120;
+constexpr int64_t kQueueCapacity = 16;
+constexpr int kClients = 4;
+
+/// One artifact shared by every load level: built once, immutable, so the
+/// bench measures serving and not training.
+std::shared_ptr<const AlignmentIndex> SharedIndex() {
+  static const std::shared_ptr<const AlignmentIndex> index = [] {
+    Rng rng(17);
+    auto g = BarabasiAlbert(kNodes, 3, &rng).MoveValueOrDie();
+    g = g.WithAttributes(BinaryAttributes(kNodes, 8, 0.3, &rng))
+            .MoveValueOrDie();
+    NoisyCopyOptions opts;
+    opts.structural_noise = 0.05;
+    auto pair = MakeNoisyCopyPair(g, opts, &rng).MoveValueOrDie();
+
+    GAlignConfig config;
+    config.epochs = 4;
+    config.embedding_dim = 16;
+    AlignmentIndexOptions options;
+    options.anchor_k = 5;
+    return AlignmentIndex::Build(config, pair.source, pair.target, options)
+        .MoveValueOrDie();
+  }();
+  return index;
+}
+
+double Percentile(std::vector<double>* sorted_in_place, double q) {
+  std::vector<double>& v = *sorted_in_place;
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(q * static_cast<double>(v.size()));
+  return v[std::min(idx, v.size() - 1)];
+}
+
+/// One burst: `load_multiple * kQueueCapacity` requests fired from
+/// kClients threads before any future is collected, so offered load
+/// actually exceeds capacity instead of self-pacing at the answer rate.
+void BM_ServingBurst(benchmark::State& state) {
+  const int64_t load_multiple = state.range(0);
+  std::shared_ptr<const AlignmentIndex> index = SharedIndex();
+  const int64_t total = load_multiple * kQueueCapacity;
+
+  uint64_t answered = 0;
+  uint64_t shed = 0;
+  uint64_t degraded = 0;
+  uint64_t untyped = 0;
+  std::vector<double> latencies_ms;
+  double wall_seconds = 0.0;
+
+  for (auto _ : state) {
+    ServeConfig config;
+    config.workers = 2;
+    config.queue_capacity = kQueueCapacity;
+    config.default_deadline_ms = 2000.0;
+    config.budget = std::make_shared<MemoryBudget>(uint64_t{256} << 20);
+    AlignServer server(index, config);
+    server.Start();
+
+    std::vector<std::future<QueryResponse>> futures(total);
+    Timer burst_timer;
+    {
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+          for (int64_t i = c; i < total; i += kClients) {
+            QueryRequest request;
+            request.node = i % index->num_source();
+            request.k = 5;
+            futures[i] = server.Submit(request);
+          }
+        });
+      }
+      for (std::thread& t : clients) t.join();
+    }
+    for (std::future<QueryResponse>& f : futures) {
+      QueryResponse response = f.get();
+      if (response.status.ok()) {
+        ++answered;
+        if (response.degraded) ++degraded;
+        latencies_ms.push_back(response.latency_ms);
+      } else if (response.status.code() == StatusCode::kOverloaded) {
+        ++shed;
+      } else if (response.status.code() != StatusCode::kDeadlineExceeded) {
+        ++untyped;
+      }
+    }
+    wall_seconds += burst_timer.Seconds();
+    server.Shutdown();
+  }
+
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["offered"] = static_cast<double>(total);
+  state.counters["answered"] = static_cast<double>(answered) / iters;
+  state.counters["shed"] = static_cast<double>(shed) / iters;
+  state.counters["degraded"] = static_cast<double>(degraded) / iters;
+  // Any untyped resolution is a contract violation, not a perf number.
+  state.counters["untyped"] = static_cast<double>(untyped) / iters;
+  state.counters["p50_ms"] = Percentile(&latencies_ms, 0.50);
+  state.counters["p99_ms"] = Percentile(&latencies_ms, 0.99);
+  state.counters["qps"] =
+      wall_seconds > 0.0 ? static_cast<double>(answered) / wall_seconds : 0.0;
+}
+
+BENCHMARK(BM_ServingBurst)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Single-client closed-loop latency at each effort step: what a degraded
+/// answer costs relative to full effort, without queueing noise.
+void BM_ServingQueryLatency(benchmark::State& state) {
+  std::shared_ptr<const AlignmentIndex> index = SharedIndex();
+  ServeConfig config;
+  config.workers = 1;
+  config.queue_capacity = kQueueCapacity;
+  config.default_deadline_ms = 2000.0;
+  AlignServer server(index, config);
+  server.Start();
+
+  int64_t node = 0;
+  for (auto _ : state) {
+    QueryRequest request;
+    request.node = node;
+    request.k = 5;
+    node = (node + 1) % index->num_source();
+    QueryResponse response = server.SubmitAndWait(request);
+    if (!response.status.ok())
+      state.SkipWithError(response.status.ToString().c_str());
+    benchmark::DoNotOptimize(response.targets.data());
+  }
+  server.Shutdown();
+}
+
+BENCHMARK(BM_ServingQueryLatency)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace galign
+
+GALIGN_BENCHMARK_MAIN()

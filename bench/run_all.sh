@@ -98,3 +98,11 @@ echo "### bench_ann (json -> BENCH_ann.json)"
 record_json "${BENCH_DIR}/bench_ann" "${REPO_ROOT}/BENCH_ann.json" \
     --benchmark_min_time=0.2 \
   || echo "(FAILED: bench_ann json)"
+
+# Serving layer (DESIGN.md §12): overload bursts at 1x/4x/16x queue
+# capacity — p50/p99 of answered requests, QPS, and the typed shed count
+# at each offered load.
+echo "### bench_serving (json -> BENCH_serving.json)"
+record_json "${BENCH_DIR}/bench_serving" "${REPO_ROOT}/BENCH_serving.json" \
+    --benchmark_min_time=0.2 \
+  || echo "(FAILED: bench_serving json)"

@@ -40,6 +40,7 @@
 
 #include "align/alignment_io.h"
 #include "common/durable_io.h"
+#include "common/flag_validate.h"
 #include "align/hungarian.h"
 #include "baselines/cenalp.h"
 #include "baselines/deeplink.h"
@@ -73,21 +74,6 @@ struct CliOptions {
   int64_t topk = 10;        ///< k for the budget-degraded top-k path
   AnnPolicy ann;            ///< DESIGN.md §11 retrieval policy
 };
-
-// Parses "1073741824", "512m", "2g", "64k" (suffix case-insensitive).
-bool ParseByteSize(const std::string& s, uint64_t* out) {
-  if (s.empty()) return false;
-  char* end = nullptr;
-  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
-  uint64_t mult = 1;
-  if (*end == 'k' || *end == 'K') mult = 1ull << 10;
-  else if (*end == 'm' || *end == 'M') mult = 1ull << 20;
-  else if (*end == 'g' || *end == 'G') mult = 1ull << 30;
-  else if (*end != '\0') return false;
-  if (mult > 1 && end[1] != '\0') return false;
-  *out = static_cast<uint64_t>(v) * mult;
-  return *out > 0;
-}
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
   size_t len = std::strlen(name);
@@ -156,18 +142,21 @@ int main(int argc, char** argv) {
       continue;
     }
     if (ParseFlag(argv[i], "--mem-budget", &flag)) {
-      if (!ParseByteSize(flag, &opt.mem_budget)) {
-        std::fprintf(stderr, "bad --mem-budget value: %s\n", flag.c_str());
+      auto bytes = GALIGN_VALIDATE_BYTE_SIZE(flag, "--mem-budget");
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "%s\n", bytes.status().ToString().c_str());
         return 2;
       }
+      opt.mem_budget = bytes.ValueOrDie();
       continue;
     }
     if (ParseFlag(argv[i], "--topk", &flag)) {
-      opt.topk = std::atoll(flag.c_str());
-      if (opt.topk <= 0) {
-        std::fprintf(stderr, "bad --topk value: %s\n", flag.c_str());
+      auto k = GALIGN_VALIDATE_POSITIVE_INT(flag, "--topk");
+      if (!k.ok()) {
+        std::fprintf(stderr, "%s\n", k.status().ToString().c_str());
         return 2;
       }
+      opt.topk = k.ValueOrDie();
       continue;
     }
     if (ParseFlag(argv[i], "--ann", &flag)) {
@@ -192,12 +181,12 @@ int main(int argc, char** argv) {
       continue;
     }
     if (ParseFlag(argv[i], "--ann-recall-target", &flag)) {
-      opt.ann.recall_target = std::atof(flag.c_str());
-      if (!(opt.ann.recall_target > 0.0 && opt.ann.recall_target <= 1.0)) {
-        std::fprintf(stderr, "bad --ann-recall-target value (0 < r <= 1): %s\n",
-                     flag.c_str());
+      auto target = GALIGN_VALIDATE_UNIT_INTERVAL(flag, "--ann-recall-target");
+      if (!target.ok()) {
+        std::fprintf(stderr, "%s\n", target.status().ToString().c_str());
         return 2;
       }
+      opt.ann.recall_target = target.ValueOrDie();
       continue;
     }
     std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
@@ -229,6 +218,14 @@ int main(int argc, char** argv) {
               StatsToString(ComputeStats(src.ValueOrDie())).c_str());
   std::printf("target: %s\n",
               StatsToString(ComputeStats(tgt.ValueOrDie())).c_str());
+  // Data-dependent bound: only checkable once the target network's size is
+  // known.
+  if (Status bound = GALIGN_VALIDATE_TOPK_BOUND(
+          opt.topk, tgt.ValueOrDie().num_nodes(), "--topk");
+      !bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.ToString().c_str());
+    return 2;
+  }
 
   Supervision sup;
   if (!opt.seeds_path.empty()) {

@@ -1,0 +1,499 @@
+// Alignment serving daemon over the immutable AlignmentIndex artifact
+// (DESIGN.md §12). Three modes:
+//
+//   --mode=export   Train and durably publish an artifact generation.
+//                   Input: --source/--target edge lists (+ optional attrs),
+//                   or --generate=N for a synthetic noisy-copy pair (smoke
+//                   tests, demos). Writes into --artifact-dir.
+//
+//   --mode=serve    Load the newest valid artifact generation and answer
+//                   "query <node> [k]" lines from stdin until EOF/"quit".
+//                   Every line gets exactly one typed reply: a full answer,
+//                   a degraded answer (marked), or a typed rejection.
+//
+//   --mode=burst    In-process overload drill: hammer the server with
+//                   --load-multiple times its queue capacity from
+//                   --clients threads, then print admission/shed/latency
+//                   stats. Exit code 0 iff the serving contract held: every
+//                   request resolved with a typed response (OK, Overloaded,
+//                   or DeadlineExceeded), no hang, no crash.
+//
+// Usage:
+//   galign_serve --mode=export --artifact-dir=/tmp/aidx --generate=120
+//   galign_serve --mode=serve  --artifact-dir=/tmp/aidx
+//   galign_serve --mode=burst  --artifact-dir=/tmp/aidx --load-multiple=16
+//
+// Serving flags: [--workers=2] [--queue-capacity=64] [--deadline-ms=250]
+//   [--mem-budget=512m] [--topk=10] [--retry] [--clients=4]
+//   [--load-multiple=4]
+// Export flags: [--epochs=30] [--dim=128] [--anchor-k=10]
+//   [--ann-backend=lsh|hnsw] [--ann-recall-target=0.98]
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/flag_validate.h"
+#include "common/timer.h"
+#include "core/galign.h"
+#include "graph/ann/ann.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "graph/noise.h"
+#include "serve/alignment_index.h"
+#include "serve/client.h"
+#include "serve/server.h"
+
+using namespace galign;
+
+namespace {
+
+struct ServeCliOptions {
+  std::string mode = "serve";
+  std::string artifact_dir;
+  std::string source, target, source_attrs, target_attrs;
+  int64_t generate = 0;  ///< synthetic pair size (export mode), 0 = off
+  int epochs = 30;
+  int64_t dim = 128;
+  int64_t anchor_k = 10;
+  AnnConfig ann;
+  double ann_recall_target = 0.98;
+  int64_t topk = 10;
+  uint64_t mem_budget = 0;
+  bool retry = false;  ///< serve mode: retry sheds with backoff
+  ServeConfig serve;
+  // Burst mode.
+  int clients = 4;
+  int64_t load_multiple = 4;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: galign_serve --mode=export|serve|burst --artifact-dir=<dir>\n"
+      "  export: --source=<edges> --target=<edges> [--source-attrs=<tsv>]\n"
+      "          [--target-attrs=<tsv>] | --generate=<n>\n"
+      "          [--epochs=30] [--dim=128] [--anchor-k=10]\n"
+      "          [--ann-backend=lsh|hnsw] [--ann-recall-target=0.98]\n"
+      "  serve:  [--workers=2] [--queue-capacity=64] [--deadline-ms=250]\n"
+      "          [--mem-budget=512m] [--topk=10] [--retry]\n"
+      "  burst:  serve flags plus [--clients=4] [--load-multiple=4]\n");
+  return 2;
+}
+
+Result<AttributedGraph> LoadNetwork(const std::string& edges,
+                                    const std::string& attrs) {
+  auto g = LoadEdgeList(edges);
+  GALIGN_RETURN_NOT_OK(g.status());
+  if (attrs.empty()) return g;
+  auto f = LoadAttributes(attrs);
+  GALIGN_RETURN_NOT_OK(f.status());
+  return g.ValueOrDie().WithAttributes(f.MoveValueOrDie());
+}
+
+int RunExport(const ServeCliOptions& opt) {
+  AttributedGraph source, target;
+  if (opt.generate > 0) {
+    // Synthetic noisy-copy fixture: enough to smoke-test the full
+    // export → load → serve loop without real data.
+    Rng rng(7);
+    auto g = BarabasiAlbert(opt.generate, 3, &rng);
+    if (!g.ok()) {
+      std::fprintf(stderr, "generate: %s\n", g.status().ToString().c_str());
+      return 1;
+    }
+    auto attributed = g.ValueOrDie().WithAttributes(
+        BinaryAttributes(opt.generate, 8, 0.3, &rng));
+    if (!attributed.ok()) {
+      std::fprintf(stderr, "generate: %s\n",
+                   attributed.status().ToString().c_str());
+      return 1;
+    }
+    NoisyCopyOptions noise;
+    noise.structural_noise = 0.05;
+    auto pair = MakeNoisyCopyPair(attributed.ValueOrDie(), noise, &rng);
+    if (!pair.ok()) {
+      std::fprintf(stderr, "generate: %s\n", pair.status().ToString().c_str());
+      return 1;
+    }
+    source = std::move(pair.ValueOrDie().source);
+    target = std::move(pair.ValueOrDie().target);
+  } else {
+    if (opt.source.empty() || opt.target.empty()) return Usage();
+    auto s = LoadNetwork(opt.source, opt.source_attrs);
+    if (!s.ok()) {
+      std::fprintf(stderr, "source: %s\n", s.status().ToString().c_str());
+      return 1;
+    }
+    auto t = LoadNetwork(opt.target, opt.target_attrs);
+    if (!t.ok()) {
+      std::fprintf(stderr, "target: %s\n", t.status().ToString().c_str());
+      return 1;
+    }
+    source = std::move(s.ValueOrDie());
+    target = std::move(t.ValueOrDie());
+  }
+
+  GAlignConfig config;
+  config.epochs = opt.epochs;
+  config.embedding_dim = opt.dim;
+  AlignmentIndexOptions options;
+  options.anchor_k = opt.anchor_k;
+  AnnPolicy recall_policy;
+  recall_policy.config = opt.ann;
+  recall_policy.recall_target = opt.ann_recall_target;
+  options.ann = EffortScaledConfig(recall_policy);
+
+  std::printf("training artifact over %lld x %lld nodes...\n",
+              static_cast<long long>(source.num_nodes()),
+              static_cast<long long>(target.num_nodes()));
+  Timer timer;
+  auto index = AlignmentIndex::Build(config, source, target, options);
+  if (!index.ok()) {
+    std::fprintf(stderr, "build: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  AlignmentIndexStore store(opt.artifact_dir);
+  if (Status saved = store.Save(*index.ValueOrDie()); !saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  std::printf("published artifact generation under %s in %.1fs (%.1f MiB)\n",
+              opt.artifact_dir.c_str(), timer.Seconds(),
+              static_cast<double>(index.ValueOrDie()->MemoryBytes()) /
+                  (1 << 20));
+  return 0;
+}
+
+void PrintResponse(int64_t node, const QueryResponse& response) {
+  if (!response.status.ok()) {
+    std::printf("node %lld: %s (retry after %.0f ms)\n",
+                static_cast<long long>(node),
+                response.status.ToString().c_str(), response.retry_after_ms);
+    return;
+  }
+  std::printf("node %lld [%s%s, %.2f ms]:",
+              static_cast<long long>(node), response.answer_source.c_str(),
+              response.degraded ? ", degraded" : "", response.latency_ms);
+  for (size_t j = 0; j < response.targets.size(); ++j) {
+    std::printf(" %lld:%.4f", static_cast<long long>(response.targets[j]),
+                response.scores[j]);
+  }
+  std::printf("\n");
+}
+
+int RunServe(const ServeCliOptions& opt,
+             std::shared_ptr<const AlignmentIndex> index) {
+  AlignServer server(std::move(index), opt.serve);
+  server.Start();
+  std::printf("serving %lld source nodes; 'query <node> [k]' or 'quit'\n",
+              static_cast<long long>(server.index().num_source()));
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string cmd;
+    if (!(in >> cmd) || cmd.empty()) continue;
+    if (cmd == "quit") break;
+    if (cmd != "query") {
+      std::printf("unknown command '%s' (query <node> [k] | quit)\n",
+                  cmd.c_str());
+      continue;
+    }
+    QueryRequest request;
+    request.k = opt.topk;
+    if (!(in >> request.node)) {
+      std::printf("query needs a node id\n");
+      continue;
+    }
+    in >> request.k;  // optional; keeps the default on failure
+    const QueryResponse response =
+        opt.retry ? QueryWithRetry(&server, request)
+                  : server.SubmitAndWait(request);
+    PrintResponse(request.node, response);
+  }
+  server.Shutdown();
+  return 0;
+}
+
+int RunBurst(const ServeCliOptions& opt,
+             std::shared_ptr<const AlignmentIndex> index) {
+  AlignServer server(std::move(index), opt.serve);
+  server.Start();
+
+  const int64_t total =
+      std::max<int64_t>(1, opt.load_multiple * opt.serve.queue_capacity);
+  const int clients = std::max(1, opt.clients);
+  const int64_t n1 = server.index().num_source();
+
+  // Every thread counts its outcomes; any untyped status is a contract
+  // violation.
+  std::vector<int64_t> ok_count(clients, 0), overloaded(clients, 0),
+      deadline(clients, 0), unexpected(clients, 0);
+  std::vector<std::vector<double>> latencies(clients);
+  Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Fire-then-collect: all of this client's requests hit admission
+      // before any response is awaited, so the configured load multiple is
+      // real concurrent pressure, not one-in-flight-per-client.
+      std::vector<std::future<QueryResponse>> futures;
+      for (int64_t i = c; i < total; i += clients) {
+        QueryRequest request;
+        request.node = i % n1;
+        request.k = opt.topk;
+        futures.push_back(server.Submit(request));
+      }
+      for (auto& future : futures) {
+        const QueryResponse response = future.get();
+        switch (response.status.code()) {
+          case StatusCode::kOk:
+            ++ok_count[c];
+            latencies[c].push_back(response.latency_ms);
+            break;
+          case StatusCode::kOverloaded:
+            ++overloaded[c];
+            break;
+          case StatusCode::kDeadlineExceeded:
+            ++deadline[c];
+            break;
+          default:
+            ++unexpected[c];
+            break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double wall_s = wall.Seconds();
+  server.Shutdown();
+
+  int64_t answered = 0, shed = 0, missed = 0, bad = 0;
+  std::vector<double> all_latencies;
+  for (int c = 0; c < clients; ++c) {
+    answered += ok_count[c];
+    shed += overloaded[c];
+    missed += deadline[c];
+    bad += unexpected[c];
+    all_latencies.insert(all_latencies.end(), latencies[c].begin(),
+                         latencies[c].end());
+  }
+  std::sort(all_latencies.begin(), all_latencies.end());
+  auto pct = [&](double p) {
+    if (all_latencies.empty()) return 0.0;
+    const size_t i = std::min(
+        all_latencies.size() - 1,
+        static_cast<size_t>(p * static_cast<double>(all_latencies.size())));
+    return all_latencies[i];
+  };
+
+  const ServerStats stats = server.Snapshot();
+  std::printf("burst: %lld requests, %d clients, load %lldx capacity\n",
+              static_cast<long long>(total), clients,
+              static_cast<long long>(opt.load_multiple));
+  std::printf(
+      "answered %lld (full %llu, reduced-effort %llu, anchor %llu), "
+      "shed %lld, deadline %lld, untyped %lld\n",
+      static_cast<long long>(answered),
+      static_cast<unsigned long long>(stats.completed_full),
+      static_cast<unsigned long long>(stats.completed_reduced_effort),
+      static_cast<unsigned long long>(stats.completed_anchor),
+      static_cast<long long>(shed), static_cast<long long>(missed),
+      static_cast<long long>(bad));
+  std::printf("p50 %.2f ms, p99 %.2f ms, %.0f QPS answered\n", pct(0.50),
+              pct(0.99), wall_s > 0 ? static_cast<double>(answered) / wall_s
+                                    : 0.0);
+
+  // Contract check: everything typed, everything resolved.
+  if (bad != 0) {
+    std::fprintf(stderr, "contract violated: %lld untyped responses\n",
+                 static_cast<long long>(bad));
+    return 1;
+  }
+  if (answered + shed + missed != total) {
+    std::fprintf(stderr, "contract violated: %lld of %lld requests lost\n",
+                 static_cast<long long>(total - answered - shed - missed),
+                 static_cast<long long>(total));
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServeCliOptions opt;
+  std::string flag;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseFlag(argv[i], "--mode", &opt.mode)) continue;
+    if (ParseFlag(argv[i], "--artifact-dir", &opt.artifact_dir)) continue;
+    if (ParseFlag(argv[i], "--source", &opt.source)) continue;
+    if (ParseFlag(argv[i], "--target", &opt.target)) continue;
+    if (ParseFlag(argv[i], "--source-attrs", &opt.source_attrs)) continue;
+    if (ParseFlag(argv[i], "--target-attrs", &opt.target_attrs)) continue;
+    if (std::strcmp(argv[i], "--retry") == 0) {
+      opt.retry = true;
+      continue;
+    }
+    if (ParseFlag(argv[i], "--generate", &flag)) {
+      auto n = GALIGN_VALIDATE_POSITIVE_INT(flag, "--generate");
+      if (!n.ok()) {
+        std::fprintf(stderr, "%s\n", n.status().ToString().c_str());
+        return 2;
+      }
+      opt.generate = n.ValueOrDie();
+      continue;
+    }
+    if (ParseFlag(argv[i], "--epochs", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--epochs");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.epochs = static_cast<int>(v.ValueOrDie());
+      continue;
+    }
+    if (ParseFlag(argv[i], "--dim", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--dim");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.dim = v.ValueOrDie();
+      continue;
+    }
+    if (ParseFlag(argv[i], "--anchor-k", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--anchor-k");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.anchor_k = v.ValueOrDie();
+      continue;
+    }
+    if (ParseFlag(argv[i], "--ann-backend", &flag)) {
+      if (flag == "lsh") opt.ann.backend = AnnBackend::kLsh;
+      else if (flag == "hnsw") opt.ann.backend = AnnBackend::kHnsw;
+      else {
+        std::fprintf(stderr, "bad --ann-backend value (lsh|hnsw): %s\n",
+                     flag.c_str());
+        return 2;
+      }
+      continue;
+    }
+    if (ParseFlag(argv[i], "--ann-recall-target", &flag)) {
+      auto v = GALIGN_VALIDATE_UNIT_INTERVAL(flag, "--ann-recall-target");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.ann_recall_target = v.ValueOrDie();
+      continue;
+    }
+    if (ParseFlag(argv[i], "--topk", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--topk");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.topk = v.ValueOrDie();
+      continue;
+    }
+    if (ParseFlag(argv[i], "--mem-budget", &flag)) {
+      auto v = GALIGN_VALIDATE_BYTE_SIZE(flag, "--mem-budget");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.mem_budget = v.ValueOrDie();
+      continue;
+    }
+    if (ParseFlag(argv[i], "--workers", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--workers");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.serve.workers = static_cast<int>(v.ValueOrDie());
+      continue;
+    }
+    if (ParseFlag(argv[i], "--queue-capacity", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--queue-capacity");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.serve.queue_capacity = v.ValueOrDie();
+      continue;
+    }
+    if (ParseFlag(argv[i], "--deadline-ms", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--deadline-ms");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.serve.default_deadline_ms = static_cast<double>(v.ValueOrDie());
+      continue;
+    }
+    if (ParseFlag(argv[i], "--clients", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--clients");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.clients = static_cast<int>(v.ValueOrDie());
+      continue;
+    }
+    if (ParseFlag(argv[i], "--load-multiple", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--load-multiple");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.load_multiple = v.ValueOrDie();
+      continue;
+    }
+    std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+    return 2;
+  }
+  if (opt.artifact_dir.empty()) return Usage();
+
+  if (opt.mem_budget > 0) {
+    opt.serve.budget = std::make_shared<MemoryBudget>(opt.mem_budget);
+  }
+
+  if (opt.mode == "export") return RunExport(opt);
+  if (opt.mode != "serve" && opt.mode != "burst") return Usage();
+
+  AlignmentIndexStore store(opt.artifact_dir);
+  auto index = store.LoadLatest();
+  if (!index.ok()) {
+    std::fprintf(stderr, "load: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  // Data-dependent bound: --topk cannot exceed the artifact's target side.
+  if (Status bound = GALIGN_VALIDATE_TOPK_BOUND(
+          opt.topk, index.ValueOrDie()->num_target(), "--topk");
+      !bound.ok()) {
+    std::fprintf(stderr, "%s\n", bound.ToString().c_str());
+    return 2;
+  }
+  return opt.mode == "serve" ? RunServe(opt, std::move(index.ValueOrDie()))
+                             : RunBurst(opt, std::move(index.ValueOrDie()));
+}

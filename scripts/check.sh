@@ -12,9 +12,14 @@
 #   tsan  dedicated ThreadSanitizer tree (build-tsan/): the race-stress
 #         suite plus the parallel and kernel-equivalence suites, so the
 #         parallel_for pool, MemoryBudget/MemoryTracker atomics,
-#         CancelToken, and fault-site registry run under a race detector.
+#         CancelToken, fault-site registry, and the alignment server's
+#         admission queue run under a race detector.
+#   serve overload drill (DESIGN.md §12): export a small artifact with the
+#         release galign_serve binary, then burst it at 16x queue capacity
+#         — every request must resolve with a typed status (the binary's
+#         own contract check is the exit code), plus the serve test suites.
 #
-# Usage: scripts/check.sh [--stage=lint|asan|tsan|all] [ctest-args...]
+# Usage: scripts/check.sh [--stage=lint|asan|tsan|serve|all] [ctest-args...]
 #   e.g. scripts/check.sh -R DivergenceRecovery
 #        scripts/check.sh --stage=tsan
 set -euo pipefail
@@ -127,17 +132,44 @@ run_tsan_stage() {
     -R "RaceStress|ParallelTest|BlockedGemm|GemmSizes|OpsTest"
 }
 
+run_serve_stage() {
+  # Overload drill (DESIGN.md §12): the release binary publishes an
+  # artifact and then gets burst at 16x its queue capacity. galign_serve
+  # --mode=burst exits nonzero if any request resolved untyped or was lost,
+  # so the serving contract is the exit code.
+  local build_dir="${repo_root}/build"
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+  cmake --build "${build_dir}" -j "$(nproc)" \
+    --target galign_serve serve_test serve_cli_test flag_validate_test
+
+  echo "=== serve gate (artifact + admission-control tests) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure \
+    -R "ServeTest|ServeCli|FlagValidate"
+
+  echo "=== serve gate (16x overload drill, release binary) ==="
+  local drill_dir
+  drill_dir="$(mktemp -d)"
+  trap 'rm -rf "${drill_dir}"' RETURN
+  "${build_dir}/examples/galign_serve" --mode=export \
+    --artifact-dir="${drill_dir}" --generate=80 --epochs=5 --dim=32
+  "${build_dir}/examples/galign_serve" --mode=burst \
+    --artifact-dir="${drill_dir}" --workers=2 --queue-capacity=8 \
+    --clients=4 --load-multiple=16 --deadline-ms=2000 --mem-budget=256m
+}
+
 case "${stage}" in
   lint) run_lint_stage ;;
   asan) run_asan_stage ;;
   tsan) run_tsan_stage ;;
+  serve) run_serve_stage ;;
   all)
     run_lint_stage
     run_asan_stage
     run_tsan_stage
+    run_serve_stage
     ;;
   *)
-    echo "unknown --stage=${stage} (expected lint|asan|tsan|all)" >&2
+    echo "unknown --stage=${stage} (expected lint|asan|tsan|serve|all)" >&2
     exit 2
     ;;
 esac

@@ -7,6 +7,7 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <random>
@@ -157,6 +158,28 @@ Result<std::string> StripAndVerifyCrc32Trailer(const std::string& content,
     return Status::IOError(buf + context);
   }
   return payload;
+}
+
+std::string HexDouble(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+Result<double> ParseHexDouble(const std::string& tok,
+                              const std::string& context) {
+  if (tok.size() != 16 ||
+      tok.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status::IOError("bad double bit pattern '" + tok + "' in " +
+                           context);
+  }
+  uint64_t bits = std::strtoull(tok.c_str(), nullptr, 16);
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
 }
 
 namespace internal {

@@ -38,6 +38,19 @@ uint32_t Crc32(const std::string& data);
 /// \brief Reads the entire file at `path` into a string.
 [[nodiscard]] Result<std::string> ReadFileToString(const std::string& path);
 
+/// \brief Bit-exact text encoding of a double: the 16 lowercase hex digits
+/// of its IEEE-754 bit pattern.
+///
+/// operator<< at precision(17) round-trips finite values but istream >>
+/// refuses "inf"/"nan", and bit identity (not value identity) is the
+/// durability contract — so every persisted double goes through this.
+std::string HexDouble(double d);
+
+/// \brief Inverse of HexDouble. IOError naming `context` when `tok` is not
+/// exactly 16 lowercase hex digits.
+[[nodiscard]] Result<double> ParseHexDouble(const std::string& tok,
+                                            const std::string& context);
+
 /// Trailer line marking the CRC of everything before it in the file.
 inline constexpr char kCrcTrailerPrefix[] = "#crc32 ";
 

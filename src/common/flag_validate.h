@@ -1,0 +1,127 @@
+// Typed validation of command-line / config inputs (DESIGN.md §12).
+//
+// The CLI entry points (galign_cli, galign_serve) historically validated
+// flags ad hoc: some out-of-domain values were rejected with a bare
+// fprintf, others were silently clamped, and a malformed byte-size suffix
+// could slip through strtoull as a giant number. These helpers make flag
+// validation uniform: every check returns a typed InvalidArgument Status
+// whose message carries the flag name, the offending value, the expected
+// domain, and the file:line of the validation site — so a rejected
+// invocation is diagnosable from the error alone.
+//
+// Use through the GALIGN_VALIDATE_* macros so the call site's location is
+// captured automatically.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "common/parse.h"
+#include "common/status.h"
+
+namespace galign {
+
+namespace flag_internal {
+
+/// "file:123: --flag=value rejected: detail".
+inline std::string FlagError(const char* file, int line, const char* flag,
+                             const std::string& value,
+                             const std::string& detail) {
+  return std::string(file) + ":" + std::to_string(line) + ": " + flag + "=" +
+         value + " rejected: " + detail;
+}
+
+}  // namespace flag_internal
+
+/// Parses a byte-size flag value: a base-10 count with an optional single
+/// k/m/g suffix (case-insensitive). Rejects empty strings, zero, malformed
+/// suffixes ("512q", "1mb", "m"), negative or overflowing counts.
+[[nodiscard]] inline Result<uint64_t> ValidateByteSizeFlag(
+    const std::string& value, const char* flag, const char* file, int line) {
+  auto err = [&](const std::string& detail) -> Status {
+    return Status::InvalidArgument(
+        flag_internal::FlagError(file, line, flag, value, detail));
+  };
+  if (value.empty()) return err("empty value (expected e.g. 512m, 2g, 64k)");
+  size_t digits = 0;
+  while (digits < value.size() && value[digits] >= '0' &&
+         value[digits] <= '9') {
+    ++digits;
+  }
+  if (digits == 0) return err("must start with a digit (e.g. 512m)");
+  uint64_t mult = 1;
+  const std::string suffix = value.substr(digits);
+  if (suffix == "k" || suffix == "K") mult = 1ull << 10;
+  else if (suffix == "m" || suffix == "M") mult = 1ull << 20;
+  else if (suffix == "g" || suffix == "G") mult = 1ull << 30;
+  else if (!suffix.empty()) {
+    return err("bad suffix '" + suffix + "' (expected k, m, or g)");
+  }
+  auto count = ParseInt64(value.substr(0, digits), flag);
+  if (!count.ok()) return err(count.status().message());
+  const uint64_t n = static_cast<uint64_t>(count.ValueOrDie());
+  if (n == 0) return err("must be > 0");
+  if (n > UINT64_MAX / mult) return err("overflows 64-bit byte count");
+  return n * mult;
+}
+
+/// Parses a flag value that must lie in the half-open unit interval (0, 1]
+/// — e.g. --ann-recall-target. Rejects non-numeric text, NaN, and values
+/// outside the domain instead of clamping.
+[[nodiscard]] inline Result<double> ValidateUnitIntervalFlag(
+    const std::string& value, const char* flag, const char* file, int line) {
+  auto parsed = ParseDouble(value, flag);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(flag_internal::FlagError(
+        file, line, flag, value, parsed.status().message()));
+  }
+  const double v = parsed.ValueOrDie();
+  if (!(v > 0.0 && v <= 1.0)) {  // !(...) also catches NaN
+    return Status::InvalidArgument(flag_internal::FlagError(
+        file, line, flag, value, "must satisfy 0 < value <= 1"));
+  }
+  return v;
+}
+
+/// Parses a strictly positive integer flag value (--topk, --epochs,
+/// --workers, ...). Rejects garbage, zero, and negatives.
+[[nodiscard]] inline Result<int64_t> ValidatePositiveIntFlag(
+    const std::string& value, const char* flag, const char* file, int line) {
+  auto parsed = ParseInt64(value, flag);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument(flag_internal::FlagError(
+        file, line, flag, value, parsed.status().message()));
+  }
+  if (parsed.ValueOrDie() <= 0) {
+    return Status::InvalidArgument(
+        flag_internal::FlagError(file, line, flag, value, "must be > 0"));
+  }
+  return parsed.ValueOrDie();
+}
+
+/// Data-dependent bound for --topk: k cannot exceed the number of target
+/// nodes (a top-k over n2 candidates has at most n2 entries; silently
+/// clamping would mislabel the output). Checked after the networks load.
+[[nodiscard]] inline Status ValidateTopKBound(int64_t k, int64_t n_target,
+                                              const char* flag,
+                                              const char* file, int line) {
+  if (k > n_target) {
+    return Status::InvalidArgument(flag_internal::FlagError(
+        file, line, flag, std::to_string(k),
+        "exceeds the " + std::to_string(n_target) +
+            " target nodes (a per-row top-k has at most n2 entries)"));
+  }
+  return Status::OK();
+}
+
+#define GALIGN_VALIDATE_BYTE_SIZE(value, flag) \
+  ::galign::ValidateByteSizeFlag((value), (flag), __FILE__, __LINE__)
+#define GALIGN_VALIDATE_UNIT_INTERVAL(value, flag) \
+  ::galign::ValidateUnitIntervalFlag((value), (flag), __FILE__, __LINE__)
+#define GALIGN_VALIDATE_POSITIVE_INT(value, flag) \
+  ::galign::ValidatePositiveIntFlag((value), (flag), __FILE__, __LINE__)
+#define GALIGN_VALIDATE_TOPK_BOUND(k, n_target, flag) \
+  ::galign::ValidateTopKBound((k), (n_target), (flag), __FILE__, __LINE__)
+
+}  // namespace galign

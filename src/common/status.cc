@@ -24,6 +24,10 @@ const char* CodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

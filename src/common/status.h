@@ -20,6 +20,16 @@ enum class StatusCode : int8_t {
   kNotConverged,
   kResourceExhausted,
   kInternal,
+  /// A serving-side admission rejection: the request was never queued
+  /// because the server is at capacity. Retryable after backoff
+  /// (DESIGN.md §12) — unlike kResourceExhausted, which signals a memory
+  /// admission failure that a retry alone will not fix.
+  kOverloaded,
+  /// The request's deadline expired before any result could be produced.
+  /// Long-running *computations* still return best-so-far results instead
+  /// of this (DESIGN.md §8); only the serving path, where an empty partial
+  /// result helps nobody, rejects with this code.
+  kDeadlineExceeded,
 };
 
 /// \brief Outcome of a fallible operation.
@@ -61,6 +71,15 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// Serving admission rejection (shed load). Typed so clients can key
+  /// retry-with-backoff on it without string matching.
+  [[nodiscard]] static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  /// Per-request deadline expired with no usable partial answer.
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -10,6 +10,7 @@
 #include "common/durable_io.h"
 #include "common/fault.h"
 #include "common/logging.h"
+#include "core/model_io.h"
 
 namespace galign {
 
@@ -20,82 +21,9 @@ constexpr char kManifestMagic[] = "galign-ckpt-manifest-v1";
 constexpr char kManifestName[] = "MANIFEST";
 constexpr char kCkptPrefix[] = "ckpt_";
 
-// --- Bit-exact double encoding --------------------------------------------
-//
-// Text round-trips through operator<< lose nothing at precision(17) for
-// finite values, but (a) istream >> refuses "inf"/"nan" and (b) bit-identity
-// is the contract here, not value-identity. So every double is stored as
-// the hex of its IEEE-754 bit pattern.
-
-std::string HexDouble(double d) {
-  uint64_t bits;
-  std::memcpy(&bits, &d, sizeof(bits));
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(bits));
-  return buf;
-}
-
-Result<double> ParseHexDouble(const std::string& tok,
-                              const std::string& context) {
-  if (tok.size() != 16 ||
-      tok.find_first_not_of("0123456789abcdef") != std::string::npos) {
-    return Status::IOError("bad double bit pattern '" + tok + "' in " +
-                           context);
-  }
-  uint64_t bits = std::strtoull(tok.c_str(), nullptr, 16);
-  double d;
-  std::memcpy(&d, &bits, sizeof(d));
-  return d;
-}
-
-void EmitMatrixList(std::ostringstream* out, const char* key,
-                    const std::vector<Matrix>& ms) {
-  *out << key << " " << ms.size() << "\n";
-  for (const Matrix& m : ms) {
-    *out << m.rows() << " " << m.cols() << "\n";
-    for (int64_t i = 0; i < m.size(); ++i) {
-      if (i) *out << (i % 8 == 0 ? "\n" : " ");
-      *out << HexDouble(m.data()[i]);
-    }
-    if (m.size()) *out << "\n";
-  }
-}
-
-// Reads `key n` then n (rows, cols, payload) blocks. All failures are
-// IOErrors naming the context so LoadLatest can fall back cleanly.
-Status ParseMatrixList(std::istringstream* in, const char* key,
-                       std::vector<Matrix>* out, const std::string& context) {
-  std::string tok;
-  size_t count = 0;
-  if (!(*in >> tok) || tok != key || !(*in >> count) || count > 4096) {
-    return Status::IOError("expected '" + std::string(key) +
-                           " <count>' in " + context);
-  }
-  out->clear();
-  out->reserve(count);
-  for (size_t k = 0; k < count; ++k) {
-    int64_t rows = -1, cols = -1;
-    if (!(*in >> rows >> cols) || rows < 0 || cols < 0 ||
-        rows > (int64_t{1} << 30) || cols > (int64_t{1} << 30) ||
-        rows * cols > (int64_t{1} << 32)) {
-      return Status::IOError("bad matrix shape under '" + std::string(key) +
-                             "' in " + context);
-    }
-    Matrix m(rows, cols);
-    for (int64_t i = 0; i < m.size(); ++i) {
-      if (!(*in >> tok)) {
-        return Status::IOError("truncated matrix under '" + std::string(key) +
-                               "' in " + context);
-      }
-      auto v = ParseHexDouble(tok, context);
-      GALIGN_RETURN_NOT_OK(v.status());
-      m.data()[i] = v.ValueOrDie();
-    }
-    out->push_back(std::move(m));
-  }
-  return Status::OK();
-}
+// Doubles are stored bit-exactly via common/durable_io.h HexDouble /
+// ParseHexDouble; matrix lists go through the shared core/model_io.h
+// EmitMatrixList / ParseMatrixList codec.
 
 std::string CheckpointFileName(int epoch) {
   char buf[32];
@@ -347,11 +275,22 @@ std::vector<std::string> CheckpointManager::Candidates() const {
 }
 
 Result<TrainerCheckpoint> CheckpointManager::LoadLatest() const {
+  // "Nothing saved yet" (NotFound) and "everything saved is torn" (IOError)
+  // are different failures: the first is a normal cold start, the second
+  // means durable state was lost and the caller must not silently retrain
+  // as if from scratch without surfacing it.
+  int tried = 0;
+  std::string newest_error;
+  auto note = [&](const std::string& msg) {
+    if (tried == 1) newest_error = msg;
+  };
   for (const std::string& name : Candidates()) {
     const std::string path = dir_ + "/" + name;
+    ++tried;
     if (fault::ShouldFailIO("io.checkpoint.load")) {
       GALIGN_LOG(Warning) << "Checkpoint " << path
                           << " unreadable (injected fault); trying previous";
+      note("injected fault: checkpoint load from " + path);
       continue;
     }
     auto content = ReadFileToString(path);
@@ -359,6 +298,7 @@ Result<TrainerCheckpoint> CheckpointManager::LoadLatest() const {
       GALIGN_LOG(Warning) << "Checkpoint " << path << " unreadable ("
                           << content.status().message()
                           << "); trying previous";
+      note(content.status().message());
       continue;
     }
     auto payload = StripAndVerifyCrc32Trailer(content.ValueOrDie(),
@@ -367,17 +307,25 @@ Result<TrainerCheckpoint> CheckpointManager::LoadLatest() const {
       GALIGN_LOG(Warning) << "Checkpoint " << path << " failed validation ("
                           << payload.status().message()
                           << "); trying previous";
+      note(payload.status().message());
       continue;
     }
     auto ckpt = ParseCheckpoint(payload.ValueOrDie(), path);
     if (!ckpt.ok()) {
       GALIGN_LOG(Warning) << "Checkpoint " << path << " corrupt ("
                           << ckpt.status().message() << "); trying previous";
+      note(ckpt.status().message());
       continue;
     }
     return ckpt;
   }
-  return Status::NotFound("no valid checkpoint under " + dir_);
+  if (tried > 0) {
+    return Status::IOError("all " + std::to_string(tried) +
+                           " checkpoint generations under " + dir_ +
+                           " failed validation (newest error: " +
+                           newest_error + ")");
+  }
+  return Status::NotFound("no checkpoint under " + dir_);
 }
 
 }  // namespace galign

@@ -85,8 +85,10 @@ class CheckpointManager {
   [[nodiscard]] Status Save(const TrainerCheckpoint& ckpt);
 
   /// Loads the newest valid checkpoint, falling back past torn/corrupt
-  /// files (each skip is logged). NotFound when the directory holds no
-  /// usable checkpoint at all.
+  /// files (each skip is logged). Typed terminal failures: NotFound when
+  /// the directory holds no checkpoint at all (a normal cold start),
+  /// IOError naming the generation count and the newest failure when every
+  /// present generation failed validation (durable state was lost).
   [[nodiscard]] Result<TrainerCheckpoint> LoadLatest() const;
 
   const std::string& dir() const { return dir_; }

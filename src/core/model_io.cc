@@ -32,7 +32,55 @@ Result<Activation> ParseActivation(const std::string& name) {
 
 }  // namespace
 
-Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path) {
+void EmitMatrixList(std::ostringstream* out, const char* key,
+                    const std::vector<Matrix>& ms) {
+  *out << key << " " << ms.size() << "\n";
+  for (const Matrix& m : ms) {
+    *out << m.rows() << " " << m.cols() << "\n";
+    for (int64_t i = 0; i < m.size(); ++i) {
+      if (i) *out << (i % 8 == 0 ? "\n" : " ");
+      *out << HexDouble(m.data()[i]);
+    }
+    if (m.size()) *out << "\n";
+  }
+}
+
+Status ParseMatrixList(std::istringstream* in, const char* key,
+                       std::vector<Matrix>* out, const std::string& context) {
+  std::string tok;
+  size_t count = 0;
+  if (!(*in >> tok) || tok != key || !(*in >> count) || count > 4096) {
+    return Status::IOError("expected '" + std::string(key) +
+                           " <count>' in " + context);
+  }
+  out->clear();
+  out->reserve(count);
+  for (size_t k = 0; k < count; ++k) {
+    int64_t rows = -1, cols = -1;
+    // Shape caps bound the allocation a corrupt header could request
+    // before any payload validation runs.
+    if (!(*in >> rows >> cols) || rows < 0 || cols < 0 ||
+        rows > (int64_t{1} << 30) || cols > (int64_t{1} << 30) ||
+        rows * cols > (int64_t{1} << 32)) {
+      return Status::IOError("bad matrix shape under '" + std::string(key) +
+                             "' in " + context);
+    }
+    Matrix m(rows, cols);
+    for (int64_t i = 0; i < m.size(); ++i) {
+      if (!(*in >> tok)) {
+        return Status::IOError("truncated matrix under '" + std::string(key) +
+                               "' in " + context);
+      }
+      auto v = ParseHexDouble(tok, context);
+      GALIGN_RETURN_NOT_OK(v.status());
+      m.data()[i] = v.ValueOrDie();
+    }
+    out->push_back(std::move(m));
+  }
+  return Status::OK();
+}
+
+std::string SerializeGcnModel(const MultiOrderGcn& gcn) {
   std::ostringstream out;
   out.precision(17);
   out << "galign-gcn-v1 layers=" << gcn.num_layers()
@@ -49,9 +97,13 @@ Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path) {
       out << "\n";
     }
   }
+  return out.str();
+}
+
+Status SaveGcnModel(const MultiOrderGcn& gcn, const std::string& path) {
   // CRC trailer + temp-and-rename: a crash mid-save leaves either the old
   // model or nothing, never a torn file that LoadGcnModel would half-parse.
-  return AtomicWriteFile(path, AppendCrc32Trailer(out.str()));
+  return AtomicWriteFile(path, AppendCrc32Trailer(SerializeGcnModel(gcn)));
 }
 
 Result<MultiOrderGcn> LoadGcnModel(const std::string& path) {
@@ -72,7 +124,13 @@ Result<MultiOrderGcn> LoadGcnModel(const std::string& path) {
   auto payload = StripAndVerifyCrc32Trailer(content.ValueOrDie(),
                                             /*require_trailer=*/false, path);
   GALIGN_RETURN_NOT_OK(payload.status());
-  std::istringstream in(payload.ValueOrDie());
+  return ParseGcnModel(payload.ValueOrDie(), path);
+}
+
+Result<MultiOrderGcn> ParseGcnModel(const std::string& payload,
+                                    const std::string& context) {
+  const std::string& path = context;
+  std::istringstream in(payload);
   std::string header;
   if (!std::getline(in, header)) {
     return Status::IOError("empty model file: " + path);

@@ -112,6 +112,10 @@ class AnnIndex {
   virtual bool truncated() const = 0;
   /// Bytes held by the index (base copy + retrieval structure).
   virtual uint64_t MemoryBytes() const = 0;
+  /// The indexed base rows (the matrix handed to BuildAnnIndex). Exposed
+  /// for serialization and behavioral fingerprinting (graph/ann/ann_io.h);
+  /// immutable like the rest of the index.
+  virtual const Matrix& base() const = 0;
 
   /// \brief Per-row top-k of `queries` against the indexed base rows by
   /// inner product, descending per row, ties toward the smaller base index
@@ -120,9 +124,16 @@ class AnnIndex {
   ///
   /// Rows beyond rows_computed (deadline wind-down) hold -1. `k` is
   /// clamped to size(). Thread-safe.
+  ///
+  /// `effort` in (0, 1] scales query-time search breadth (LSH probe count,
+  /// HNSW beam width) without touching the immutable structure: values
+  /// below 1 trade recall for latency. This is the serving layer's
+  /// degradation knob (DESIGN.md §12) — a loaded server steps effort down
+  /// instead of queueing unboundedly. Clamped to at least one probe /
+  /// a beam of k; effort 1 is exactly the configured search.
   [[nodiscard]] virtual Result<TopKAlignment> QueryBatch(
-      const Matrix& queries, int64_t k,
-      const RunContext& ctx = RunContext()) const = 0;
+      const Matrix& queries, int64_t k, const RunContext& ctx = RunContext(),
+      double effort = 1.0) const = 0;
 };
 
 /// \brief Builds the configured backend over `base` (rows = points to

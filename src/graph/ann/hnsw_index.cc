@@ -82,6 +82,7 @@ class HnswIndex final : public AnnIndex {
   int64_t size() const override { return indexed_; }
   int64_t dim() const override { return base_.cols(); }
   bool truncated() const override { return indexed_ < base_.rows(); }
+  const Matrix& base() const override { return base_; }
 
   uint64_t MemoryBytes() const override {
     uint64_t bytes = DenseBytes(base_.rows(), base_.cols());
@@ -93,7 +94,8 @@ class HnswIndex final : public AnnIndex {
   Status Build(const RunContext& ctx);
 
   [[nodiscard]] Result<TopKAlignment> QueryBatch(
-      const Matrix& queries, int64_t k, const RunContext& ctx) const override;
+      const Matrix& queries, int64_t k, const RunContext& ctx,
+      double effort) const override;
 
  private:
   int64_t Cap(int32_t level) const { return level == 0 ? m0_ : m_; }
@@ -373,7 +375,8 @@ Status HnswIndex::Build(const RunContext& ctx) {
 }
 
 Result<TopKAlignment> HnswIndex::QueryBatch(const Matrix& queries, int64_t k,
-                                            const RunContext& ctx) const {
+                                            const RunContext& ctx,
+                                            double effort) const {
   if (queries.cols() != base_.cols()) {
     return Status::InvalidArgument(
         "HnswIndex::QueryBatch: query dim " + std::to_string(queries.cols()) +
@@ -392,7 +395,12 @@ Result<TopKAlignment> HnswIndex::QueryBatch(const Matrix& queries, int64_t k,
     return out_r;
   }
 
-  const int64_t ef = std::max(ef_search_, kq);
+  // Degraded effort narrows the beam but never below k (a beam thinner
+  // than the answer set cannot fill it).
+  const double eff = std::clamp(effort, 0.0, 1.0);
+  const int64_t ef = std::max<int64_t>(
+      std::max<int64_t>(1, std::llround(static_cast<double>(ef_search_) * eff)),
+      kq);
   const int64_t qblock = std::min(kQueryBlockRows, rows);
   MemoryScope scope;
   GALIGN_RETURN_NOT_OK(MemoryScope::Reserve(

@@ -67,6 +67,7 @@ class LshIndex final : public AnnIndex {
   int64_t size() const override { return indexed_; }
   int64_t dim() const override { return base_.cols(); }
   bool truncated() const override { return indexed_ < base_.rows(); }
+  const Matrix& base() const override { return base_; }
 
   uint64_t MemoryBytes() const override {
     uint64_t bytes = DenseBytes(base_.rows(), base_.cols()) +
@@ -77,7 +78,8 @@ class LshIndex final : public AnnIndex {
   }
 
   [[nodiscard]] Result<TopKAlignment> QueryBatch(
-      const Matrix& queries, int64_t k, const RunContext& ctx) const override;
+      const Matrix& queries, int64_t k, const RunContext& ctx,
+      double effort) const override;
 
   /// Hashes rows [0, n) of the base into the tables, winding down at the
   /// deadline with the prefix inserted so far.
@@ -198,7 +200,8 @@ Status LshIndex::BuildTables(const RunContext& ctx) {
 }
 
 Result<TopKAlignment> LshIndex::QueryBatch(const Matrix& queries, int64_t k,
-                                           const RunContext& ctx) const {
+                                           const RunContext& ctx,
+                                           double effort) const {
   if (queries.cols() != base_.cols()) {
     return Status::InvalidArgument(
         "LshIndex::QueryBatch: query dim " + std::to_string(queries.cols()) +
@@ -217,6 +220,11 @@ Result<TopKAlignment> LshIndex::QueryBatch(const Matrix& queries, int64_t k,
     return out_r;
   }
 
+  // Degraded effort visits fewer buckets per table; the exact bucket is
+  // always probed, so effort only trims the multiprobe expansion.
+  const double eff = std::clamp(effort, 0.0, 1.0);
+  const int64_t eff_probes = std::max<int64_t>(
+      1, std::llround(static_cast<double>(probes_) * eff));
   const int64_t sig_cols = tables_ * bits_;
   const int64_t qblock = std::min(kQueryBlockRows, rows);
   MemoryScope scope;
@@ -266,7 +274,7 @@ Result<TopKAlignment> LshIndex::QueryBatch(const Matrix& queries, int64_t k,
             for (int64_t t = 0; t < tables_; ++t) {
               const uint32_t sig = Signature(p, i, t);
               ProbeBucket(t, sig, epoch, &stamp, &cand);
-              if (probes_ <= 1) continue;
+              if (eff_probes <= 1) continue;
               // Flip order: least-confident bits (smallest |projection|)
               // first — those are the likeliest to differ from a true
               // neighbor's signature.
@@ -280,13 +288,14 @@ Result<TopKAlignment> LshIndex::QueryBatch(const Matrix& queries, int64_t k,
                           return fa != fb ? fa < fb : a < b;
                         });
               int64_t emitted = 1;
-              for (int64_t a = 0; a < bits_ && emitted < probes_; ++a) {
+              for (int64_t a = 0; a < bits_ && emitted < eff_probes; ++a) {
                 ProbeBucket(t, sig ^ (uint32_t{1} << order[a]), epoch,
                             &stamp, &cand);
                 ++emitted;
               }
-              for (int64_t a = 0; a < bits_ && emitted < probes_; ++a) {
-                for (int64_t b = a + 1; b < bits_ && emitted < probes_; ++b) {
+              for (int64_t a = 0; a < bits_ && emitted < eff_probes; ++a) {
+                for (int64_t b = a + 1; b < bits_ && emitted < eff_probes;
+                     ++b) {
                   ProbeBucket(t,
                               sig ^ (uint32_t{1} << order[a]) ^
                                   (uint32_t{1} << order[b]),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <new>
 
 namespace galign {
 
@@ -45,6 +46,15 @@ Result<AttributedGraph> AttributedGraph::CreateWeighted(
   if (num_nodes < 0) {
     return Status::InvalidArgument("negative node count");
   }
+  // A text edge list can declare an absurd node count (or node id) in a
+  // handful of bytes, and the CSR row pointers alone cost 8*(n+1) bytes —
+  // reject counts that cannot possibly be serviced instead of dying inside
+  // new[] (the graph fuzzer's loader stage covers this path).
+  if (num_nodes > (int64_t{1} << 31)) {
+    return Status::InvalidArgument(
+        "node count " + std::to_string(num_nodes) +
+        " exceeds the 2^31 construction cap");
+  }
   for (auto& e : edges) {
     if (e.u < 0 || e.u >= num_nodes || e.v < 0 || e.v >= num_nodes) {
       return Status::InvalidArgument(
@@ -67,7 +77,9 @@ Result<AttributedGraph> AttributedGraph::CreateWeighted(
             });
 
   if (attributes.empty()) {
-    attributes = Matrix(num_nodes, 1, 1.0);
+    auto ones = Matrix::TryCreate(num_nodes, 1, 1.0);
+    GALIGN_RETURN_NOT_OK(ones.status());
+    attributes = ones.MoveValueOrDie();
   }
   if (attributes.rows() != num_nodes) {
     return Status::InvalidArgument(
@@ -97,14 +109,24 @@ Result<AttributedGraph> AttributedGraph::CreateWeighted(
     }
   }
 
-  std::vector<Triplet> t;
-  t.reserve(g.edges_.size() * 2);
-  for (size_t i = 0; i < g.edges_.size(); ++i) {
-    const auto& [u, v] = g.edges_[i];
-    t.push_back({u, v, g.edge_weights_[i]});
-    t.push_back({v, u, g.edge_weights_[i]});
+  // Below the cap a build can still exceed physical memory (the row
+  // pointers scale with n even for an edgeless graph) — surface that as a
+  // typed status, never an uncaught bad_alloc.
+  try {
+    std::vector<Triplet> t;
+    t.reserve(g.edges_.size() * 2);
+    for (size_t i = 0; i < g.edges_.size(); ++i) {
+      const auto& [u, v] = g.edges_[i];
+      t.push_back({u, v, g.edge_weights_[i]});
+      t.push_back({v, u, g.edge_weights_[i]});
+    }
+    g.adjacency_ =
+        SparseMatrix::FromTriplets(num_nodes, num_nodes, std::move(t));
+  } catch (const std::bad_alloc&) {
+    return Status::ResourceExhausted(
+        "graph adjacency for " + std::to_string(num_nodes) +
+        " nodes does not fit in memory");
   }
-  g.adjacency_ = SparseMatrix::FromTriplets(num_nodes, num_nodes, std::move(t));
   return g;
 }
 

@@ -1,0 +1,424 @@
+#include "serve/alignment_index.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <utility>
+
+#include "common/durable_io.h"
+#include "common/fault.h"
+#include "common/logging.h"
+#include "core/galign.h"
+#include "core/model_io.h"
+#include "core/trainer.h"
+#include "graph/ann/ann.h"
+#include "graph/ann/ann_io.h"
+
+namespace galign {
+
+namespace {
+
+constexpr char kArtifactMagic[] = "galign-aidx-v1";
+constexpr char kManifestMagic[] = "galign-aidx-manifest-v1";
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kFilePrefix[] = "aidx_";
+
+std::string GenerationFileName(int gen) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%s%08d", kFilePrefix, gen);
+  return buf;
+}
+
+// Generation encoded in an artifact filename, or -1 when the name does not
+// match aidx_<digits>.
+int GenerationOfFileName(const std::string& name) {
+  const size_t prefix_len = sizeof(kFilePrefix) - 1;
+  if (name.compare(0, prefix_len, kFilePrefix) != 0) return -1;
+  if (name.size() <= prefix_len) return -1;
+  int gen = 0;
+  for (size_t i = prefix_len; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return -1;
+    gen = gen * 10 + (name[i] - '0');
+    if (gen > 99999999) return -1;
+  }
+  return gen;
+}
+
+// Reads `key <nbytes>\n` then exactly nbytes of raw payload (the embedded
+// model / ANN-recipe sections, whose bodies are not token streams).
+Status ReadRawSection(std::istringstream* in, const char* key,
+                      std::string* out, const std::string& context) {
+  std::string tok;
+  int64_t nbytes = -1;
+  if (!(*in >> tok) || tok != key || !(*in >> nbytes) || nbytes < 0 ||
+      nbytes > (int64_t{1} << 30)) {
+    return Status::IOError("expected '" + std::string(key) +
+                           " <nbytes>' in " + context);
+  }
+  if (in->get() != '\n') {
+    return Status::IOError("missing newline after '" + std::string(key) +
+                           "' header in " + context);
+  }
+  out->resize(static_cast<size_t>(nbytes));
+  if (nbytes > 0 && !in->read(out->data(), nbytes)) {
+    return Status::IOError("truncated '" + std::string(key) + "' section in " +
+                           context);
+  }
+  return Status::OK();
+}
+
+void EmitRawSection(std::ostringstream* out, const char* key,
+                    const std::string& payload) {
+  *out << key << " " << payload.size() << "\n" << payload << "\n";
+}
+
+}  // namespace
+
+Result<std::shared_ptr<const AlignmentIndex>> AlignmentIndex::Build(
+    const GAlignConfig& config, const AttributedGraph& source,
+    const AttributedGraph& target, const AlignmentIndexOptions& options,
+    const RunContext& ctx) {
+  GALIGN_RETURN_NOT_OK(config.Validate());
+  if (source.num_attributes() != target.num_attributes()) {
+    return Status::InvalidArgument(
+        "AlignmentIndex::Build requires equal attribute dimensionality");
+  }
+  if (options.anchor_k <= 0) {
+    return Status::InvalidArgument("AlignmentIndex::Build: anchor_k must be > 0");
+  }
+
+  std::shared_ptr<AlignmentIndex> out(new AlignmentIndex());
+
+  // Alg. 1 training; the artifact keeps the trained model itself so a
+  // reload can verify (or re-derive) everything downstream of it.
+  Rng rng(config.seed);
+  out->gcn_ = std::make_unique<MultiOrderGcn>(
+      config.num_layers, source.num_attributes(), config.embedding_dim, &rng);
+  Trainer trainer(config);
+  GALIGN_RETURN_NOT_OK(
+      trainer.Train(out->gcn_.get(), source, target, &rng, /*seeds=*/{}, ctx));
+  if (ctx.ShouldStop()) {
+    return Status::DeadlineExceeded(
+        "AlignmentIndex::Build stopped during training — refusing to emit a "
+        "partial artifact");
+  }
+
+  auto lap_s = source.NormalizedAdjacency();
+  GALIGN_RETURN_NOT_OK(lap_s.status());
+  auto lap_t = target.NormalizedAdjacency();
+  GALIGN_RETURN_NOT_OK(lap_t.status());
+  out->source_layers_ =
+      out->gcn_->ForwardInference(lap_s.ValueOrDie(), source.attributes());
+  out->target_layers_ =
+      out->gcn_->ForwardInference(lap_t.ValueOrDie(), target.attributes());
+  out->theta_ = config.EffectiveLayerWeights();
+
+  // Query side carries theta so the multi-order score is one inner product
+  // (DESIGN.md §11); base side stays unscaled.
+  auto queries =
+      ConcatLayerRows(out->source_layers_, &out->theta_, ctx.budget());
+  GALIGN_RETURN_NOT_OK(queries.status());
+  out->queries_ = std::move(queries.ValueOrDie());
+  auto base = ConcatLayerRows(out->target_layers_, nullptr, ctx.budget());
+  GALIGN_RETURN_NOT_OK(base.status());
+
+  out->ann_config_ = options.ann;
+  auto ann = BuildAnnIndex(std::move(base.ValueOrDie()), options.ann, ctx);
+  GALIGN_RETURN_NOT_OK(ann.status());
+  out->ann_ = std::move(ann.ValueOrDie());
+  if (out->ann_->truncated()) {
+    return Status::DeadlineExceeded(
+        "AlignmentIndex::Build stopped during ANN construction — refusing to "
+        "emit a partial artifact");
+  }
+
+  const int64_t k = std::min(options.anchor_k, target.num_nodes());
+  auto anchors = out->ann_->QueryBatch(out->queries_, std::max<int64_t>(1, k),
+                                       ctx);
+  GALIGN_RETURN_NOT_OK(anchors.status());
+  out->anchors_ = std::move(anchors.ValueOrDie());
+  if (out->anchors_.rows_computed < out->anchors_.rows) {
+    return Status::DeadlineExceeded(
+        "AlignmentIndex::Build stopped during anchor precomputation — "
+        "refusing to emit a partial artifact");
+  }
+  return Result<std::shared_ptr<const AlignmentIndex>>(std::move(out));
+}
+
+uint64_t AlignmentIndex::MemoryBytes() const {
+  uint64_t bytes = 0;
+  for (const Matrix& m : source_layers_) bytes += DenseBytes(m.rows(), m.cols());
+  for (const Matrix& m : target_layers_) bytes += DenseBytes(m.rows(), m.cols());
+  bytes += DenseBytes(queries_.rows(), queries_.cols());
+  bytes += ann_->MemoryBytes();
+  bytes += anchors_.index.size() * sizeof(int64_t) +
+           anchors_.score.size() * sizeof(double);
+  return bytes;
+}
+
+std::string AlignmentIndex::Serialize() const {
+  std::ostringstream out;
+  out << kArtifactMagic << "\n";
+  out << "theta " << theta_.size();
+  for (double t : theta_) out << " " << HexDouble(t);
+  out << "\n";
+  EmitRawSection(&out, "model", SerializeGcnModel(*gcn_));
+  EmitMatrixList(&out, "source_layers", source_layers_);
+  EmitMatrixList(&out, "target_layers", target_layers_);
+  EmitRawSection(&out, "ann", SerializeAnnRecipe(*ann_, ann_config_));
+  out << "anchors " << anchors_.rows << " " << anchors_.cols << " "
+      << anchors_.k << " " << anchors_.rows_computed << "\n";
+  for (size_t i = 0; i < anchors_.index.size(); ++i) {
+    if (i) out << (i % 16 == 0 ? "\n" : " ");
+    out << anchors_.index[i];
+  }
+  if (!anchors_.index.empty()) out << "\n";
+  for (size_t i = 0; i < anchors_.score.size(); ++i) {
+    if (i) out << (i % 8 == 0 ? "\n" : " ");
+    out << HexDouble(anchors_.score[i]);
+  }
+  if (!anchors_.score.empty()) out << "\n";
+  out << "end\n";
+  return out.str();
+}
+
+Result<std::shared_ptr<const AlignmentIndex>> AlignmentIndex::Parse(
+    const std::string& payload, const std::string& context,
+    const RunContext& ctx) {
+  std::istringstream in(payload);
+  std::string tok;
+  if (!(in >> tok) || tok != kArtifactMagic) {
+    return Status::IOError("not an alignment artifact (bad magic) in " +
+                           context);
+  }
+
+  std::shared_ptr<AlignmentIndex> out(new AlignmentIndex());
+
+  size_t theta_count = 0;
+  if (!(in >> tok) || tok != "theta" || !(in >> theta_count) ||
+      theta_count == 0 || theta_count > 4096) {
+    return Status::IOError("expected 'theta <count>' in " + context);
+  }
+  out->theta_.resize(theta_count);
+  for (size_t i = 0; i < theta_count; ++i) {
+    if (!(in >> tok)) {
+      return Status::IOError("truncated theta in " + context);
+    }
+    auto v = ParseHexDouble(tok, context);
+    GALIGN_RETURN_NOT_OK(v.status());
+    out->theta_[i] = v.ValueOrDie();
+  }
+
+  std::string model_payload;
+  GALIGN_RETURN_NOT_OK(ReadRawSection(&in, "model", &model_payload, context));
+  auto gcn = ParseGcnModel(model_payload, context + " model section");
+  GALIGN_RETURN_NOT_OK(gcn.status());
+  out->gcn_ = std::make_unique<MultiOrderGcn>(std::move(gcn.ValueOrDie()));
+
+  GALIGN_RETURN_NOT_OK(
+      ParseMatrixList(&in, "source_layers", &out->source_layers_, context));
+  GALIGN_RETURN_NOT_OK(
+      ParseMatrixList(&in, "target_layers", &out->target_layers_, context));
+  if (out->source_layers_.size() != theta_count ||
+      out->target_layers_.size() != theta_count) {
+    return Status::IOError(
+        "layer count disagrees with theta width in " + context + ": theta " +
+        std::to_string(theta_count) + ", source " +
+        std::to_string(out->source_layers_.size()) + ", target " +
+        std::to_string(out->target_layers_.size()));
+  }
+
+  std::string ann_payload;
+  GALIGN_RETURN_NOT_OK(ReadRawSection(&in, "ann", &ann_payload, context));
+
+  TopKAlignment& a = out->anchors_;
+  if (!(in >> tok) || tok != "anchors" || !(in >> a.rows >> a.cols >> a.k >>
+                                            a.rows_computed) ||
+      a.rows < 0 || a.cols < 0 || a.k < 0 || a.rows_computed != a.rows ||
+      a.rows > (int64_t{1} << 30) || a.k > (int64_t{1} << 20) ||
+      a.rows * a.k > (int64_t{1} << 32)) {
+    return Status::IOError("bad 'anchors' header in " + context);
+  }
+  a.index.resize(static_cast<size_t>(a.rows * a.k));
+  a.score.resize(static_cast<size_t>(a.rows * a.k));
+  for (size_t i = 0; i < a.index.size(); ++i) {
+    if (!(in >> a.index[i]) || a.index[i] < -1 || a.index[i] >= a.cols) {
+      return Status::IOError("bad anchor index in " + context);
+    }
+  }
+  for (size_t i = 0; i < a.score.size(); ++i) {
+    if (!(in >> tok)) {
+      return Status::IOError("truncated anchor scores in " + context);
+    }
+    auto v = ParseHexDouble(tok, context);
+    GALIGN_RETURN_NOT_OK(v.status());
+    a.score[i] = v.ValueOrDie();
+  }
+  if (!(in >> tok) || tok != "end") {
+    return Status::IOError("missing 'end' sentinel in " + context);
+  }
+
+  // Derived state: rebuild the query matrix and the ANN index from the
+  // stored layers. The recipe's fingerprint check makes the rebuilt index
+  // verify-or-reject against the one that was saved.
+  auto queries =
+      ConcatLayerRows(out->source_layers_, &out->theta_, ctx.budget());
+  GALIGN_RETURN_NOT_OK(queries.status());
+  out->queries_ = std::move(queries.ValueOrDie());
+  auto base = ConcatLayerRows(out->target_layers_, nullptr, ctx.budget());
+  GALIGN_RETURN_NOT_OK(base.status());
+  auto ann = RebuildAnnIndex(ann_payload, std::move(base.ValueOrDie()), ctx,
+                             context + " ann section");
+  GALIGN_RETURN_NOT_OK(ann.status());
+  out->ann_ = std::move(ann.ValueOrDie());
+  if (out->anchors_.rows != out->queries_.rows() ||
+      out->anchors_.cols != out->ann_->base().rows()) {
+    return Status::IOError("anchor table shape disagrees with embeddings in " +
+                           context);
+  }
+  return Result<std::shared_ptr<const AlignmentIndex>>(std::move(out));
+}
+
+AlignmentIndexStore::AlignmentIndexStore(std::string dir, int keep)
+    : dir_(std::move(dir)), keep_(keep < 1 ? 1 : keep) {}
+
+std::string AlignmentIndexStore::ManifestPath() const {
+  return dir_ + "/" + kManifestName;
+}
+
+int AlignmentIndexStore::NewestGeneration() const {
+  int newest = 0;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    newest = std::max(newest,
+                      GenerationOfFileName(entry.path().filename().string()));
+  }
+  return newest;
+}
+
+Status AlignmentIndexStore::Save(const AlignmentIndex& index) {
+  if (fault::ShouldFailIO("serve.artifact.save")) {
+    return Status::IOError("injected fault: artifact save to " + dir_);
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    return Status::IOError("cannot create artifact dir " + dir_ + ": " +
+                           ec.message());
+  }
+
+  const std::string name = GenerationFileName(NewestGeneration() + 1);
+  GALIGN_RETURN_NOT_OK(AtomicWriteFile(
+      dir_ + "/" + name, AppendCrc32Trailer(index.Serialize())));
+
+  // Survivors: the new generation plus the keep_-1 newest older ones.
+  std::vector<std::string> all;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (GenerationOfFileName(fname) >= 1) all.push_back(fname);
+  }
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    return GenerationOfFileName(a) > GenerationOfFileName(b);
+  });
+  std::vector<std::string> survivors(
+      all.begin(),
+      all.begin() + std::min<size_t>(all.size(), static_cast<size_t>(keep_)));
+
+  std::string manifest = std::string(kManifestMagic) + "\n";
+  for (const std::string& s : survivors) manifest += s + "\n";
+  GALIGN_RETURN_NOT_OK(
+      AtomicWriteFile(ManifestPath(), AppendCrc32Trailer(manifest)));
+
+  // Prune only after the manifest no longer references the victims.
+  for (size_t i = survivors.size(); i < all.size(); ++i) {
+    std::filesystem::remove(dir_ + "/" + all[i], ec);
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> AlignmentIndexStore::Candidates() const {
+  auto content = ReadFileToString(ManifestPath());
+  if (content.ok()) {
+    auto payload = StripAndVerifyCrc32Trailer(
+        content.ValueOrDie(), /*require_trailer=*/true, ManifestPath());
+    if (payload.ok()) {
+      std::istringstream in(payload.ValueOrDie());
+      std::string tok;
+      if (in >> tok && tok == kManifestMagic) {
+        std::vector<std::string> names;
+        while (in >> tok) {
+          if (GenerationOfFileName(tok) >= 1) names.push_back(tok);
+        }
+        if (!names.empty()) return names;
+      }
+    } else {
+      GALIGN_LOG(Warning) << "Artifact manifest unreadable ("
+                          << payload.status().message()
+                          << "); falling back to directory scan";
+    }
+  }
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
+    const std::string fname = entry.path().filename().string();
+    if (GenerationOfFileName(fname) >= 1) names.push_back(fname);
+  }
+  std::sort(names.begin(), names.end(), [](const auto& a, const auto& b) {
+    return GenerationOfFileName(a) > GenerationOfFileName(b);
+  });
+  return names;
+}
+
+Result<std::shared_ptr<const AlignmentIndex>> AlignmentIndexStore::LoadLatest(
+    const RunContext& ctx) const {
+  // Same typed terminal contract as CheckpointManager::LoadLatest: NotFound
+  // is a cold start, IOError means every published generation was lost.
+  int tried = 0;
+  std::string newest_error;
+  auto note = [&](const std::string& msg) {
+    if (tried == 1) newest_error = msg;
+  };
+  for (const std::string& name : Candidates()) {
+    const std::string path = dir_ + "/" + name;
+    ++tried;
+    if (fault::ShouldFailIO("serve.artifact.load")) {
+      GALIGN_LOG(Warning) << "Artifact " << path
+                          << " unreadable (injected fault); trying previous";
+      note("injected fault: artifact load from " + path);
+      continue;
+    }
+    auto content = ReadFileToString(path);
+    if (!content.ok()) {
+      GALIGN_LOG(Warning) << "Artifact " << path << " unreadable ("
+                          << content.status().message() << "); trying previous";
+      note(content.status().message());
+      continue;
+    }
+    auto payload = StripAndVerifyCrc32Trailer(content.ValueOrDie(),
+                                              /*require_trailer=*/true, path);
+    if (!payload.ok()) {
+      GALIGN_LOG(Warning) << "Artifact " << path << " failed validation ("
+                          << payload.status().message() << "); trying previous";
+      note(payload.status().message());
+      continue;
+    }
+    auto index = AlignmentIndex::Parse(payload.ValueOrDie(), path, ctx);
+    if (!index.ok()) {
+      GALIGN_LOG(Warning) << "Artifact " << path << " corrupt ("
+                          << index.status().message() << "); trying previous";
+      note(index.status().message());
+      continue;
+    }
+    return index;
+  }
+  if (tried > 0) {
+    return Status::IOError("all " + std::to_string(tried) +
+                           " artifact generations under " + dir_ +
+                           " failed validation (newest error: " +
+                           newest_error + ")");
+  }
+  return Status::NotFound("no alignment artifact under " + dir_);
+}
+
+}  // namespace galign

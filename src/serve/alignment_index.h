@@ -1,0 +1,136 @@
+// The immutable serving artifact (DESIGN.md §12).
+//
+// An AlignmentIndex is everything `galign_serve` needs to answer "which
+// target nodes align with source node v?" without touching the training
+// stack: the trained multi-order GCN, the per-layer embeddings of both
+// networks, the theta layer weights, an ANN index over the concatenated
+// target rows, and a precomputed top-k anchor table used for degraded-mode
+// answers. Once built (or loaded) it is deeply immutable — every member is
+// read-only after construction, so any number of serving threads may query
+// it concurrently with no synchronization beyond the shared_ptr that keeps
+// it alive across artifact swaps.
+//
+// Durability follows the checkpoint contract (DESIGN.md §8): one artifact
+// generation per file (`aidx_<8-digit gen>`), AtomicWriteFile + CRC32
+// trailer, a CRC'd MANIFEST listing survivors newest-first, and
+// verify-or-reject loading that falls back past torn generations. The ANN
+// section is stored as a recipe and rebuilt+fingerprint-verified at load
+// (graph/ann/ann_io.h), so a loaded artifact provably answers queries the
+// way the saved one did.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/gcn.h"
+#include "graph/ann/ann_index.h"
+#include "graph/graph.h"
+#include "graph/similarity_chunked.h"
+#include "la/matrix.h"
+
+namespace galign {
+
+/// Knobs of the artifact build that are not training configuration.
+struct AlignmentIndexOptions {
+  /// Width of the precomputed anchor table (degraded-mode answers return a
+  /// prefix of this). Clamped to the target size.
+  int64_t anchor_k = 10;
+  /// Retrieval backend + effort baseline for the embedded ANN index.
+  AnnConfig ann;
+};
+
+/// \brief Immutable, versioned alignment-serving artifact.
+///
+/// Build once (offline), serve forever: queries() row v against ann() is
+/// the multi-order similarity argmax machinery of DESIGN.md §11, and
+/// anchors() holds the full precomputed top-anchor_k table for requests
+/// that must be answered after their query budget is gone.
+class AlignmentIndex {
+ public:
+  /// \brief Trains Alg. 1 under `config` and assembles the artifact.
+  ///
+  /// Fails with DeadlineExceeded instead of emitting a partial artifact
+  /// when `ctx` stops the build early — a half-built serving index is not
+  /// a degraded answer, it is a wrong one.
+  [[nodiscard]] static Result<std::shared_ptr<const AlignmentIndex>> Build(
+      const GAlignConfig& config, const AttributedGraph& source,
+      const AttributedGraph& target, const AlignmentIndexOptions& options,
+      const RunContext& ctx = RunContext());
+
+  int64_t num_source() const { return queries_.rows(); }
+  int64_t num_target() const { return ann_->base().rows(); }
+  int64_t anchor_k() const { return anchors_.k; }
+  const std::vector<double>& theta() const { return theta_; }
+  const MultiOrderGcn& model() const { return *gcn_; }
+  /// Theta-scaled source concatenation: row v is the ready-made ANN query
+  /// for source node v.
+  const Matrix& queries() const { return queries_; }
+  const AnnIndex& ann() const { return *ann_; }
+  const AnnConfig& ann_config() const { return ann_config_; }
+  /// Precomputed top-anchor_k alignment of every source row (the
+  /// degraded-mode answer table).
+  const TopKAlignment& anchors() const { return anchors_; }
+  /// Bytes held live by the artifact (embeddings + ANN + anchor table).
+  uint64_t MemoryBytes() const;
+
+  /// Text payload (no CRC trailer — the store frames it).
+  std::string Serialize() const;
+
+  /// \brief Verify-or-reject parse: every section is validated (shapes,
+  /// hex payloads, ANN fingerprint) and any defect is a typed IOError
+  /// naming `context` — never a partially-initialized artifact.
+  [[nodiscard]] static Result<std::shared_ptr<const AlignmentIndex>> Parse(
+      const std::string& payload, const std::string& context,
+      const RunContext& ctx = RunContext());
+
+ private:
+  AlignmentIndex() = default;
+
+  std::vector<double> theta_;
+  std::unique_ptr<MultiOrderGcn> gcn_;
+  std::vector<Matrix> source_layers_;
+  std::vector<Matrix> target_layers_;
+  Matrix queries_;
+  AnnConfig ann_config_;
+  std::unique_ptr<AnnIndex> ann_;
+  TopKAlignment anchors_;
+};
+
+/// \brief Generation store for AlignmentIndex artifacts.
+///
+/// Mirrors CheckpointManager: Save() atomically writes the next generation
+/// file plus a CRC'd MANIFEST and prunes to `keep` survivors; LoadLatest()
+/// walks generations newest-first, falling back past torn files, and
+/// distinguishes "nothing published yet" (NotFound) from "every published
+/// generation is torn" (IOError naming the generation count and newest
+/// failure). Fault sites: "serve.artifact.save", "serve.artifact.load".
+class AlignmentIndexStore {
+ public:
+  explicit AlignmentIndexStore(std::string dir, int keep = 2);
+
+  /// Durably publishes `index` as the next generation.
+  [[nodiscard]] Status Save(const AlignmentIndex& index);
+
+  /// Loads the newest generation that passes full verification.
+  [[nodiscard]] Result<std::shared_ptr<const AlignmentIndex>> LoadLatest(
+      const RunContext& ctx = RunContext()) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string ManifestPath() const;
+  /// Candidate filenames newest-first (manifest order, else dir scan).
+  std::vector<std::string> Candidates() const;
+  /// Highest generation number present (manifest or scan), or 0.
+  int NewestGeneration() const;
+
+  std::string dir_;
+  int keep_;
+};
+
+}  // namespace galign

@@ -1,0 +1,27 @@
+#include "serve/client.h"
+
+#include <chrono>
+#include <thread>
+
+namespace galign {
+
+QueryResponse QueryWithRetry(AlignServer* server, const QueryRequest& request,
+                             const RetryPolicy& policy) {
+  const int attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  QueryResponse response;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    response = server->SubmitAndWait(request);
+    if (response.status.code() != StatusCode::kOverloaded) return response;
+    if (attempt == attempts) break;
+    // The schedule's jittered backoff, floored by the server's own hint —
+    // retrying sooner than the server asked just sheds again.
+    if (response.retry_after_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          response.retry_after_ms));
+    }
+    internal::BackoffSleep(policy, attempt);
+  }
+  return response;
+}
+
+}  // namespace galign

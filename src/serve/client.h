@@ -1,0 +1,25 @@
+// Client-side retry for shed requests (DESIGN.md §12).
+//
+// A kOverloaded shed is the server saying "come back shortly" — it carries
+// a retry-after hint and, unlike kIOError, is guaranteed side-effect free
+// (the request never entered the queue). QueryWithRetry resubmits under
+// the shared RetryPolicy backoff schedule, honoring the server's hint when
+// it exceeds the schedule's own backoff, and gives up with the last typed
+// response once attempts are exhausted. Every other status (full answers,
+// degraded answers, kDeadlineExceeded, kInvalidArgument) returns
+// immediately — retrying a deadline miss or a malformed request cannot
+// help.
+#pragma once
+
+#include "common/durable_io.h"
+#include "serve/server.h"
+
+namespace galign {
+
+/// \brief Submits `request` to `server`, resubmitting on kOverloaded sheds
+/// with jittered exponential backoff (at most policy.max_attempts
+/// submissions).
+QueryResponse QueryWithRetry(AlignServer* server, const QueryRequest& request,
+                             const RetryPolicy& policy = RetryPolicy{});
+
+}  // namespace galign

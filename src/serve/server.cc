@@ -1,0 +1,296 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/fault.h"
+
+namespace galign {
+
+namespace {
+
+// Resolves a promise with a typed rejection built on the caller's thread.
+std::future<QueryResponse> Rejected(QueryResponse response) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  promise.set_value(std::move(response));
+  return future;
+}
+
+}  // namespace
+
+AlignServer::AlignServer(std::shared_ptr<const AlignmentIndex> index,
+                         ServeConfig config)
+    : index_(std::move(index)), config_(config) {
+  config_.workers = std::max(1, config_.workers);
+  config_.queue_capacity = std::max<int64_t>(1, config_.queue_capacity);
+  config_.max_effort_step = std::max(0, config_.max_effort_step);
+  config_.degrade_watermark =
+      std::clamp(config_.degrade_watermark, 0.0, 1.0);
+}
+
+AlignServer::~AlignServer() { Shutdown(); }
+
+void AlignServer::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_ || stopping_) return;
+  started_ = true;
+  workers_.reserve(static_cast<size_t>(config_.workers));
+  for (int i = 0; i < config_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void AlignServer::Shutdown() {
+  std::deque<std::unique_ptr<Pending>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(queue_);
+    stats_.shed_shutdown += drained.size();
+  }
+  // Every queued promise still resolves — a shutdown is an overload event
+  // from the client's point of view, not a hang.
+  for (auto& pending : drained) {
+    if (config_.budget && pending->reserved_bytes > 0) {
+      config_.budget->Release(pending->reserved_bytes);
+    }
+    QueryResponse response;
+    response.status = Status::Overloaded("server shutting down");
+    response.retry_after_ms = config_.retry_after_ms;
+    response.latency_ms = pending->timer.Millis();
+    pending->promise.set_value(std::move(response));
+  }
+}
+
+int AlignServer::EffortStepLocked() const {
+  if (config_.max_effort_step == 0) return 0;
+  const double fill = static_cast<double>(queue_.size()) /
+                      static_cast<double>(config_.queue_capacity);
+  if (fill < config_.degrade_watermark) return 0;
+  // Linear ramp from the watermark to a full queue, so a saturated queue
+  // runs at the deepest step and light pressure barely degrades.
+  const double span = std::max(1e-9, 1.0 - config_.degrade_watermark);
+  const double frac = std::min(1.0, (fill - config_.degrade_watermark) / span);
+  return std::max(
+      1, static_cast<int>(std::ceil(frac * config_.max_effort_step)));
+}
+
+std::future<QueryResponse> AlignServer::Submit(const QueryRequest& request) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+  }
+
+  // Malformed requests are the caller's bug, not load: typed
+  // kInvalidArgument, no retry hint.
+  if (request.node < 0 || request.node >= index_->num_source() ||
+      request.k <= 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.invalid_argument;
+    QueryResponse response;
+    response.status = Status::InvalidArgument(
+        "bad query: node " + std::to_string(request.node) + " (have " +
+        std::to_string(index_->num_source()) + " source nodes), k " +
+        std::to_string(request.k));
+    return Rejected(std::move(response));
+  }
+
+  auto shed = [&](uint64_t ServerStats::*counter, const std::string& detail) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++(stats_.*counter);
+    }
+    QueryResponse response;
+    response.status = Status::Overloaded(detail);
+    response.retry_after_ms = config_.retry_after_ms;
+    return Rejected(std::move(response));
+  };
+
+  if (fault::ShouldFailIO("serve.admit")) {
+    return shed(&ServerStats::shed_fault, "injected fault: admission");
+  }
+
+  auto pending = std::make_unique<Pending>();
+  pending->request = request;
+  const double deadline_ms = request.deadline_ms > 0.0
+                                 ? request.deadline_ms
+                                 : config_.default_deadline_ms;
+  pending->ctx = RunContext::WithTimeout(deadline_ms / 1e3);
+  pending->ctx.SetToken(request.token);
+  pending->ctx.SetBudget(config_.budget);
+
+  // Budget admission happens before touching the queue so a shed request
+  // never holds a reservation.
+  if (config_.budget) {
+    Status reserve =
+        config_.budget->TryReserve(config_.per_request_bytes, "serve request");
+    if (!reserve.ok()) {
+      return shed(&ServerStats::shed_budget,
+                  "memory budget exhausted: " + std::string(reserve.message()));
+    }
+    pending->reserved_bytes = config_.per_request_bytes;
+  }
+
+  std::future<QueryResponse> future = pending->promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ ||
+        static_cast<int64_t>(queue_.size()) >= config_.queue_capacity) {
+      const bool was_stopping = stopping_;
+      if (config_.budget) config_.budget->Release(pending->reserved_bytes);
+      ++(was_stopping ? stats_.shed_shutdown : stats_.shed_queue_full);
+      QueryResponse response;
+      response.status = Status::Overloaded(
+          was_stopping ? "server shutting down"
+                       : "queue full (" +
+                             std::to_string(config_.queue_capacity) +
+                             " requests waiting)");
+      response.retry_after_ms = config_.retry_after_ms;
+      pending->promise.set_value(std::move(response));
+      return future;
+    }
+    ++stats_.admitted;
+    queue_.push_back(std::move(pending));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+QueryResponse AlignServer::SubmitAndWait(const QueryRequest& request) {
+  return Submit(request).get();
+}
+
+QueryResponse AlignServer::AnchorAnswer(const QueryRequest& request,
+                                        int effort_step) const {
+  // The precomputed table costs nothing at query time — the degraded
+  // answer of last resort when the request's own budget is gone.
+  const TopKAlignment& anchors = index_->anchors();
+  QueryResponse response;
+  response.degraded = true;
+  response.effort_step = effort_step;
+  response.answer_source = "anchor_table";
+  const int64_t width = std::min(request.k, anchors.k);
+  for (int64_t j = 0; j < width; ++j) {
+    const int64_t id = anchors.index[request.node * anchors.k + j];
+    if (id < 0) break;
+    response.targets.push_back(id);
+    response.scores.push_back(anchors.score[request.node * anchors.k + j]);
+  }
+  return response;
+}
+
+QueryResponse AlignServer::Process(Pending* pending, int effort_step) const {
+  const QueryRequest& request = pending->request;
+
+  // A deterministic stand-in for "the client went away mid-request".
+  if (fault::ShouldFailIO("serve.query.cancel")) {
+    request.token.Cancel();
+  }
+
+  auto degraded_or_deadline = [&]() {
+    if (request.allow_degraded) return AnchorAnswer(request, effort_step);
+    QueryResponse response;
+    response.status = Status::DeadlineExceeded(
+        "request budget exhausted before a full answer (degraded answers "
+        "disabled)");
+    response.effort_step = effort_step;
+    return response;
+  };
+
+  // Deadline already gone (queue wait ate it) or the client cancelled:
+  // skip the query entirely.
+  if (pending->ctx.ShouldStop()) return degraded_or_deadline();
+
+  const double effort = std::pow(0.5, effort_step);
+  const int64_t k = std::min(request.k, index_->num_target());
+  const Matrix query_row =
+      index_->queries().Block(request.node, 0, 1, index_->queries().cols());
+  auto got = index_->ann().QueryBatch(query_row, k, pending->ctx, effort);
+  if (!got.ok()) {
+    // Mid-query budget exhaustion is load, not corruption: degrade rather
+    // than fail when the client permits it.
+    if (got.status().code() == StatusCode::kResourceExhausted) {
+      return degraded_or_deadline();
+    }
+    QueryResponse response;
+    response.status = got.status();
+    response.effort_step = effort_step;
+    return response;
+  }
+  const TopKAlignment& top = got.ValueOrDie();
+  if (top.rows_computed < 1) {
+    // The query wound down before finishing its single row.
+    return degraded_or_deadline();
+  }
+
+  QueryResponse response;
+  response.effort_step = effort_step;
+  response.degraded = effort_step > 0;
+  response.answer_source = "ann";
+  for (int64_t j = 0; j < top.k; ++j) {
+    if (top.index[j] < 0) break;
+    response.targets.push_back(top.index[j]);
+    response.scores.push_back(top.score[j]);
+  }
+  return response;
+}
+
+void AlignServer::WorkerLoop() {
+  for (;;) {
+    std::unique_ptr<Pending> pending;
+    int effort_step = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_) return;  // Shutdown drains what is left
+      // Effort reflects the pressure *behind* this request: the depth of
+      // the queue it just left.
+      pending = std::move(queue_.front());
+      queue_.pop_front();
+      effort_step = EffortStepLocked();
+    }
+
+    QueryResponse response = Process(pending.get(), effort_step);
+    response.latency_ms = pending->timer.Millis();
+
+    if (config_.budget && pending->reserved_bytes > 0) {
+      config_.budget->Release(pending->reserved_bytes);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!response.status.ok()) {
+        if (response.status.code() == StatusCode::kDeadlineExceeded) {
+          ++stats_.deadline_exceeded;
+        }
+      } else if (response.answer_source == "anchor_table") {
+        ++stats_.completed_anchor;
+      } else if (response.effort_step > 0) {
+        ++stats_.completed_reduced_effort;
+      } else {
+        ++stats_.completed_full;
+      }
+    }
+    pending->promise.set_value(std::move(response));
+  }
+}
+
+ServerStats AlignServer::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t AlignServer::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+}  // namespace galign

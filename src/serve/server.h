@@ -1,0 +1,177 @@
+// Overload-safe alignment serving (DESIGN.md §12).
+//
+// AlignServer answers "top-k aligned targets of source node v" queries over
+// one immutable AlignmentIndex shared by every worker. The contract the
+// whole design hangs on: **no admitted request ever hangs, and no overload
+// ever crashes the process.** Every Submit() resolves its future with
+// exactly one of
+//
+//   * a full answer (status OK, answer_source "ann", effort_step 0);
+//   * a clearly-marked degraded answer — reduced ANN effort under queue
+//     pressure (effort_step > 0) or the precomputed anchor-table row when
+//     the request's deadline/cancellation fired mid-query (answer_source
+//     "anchor_table"); or
+//   * a typed rejection: kOverloaded (queue full, memory budget exhausted,
+//     or shutdown) with a retry-after hint, kDeadlineExceeded (budget gone
+//     and the client opted out of degraded answers), or kInvalidArgument
+//     (malformed request).
+//
+// Admission is synchronous in Submit(): the bounded queue and the shared
+// MemoryBudget are checked on the caller's thread, so shed load never
+// consumes a worker. The request's deadline starts at admission — queue
+// wait counts against it — which is what bounds end-to-end latency under
+// burst. Fault sites: "serve.admit" (admission rejects), "serve.query.cancel"
+// (mid-query client disconnect).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/run_context.h"
+#include "common/status.h"
+#include "common/timer.h"
+#include "serve/alignment_index.h"
+
+namespace galign {
+
+/// Server tuning. Defaults favor a small test deployment; `galign_serve`
+/// exposes each as a flag.
+struct ServeConfig {
+  int workers = 2;
+  /// Bounded queue: Submit() sheds kOverloaded once this many admitted
+  /// requests are waiting.
+  int64_t queue_capacity = 64;
+  /// Per-request deadline when the request does not carry one; starts at
+  /// admission, so queue wait spends it.
+  double default_deadline_ms = 250.0;
+  /// Admission estimate reserved against `budget` per in-flight request
+  /// (query scratch + response). Requests that do not fit are shed.
+  uint64_t per_request_bytes = uint64_t{4} << 20;
+  /// Shared memory budget; null = unbounded (no budget-based shedding).
+  std::shared_ptr<MemoryBudget> budget;
+  /// Queue fill fraction where ANN effort starts stepping down.
+  double degrade_watermark = 0.5;
+  /// Maximum degradation step; step s queries at effort 2^-s.
+  int max_effort_step = 3;
+  /// Retry-after hint attached to kOverloaded sheds.
+  double retry_after_ms = 50.0;
+};
+
+struct QueryRequest {
+  int64_t node = -1;  ///< source node to align
+  int64_t k = 10;     ///< answer width (clamped to the target size)
+  /// Per-request deadline in ms; <= 0 uses the server default.
+  double deadline_ms = 0.0;
+  /// When false, an expired deadline is a typed kDeadlineExceeded instead
+  /// of an anchor-table answer.
+  bool allow_degraded = true;
+  /// Cancellation handle (client disconnect). A default token never fires
+  /// unless the caller cancels it.
+  CancelToken token;
+};
+
+struct QueryResponse {
+  Status status = Status::OK();
+  std::vector<int64_t> targets;  ///< aligned target ids, best first
+  std::vector<double> scores;    ///< matching multi-order similarities
+  /// True whenever the answer is anything less than a full-effort ANN
+  /// query: reduced effort under pressure, or an anchor-table fallback.
+  bool degraded = false;
+  int effort_step = 0;        ///< 0 = full effort; s queried at 2^-s
+  std::string answer_source;  ///< "ann" | "anchor_table" | "" on rejection
+  double retry_after_ms = 0.0;  ///< backoff hint, set on kOverloaded
+  double latency_ms = 0.0;      ///< admission to completion
+};
+
+/// Monotonic counters; Snapshot() is safe to call concurrently with
+/// serving.
+struct ServerStats {
+  uint64_t submitted = 0;
+  uint64_t admitted = 0;
+  uint64_t shed_queue_full = 0;
+  uint64_t shed_budget = 0;
+  uint64_t shed_fault = 0;      ///< "serve.admit" injected rejects
+  uint64_t shed_shutdown = 0;   ///< pending requests drained at Shutdown
+  uint64_t invalid_argument = 0;
+  uint64_t completed_full = 0;
+  uint64_t completed_reduced_effort = 0;
+  uint64_t completed_anchor = 0;
+  uint64_t deadline_exceeded = 0;
+};
+
+/// \brief Bounded-queue serving loop over one immutable AlignmentIndex.
+///
+/// Start() spawns the workers; until then admitted requests queue without
+/// being drained (tests use this to fill the queue deterministically).
+/// Shutdown() (or the destructor) joins the workers and resolves every
+/// still-queued future with a typed kOverloaded — never an abandoned
+/// promise.
+class AlignServer {
+ public:
+  AlignServer(std::shared_ptr<const AlignmentIndex> index, ServeConfig config);
+  ~AlignServer();
+
+  AlignServer(const AlignServer&) = delete;
+  AlignServer& operator=(const AlignServer&) = delete;
+
+  /// Spawns the worker threads. Idempotent.
+  void Start();
+
+  /// Stops the workers, drains the queue with typed kOverloaded responses.
+  /// Idempotent; Submit() after Shutdown() sheds immediately.
+  void Shutdown();
+
+  /// \brief Admission-controlled enqueue; never blocks.
+  ///
+  /// The returned future is always eventually resolved — by a worker, or
+  /// by Shutdown()'s drain. Rejections (overload, invalid argument)
+  /// resolve it immediately on the calling thread.
+  std::future<QueryResponse> Submit(const QueryRequest& request);
+
+  /// Submit + wait (CLI and test convenience).
+  QueryResponse SubmitAndWait(const QueryRequest& request);
+
+  ServerStats Snapshot() const;
+  int64_t queue_depth() const;
+  const AlignmentIndex& index() const { return *index_; }
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResponse> promise;
+    /// Deadline + token + shared budget, fixed at admission.
+    RunContext ctx;
+    /// Admission-time stopwatch (latency includes queue wait).
+    Timer timer;
+    /// Bytes reserved against the budget at admission (0 when unbounded).
+    uint64_t reserved_bytes = 0;
+  };
+
+  void WorkerLoop();
+  /// Effort step for the current queue depth (0 = full effort).
+  int EffortStepLocked() const;
+  QueryResponse Process(Pending* pending, int effort_step) const;
+  QueryResponse AnchorAnswer(const QueryRequest& request,
+                             int effort_step) const;
+
+  std::shared_ptr<const AlignmentIndex> index_;
+  ServeConfig config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool stopping_ = false;
+  bool started_ = false;
+  ServerStats stats_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace galign

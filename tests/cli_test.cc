@@ -5,6 +5,8 @@
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <unistd.h>
 
@@ -46,6 +48,13 @@ class CliTest : public ::testing::Test {
                       " --target-attrs=" + Dir("data/target.attrs") + " " +
                       extra + " > " + Dir("stdout.txt") + " 2>&1";
     return std::system(cmd.c_str());
+  }
+
+  std::string CapturedOutput() {
+    std::ifstream in(Dir("stdout.txt"));
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
   }
 
   std::filesystem::path dir_;
@@ -96,6 +105,43 @@ TEST_F(CliTest, HungarianFlagWorks) {
 
 TEST_F(CliTest, UnknownMethodFails) {
   EXPECT_NE(RunCli("--method=definitely_not_a_method"), 0);
+}
+
+// Typed flag validation (DESIGN.md §12): each rejection exits nonzero and
+// prints an InvalidArgument diagnostic that carries the flag name, the
+// offending value, and the file:line of the validation site.
+
+TEST_F(CliTest, MalformedMemBudgetSuffixRejectedTyped) {
+  EXPECT_NE(RunCli("--method=unialign --mem-budget=512q"), 0);
+  const std::string out = CapturedOutput();
+  EXPECT_NE(out.find("--mem-budget=512q rejected"), std::string::npos) << out;
+  EXPECT_NE(out.find("galign_cli.cpp:"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, NonPositiveTopKRejectedTyped) {
+  EXPECT_NE(RunCli("--method=unialign --topk=0"), 0);
+  const std::string out = CapturedOutput();
+  EXPECT_NE(out.find("--topk=0 rejected"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, OversizedTopKRejectedTyped) {
+  // 60-node target: a per-row top-1000 cannot exist; rejected after load
+  // instead of silently clamped.
+  EXPECT_NE(RunCli("--method=unialign --topk=1000 --anchors-out=" +
+                   Dir("never.txt")),
+            0);
+  const std::string out = CapturedOutput();
+  EXPECT_NE(out.find("--topk=1000 rejected"), std::string::npos) << out;
+  EXPECT_NE(out.find("target nodes"), std::string::npos) << out;
+  EXPECT_FALSE(std::filesystem::exists(Dir("never.txt")));
+}
+
+TEST_F(CliTest, AnnRecallTargetOutsideDomainRejectedTyped) {
+  EXPECT_NE(RunCli("--method=galign --ann-recall-target=1.5"), 0);
+  const std::string out = CapturedOutput();
+  EXPECT_NE(out.find("--ann-recall-target=1.5 rejected"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("0 < value <= 1"), std::string::npos) << out;
 }
 
 TEST_F(CliTest, MissingInputFails) {

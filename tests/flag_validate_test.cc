@@ -1,0 +1,78 @@
+// Unit tests for the typed flag-validation helpers shared by galign_cli
+// and galign_serve (DESIGN.md §12). The binary-level rejection tests — one
+// per user-facing flag — live in cli_test.cc and serve_cli_test.cc; this
+// file pins the helpers' domains and the file:line diagnostic format.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/flag_validate.h"
+
+namespace galign {
+namespace {
+
+TEST(FlagValidateTest, ByteSizeAcceptsSuffixes) {
+  EXPECT_EQ(GALIGN_VALIDATE_BYTE_SIZE("512", "--mem-budget").ValueOrDie(),
+            512u);
+  EXPECT_EQ(GALIGN_VALIDATE_BYTE_SIZE("64k", "--mem-budget").ValueOrDie(),
+            64ull << 10);
+  EXPECT_EQ(GALIGN_VALIDATE_BYTE_SIZE("512M", "--mem-budget").ValueOrDie(),
+            512ull << 20);
+  EXPECT_EQ(GALIGN_VALIDATE_BYTE_SIZE("2g", "--mem-budget").ValueOrDie(),
+            2ull << 30);
+}
+
+TEST(FlagValidateTest, ByteSizeRejectsMalformedTyped) {
+  for (const char* bad : {"", "m", "1mb", "512q", "0", "-4k", "1.5g",
+                          "99999999999999999999g"}) {
+    auto r = GALIGN_VALIDATE_BYTE_SIZE(bad, "--mem-budget");
+    ASSERT_FALSE(r.ok()) << "accepted '" << bad << "'";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+    EXPECT_NE(r.status().message().find("--mem-budget"), std::string::npos)
+        << bad;
+  }
+}
+
+TEST(FlagValidateTest, ErrorsCarryFileAndLine) {
+  auto r = GALIGN_VALIDATE_BYTE_SIZE("1mb", "--mem-budget");
+  ASSERT_FALSE(r.ok());
+  // "file:123: --mem-budget=1mb rejected: ..." — the file is this test.
+  EXPECT_NE(r.status().message().find("flag_validate_test.cc:"),
+            std::string::npos)
+      << r.status().message();
+  EXPECT_NE(r.status().message().find("rejected:"), std::string::npos);
+}
+
+TEST(FlagValidateTest, UnitIntervalDomain) {
+  EXPECT_DOUBLE_EQ(
+      GALIGN_VALIDATE_UNIT_INTERVAL("0.9", "--ann-recall-target").ValueOrDie(),
+      0.9);
+  EXPECT_DOUBLE_EQ(
+      GALIGN_VALIDATE_UNIT_INTERVAL("1", "--ann-recall-target").ValueOrDie(),
+      1.0);
+  for (const char* bad : {"0", "-0.5", "1.5", "nan", "recall", ""}) {
+    auto r = GALIGN_VALIDATE_UNIT_INTERVAL(bad, "--ann-recall-target");
+    ASSERT_FALSE(r.ok()) << "accepted '" << bad << "'";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(FlagValidateTest, PositiveIntDomain) {
+  EXPECT_EQ(GALIGN_VALIDATE_POSITIVE_INT("10", "--topk").ValueOrDie(), 10);
+  for (const char* bad : {"0", "-3", "ten", "3.5", ""}) {
+    auto r = GALIGN_VALIDATE_POSITIVE_INT(bad, "--topk");
+    ASSERT_FALSE(r.ok()) << "accepted '" << bad << "'";
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(FlagValidateTest, TopKBoundIsDataDependent) {
+  EXPECT_TRUE(GALIGN_VALIDATE_TOPK_BOUND(10, 10, "--topk").ok());
+  Status s = GALIGN_VALIDATE_TOPK_BOUND(11, 10, "--topk");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("10 target nodes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace galign

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iterator>
 #include <memory>
@@ -38,10 +39,12 @@
 #include "baselines/unialign.h"
 #include "common/fault.h"
 #include "core/galign.h"
+#include "common/durable_io.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "graph/noise.h"
 #include "graph/stats.h"
+#include "serve/alignment_index.h"
 
 namespace galign {
 namespace {
@@ -225,7 +228,110 @@ FuzzFailure FuzzPropagation(const AttributedGraph& g, Rng* rng) {
   return kOk;
 }
 
-// --- Stage 3: aligners under budget, deadline, and faults -------------------
+// --- Stage 3: serving artifact bytes under corruption -----------------------
+
+/// One small golden AlignmentIndex, trained once and reused: the stage
+/// fuzzes the *decoder*, so only the serialized bytes vary per iteration.
+const std::string& GoldenArtifactPayload() {
+  static const std::string* payload = []() -> const std::string* {
+    Rng rng(99);
+    auto g = BarabasiAlbert(40, 2, &rng);
+    if (!g.ok()) return new std::string();
+    auto attributed =
+        g.ValueOrDie().WithAttributes(BinaryAttributes(40, 6, 0.3, &rng));
+    if (!attributed.ok()) return new std::string();
+    NoisyCopyOptions opts;
+    opts.structural_noise = 0.05;
+    auto pair = MakeNoisyCopyPair(attributed.ValueOrDie(), opts, &rng);
+    if (!pair.ok()) return new std::string();
+    GAlignConfig config;
+    config.epochs = 2;
+    config.embedding_dim = 8;
+    AlignmentIndexOptions options;
+    options.anchor_k = 3;
+    auto index = AlignmentIndex::Build(config, pair.ValueOrDie().source,
+                                       pair.ValueOrDie().target, options);
+    if (!index.ok()) return new std::string();
+    return new std::string(index.ValueOrDie()->Serialize());
+  }();
+  return *payload;
+}
+
+/// Truncates or bit-flips serialized artifact bytes at seeded offsets and
+/// asserts the verify-or-reject contract: Parse / AlignmentIndexStore
+/// either reject with a clean typed Status or accept a self-consistent
+/// index — never crash, hang, or return a torn artifact.
+FuzzFailure FuzzArtifact(const std::string& tmp_prefix, Rng* rng) {
+  const std::string& golden = GoldenArtifactPayload();
+  if (golden.empty()) {
+    return FuzzFailure{"artifact.golden", "failed to build golden artifact"};
+  }
+
+  std::string bytes = golden;
+  const int64_t n = static_cast<int64_t>(bytes.size());
+  if (rng->Bernoulli(0.5)) {
+    bytes.resize(static_cast<size_t>(rng->UniformInt(n)));  // torn write
+  } else {
+    const int64_t flips = 1 + rng->UniformInt(8);
+    for (int64_t i = 0; i < flips; ++i) {  // bit rot
+      bytes[static_cast<size_t>(rng->UniformInt(n))] ^=
+          static_cast<char>(1 << rng->UniformInt(8));
+    }
+  }
+
+  auto parsed = AlignmentIndex::Parse(bytes, "graph_fuzz artifact");
+  if (parsed.ok()) {
+    // Corruption that survives every check must still describe a complete,
+    // self-consistent artifact (e.g. a mantissa-tail flip the behavioral
+    // fingerprint legitimately cannot distinguish).
+    const AlignmentIndex& index = *parsed.ValueOrDie();
+    FUZZ_CHECK(index.num_source() > 0 && index.num_target() > 0,
+               "artifact.parse", "accepted artifact with empty sides");
+    FUZZ_CHECK(index.anchors().rows_computed == index.num_source(),
+               "artifact.parse", "accepted artifact with partial anchors");
+    FUZZ_CHECK(!index.Serialize().empty(), "artifact.parse",
+               "accepted artifact does not re-serialize");
+  }
+
+  // File level: a corrupted generation behind a valid manifest. With a
+  // valid CRC trailer *over the corrupted payload* the structural
+  // validation after the CRC gate is exercised; without one the CRC gate
+  // itself rejects. Either way LoadLatest must end typed.
+  if (rng->Bernoulli(0.25)) {
+    const std::string dir = tmp_prefix + "_aidx";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) return FuzzFailure{"artifact.store", "tmp dir create failed"};
+    AlignmentIndexStore store(dir, /*keep=*/1);
+    const std::string trailed =
+        rng->Bernoulli(0.5) ? AppendCrc32Trailer(bytes) : bytes;
+    if (!AtomicWriteFile(dir + "/aidx_00000001", trailed).ok()) {
+      return FuzzFailure{"artifact.store", "tmp write failed"};
+    }
+    if (!AtomicWriteFile(dir + "/MANIFEST",
+                         AppendCrc32Trailer(
+                             "galign-aidx-manifest-v1\naidx_00000001\n"))
+             .ok()) {
+      return FuzzFailure{"artifact.store", "tmp manifest write failed"};
+    }
+    auto loaded = store.LoadLatest();
+    if (loaded.ok()) {
+      FUZZ_CHECK(loaded.ValueOrDie()->anchors().rows_computed ==
+                     loaded.ValueOrDie()->num_source(),
+                 "artifact.store", "accepted torn generation");
+    } else {
+      FUZZ_CHECK(loaded.status().code() == StatusCode::kIOError ||
+                     loaded.status().code() == StatusCode::kNotFound,
+                 "artifact.store",
+                 "untyped failure: " + loaded.status().ToString());
+    }
+    std::remove((dir + "/aidx_00000001").c_str());
+    std::remove((dir + "/MANIFEST").c_str());
+  }
+  return kOk;
+}
+
+// --- Stage 4: aligners under budget, deadline, and faults -------------------
 
 std::unique_ptr<Aligner> PickAligner(Rng* rng) {
   switch (rng->UniformInt(13)) {
@@ -386,6 +492,14 @@ FuzzFailure RunIteration(uint64_t seed, int64_t iter,
   FuzzFailure f = FuzzLoaders(tmp_prefix, &rng);
   if (Failed(f)) return f;
 
+  // Serving-artifact decoder under seeded corruption (every other
+  // iteration: the stage re-parses a full artifact, which dominates the
+  // iteration cost when it runs).
+  if (rng.Bernoulli(0.5)) {
+    f = FuzzArtifact(tmp_prefix, &rng);
+    if (Failed(f)) return f;
+  }
+
   auto gs = RandomGraph(&rng);
   if (!gs.ok()) return kOk;  // a clean rejection is conforming
   AttributedGraph source = gs.MoveValueOrDie();
@@ -413,6 +527,7 @@ FuzzFailure RunIteration(uint64_t seed, int64_t iter,
 int FuzzMain(int argc, char** argv) {
   uint64_t seed = 1;
   int64_t iters = 50;
+  int64_t start = 0;
   bool verbose = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -424,18 +539,25 @@ int FuzzMain(int argc, char** argv) {
       iters = std::strtoll(arg.c_str() + 8, nullptr, 10);
     } else if (arg == "--iters" && i + 1 < argc) {
       iters = std::strtoll(argv[++i], nullptr, 10);
+    } else if (arg.rfind("--start=", 0) == 0) {
+      // Direct replay of a reported iteration without re-running the ones
+      // before it (every iteration draws an independent RNG stream).
+      start = std::strtoll(arg.c_str() + 8, nullptr, 10);
+    } else if (arg == "--start" && i + 1 < argc) {
+      start = std::strtoll(argv[++i], nullptr, 10);
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else {
       std::fprintf(stderr,
-                   "usage: graph_fuzz [--seed N] [--iters M] [--verbose]\n");
+                   "usage: graph_fuzz [--seed N] [--iters M] [--start I] "
+                   "[--verbose]\n");
       return 2;
     }
   }
 
   const std::string tmp_prefix =
       "graph_fuzz_tmp_" + std::to_string(seed);
-  for (int64_t iter = 0; iter < iters; ++iter) {
+  for (int64_t iter = start; iter < iters; ++iter) {
     const FuzzFailure f = RunIteration(seed, iter, tmp_prefix);
     if (Failed(f)) {
       std::fprintf(stderr,

@@ -158,6 +158,12 @@ TEST(LintLayering, PrintDagExposesTheTable) {
   EXPECT_NE(run.output.find("core: align autograd graph graph/ann la common"),
             std::string::npos)
       << run.output;
+  // serve is the top of the stack: it may read core artifacts and the ANN
+  // layer, and nothing below may reach back into it.
+  EXPECT_NE(run.output.find(
+                "serve: core align autograd graph graph/ann la common"),
+            std::string::npos)
+      << run.output;
 }
 
 TEST(LintNakedThrow, LibraryThrowFires) {

@@ -11,7 +11,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -20,8 +22,13 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "common/run_context.h"
+#include "core/galign.h"
 #include "graph/ann/ann_index.h"
+#include "graph/generators.h"
+#include "graph/noise.h"
 #include "la/matrix.h"
+#include "serve/alignment_index.h"
+#include "serve/server.h"
 
 namespace galign {
 namespace {
@@ -252,6 +259,120 @@ TEST(RaceStress, ConcurrentQueriesAgainstSharedAnnIndex) {
     EXPECT_EQ(mismatches.load(), 0)
         << (backend == AnnBackend::kLsh ? "lsh" : "hnsw");
   }
+}
+
+// ------------------------------------------------- shared alignment server
+
+TEST(RaceStress, ServingQueueUnderMixedClientPressure) {
+  // The serving contract of DESIGN.md §12 under concurrency: many client
+  // threads push through one bounded admission queue into one shared
+  // immutable AlignmentIndex, with a mix of generous deadlines, already-
+  // expired deadlines, cross-thread cancellations, and (when fault
+  // injection is compiled in) an intermittently armed admission fault.
+  // Invariants: every submitted request resolves with a typed status, the
+  // budget ledger drains to zero, and under TSan any racy access in the
+  // queue/worker/cancellation paths becomes a hard failure.
+  Rng rng(5);
+  auto g = BarabasiAlbert(50, 3, &rng).MoveValueOrDie();
+  g = g.WithAttributes(BinaryAttributes(50, 8, 0.3, &rng)).MoveValueOrDie();
+  NoisyCopyOptions noise;
+  noise.structural_noise = 0.05;
+  auto pair = MakeNoisyCopyPair(g, noise, &rng).MoveValueOrDie();
+  GAlignConfig config;
+  config.epochs = 3;
+  config.embedding_dim = 16;
+  AlignmentIndexOptions options;
+  options.anchor_k = 4;
+  auto built =
+      AlignmentIndex::Build(config, pair.source, pair.target, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+
+  ServeConfig serve_config;
+  serve_config.workers = 3;
+  serve_config.queue_capacity = 8;
+  serve_config.default_deadline_ms = 500.0;
+  serve_config.retry_after_ms = 1.0;
+  serve_config.budget = std::make_shared<MemoryBudget>(uint64_t{8} << 20);
+  serve_config.per_request_bytes = uint64_t{1} << 20;
+  AlignServer server(built.ValueOrDie(), serve_config);
+  server.Start();
+
+  constexpr int kClients = 8;
+  constexpr int kPerClient = 60;
+  std::atomic<int64_t> resolved{0};
+  std::atomic<int64_t> untyped{0};
+  std::atomic<bool> stop_arming{false};
+
+#ifndef GALIGN_DISABLE_FAULT_INJECTION
+  // Overload injector: keeps re-arming the admission fault while clients
+  // hammer the queue, so sheds interleave with every other outcome.
+  std::thread arming([&stop_arming] {
+    fault::Spec spec;
+    spec.kind = fault::Kind::kFailIO;
+    spec.at_call = 5;
+    spec.repeat = 3;
+    while (!stop_arming.load(std::memory_order_relaxed)) {
+      fault::Arm("serve.admit", spec);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      fault::Disarm("serve.admit");
+      std::this_thread::yield();
+    }
+    fault::Disarm("serve.admit");
+  });
+#endif
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        QueryRequest request;
+        request.node = (c * kPerClient + i) % 50;
+        request.k = 4;
+        switch ((c + i) % 4) {
+          case 0:
+            break;  // generous default deadline
+          case 1:
+            request.deadline_ms = 1e-3;  // expired on arrival
+            break;
+          case 2:
+            request.deadline_ms = 1e-2;
+            request.allow_degraded = false;  // typed DeadlineExceeded path
+            break;
+          default:
+            break;
+        }
+        CancelToken token = request.token;
+        std::future<QueryResponse> future = server.Submit(request);
+        if ((c + i) % 5 == 0) token.Cancel();  // cross-thread mid-flight
+        const QueryResponse response = future.get();
+        resolved.fetch_add(1, std::memory_order_relaxed);
+        switch (response.status.code()) {
+          case StatusCode::kOk:
+          case StatusCode::kOverloaded:
+          case StatusCode::kDeadlineExceeded:
+            break;
+          default:
+            untyped.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+#ifndef GALIGN_DISABLE_FAULT_INJECTION
+  stop_arming.store(true, std::memory_order_relaxed);
+  arming.join();
+  fault::DisarmAll();
+#endif
+  server.Shutdown();
+
+  EXPECT_EQ(resolved.load(), int64_t{kClients} * kPerClient);
+  EXPECT_EQ(untyped.load(), 0);
+  const ServerStats stats = server.Snapshot();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(kClients) * kPerClient);
+  // Every admission reservation was released: the ledger is balanced even
+  // though sheds, cancellations, and shutdown all raced with admission.
+  EXPECT_EQ(serve_config.budget->reserved(), 0u);
 }
 
 }  // namespace

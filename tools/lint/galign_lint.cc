@@ -71,6 +71,11 @@ const std::vector<LayerRule> kLayerDag = {
     {"align", {"graph", "graph/ann", "la", "common"}},
     {"baselines", {"align", "autograd", "graph", "graph/ann", "la", "common"}},
     {"core", {"align", "autograd", "graph", "graph/ann", "la", "common"}},
+    // Serving sits on top of everything it reads; nothing below may
+    // include serve/ (the artifact is a consumer of core + ANN, never a
+    // dependency of them).
+    {"serve",
+     {"core", "align", "autograd", "graph", "graph/ann", "la", "common"}},
 };
 
 // Longest kLayerDag module that path-prefixes `path` at a '/' boundary;
