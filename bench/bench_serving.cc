@@ -20,9 +20,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -177,6 +179,109 @@ void BM_ServingQueryLatency(benchmark::State& state) {
 }
 
 BENCHMARK(BM_ServingQueryLatency)->Unit(benchmark::kMicrosecond);
+
+/// The published artifact round-tripped through serialize/parse: what the
+/// hot-swap watcher actually hands SwapIndex after quarantine. Built once.
+std::shared_ptr<const AlignmentIndex> SharedReloadedIndex() {
+  static const std::shared_ptr<const AlignmentIndex> index =
+      AlignmentIndex::Parse(SharedIndex()->Serialize(), "bench swap clone")
+          .MoveValueOrDie();
+  return index;
+}
+
+/// Hot swap under load (DESIGN.md §13): clients run a closed query loop
+/// while the serving artifact is swapped mid-burst. Recorded:
+///
+///   * p99_steady_ms — p99 of answers that ran on the old generation;
+///   * p99_swap_ms   — p99 of answers on the new generation (the window
+///     where retire-old overlaps serve-new), which must stay in the same
+///     regime as steady state: a swap is one pointer store, not a pause;
+///   * swap_to_first_new_ms — SwapIndex() call to the first answer stamped
+///     with the new generation (zero-downtime refresh latency).
+void BM_ServingHotSwap(benchmark::State& state) {
+  std::shared_ptr<const AlignmentIndex> old_index = SharedIndex();
+  std::shared_ptr<const AlignmentIndex> new_index = SharedReloadedIndex();
+  constexpr int64_t kPerClient = 64;
+  constexpr int64_t kSwapAfter = 16;  // per-client answers before the swap
+
+  uint64_t answered = 0;
+  uint64_t untyped = 0;
+  std::vector<double> steady_ms;
+  std::vector<double> swapped_ms;
+  std::vector<double> first_new_ms;
+
+  for (auto _ : state) {
+    ServeConfig config;
+    config.workers = 2;
+    config.queue_capacity = kQueueCapacity;
+    config.default_deadline_ms = 2000.0;
+    AlignServer server(old_index, config, /*generation=*/1);
+    server.Start();
+
+    std::atomic<int64_t> old_gen_answers{0};
+    std::atomic<bool> saw_new_gen{false};
+    std::mutex mu;  // guards the latency vectors + first-answer stamp
+    Timer swap_timer;
+    std::atomic<bool> swap_started{false};
+
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&, c] {
+        for (int64_t i = 0; i < kPerClient; ++i) {
+          QueryRequest request;
+          request.node = (c * kPerClient + i) % old_index->num_source();
+          request.k = 5;
+          QueryResponse response = server.SubmitAndWait(request);
+          if (!response.status.ok()) {
+            if (response.status.code() != StatusCode::kOverloaded &&
+                response.status.code() != StatusCode::kDeadlineExceeded) {
+              std::lock_guard<std::mutex> lock(mu);
+              ++untyped;
+            }
+            continue;
+          }
+          std::lock_guard<std::mutex> lock(mu);
+          ++answered;
+          if (response.generation == 1) {
+            old_gen_answers.fetch_add(1, std::memory_order_relaxed);
+            steady_ms.push_back(response.latency_ms);
+          } else {
+            swapped_ms.push_back(response.latency_ms);
+            if (!saw_new_gen.exchange(true) &&
+                swap_started.load(std::memory_order_acquire)) {
+              first_new_ms.push_back(swap_timer.Seconds() * 1000.0);
+            }
+          }
+        }
+      });
+    }
+
+    // Publish the new generation once the burst is demonstrably hot.
+    while (old_gen_answers.load(std::memory_order_relaxed) <
+           kSwapAfter * kClients) {
+      std::this_thread::yield();
+    }
+    swap_timer = Timer();
+    swap_started.store(true, std::memory_order_release);
+    server.SwapIndex(new_index, /*generation=*/2);
+
+    for (std::thread& t : clients) t.join();
+    server.Shutdown();
+  }
+
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["answered"] = static_cast<double>(answered) / iters;
+  state.counters["untyped"] = static_cast<double>(untyped) / iters;
+  state.counters["p99_steady_ms"] = Percentile(&steady_ms, 0.99);
+  state.counters["p99_swap_ms"] = Percentile(&swapped_ms, 0.99);
+  state.counters["swap_to_first_new_ms"] = Percentile(&first_new_ms, 0.50);
+}
+
+BENCHMARK(BM_ServingHotSwap)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace galign

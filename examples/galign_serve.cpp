@@ -1,5 +1,5 @@
 // Alignment serving daemon over the immutable AlignmentIndex artifact
-// (DESIGN.md §12). Three modes:
+// (DESIGN.md §12-13). Five modes:
 //
 //   --mode=export   Train and durably publish an artifact generation.
 //                   Input: --source/--target edge lists (+ optional attrs),
@@ -9,7 +9,16 @@
 //   --mode=serve    Load the newest valid artifact generation and answer
 //                   "query <node> [k]" lines from stdin until EOF/"quit".
 //                   Every line gets exactly one typed reply: a full answer,
-//                   a degraded answer (marked), or a typed rejection.
+//                   a degraded answer (marked), or a typed rejection. An
+//                   ArtifactWatcher hot-swaps newly exported generations in
+//                   behind the queries (--no-watch disables); "health"
+//                   prints the swap/quarantine surface.
+//
+//   --mode=health   Offline readiness probe: run the quarantine validation
+//                   battery (fingerprint probe replay, anchor spot check,
+//                   smoke query) against every generation on disk and print
+//                   a per-generation verdict. Exit 0 iff something is
+//                   servable.
 //
 //   --mode=burst    In-process overload drill: hammer the server with
 //                   --load-multiple times its queue capacity from
@@ -18,26 +27,42 @@
 //                   request resolved with a typed response (OK, Overloaded,
 //                   or DeadlineExceeded), no hang, no crash.
 //
+//   --mode=chaos    Hot-swap chaos drill: under continuous burst load,
+//                   publish good / torn / bit-flipped / fingerprint-tampered
+//                   / killed-mid-write generations into the live watcher and
+//                   assert the §13 invariant — every response typed and
+//                   correct for the generation that answered it, every bad
+//                   generation quarantined with the right typed reason, the
+//                   server ends on the newest good generation.
+//
 // Usage:
 //   galign_serve --mode=export --artifact-dir=/tmp/aidx --generate=120
 //   galign_serve --mode=serve  --artifact-dir=/tmp/aidx
 //   galign_serve --mode=burst  --artifact-dir=/tmp/aidx --load-multiple=16
+//   galign_serve --mode=chaos  --artifact-dir=/tmp/aidx --rounds=2
 //
 // Serving flags: [--workers=2] [--queue-capacity=64] [--deadline-ms=250]
 //   [--mem-budget=512m] [--topk=10] [--retry] [--clients=4]
-//   [--load-multiple=4]
+//   [--load-multiple=4] [--poll-ms=50] [--no-watch] [--rounds=2]
 // Export flags: [--epochs=30] [--dim=128] [--anchor-k=10]
 //   [--ann-backend=lsh|hnsw] [--ann-recall-target=0.98]
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <future>
 #include <iostream>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/durable_io.h"
 #include "common/flag_validate.h"
 #include "common/timer.h"
 #include "core/galign.h"
@@ -48,6 +73,7 @@
 #include "serve/alignment_index.h"
 #include "serve/client.h"
 #include "serve/server.h"
+#include "serve/swap/swap.h"
 
 using namespace galign;
 
@@ -66,10 +92,13 @@ struct ServeCliOptions {
   int64_t topk = 10;
   uint64_t mem_budget = 0;
   bool retry = false;  ///< serve mode: retry sheds with backoff
+  bool watch = true;   ///< serve mode: hot-swap watcher on by default
+  double poll_ms = 50.0;
   ServeConfig serve;
-  // Burst mode.
+  // Burst / chaos modes.
   int clients = 4;
   int64_t load_multiple = 4;
+  int rounds = 2;  ///< chaos: publish cycles through the corruption kinds
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* out) {
@@ -84,14 +113,18 @@ bool ParseFlag(const char* arg, const char* name, std::string* out) {
 int Usage() {
   std::fprintf(
       stderr,
-      "usage: galign_serve --mode=export|serve|burst --artifact-dir=<dir>\n"
+      "usage: galign_serve --mode=export|serve|health|burst|chaos"
+      " --artifact-dir=<dir>\n"
       "  export: --source=<edges> --target=<edges> [--source-attrs=<tsv>]\n"
       "          [--target-attrs=<tsv>] | --generate=<n>\n"
       "          [--epochs=30] [--dim=128] [--anchor-k=10]\n"
       "          [--ann-backend=lsh|hnsw] [--ann-recall-target=0.98]\n"
       "  serve:  [--workers=2] [--queue-capacity=64] [--deadline-ms=250]\n"
-      "          [--mem-budget=512m] [--topk=10] [--retry]\n"
-      "  burst:  serve flags plus [--clients=4] [--load-multiple=4]\n");
+      "          [--mem-budget=512m] [--topk=10] [--retry] [--poll-ms=50]\n"
+      "          [--no-watch]\n"
+      "  health: validate every generation on disk, print verdicts\n"
+      "  burst:  serve flags plus [--clients=4] [--load-multiple=4]\n"
+      "  chaos:  burst flags plus [--rounds=2]\n");
   return 2;
 }
 
@@ -186,9 +219,11 @@ void PrintResponse(int64_t node, const QueryResponse& response) {
                 response.status.ToString().c_str(), response.retry_after_ms);
     return;
   }
-  std::printf("node %lld [%s%s, %.2f ms]:",
+  std::printf("node %lld [%s%s, gen %lld, %.2f ms]:",
               static_cast<long long>(node), response.answer_source.c_str(),
-              response.degraded ? ", degraded" : "", response.latency_ms);
+              response.degraded ? ", degraded" : "",
+              static_cast<long long>(response.generation),
+              response.latency_ms);
   for (size_t j = 0; j < response.targets.size(); ++j) {
     std::printf(" %lld:%.4f", static_cast<long long>(response.targets[j]),
                 response.scores[j]);
@@ -196,12 +231,73 @@ void PrintResponse(int64_t node, const QueryResponse& response) {
   std::printf("\n");
 }
 
+/// Generation encoded in an `aidx_<digits>` filename, or 0.
+int GenerationOfName(const std::string& name) {
+  const size_t digits = name.find_first_of("0123456789");
+  if (digits == std::string::npos) return 0;
+  return std::atoi(name.c_str() + digits);
+}
+
+int RunHealth(const ServeCliOptions& opt) {
+  AlignmentIndexStore store(opt.artifact_dir);
+  const std::vector<std::string> names = store.Candidates();
+  if (names.empty()) {
+    std::printf("no artifact generations under %s\n", opt.artifact_dir.c_str());
+    return 1;
+  }
+  SwapConfig config;
+  config.budget = opt.serve.budget;
+  int valid = 0, best = 0;
+  for (const std::string& name : names) {
+    const int gen = GenerationOfName(name);
+    RunContext ctx;
+    if (config.budget) ctx.SetBudget(config.budget);
+    auto index = store.LoadGeneration(gen, ctx);
+    if (!index.ok()) {
+      std::printf("gen %d: REJECTED (load) — %s\n", gen,
+                  index.status().ToString().c_str());
+      continue;
+    }
+    const ValidationOutcome verdict =
+        ValidateCandidate(*index.ValueOrDie(), config);
+    if (!verdict.ok) {
+      std::printf("gen %d: QUARANTINED (%s) — %s\n", gen,
+                  QuarantineReasonName(verdict.reason), verdict.detail.c_str());
+      continue;
+    }
+    std::printf("gen %d: OK (validated in %.2f ms, %.1f MiB)\n", gen,
+                verdict.latency_ms,
+                static_cast<double>(index.ValueOrDie()->MemoryBytes()) /
+                    (1 << 20));
+    ++valid;
+    best = std::max(best, gen);
+  }
+  if (valid > 0) {
+    std::printf("healthy: would serve generation %d\n", best);
+    return 0;
+  }
+  std::printf("unhealthy: no generation passes validation\n");
+  return 1;
+}
+
 int RunServe(const ServeCliOptions& opt,
-             std::shared_ptr<const AlignmentIndex> index) {
-  AlignServer server(std::move(index), opt.serve);
+             std::shared_ptr<const AlignmentIndex> index, int generation,
+             AlignmentIndexStore* store) {
+  AlignServer server(std::move(index), opt.serve, generation);
   server.Start();
-  std::printf("serving %lld source nodes; 'query <node> [k]' or 'quit'\n",
-              static_cast<long long>(server.index().num_source()));
+  SwapConfig swap_config;
+  swap_config.poll_interval_ms = opt.poll_ms;
+  swap_config.budget = opt.serve.budget;
+  std::unique_ptr<ArtifactWatcher> watcher;
+  if (opt.watch) {
+    watcher = std::make_unique<ArtifactWatcher>(&server, store, swap_config);
+    watcher->Start();
+  }
+  std::printf(
+      "serving %lld source nodes (generation %d%s); 'query <node> [k]', "
+      "'health', or 'quit'\n",
+      static_cast<long long>(server.index()->num_source()), generation,
+      opt.watch ? ", hot-swap watcher on" : "");
 
   std::string line;
   while (std::getline(std::cin, line)) {
@@ -209,8 +305,18 @@ int RunServe(const ServeCliOptions& opt,
     std::string cmd;
     if (!(in >> cmd) || cmd.empty()) continue;
     if (cmd == "quit") break;
+    if (cmd == "health") {
+      if (watcher) {
+        std::printf("%s", FormatHealth(watcher->Health()).c_str());
+      } else {
+        std::printf("serving_generation: %lld (watcher off)\nqueue_depth: %lld\n",
+                    static_cast<long long>(server.serving_generation()),
+                    static_cast<long long>(server.queue_depth()));
+      }
+      continue;
+    }
     if (cmd != "query") {
-      std::printf("unknown command '%s' (query <node> [k] | quit)\n",
+      std::printf("unknown command '%s' (query <node> [k] | health | quit)\n",
                   cmd.c_str());
       continue;
     }
@@ -226,19 +332,20 @@ int RunServe(const ServeCliOptions& opt,
                   : server.SubmitAndWait(request);
     PrintResponse(request.node, response);
   }
+  if (watcher) watcher->Stop();
   server.Shutdown();
   return 0;
 }
 
 int RunBurst(const ServeCliOptions& opt,
-             std::shared_ptr<const AlignmentIndex> index) {
-  AlignServer server(std::move(index), opt.serve);
+             std::shared_ptr<const AlignmentIndex> index, int generation) {
+  AlignServer server(std::move(index), opt.serve, generation);
   server.Start();
 
   const int64_t total =
       std::max<int64_t>(1, opt.load_multiple * opt.serve.queue_capacity);
   const int clients = std::max(1, opt.clients);
-  const int64_t n1 = server.index().num_source();
+  const int64_t n1 = server.index()->num_source();
 
   // Every thread counts its outcomes; any untyped status is a contract
   // violation.
@@ -335,6 +442,281 @@ int RunBurst(const ServeCliOptions& opt,
   return 0;
 }
 
+// ----------------------------------------------------------------------------
+// Chaos drill (DESIGN.md §13 acceptance): corrupted publications under burst.
+
+/// Flips `payload[pos]` to a different hex digit (stays parseable hex, so
+/// the corruption survives tokenizing and must be caught semantically).
+void FlipHexDigit(std::string* payload, size_t pos) {
+  (*payload)[pos] = (*payload)[pos] == '7' ? '3' : '7';
+}
+
+/// A CRC-valid artifact whose anchor table no longer matches what its ANN
+/// index answers: one hex digit of theta[0] flipped. Parse rebuilds the
+/// query matrix from theta, so the stored anchors silently disagree — only
+/// the quarantine anchor spot check can catch it.
+std::string BitFlippedArtifact(const std::string& golden) {
+  const size_t theta = golden.find("\ntheta ");
+  if (theta == std::string::npos) return golden;
+  const size_t after_count = golden.find(' ', theta + 7);
+  if (after_count == std::string::npos) return golden;
+  std::string tampered = golden;
+  FlipHexDigit(&tampered, after_count + 1);
+  return tampered;
+}
+
+/// A CRC-valid artifact whose recorded ANN behavioral fingerprint was
+/// tampered: the recipe's `fingerprint <8-hex>` digit flipped in place, so
+/// the rebuilt index can no longer prove it answers like the saved one.
+std::string FingerprintTamperedArtifact(const std::string& golden) {
+  const size_t fp = golden.find("fingerprint ");
+  if (fp == std::string::npos) return golden;
+  std::string tampered = golden;
+  FlipHexDigit(&tampered, fp + std::strlen("fingerprint "));
+  return tampered;
+}
+
+struct BadPublication {
+  int gen = 0;
+  const char* kind = "";
+  QuarantineReason expected = QuarantineReason::kLoadFailed;
+};
+
+int RunChaos(const ServeCliOptions& opt,
+             std::shared_ptr<const AlignmentIndex> index, int generation,
+             AlignmentIndexStore* store) {
+  const std::string golden = index->Serialize();
+  const TopKAlignment& anchors = index->anchors();
+  const int64_t n1 = index->num_source();
+  const int64_t anchor_k = index->anchor_k();
+
+  AlignServer server(index, opt.serve, generation);
+  server.Start();
+  SwapConfig swap_config;
+  swap_config.poll_interval_ms = std::min(5.0, opt.poll_ms);
+  swap_config.budget = opt.serve.budget;
+  ArtifactWatcher watcher(&server, store, swap_config);
+  watcher.Start();
+
+  // Every good publication carries the golden payload, so any valid
+  // generation must answer exactly like the anchors of the loaded index.
+  std::mutex truth_mu;
+  std::set<int64_t> valid_gens{generation};
+
+  std::atomic<bool> done{false};
+  std::atomic<int64_t> answered{0}, shed{0}, missed{0}, untyped{0},
+      mismatched{0}, bad_generation{0};
+
+  const int clients = std::max(1, opt.clients);
+  const int64_t batch = std::max<int64_t>(
+      1, opt.load_multiple * opt.serve.queue_capacity / clients);
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      int64_t round = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        // Fire-then-collect, continuously: the swap must land under real
+        // admission pressure, not between tidy waves.
+        std::vector<std::future<QueryResponse>> futures;
+        std::vector<int64_t> nodes;
+        futures.reserve(static_cast<size_t>(batch));
+        for (int64_t i = 0; i < batch; ++i) {
+          QueryRequest request;
+          request.node = (round * 131 + c * 17 + i) % n1;
+          request.k = anchor_k;
+          nodes.push_back(request.node);
+          futures.push_back(server.Submit(request));
+        }
+        ++round;
+        for (size_t i = 0; i < futures.size(); ++i) {
+          const QueryResponse r = futures[i].get();
+          switch (r.status.code()) {
+            case StatusCode::kOk: {
+              ++answered;
+              {
+                std::lock_guard<std::mutex> lock(truth_mu);
+                if (valid_gens.count(r.generation) == 0) ++bad_generation;
+              }
+              // Full-effort ANN answers and anchor-table fallbacks are
+              // bit-exact against the golden anchor row; reduced-effort
+              // answers are the only approximate ones.
+              if ((r.answer_source == "ann" && r.effort_step == 0) ||
+                  r.answer_source == "anchor_table") {
+                for (size_t j = 0; j < r.targets.size(); ++j) {
+                  const size_t at =
+                      static_cast<size_t>(nodes[i] * anchors.k) + j;
+                  if (r.targets[j] != anchors.index[at] ||
+                      r.scores[j] != anchors.score[at]) {
+                    ++mismatched;
+                    break;
+                  }
+                }
+              }
+              break;
+            }
+            case StatusCode::kOverloaded:
+              ++shed;
+              break;
+            case StatusCode::kDeadlineExceeded:
+              ++missed;
+              break;
+            default:
+              ++untyped;
+              break;
+          }
+        }
+      }
+    });
+  }
+
+  // The publisher: cycle through one good publication and four distinct
+  // corruptions per round, driving a watcher pass after each so every bad
+  // generation is provably *attempted* (the background thread races along
+  // for extra pressure). Good generations are recorded as valid before the
+  // file exists, so a client can never observe an unlisted generation.
+  std::vector<BadPublication> bad_pubs;
+  std::vector<int> good_gens;
+  int publish_failures = 0;
+  for (int r = 0; r < std::max(1, opt.rounds); ++r) {
+    for (int kind = 0; kind < 5; ++kind) {
+      const int gen = store->NewestGeneration() + 1;
+      const std::string path = store->GenerationPath(gen);
+      Status wrote = Status::OK();
+      switch (kind) {
+        case 0: {  // good: byte-identical to the serving artifact
+          {
+            std::lock_guard<std::mutex> lock(truth_mu);
+            valid_gens.insert(gen);
+          }
+          wrote = AtomicWriteFile(path, AppendCrc32Trailer(golden));
+          if (wrote.ok()) good_gens.push_back(gen);
+          break;
+        }
+        case 1: {  // torn: CRC'd payload truncated to a third
+          const std::string full = AppendCrc32Trailer(golden);
+          wrote = AtomicWriteFile(path, full.substr(0, full.size() / 3));
+          bad_pubs.push_back({gen, "torn", QuarantineReason::kLoadFailed});
+          break;
+        }
+        case 2: {  // bit-flip: valid CRC, anchors disagree with the ANN
+          wrote = AtomicWriteFile(
+              path, AppendCrc32Trailer(BitFlippedArtifact(golden)));
+          bad_pubs.push_back(
+              {gen, "bit-flip", QuarantineReason::kAnchorMismatch});
+          break;
+        }
+        case 3: {  // fingerprint-tampered: valid CRC, recipe lies
+          wrote = AtomicWriteFile(
+              path, AppendCrc32Trailer(FingerprintTamperedArtifact(golden)));
+          bad_pubs.push_back({gen, "fingerprint-tampered",
+                              QuarantineReason::kFingerprintMismatch});
+          break;
+        }
+        case 4: {  // exporter killed mid-publish: non-atomic partial write
+          std::ofstream raw(path, std::ios::trunc | std::ios::binary);
+          raw.write(golden.data(),
+                    static_cast<std::streamsize>(golden.size() / 2));
+          bad_pubs.push_back(
+              {gen, "killed-exporter", QuarantineReason::kLoadFailed});
+          break;
+        }
+      }
+      if (!wrote.ok()) {
+        std::fprintf(stderr, "chaos publish gen %d: %s\n", gen,
+                     wrote.ToString().c_str());
+        ++publish_failures;
+      }
+      watcher.PollOnce();
+    }
+  }
+
+  // Convergence: the server must end up on the newest good generation —
+  // poisoned generations above it must not wedge the watcher.
+  const int want = good_gens.empty() ? generation : good_gens.back();
+  Timer wait;
+  while (server.serving_generation() != want && wait.Seconds() < 30.0) {
+    watcher.PollOnce();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  done.store(true);
+  for (std::thread& t : threads) t.join();
+  watcher.Stop();
+  const SwapHealth health = watcher.Health();
+  server.Shutdown();
+
+  std::printf("%s", FormatHealth(health).c_str());
+  std::printf(
+      "chaos: %zu published (%zu good, %zu bad), answered %lld, shed %lld, "
+      "deadline %lld\n",
+      good_gens.size() + bad_pubs.size(), good_gens.size(), bad_pubs.size(),
+      static_cast<long long>(answered.load()),
+      static_cast<long long>(shed.load()),
+      static_cast<long long>(missed.load()));
+
+  // The §13 invariant, as the exit code.
+  int violations = publish_failures;
+  if (untyped.load() != 0) {
+    std::fprintf(stderr, "contract violated: %lld untyped responses\n",
+                 static_cast<long long>(untyped.load()));
+    ++violations;
+  }
+  if (mismatched.load() != 0) {
+    std::fprintf(stderr,
+                 "contract violated: %lld answers disagreed with their "
+                 "generation's anchor table\n",
+                 static_cast<long long>(mismatched.load()));
+    ++violations;
+  }
+  if (bad_generation.load() != 0) {
+    std::fprintf(stderr,
+                 "contract violated: %lld responses stamped with a "
+                 "generation that never passed validation\n",
+                 static_cast<long long>(bad_generation.load()));
+    ++violations;
+  }
+  if (server.serving_generation() != want) {
+    std::fprintf(stderr,
+                 "contract violated: serving generation %lld, newest good "
+                 "is %d\n",
+                 static_cast<long long>(server.serving_generation()), want);
+    ++violations;
+  }
+  for (const BadPublication& bad : bad_pubs) {
+    const QuarantineRecord* record = nullptr;
+    for (const QuarantineRecord& q : health.quarantined) {
+      if (q.generation == bad.gen) record = &q;
+    }
+    if (record == nullptr) {
+      std::fprintf(stderr,
+                   "contract violated: bad generation %d (%s) missing from "
+                   "the quarantine list\n",
+                   bad.gen, bad.kind);
+      ++violations;
+    } else if (record->reason != bad.expected) {
+      std::fprintf(stderr,
+                   "contract violated: generation %d (%s) quarantined as %s, "
+                   "expected %s\n",
+                   bad.gen, bad.kind, QuarantineReasonName(record->reason),
+                   QuarantineReasonName(bad.expected));
+      ++violations;
+    }
+  }
+  if (health.swaps.size() != good_gens.size()) {
+    std::fprintf(stderr,
+                 "contract violated: %zu swaps recorded for %zu good "
+                 "publications\n",
+                 health.swaps.size(), good_gens.size());
+    ++violations;
+  }
+  if (violations == 0) {
+    std::printf("chaos drill passed: every response typed, every bad "
+                "generation quarantined, serving generation %d\n",
+                want);
+  }
+  return violations == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,6 +731,32 @@ int main(int argc, char** argv) {
     if (ParseFlag(argv[i], "--target-attrs", &opt.target_attrs)) continue;
     if (std::strcmp(argv[i], "--retry") == 0) {
       opt.retry = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--no-watch") == 0) {
+      opt.watch = false;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--health") == 0) {
+      opt.mode = "health";
+      continue;
+    }
+    if (ParseFlag(argv[i], "--poll-ms", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--poll-ms");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.poll_ms = static_cast<double>(v.ValueOrDie());
+      continue;
+    }
+    if (ParseFlag(argv[i], "--rounds", &flag)) {
+      auto v = GALIGN_VALIDATE_POSITIVE_INT(flag, "--rounds");
+      if (!v.ok()) {
+        std::fprintf(stderr, "%s\n", v.status().ToString().c_str());
+        return 2;
+      }
+      opt.rounds = static_cast<int>(v.ValueOrDie());
       continue;
     }
     if (ParseFlag(argv[i], "--generate", &flag)) {
@@ -479,10 +887,14 @@ int main(int argc, char** argv) {
   }
 
   if (opt.mode == "export") return RunExport(opt);
-  if (opt.mode != "serve" && opt.mode != "burst") return Usage();
+  if (opt.mode == "health") return RunHealth(opt);
+  if (opt.mode != "serve" && opt.mode != "burst" && opt.mode != "chaos") {
+    return Usage();
+  }
 
   AlignmentIndexStore store(opt.artifact_dir);
-  auto index = store.LoadLatest();
+  int generation = 0;
+  auto index = store.LoadLatest(RunContext(), &generation);
   if (!index.ok()) {
     std::fprintf(stderr, "load: %s\n", index.status().ToString().c_str());
     return 1;
@@ -494,6 +906,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", bound.ToString().c_str());
     return 2;
   }
-  return opt.mode == "serve" ? RunServe(opt, std::move(index.ValueOrDie()))
-                             : RunBurst(opt, std::move(index.ValueOrDie()));
+  if (opt.mode == "serve") {
+    return RunServe(opt, std::move(index.ValueOrDie()), generation, &store);
+  }
+  if (opt.mode == "chaos") {
+    return RunChaos(opt, std::move(index.ValueOrDie()), generation, &store);
+  }
+  return RunBurst(opt, std::move(index.ValueOrDie()), generation);
 }

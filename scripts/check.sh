@@ -18,8 +18,14 @@
 #         release galign_serve binary, then burst it at 16x queue capacity
 #         — every request must resolve with a typed status (the binary's
 #         own contract check is the exit code), plus the serve test suites.
+#   swap  hot-swap chaos drill (DESIGN.md §13): under 16x burst the release
+#         binary publishes good/torn/bit-flipped/fingerprint-tampered
+#         generations; every response must be typed and correct for its
+#         generation, every bad publication quarantined with a typed
+#         reason. Plus a real exporter killed with SIGKILL mid-publish
+#         followed by a --mode=health probe, and the swap test suites.
 #
-# Usage: scripts/check.sh [--stage=lint|asan|tsan|serve|all] [ctest-args...]
+# Usage: scripts/check.sh [--stage=lint|asan|tsan|serve|swap|all] [ctest-args...]
 #   e.g. scripts/check.sh -R DivergenceRecovery
 #        scripts/check.sh --stage=tsan
 set -euo pipefail
@@ -157,19 +163,71 @@ run_serve_stage() {
     --clients=4 --load-multiple=16 --deadline-ms=2000 --mem-budget=256m
 }
 
+run_swap_stage() {
+  # Hot-swap chaos drill (DESIGN.md §13): under 16x burst load the release
+  # binary concurrently publishes good, torn, bit-flipped, and fingerprint-
+  # tampered generations plus a simulated killed-exporter half-write.
+  # galign_serve --mode=chaos exits nonzero if any response was untyped,
+  # answered from a never-validated generation, or any bad publication is
+  # missing its typed quarantine record — the swap contract is the exit
+  # code. Then a real exporter is killed with SIGKILL mid-publish and
+  # --mode=health must still report the store healthy: an atomic publish
+  # leaves no damage a restart can see.
+  local build_dir="${repo_root}/build"
+  cmake -B "${build_dir}" -S "${repo_root}" >/dev/null
+  cmake --build "${build_dir}" -j "$(nproc)" \
+    --target galign_serve swap_test serve_test
+
+  echo "=== swap gate (quarantine + retention + generation tests) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -R "SwapTest|ServeTest"
+
+  echo "=== swap gate (hot-swap chaos drill, release binary, 16x burst) ==="
+  local drill_dir
+  drill_dir="$(mktemp -d)"
+  trap 'rm -rf "${drill_dir}"' RETURN
+  "${build_dir}/examples/galign_serve" --mode=export \
+    --artifact-dir="${drill_dir}" --generate=80 --epochs=5 --dim=32
+  "${build_dir}/examples/galign_serve" --mode=chaos \
+    --artifact-dir="${drill_dir}" --workers=2 --queue-capacity=8 \
+    --clients=4 --load-multiple=16 --rounds=2 --deadline-ms=2000 \
+    --mem-budget=512m
+
+  echo "=== swap gate (kill -9 a live exporter, then health-probe) ==="
+  local kill_dir
+  kill_dir="$(mktemp -d)"
+  "${build_dir}/examples/galign_serve" --mode=export \
+    --artifact-dir="${kill_dir}" --generate=60 --epochs=4 --dim=16
+  # A second exporter dies mid-run: SIGKILL at a random point during
+  # training/publish. Atomic publication means the store either gained a
+  # complete generation 2 or nothing — never a half-generation the probe
+  # (or a restarted server) would trust.
+  "${build_dir}/examples/galign_serve" --mode=export \
+    --artifact-dir="${kill_dir}" --generate=60 --epochs=4 --dim=16 \
+    >/dev/null 2>&1 &
+  local exporter_pid=$!
+  sleep 0.3
+  kill -9 "${exporter_pid}" 2>/dev/null || true
+  wait "${exporter_pid}" 2>/dev/null || true
+  "${build_dir}/examples/galign_serve" --mode=health \
+    --artifact-dir="${kill_dir}"
+  rm -rf "${kill_dir}"
+}
+
 case "${stage}" in
   lint) run_lint_stage ;;
   asan) run_asan_stage ;;
   tsan) run_tsan_stage ;;
   serve) run_serve_stage ;;
+  swap) run_swap_stage ;;
   all)
     run_lint_stage
     run_asan_stage
     run_tsan_stage
     run_serve_stage
+    run_swap_stage
     ;;
   *)
-    echo "unknown --stage=${stage} (expected lint|asan|tsan|serve|all)" >&2
+    echo "unknown --stage=${stage} (expected lint|asan|tsan|serve|swap|all)" >&2
     exit 2
     ;;
 esac

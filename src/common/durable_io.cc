@@ -3,12 +3,14 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <random>
 #include <sstream>
@@ -184,7 +186,7 @@ Result<double> ParseHexDouble(const std::string& tok,
 
 namespace internal {
 
-void BackoffSleep(const RetryPolicy& policy, int attempt) {
+double BackoffMillis(const RetryPolicy& policy, int attempt) {
   double backoff = policy.base_backoff_ms;
   for (int i = 1; i < attempt; ++i) backoff *= 2.0;
   if (backoff > policy.max_backoff_ms) backoff = policy.max_backoff_ms;
@@ -192,10 +194,89 @@ void BackoffSleep(const RetryPolicy& policy, int attempt) {
   // concurrent retriers without a global RNG dependency.
   std::mt19937_64 gen(policy.seed + static_cast<uint64_t>(attempt));
   std::uniform_real_distribution<double> jitter(0.5, 1.0);
+  return backoff * jitter(gen);
+}
+
+void BackoffSleep(const RetryPolicy& policy, int attempt, double floor_ms) {
+  const double sleep_ms = std::max(BackoffMillis(policy, attempt), floor_ms);
   std::this_thread::sleep_for(
-      std::chrono::duration<double, std::milli>(backoff * jitter(gen)));
+      std::chrono::duration<double, std::milli>(sleep_ms));
 }
 
 }  // namespace internal
+
+Result<RetentionReport> ApplyGenerationRetention(
+    const std::string& dir, const std::string& manifest_magic,
+    const std::function<int(const std::string&)>& gen_of, int keep,
+    int pinned_gen) {
+  keep = std::max(1, keep);
+  struct Entry {
+    std::string name;
+    int gen;
+    bool valid;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (const auto& item : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = item.path().filename().string();
+    const int gen = gen_of(name);
+    if (gen < 0) continue;
+    bool valid = false;
+    auto content = ReadFileToString(dir + "/" + name);
+    if (content.ok()) {
+      valid = StripAndVerifyCrc32Trailer(content.ValueOrDie(),
+                                         /*require_trailer=*/true,
+                                         dir + "/" + name)
+                  .ok();
+    }
+    entries.push_back({name, gen, valid});
+  }
+  if (ec) {
+    return Status::IOError("cannot scan generation dir " + dir + ": " +
+                           ec.message());
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.gen > b.gen; });
+
+  RetentionReport report;
+  std::vector<std::string> survivors;
+  std::vector<std::string> victims;
+  int valid_kept = 0;
+  bool any_valid = false;
+  for (const Entry& e : entries) any_valid |= e.valid;
+  for (const Entry& e : entries) {
+    if (!e.valid) {
+      // A torn file is never a survivor, but it is only deleted when a
+      // valid generation remains to serve from — an all-torn directory
+      // keeps its evidence so loaders still report data loss (IOError)
+      // instead of a clean NotFound.
+      if (any_valid) victims.push_back(e.name);
+      continue;
+    }
+    if (valid_kept < keep || e.gen == pinned_gen) {
+      survivors.push_back(e.name);
+      ++valid_kept;
+    } else {
+      victims.push_back(e.name);
+      report.pruned.push_back(e.name);
+    }
+  }
+  report.kept = valid_kept;
+
+  // Manifest first: after this write no surviving reader path references a
+  // victim, so deleting them cannot tear a concurrent load.
+  std::string manifest = manifest_magic + "\n";
+  for (const std::string& s : survivors) manifest += s + "\n";
+  GALIGN_RETURN_NOT_OK(
+      AtomicWriteFile(dir + "/MANIFEST", AppendCrc32Trailer(manifest)));
+
+  for (const std::string& v : victims) {
+    std::filesystem::remove(dir + "/" + v, ec);
+  }
+  for (const Entry& e : entries) {
+    if (!e.valid && any_valid) report.torn_removed.push_back(e.name);
+  }
+  return report;
+}
 
 }  // namespace galign

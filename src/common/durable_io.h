@@ -14,7 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 
@@ -91,9 +93,44 @@ template <typename Fn>
 [[nodiscard]] Status RetryTransient(const RetryPolicy& policy, Fn&& fn);
 
 namespace internal {
-/// Sleeps the backoff for `attempt` (1-based) under `policy`.
-void BackoffSleep(const RetryPolicy& policy, int attempt);
+/// Jittered backoff duration in ms for `attempt` (1-based) under `policy`.
+double BackoffMillis(const RetryPolicy& policy, int attempt);
+/// Sleeps the backoff for `attempt` (1-based) under `policy`. `floor_ms`
+/// raises (never lowers) the sleep — a server-provided retry-after hint is
+/// a promise that earlier retries are wasted, so it acts as a floor under
+/// the schedule's own jittered backoff.
+void BackoffSleep(const RetryPolicy& policy, int attempt,
+                  double floor_ms = 0.0);
 }  // namespace internal
+
+/// \brief Outcome of one generation-directory retention pass.
+struct RetentionReport {
+  int kept = 0;                           ///< surviving generation files
+  std::vector<std::string> pruned;        ///< valid but beyond the keep window
+  std::vector<std::string> torn_removed;  ///< failed CRC, garbage-collected
+};
+
+/// \brief Keep-last-N retention with last-good pinning over a generation
+/// directory (checkpoints, serving artifacts).
+///
+/// `gen_of` maps a filename to its generation number; a negative return
+/// means "not a generation file" and the entry is never touched. Survivors
+/// are the `keep` newest CRC-valid generations plus the generation
+/// `pinned_gen` when it is present and valid (last-good pinning: the
+/// generation a live reader depends on is never pruned out from under it,
+/// even once `keep` newer generations exist). The manifest
+/// (`<dir>/MANIFEST`, `manifest_magic` + survivors newest-first + CRC
+/// trailer) is rewritten before any file is deleted, so a crash mid-pass
+/// never leaves the manifest naming a removed file.
+///
+/// Torn files (missing/wrong CRC trailer) are garbage-collected only when
+/// at least one valid generation survives: when *everything* is torn they
+/// are left in place as evidence, preserving the loaders' "all generations
+/// failed validation" IOError over a silent NotFound.
+[[nodiscard]] Result<RetentionReport> ApplyGenerationRetention(
+    const std::string& dir, const std::string& manifest_magic,
+    const std::function<int(const std::string&)>& gen_of, int keep,
+    int pinned_gen = -1);
 
 template <typename Fn>
 [[nodiscard]] Status RetryTransient(const RetryPolicy& policy, Fn&& fn) {

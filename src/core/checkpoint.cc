@@ -213,27 +213,14 @@ Status CheckpointManager::Save(const TrainerCheckpoint& ckpt) {
   GALIGN_RETURN_NOT_OK(AtomicWriteFile(
       dir_ + "/" + name, AppendCrc32Trailer(SerializeCheckpoint(ckpt))));
 
-  // Survivors: the new checkpoint plus the keep_-1 newest older ones.
-  std::vector<std::string> all;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
-    const std::string fname = entry.path().filename().string();
-    if (EpochOfFileName(fname) >= 0) all.push_back(fname);
-  }
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    return EpochOfFileName(a) > EpochOfFileName(b);
-  });
-  std::vector<std::string> survivors(
-      all.begin(),
-      all.begin() + std::min<size_t>(all.size(), static_cast<size_t>(keep_)));
-
-  std::string manifest = std::string(kManifestMagic) + "\n";
-  for (const std::string& s : survivors) manifest += s + "\n";
-  GALIGN_RETURN_NOT_OK(
-      AtomicWriteFile(ManifestPath(), AppendCrc32Trailer(manifest)));
-
-  // Prune only after the manifest no longer references the victims.
-  for (size_t i = survivors.size(); i < all.size(); ++i) {
-    std::filesystem::remove(dir_ + "/" + all[i], ec);
+  // Shared retention pass (common/durable_io.h): keep-last-N CRC-valid
+  // checkpoints, never the pinned (last-resumed) epoch, GC torn files.
+  auto report = ApplyGenerationRetention(dir_, kManifestMagic, EpochOfFileName,
+                                         keep_, pinned_.load());
+  GALIGN_RETURN_NOT_OK(report.status());
+  for (const std::string& torn : report.ValueOrDie().torn_removed) {
+    GALIGN_LOG(Warning) << "Checkpoint " << dir_ << "/" << torn
+                        << " failed its CRC; garbage-collected";
   }
   return Status::OK();
 }
@@ -317,6 +304,9 @@ Result<TrainerCheckpoint> CheckpointManager::LoadLatest() const {
       note(ckpt.status().message());
       continue;
     }
+    // The resumed run depends on this file until its next successful save:
+    // pin it so retention cannot prune it in the meantime.
+    pinned_.store(EpochOfFileName(name));
     return ckpt;
   }
   if (tried > 0) {

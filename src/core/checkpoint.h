@@ -15,6 +15,7 @@
 // so a crash mid-save costs at most one checkpoint interval of work.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -73,10 +74,13 @@ std::string SerializeCheckpoint(const TrainerCheckpoint& ckpt);
 /// \brief Writes/reads checkpoints under one directory.
 ///
 /// Filenames are ckpt_<epoch, zero-padded>. Save() is atomic per-file and
-/// prunes to the `keep` newest checkpoints; the MANIFEST lists survivors
-/// newest-first. Save failures are surfaced as Status but are safe to treat
-/// as non-fatal: an existing older checkpoint is never damaged by a failed
-/// newer save.
+/// applies the shared generation-retention policy (DESIGN.md §13): the
+/// `keep` newest CRC-valid checkpoints plus the pinned (last-resumed)
+/// epoch survive, torn files are garbage-collected once a valid survivor
+/// exists, and the MANIFEST lists survivors newest-first — so long
+/// training runs stop growing disk unboundedly. Save failures are surfaced
+/// as Status but are safe to treat as non-fatal: an existing older
+/// checkpoint is never damaged by a failed newer save.
 class CheckpointManager {
  public:
   explicit CheckpointManager(std::string dir, int keep = 2);
@@ -88,8 +92,15 @@ class CheckpointManager {
   /// files (each skip is logged). Typed terminal failures: NotFound when
   /// the directory holds no checkpoint at all (a normal cold start),
   /// IOError naming the generation count and the newest failure when every
-  /// present generation failed validation (durable state was lost).
+  /// present generation failed validation (durable state was lost). The
+  /// returned epoch is pinned so retention never prunes the checkpoint a
+  /// resumed run depends on.
   [[nodiscard]] Result<TrainerCheckpoint> LoadLatest() const;
+
+  /// Last-resumed pinning: epoch `epoch` survives retention regardless of
+  /// age. LoadLatest() sets this automatically.
+  void SetPinnedEpoch(int epoch) { pinned_.store(epoch); }
+  int pinned_epoch() const { return pinned_.load(); }
 
   const std::string& dir() const { return dir_; }
 
@@ -101,6 +112,8 @@ class CheckpointManager {
 
   std::string dir_;
   int keep_;
+  /// Epoch of the last checkpoint handed to a caller; -1 until then.
+  mutable std::atomic<int> pinned_{-1};
 };
 
 }  // namespace galign

@@ -132,6 +132,7 @@ Result<std::shared_ptr<const AlignmentIndex>> AlignmentIndex::Build(
         "AlignmentIndex::Build stopped during ANN construction — refusing to "
         "emit a partial artifact");
   }
+  out->ann_fingerprint_ = AnnIndexFingerprint(*out->ann_);
 
   const int64_t k = std::min(options.anchor_k, target.num_nodes());
   auto anchors = out->ann_->QueryBatch(out->queries_, std::max<int64_t>(1, k),
@@ -272,6 +273,9 @@ Result<std::shared_ptr<const AlignmentIndex>> AlignmentIndex::Parse(
                              context + " ann section");
   GALIGN_RETURN_NOT_OK(ann.status());
   out->ann_ = std::move(ann.ValueOrDie());
+  // RebuildAnnIndex verified the rebuilt index against the recipe's saved
+  // fingerprint, so recomputing here records the proven-good value.
+  out->ann_fingerprint_ = AnnIndexFingerprint(*out->ann_);
   if (out->anchors_.rows != out->queries_.rows() ||
       out->anchors_.cols != out->ann_->base().rows()) {
     return Status::IOError("anchor table shape disagrees with embeddings in " +
@@ -297,6 +301,10 @@ int AlignmentIndexStore::NewestGeneration() const {
   return newest;
 }
 
+std::string AlignmentIndexStore::GenerationPath(int gen) const {
+  return dir_ + "/" + GenerationFileName(gen);
+}
+
 Status AlignmentIndexStore::Save(const AlignmentIndex& index) {
   if (fault::ShouldFailIO("serve.artifact.save")) {
     return Status::IOError("injected fault: artifact save to " + dir_);
@@ -311,28 +319,17 @@ Status AlignmentIndexStore::Save(const AlignmentIndex& index) {
   const std::string name = GenerationFileName(NewestGeneration() + 1);
   GALIGN_RETURN_NOT_OK(AtomicWriteFile(
       dir_ + "/" + name, AppendCrc32Trailer(index.Serialize())));
+  return ApplyRetention();
+}
 
-  // Survivors: the new generation plus the keep_-1 newest older ones.
-  std::vector<std::string> all;
-  for (const auto& entry : std::filesystem::directory_iterator(dir_, ec)) {
-    const std::string fname = entry.path().filename().string();
-    if (GenerationOfFileName(fname) >= 1) all.push_back(fname);
-  }
-  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
-    return GenerationOfFileName(a) > GenerationOfFileName(b);
-  });
-  std::vector<std::string> survivors(
-      all.begin(),
-      all.begin() + std::min<size_t>(all.size(), static_cast<size_t>(keep_)));
-
-  std::string manifest = std::string(kManifestMagic) + "\n";
-  for (const std::string& s : survivors) manifest += s + "\n";
-  GALIGN_RETURN_NOT_OK(
-      AtomicWriteFile(ManifestPath(), AppendCrc32Trailer(manifest)));
-
-  // Prune only after the manifest no longer references the victims.
-  for (size_t i = survivors.size(); i < all.size(); ++i) {
-    std::filesystem::remove(dir_ + "/" + all[i], ec);
+Status AlignmentIndexStore::ApplyRetention() {
+  auto report = ApplyGenerationRetention(dir_, kManifestMagic,
+                                         GenerationOfFileName, keep_,
+                                         pinned_.load());
+  GALIGN_RETURN_NOT_OK(report.status());
+  for (const std::string& torn : report.ValueOrDie().torn_removed) {
+    GALIGN_LOG(Warning) << "Artifact " << dir_ << "/" << torn
+                        << " failed its CRC; garbage-collected";
   }
   return Status::OK();
 }
@@ -370,8 +367,26 @@ std::vector<std::string> AlignmentIndexStore::Candidates() const {
   return names;
 }
 
+Result<std::shared_ptr<const AlignmentIndex>>
+AlignmentIndexStore::LoadGeneration(int gen, const RunContext& ctx) const {
+  const std::string path = GenerationPath(gen);
+  if (fault::ShouldFailIO("serve.artifact.load")) {
+    return Status::IOError("injected fault: artifact load from " + path);
+  }
+  auto content = ReadFileToString(path);
+  if (!content.ok()) {
+    return Status::NotFound("artifact generation " + std::to_string(gen) +
+                            " unreadable: " +
+                            std::string(content.status().message()));
+  }
+  auto payload = StripAndVerifyCrc32Trailer(content.ValueOrDie(),
+                                            /*require_trailer=*/true, path);
+  GALIGN_RETURN_NOT_OK(payload.status());
+  return AlignmentIndex::Parse(payload.ValueOrDie(), path, ctx);
+}
+
 Result<std::shared_ptr<const AlignmentIndex>> AlignmentIndexStore::LoadLatest(
-    const RunContext& ctx) const {
+    const RunContext& ctx, int* loaded_generation) const {
   // Same typed terminal contract as CheckpointManager::LoadLatest: NotFound
   // is a cold start, IOError means every published generation was lost.
   int tried = 0;
@@ -410,6 +425,11 @@ Result<std::shared_ptr<const AlignmentIndex>> AlignmentIndexStore::LoadLatest(
       note(index.status().message());
       continue;
     }
+    // This generation is the one callers will serve from: pin it so
+    // retention never deletes the artifact a live deployment depends on.
+    const int gen = GenerationOfFileName(name);
+    pinned_.store(gen);
+    if (loaded_generation != nullptr) *loaded_generation = gen;
     return index;
   }
   if (tried > 0) {

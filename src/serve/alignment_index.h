@@ -19,6 +19,7 @@
 // way the saved one did.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -72,6 +73,11 @@ class AlignmentIndex {
   const Matrix& queries() const { return queries_; }
   const AnnIndex& ann() const { return *ann_; }
   const AnnConfig& ann_config() const { return ann_config_; }
+  /// Behavioral fingerprint of ann(): CRC32 over the answers to a fixed
+  /// probe batch, recorded at Build and recomputed at Parse. Quarantine
+  /// validation (serve/swap) replays the probes against this value to prove
+  /// a candidate artifact answers the way the published one did.
+  uint32_t ann_fingerprint() const { return ann_fingerprint_; }
   /// Precomputed top-anchor_k alignment of every source row (the
   /// degraded-mode answer table).
   const TopKAlignment& anchors() const { return anchors_; }
@@ -92,6 +98,7 @@ class AlignmentIndex {
   AlignmentIndex() = default;
 
   std::vector<double> theta_;
+  uint32_t ann_fingerprint_ = 0;
   std::unique_ptr<MultiOrderGcn> gcn_;
   std::vector<Matrix> source_layers_;
   std::vector<Matrix> target_layers_;
@@ -109,28 +116,63 @@ class AlignmentIndex {
 /// distinguishes "nothing published yet" (NotFound) from "every published
 /// generation is torn" (IOError naming the generation count and newest
 /// failure). Fault sites: "serve.artifact.save", "serve.artifact.load".
+///
+/// Retention (DESIGN.md §13): survivors are the `keep` newest CRC-valid
+/// generations plus the pinned (last-good) generation; torn files are
+/// garbage-collected once a valid generation exists to serve from.
+/// LoadLatest() pins whatever it returns; the swap watcher re-pins each
+/// generation it publishes, so the artifact a live server answers from is
+/// never pruned out from under a restart.
 class AlignmentIndexStore {
  public:
   explicit AlignmentIndexStore(std::string dir, int keep = 2);
 
-  /// Durably publishes `index` as the next generation.
+  /// Durably publishes `index` as the next generation and applies the
+  /// retention policy.
   [[nodiscard]] Status Save(const AlignmentIndex& index);
 
-  /// Loads the newest generation that passes full verification.
+  /// Loads the newest generation that passes full verification. On success
+  /// pins the returned generation (and reports it via `loaded_generation`
+  /// when non-null).
   [[nodiscard]] Result<std::shared_ptr<const AlignmentIndex>> LoadLatest(
-      const RunContext& ctx = RunContext()) const;
+      const RunContext& ctx = RunContext(),
+      int* loaded_generation = nullptr) const;
+
+  /// \brief Loads exactly generation `gen`, verify-or-reject.
+  ///
+  /// Unlike LoadLatest there is no fallback and no pinning — this is the
+  /// quarantine load: the candidate has not earned trust yet. Honors the
+  /// "serve.artifact.load" fault site.
+  [[nodiscard]] Result<std::shared_ptr<const AlignmentIndex>> LoadGeneration(
+      int gen, const RunContext& ctx = RunContext()) const;
+
+  /// Highest generation number present on disk (manifest or scan), or 0.
+  /// The swap watcher polls this to detect new publications.
+  int NewestGeneration() const;
+
+  /// Last-good pinning: `gen` survives retention regardless of age.
+  void SetPinnedGeneration(int gen) { pinned_.store(gen); }
+  int pinned_generation() const { return pinned_.load(); }
+
+  /// Runs the retention pass now (keep-last-N + pin + torn GC). Save() does
+  /// this automatically; the swap watcher calls it after each publish.
+  [[nodiscard]] Status ApplyRetention();
+
+  /// Candidate filenames newest-first (manifest order, else dir scan).
+  std::vector<std::string> Candidates() const;
+
+  /// Path of generation `gen`'s artifact file (chaos/test tooling).
+  std::string GenerationPath(int gen) const;
 
   const std::string& dir() const { return dir_; }
 
  private:
   std::string ManifestPath() const;
-  /// Candidate filenames newest-first (manifest order, else dir scan).
-  std::vector<std::string> Candidates() const;
-  /// Highest generation number present (manifest or scan), or 0.
-  int NewestGeneration() const;
 
   std::string dir_;
   int keep_;
+  /// Last generation handed to a caller as good; -1 until the first load.
+  mutable std::atomic<int> pinned_{-1};
 };
 
 }  // namespace galign

@@ -1,8 +1,5 @@
 #include "serve/client.h"
 
-#include <chrono>
-#include <thread>
-
 namespace galign {
 
 QueryResponse QueryWithRetry(AlignServer* server, const QueryRequest& request,
@@ -13,13 +10,12 @@ QueryResponse QueryWithRetry(AlignServer* server, const QueryRequest& request,
     response = server->SubmitAndWait(request);
     if (response.status.code() != StatusCode::kOverloaded) return response;
     if (attempt == attempts) break;
-    // The schedule's jittered backoff, floored by the server's own hint —
-    // retrying sooner than the server asked just sheds again.
-    if (response.retry_after_ms > 0.0) {
-      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
-          response.retry_after_ms));
-    }
-    internal::BackoffSleep(policy, attempt);
+    // One sleep per retry: the RetryPolicy's seeded jittered exponential
+    // backoff, floored by the server's retry-after hint — the hint is a
+    // promise that retrying sooner just sheds again, so it raises (never
+    // replaces, never stacks on) the schedule's own backoff.
+    internal::BackoffSleep(policy, attempt,
+                           /*floor_ms=*/response.retry_after_ms);
   }
   return response;
 }

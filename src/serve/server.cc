@@ -21,8 +21,8 @@ std::future<QueryResponse> Rejected(QueryResponse response) {
 }  // namespace
 
 AlignServer::AlignServer(std::shared_ptr<const AlignmentIndex> index,
-                         ServeConfig config)
-    : index_(std::move(index)), config_(config) {
+                         ServeConfig config, int64_t generation)
+    : index_(std::move(index)), generation_(generation), config_(config) {
   config_.workers = std::max(1, config_.workers);
   config_.queue_capacity = std::max<int64_t>(1, config_.queue_capacity);
   config_.max_effort_step = std::max(0, config_.max_effort_step);
@@ -67,6 +67,7 @@ void AlignServer::Shutdown() {
     response.status = Status::Overloaded("server shutting down");
     response.retry_after_ms = config_.retry_after_ms;
     response.latency_ms = pending->timer.Millis();
+    response.generation = pending->generation;
     pending->promise.set_value(std::move(response));
   }
 }
@@ -85,21 +86,27 @@ int AlignServer::EffortStepLocked() const {
 }
 
 std::future<QueryResponse> AlignServer::Submit(const QueryRequest& request) {
+  // Admission binds the request to the serving artifact *now*: a swap that
+  // lands later must not change what this request runs against.
+  std::shared_ptr<const AlignmentIndex> index;
+  int64_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.submitted;
+    index = index_;
+    generation = generation_;
   }
 
   // Malformed requests are the caller's bug, not load: typed
   // kInvalidArgument, no retry hint.
-  if (request.node < 0 || request.node >= index_->num_source() ||
+  if (request.node < 0 || request.node >= index->num_source() ||
       request.k <= 0) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.invalid_argument;
     QueryResponse response;
     response.status = Status::InvalidArgument(
         "bad query: node " + std::to_string(request.node) + " (have " +
-        std::to_string(index_->num_source()) + " source nodes), k " +
+        std::to_string(index->num_source()) + " source nodes), k " +
         std::to_string(request.k));
     return Rejected(std::move(response));
   }
@@ -121,6 +128,8 @@ std::future<QueryResponse> AlignServer::Submit(const QueryRequest& request) {
 
   auto pending = std::make_unique<Pending>();
   pending->request = request;
+  pending->index = std::move(index);
+  pending->generation = generation;
   const double deadline_ms = request.deadline_ms > 0.0
                                  ? request.deadline_ms
                                  : config_.default_deadline_ms;
@@ -169,11 +178,12 @@ QueryResponse AlignServer::SubmitAndWait(const QueryRequest& request) {
   return Submit(request).get();
 }
 
-QueryResponse AlignServer::AnchorAnswer(const QueryRequest& request,
-                                        int effort_step) const {
+QueryResponse AlignServer::AnchorAnswer(const AlignmentIndex& index,
+                                        const QueryRequest& request,
+                                        int effort_step) {
   // The precomputed table costs nothing at query time — the degraded
   // answer of last resort when the request's own budget is gone.
-  const TopKAlignment& anchors = index_->anchors();
+  const TopKAlignment& anchors = index.anchors();
   QueryResponse response;
   response.degraded = true;
   response.effort_step = effort_step;
@@ -190,6 +200,9 @@ QueryResponse AlignServer::AnchorAnswer(const QueryRequest& request,
 
 QueryResponse AlignServer::Process(Pending* pending, int effort_step) const {
   const QueryRequest& request = pending->request;
+  // The admission-time artifact, not index_: a swap between admission and
+  // now must not change (or free) what this request reads.
+  const AlignmentIndex& index = *pending->index;
 
   // A deterministic stand-in for "the client went away mid-request".
   if (fault::ShouldFailIO("serve.query.cancel")) {
@@ -197,7 +210,9 @@ QueryResponse AlignServer::Process(Pending* pending, int effort_step) const {
   }
 
   auto degraded_or_deadline = [&]() {
-    if (request.allow_degraded) return AnchorAnswer(request, effort_step);
+    if (request.allow_degraded) {
+      return AnchorAnswer(index, request, effort_step);
+    }
     QueryResponse response;
     response.status = Status::DeadlineExceeded(
         "request budget exhausted before a full answer (degraded answers "
@@ -211,10 +226,10 @@ QueryResponse AlignServer::Process(Pending* pending, int effort_step) const {
   if (pending->ctx.ShouldStop()) return degraded_or_deadline();
 
   const double effort = std::pow(0.5, effort_step);
-  const int64_t k = std::min(request.k, index_->num_target());
+  const int64_t k = std::min(request.k, index.num_target());
   const Matrix query_row =
-      index_->queries().Block(request.node, 0, 1, index_->queries().cols());
-  auto got = index_->ann().QueryBatch(query_row, k, pending->ctx, effort);
+      index.queries().Block(request.node, 0, 1, index.queries().cols());
+  auto got = index.ann().QueryBatch(query_row, k, pending->ctx, effort);
   if (!got.ok()) {
     // Mid-query budget exhaustion is load, not corruption: degrade rather
     // than fail when the client permits it.
@@ -261,6 +276,7 @@ void AlignServer::WorkerLoop() {
 
     QueryResponse response = Process(pending.get(), effort_step);
     response.latency_ms = pending->timer.Millis();
+    response.generation = pending->generation;
 
     if (config_.budget && pending->reserved_bytes > 0) {
       config_.budget->Release(pending->reserved_bytes);
@@ -281,6 +297,34 @@ void AlignServer::WorkerLoop() {
     }
     pending->promise.set_value(std::move(response));
   }
+}
+
+void AlignServer::SwapIndex(std::shared_ptr<const AlignmentIndex> index,
+                            int64_t generation) {
+  // The old artifact is not torn down here: every admitted request holds
+  // its own reference, so the last in-flight request on the old generation
+  // releases it. The swap itself is one pointer store under mu_.
+  std::shared_ptr<const AlignmentIndex> retired;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    retired = std::move(index_);
+    index_ = std::move(index);
+    generation_ = generation;
+    ++stats_.swaps;
+  }
+  // `retired` drops its reference outside the lock — if this was the last
+  // one, the (potentially large) artifact destructor runs without blocking
+  // admissions.
+}
+
+std::shared_ptr<const AlignmentIndex> AlignServer::index() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_;
+}
+
+int64_t AlignServer::serving_generation() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return generation_;
 }
 
 ServerStats AlignServer::Snapshot() const {

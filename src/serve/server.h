@@ -88,6 +88,10 @@ struct QueryResponse {
   std::string answer_source;  ///< "ann" | "anchor_table" | "" on rejection
   double retry_after_ms = 0.0;  ///< backoff hint, set on kOverloaded
   double latency_ms = 0.0;      ///< admission to completion
+  /// Artifact generation that answered (stamped at admission, so a request
+  /// in flight across a hot swap reports the generation it actually ran
+  /// against). 0 on rejections that never bound to an index.
+  int64_t generation = 0;
 };
 
 /// Monotonic counters; Snapshot() is safe to call concurrently with
@@ -104,6 +108,7 @@ struct ServerStats {
   uint64_t completed_reduced_effort = 0;
   uint64_t completed_anchor = 0;
   uint64_t deadline_exceeded = 0;
+  uint64_t swaps = 0;  ///< successful SwapIndex() publications
 };
 
 /// \brief Bounded-queue serving loop over one immutable AlignmentIndex.
@@ -115,7 +120,10 @@ struct ServerStats {
 /// promise.
 class AlignServer {
  public:
-  AlignServer(std::shared_ptr<const AlignmentIndex> index, ServeConfig config);
+  /// `generation` labels the initial artifact (the store's generation
+  /// number when loaded from one; any positive id otherwise).
+  AlignServer(std::shared_ptr<const AlignmentIndex> index, ServeConfig config,
+              int64_t generation = 1);
   ~AlignServer();
 
   AlignServer(const AlignServer&) = delete;
@@ -138,15 +146,31 @@ class AlignServer {
   /// Submit + wait (CLI and test convenience).
   QueryResponse SubmitAndWait(const QueryRequest& request);
 
+  /// \brief Atomically publishes `index` as the serving artifact.
+  ///
+  /// New admissions bind to it immediately; requests already admitted (in
+  /// queue or mid-query) finish on the generation they were admitted
+  /// against — their Pending holds its own shared_ptr, so the old artifact
+  /// stays alive until its last in-flight request resolves.
+  void SwapIndex(std::shared_ptr<const AlignmentIndex> index,
+                 int64_t generation);
+
   ServerStats Snapshot() const;
   int64_t queue_depth() const;
-  const AlignmentIndex& index() const { return *index_; }
+  /// Snapshot of the serving artifact (hold the shared_ptr — a concurrent
+  /// SwapIndex retires the reference the server holds).
+  std::shared_ptr<const AlignmentIndex> index() const;
+  int64_t serving_generation() const;
   const ServeConfig& config() const { return config_; }
 
  private:
   struct Pending {
     QueryRequest request;
     std::promise<QueryResponse> promise;
+    /// The artifact this request was admitted against; immutable for the
+    /// request's lifetime even across swaps.
+    std::shared_ptr<const AlignmentIndex> index;
+    int64_t generation = 0;
     /// Deadline + token + shared budget, fixed at admission.
     RunContext ctx;
     /// Admission-time stopwatch (latency includes queue wait).
@@ -159,10 +183,12 @@ class AlignServer {
   /// Effort step for the current queue depth (0 = full effort).
   int EffortStepLocked() const;
   QueryResponse Process(Pending* pending, int effort_step) const;
-  QueryResponse AnchorAnswer(const QueryRequest& request,
-                             int effort_step) const;
+  static QueryResponse AnchorAnswer(const AlignmentIndex& index,
+                                    const QueryRequest& request,
+                                    int effort_step);
 
-  std::shared_ptr<const AlignmentIndex> index_;
+  std::shared_ptr<const AlignmentIndex> index_;  // guarded by mu_
+  int64_t generation_ = 0;                       // guarded by mu_
   ServeConfig config_;
 
   mutable std::mutex mu_;

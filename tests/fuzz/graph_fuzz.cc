@@ -45,6 +45,8 @@
 #include "graph/noise.h"
 #include "graph/stats.h"
 #include "serve/alignment_index.h"
+#include "serve/server.h"
+#include "serve/swap/swap.h"
 
 namespace galign {
 namespace {
@@ -331,6 +333,128 @@ FuzzFailure FuzzArtifact(const std::string& tmp_prefix, Rng* rng) {
   return kOk;
 }
 
+// --- Stage 3b: hot-swap quarantine under corrupted candidates ---------------
+
+/// The golden payload parsed back into a servable index, once.
+const std::shared_ptr<const AlignmentIndex>& GoldenServingIndex() {
+  static const auto* index =
+      []() -> const std::shared_ptr<const AlignmentIndex>* {
+    const std::string& payload = GoldenArtifactPayload();
+    if (payload.empty()) {
+      return new std::shared_ptr<const AlignmentIndex>();
+    }
+    auto parsed = AlignmentIndex::Parse(payload, "graph_fuzz golden");
+    if (!parsed.ok()) return new std::shared_ptr<const AlignmentIndex>();
+    return new std::shared_ptr<const AlignmentIndex>(parsed.ValueOrDie());
+  }();
+  return *index;
+}
+
+/// Publishes a seeded-corrupted candidate generation while a live
+/// ArtifactWatcher polls a serving AlignServer, and asserts the DESIGN.md
+/// §13 contract: the candidate is either published (it genuinely passed
+/// quarantine) or poisoned with a typed record — and either way the server
+/// keeps answering last-good with typed statuses, never an untyped failure
+/// or a generation that was never published.
+FuzzFailure FuzzHotSwap(const std::string& tmp_prefix, Rng* rng) {
+  const std::shared_ptr<const AlignmentIndex>& golden_index =
+      GoldenServingIndex();
+  if (!golden_index) {
+    return FuzzFailure{"swap.golden", "failed to parse golden artifact"};
+  }
+  const std::string& golden = GoldenArtifactPayload();
+
+  const std::string dir = tmp_prefix + "_swap";
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return FuzzFailure{"swap.store", "tmp dir create failed"};
+  AlignmentIndexStore store(dir, /*keep=*/2);
+  if (!store.Save(*golden_index).ok()) {
+    return FuzzFailure{"swap.store", "golden save failed"};
+  }
+
+  FuzzFailure failure = kOk;
+  {
+    ServeConfig config;
+    config.workers = 1;
+    config.queue_capacity = 8;
+    config.default_deadline_ms = 500.0;
+    AlignServer server(golden_index, config, /*generation=*/1);
+    server.Start();
+    SwapConfig swap_config;
+    swap_config.poll_interval_ms = 1.0;
+    ArtifactWatcher watcher(&server, &store, swap_config);
+    watcher.Start();  // candidate corruption lands under a live watcher
+
+    // Corrupt the golden bytes (torn write or bit rot), sometimes behind a
+    // valid CRC trailer so the post-CRC validation battery is what rejects.
+    std::string bytes = golden;
+    const int64_t n = static_cast<int64_t>(bytes.size());
+    if (rng->Bernoulli(0.5)) {
+      bytes.resize(static_cast<size_t>(rng->UniformInt(n)));
+    } else {
+      const int64_t flips = 1 + rng->UniformInt(8);
+      for (int64_t i = 0; i < flips; ++i) {
+        bytes[static_cast<size_t>(rng->UniformInt(n))] ^=
+            static_cast<char>(1 << rng->UniformInt(8));
+      }
+    }
+    const std::string framed =
+        rng->Bernoulli(0.5) ? AppendCrc32Trailer(bytes) : bytes;
+    if (!AtomicWriteFile(store.GenerationPath(2), framed).ok()) {
+      return FuzzFailure{"swap.store", "candidate write failed"};
+    }
+    watcher.PollOnce();  // serialized with the background thread
+
+    // The candidate's fate is decided and typed: published or poisoned.
+    const bool poisoned = watcher.IsPoisoned(2);
+    const int64_t serving = server.serving_generation();
+    if (poisoned == (serving == 2)) {
+      failure = {"swap.watcher",
+                 "candidate neither quarantined nor published"};
+    }
+    if (!Failed(failure) && poisoned) {
+      const SwapHealth health = watcher.Health();
+      if (health.quarantined.size() != 1 ||
+          health.quarantined[0].generation != 2 ||
+          health.quarantined[0].detail.empty()) {
+        failure = {"swap.health",
+                   "poisoned generation lacks a typed quarantine record"};
+      }
+    }
+
+    // Last-good keeps answering across (attempted) swaps.
+    const int64_t num_source = golden_index->num_source();
+    for (int i = 0; i < 8 && !Failed(failure); ++i) {
+      QueryRequest request;
+      request.node = rng->UniformInt(num_source);
+      request.k = 3;
+      const QueryResponse response = server.SubmitAndWait(request);
+      switch (response.status.code()) {
+        case StatusCode::kOk:
+          if (response.generation != 1 && response.generation != 2) {
+            failure = {"swap.serve", "answer from an unpublished generation"};
+          } else if (poisoned && response.generation == 2) {
+            failure = {"swap.serve", "answer from a poisoned generation"};
+          }
+          break;
+        case StatusCode::kOverloaded:
+        case StatusCode::kDeadlineExceeded:
+          break;
+        default:
+          failure = {"swap.serve",
+                     "untyped response: " + response.status.ToString()};
+          break;
+      }
+    }
+    watcher.Stop();
+    server.Shutdown();
+  }
+  std::filesystem::remove_all(dir, ec);
+  return failure;
+}
+
 // --- Stage 4: aligners under budget, deadline, and faults -------------------
 
 std::unique_ptr<Aligner> PickAligner(Rng* rng) {
@@ -497,6 +621,13 @@ FuzzFailure RunIteration(uint64_t seed, int64_t iter,
   // iteration cost when it runs).
   if (rng.Bernoulli(0.5)) {
     f = FuzzArtifact(tmp_prefix, &rng);
+    if (Failed(f)) return f;
+  }
+
+  // Hot-swap quarantine under a live watcher (every fourth iteration: it
+  // spins up a server + watcher and reloads a full candidate artifact).
+  if (rng.Bernoulli(0.25)) {
+    f = FuzzHotSwap(tmp_prefix, &rng);
     if (Failed(f)) return f;
   }
 

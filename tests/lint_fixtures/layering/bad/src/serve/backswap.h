@@ -1,0 +1,3 @@
+// Fixture: serve must not reach back up into the serve/swap sub-layer.
+#pragma once
+#include "serve/swap/swap.h"

@@ -1,0 +1,7 @@
+// Fixture: serve/swap sits above serve and may include it (and core, the
+// ANN layer, la, common, itself) — longest-prefix module resolution again.
+#pragma once
+#include "common/status.h"
+#include "core/config.h"
+#include "serve/server.h"
+#include "serve/swap/other.h"

@@ -122,7 +122,13 @@ TEST(LintLayering, UpwardAndSidewaysIncludesFire) {
           "backref.h:3: layering: 'graph' may not include 'graph/ann'"),
       std::string::npos)
       << run.output;
-  EXPECT_EQ(CountOccurrences(run.output, ": layering:"), 4) << run.output;
+  // Same shape one level up: serve may not reach into serve/swap.
+  EXPECT_NE(
+      run.output.find(
+          "backswap.h:3: layering: 'serve' may not include 'serve/swap'"),
+      std::string::npos)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, ": layering:"), 5) << run.output;
 }
 
 TEST(LintLayering, DownwardIncludesStayQuiet) {
@@ -163,6 +169,12 @@ TEST(LintLayering, PrintDagExposesTheTable) {
   EXPECT_NE(run.output.find(
                 "serve: core align autograd graph graph/ann la common"),
             std::string::npos)
+      << run.output;
+  // ...and serve/swap (the hot-swap watcher) is the layer above serve.
+  EXPECT_NE(
+      run.output.find(
+          "serve/swap: serve core align autograd graph graph/ann la common"),
+      std::string::npos)
       << run.output;
 }
 

@@ -375,5 +375,109 @@ TEST(RaceStress, ServingQueueUnderMixedClientPressure) {
   EXPECT_EQ(serve_config.budget->reserved(), 0u);
 }
 
+TEST(RaceStress, HotSwapWhileQueryingAndCancelling) {
+  // The continuous-availability contract of DESIGN.md §13 under TSan: a
+  // swapper thread repeatedly republishes the serving artifact while client
+  // threads query, expire deadlines, and cancel mid-flight. Invariants:
+  // every response is typed; every OK response is stamped with a generation
+  // that was actually published (never 0, never a retired half-state); the
+  // old artifact's refcount plumbing never races worker reads; the budget
+  // ledger drains to zero.
+  Rng rng(7);
+  auto g = BarabasiAlbert(50, 3, &rng).MoveValueOrDie();
+  g = g.WithAttributes(BinaryAttributes(50, 8, 0.3, &rng)).MoveValueOrDie();
+  NoisyCopyOptions noise;
+  noise.structural_noise = 0.05;
+  auto pair = MakeNoisyCopyPair(g, noise, &rng).MoveValueOrDie();
+  GAlignConfig config;
+  config.epochs = 3;
+  config.embedding_dim = 16;
+  AlignmentIndexOptions options;
+  options.anchor_k = 4;
+  auto built =
+      AlignmentIndex::Build(config, pair.source, pair.target, options);
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  // A second, behaviorally identical generation: a serialize/parse
+  // round-trip, exactly what the watcher would load from disk.
+  auto reloaded =
+      AlignmentIndex::Parse(built.ValueOrDie()->Serialize(), "swap clone");
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  ServeConfig serve_config;
+  serve_config.workers = 3;
+  serve_config.queue_capacity = 8;
+  serve_config.default_deadline_ms = 500.0;
+  serve_config.retry_after_ms = 1.0;
+  serve_config.budget = std::make_shared<MemoryBudget>(uint64_t{8} << 20);
+  serve_config.per_request_bytes = uint64_t{1} << 20;
+  AlignServer server(built.ValueOrDie(), serve_config, /*generation=*/1);
+  server.Start();
+
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 50;
+  constexpr int kSwaps = 40;
+  std::atomic<int64_t> resolved{0};
+  std::atomic<int64_t> untyped{0};
+  std::atomic<int64_t> bad_generation{0};
+  std::atomic<bool> clients_done{false};
+
+  std::thread swapper([&] {
+    // Alternate between the two artifacts, odd swaps publishing the
+    // round-tripped clone as generations 2, 3, 4, ... while queries are in
+    // flight on the previous one.
+    for (int s = 0; s < kSwaps || !clients_done.load(std::memory_order_relaxed);
+         ++s) {
+      server.SwapIndex(s % 2 == 0 ? reloaded.ValueOrDie() : built.ValueOrDie(),
+                       /*generation=*/s + 2);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (s > 10000) break;  // safety valve, never hit in practice
+    }
+  });
+
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        QueryRequest request;
+        request.node = (c * kPerClient + i) % 50;
+        request.k = 4;
+        if ((c + i) % 3 == 1) request.deadline_ms = 1e-3;  // expired
+        CancelToken token = request.token;
+        std::future<QueryResponse> future = server.Submit(request);
+        if ((c + i) % 5 == 0) token.Cancel();
+        const QueryResponse response = future.get();
+        resolved.fetch_add(1, std::memory_order_relaxed);
+        switch (response.status.code()) {
+          case StatusCode::kOk:
+          case StatusCode::kOverloaded:
+          case StatusCode::kDeadlineExceeded:
+            break;
+          default:
+            untyped.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
+        // Every answer must name a generation that existed: the initial
+        // one or one the swapper published. Zero or a future generation
+        // would mean a torn snapshot of (index, generation).
+        if (response.status.ok() &&
+            (response.generation < 1 || response.generation > kSwaps + 10001)) {
+          bad_generation.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  clients_done.store(true, std::memory_order_relaxed);
+  swapper.join();
+  server.Shutdown();
+
+  EXPECT_EQ(resolved.load(), int64_t{kClients} * kPerClient);
+  EXPECT_EQ(untyped.load(), 0);
+  EXPECT_EQ(bad_generation.load(), 0);
+  const ServerStats stats = server.Snapshot();
+  EXPECT_GE(stats.swaps, static_cast<uint64_t>(kSwaps));
+  EXPECT_EQ(serve_config.budget->reserved(), 0u);
+}
+
 }  // namespace
 }  // namespace galign

@@ -370,6 +370,37 @@ TEST_F(ServeTest, RetryClientSurvivesTransientShed) {
   EXPECT_GE(fault::CallCount("serve.admit"), 2);
 }
 
+TEST_F(ServeTest, RetryBudgetExhaustsTypedUnderPersistentShed) {
+  // Every admission sheds: the client must spend exactly its retry budget
+  // (max_attempts submissions, not one more), honor the server's
+  // retry-after hint as a floor on every backoff sleep, and hand back the
+  // final typed kOverloaded — never a hang, never an untyped failure.
+  ServeConfig config = SmallConfig();
+  config.retry_after_ms = 5.0;
+  AlignServer server(Index(), config);
+  server.Start();
+  fault::Spec spec;
+  spec.kind = fault::Kind::kFailIO;
+  spec.repeat = 1000;  // persistent overload
+  fault::Arm("serve.admit", spec);
+  QueryRequest request;
+  request.node = 3;
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.base_backoff_ms = 0.1;  // schedule alone would barely sleep
+  Timer timer;
+  QueryResponse response = QueryWithRetry(&server, request, policy);
+  const double elapsed_ms = timer.Seconds() * 1000.0;
+  EXPECT_EQ(response.status.code(), StatusCode::kOverloaded);
+  EXPECT_GT(response.retry_after_ms, 0.0);
+  // Exactly the budget: three admissions, two sleeps between them.
+  EXPECT_EQ(fault::CallCount("serve.admit"), 3);
+  EXPECT_EQ(server.Snapshot().shed_fault, 3u);
+  // Each sleep was floored by the 5 ms hint, so two sleeps bound the wall
+  // time from below (slack for timer granularity).
+  EXPECT_GE(elapsed_ms, 9.0);
+}
+
 // --- Degraded answers ----------------------------------------------------
 
 TEST_F(ServeTest, ExpiredDeadlineFallsBackToAnchorTable) {

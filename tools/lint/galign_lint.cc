@@ -76,6 +76,11 @@ const std::vector<LayerRule> kLayerDag = {
     // dependency of them).
     {"serve",
      {"core", "align", "autograd", "graph", "graph/ann", "la", "common"}},
+    // The hot-swap watcher drives serve/ (it publishes into AlignServer);
+    // serve/ proper may never reach back up into serve/swap/.
+    {"serve/swap",
+     {"serve", "core", "align", "autograd", "graph", "graph/ann", "la",
+      "common"}},
 };
 
 // Longest kLayerDag module that path-prefixes `path` at a '/' boundary;
