@@ -23,7 +23,7 @@ struct SiteState {
 // a single relaxed load instead of taking the mutex.
 std::atomic<int> g_armed{0};
 std::mutex g_mu;
-std::unordered_map<std::string, SiteState>& Sites() {
+std::unordered_map<std::string, SiteState>& Sites() {  // galign: guarded_by(g_mu)
   static auto* sites = new std::unordered_map<std::string, SiteState>();
   return *sites;
 }

@@ -132,7 +132,7 @@ class SparseMatrix {
   // by transpose_mu_; deliberately not propagated by copy/move (rebuilt on
   // demand).
   mutable std::mutex transpose_mu_;
-  mutable std::shared_ptr<const SparseMatrix> transpose_cache_;
+  mutable std::shared_ptr<const SparseMatrix> transpose_cache_;  // galign: guarded_by(transpose_mu_)
 };
 
 }  // namespace galign

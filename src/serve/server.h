@@ -187,16 +187,16 @@ class AlignServer {
                                     const QueryRequest& request,
                                     int effort_step);
 
-  std::shared_ptr<const AlignmentIndex> index_;  // guarded by mu_
-  int64_t generation_ = 0;                       // guarded by mu_
+  std::shared_ptr<const AlignmentIndex> index_;  // galign: guarded_by(mu_)
+  int64_t generation_ = 0;                       // galign: guarded_by(mu_)
   ServeConfig config_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::unique_ptr<Pending>> queue_;
-  bool stopping_ = false;
-  bool started_ = false;
-  ServerStats stats_;
+  std::deque<std::unique_ptr<Pending>> queue_;   // galign: guarded_by(mu_)
+  bool stopping_ = false;                        // galign: guarded_by(mu_)
+  bool started_ = false;                         // galign: guarded_by(mu_)
+  ServerStats stats_;                            // galign: guarded_by(mu_)
   std::vector<std::thread> workers_;
 };
 

@@ -168,13 +168,13 @@ class ArtifactWatcher {
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::thread thread_;
-  bool running_ = false;
-  bool stopping_ = false;
-  int newest_seen_ = 0;
-  CandidatePhase phase_ = CandidatePhase::kIdle;
-  int candidate_ = 0;
-  std::map<int, QuarantineRecord> poisoned_;
-  std::vector<SwapEvent> swaps_;
+  bool running_ = false;                         // galign: guarded_by(mu_)
+  bool stopping_ = false;                        // galign: guarded_by(mu_)
+  int newest_seen_ = 0;                          // galign: guarded_by(mu_)
+  CandidatePhase phase_ = CandidatePhase::kIdle;  // galign: guarded_by(mu_)
+  int candidate_ = 0;                            // galign: guarded_by(mu_)
+  std::map<int, QuarantineRecord> poisoned_;     // galign: guarded_by(mu_)
+  std::vector<SwapEvent> swaps_;                 // galign: guarded_by(mu_)
 };
 
 }  // namespace galign

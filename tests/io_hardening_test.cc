@@ -281,5 +281,48 @@ TEST_F(IoHardeningTest, EdgeListFaultSiteContextualizedByDataset) {
   EXPECT_TRUE(LoadAlignmentPair(dir_.string()).ok());
 }
 
+TEST_F(IoHardeningTest, AlignmentMatrixLoadFaultSiteRetriesThenFails) {
+  auto m = Matrix::TryCreate(3, 2).MoveValueOrDie();
+  for (int64_t r = 0; r < 3; ++r)
+    for (int64_t c = 0; c < 2; ++c) m(r, c) = 0.25 * static_cast<double>(r + c);
+  ASSERT_TRUE(SaveAlignmentMatrix(m, Path("s.tsv")).ok());
+
+  // Transient: the loader's bounded retry absorbs a single-shot fault.
+  fault::Spec spec;
+  spec.kind = fault::Kind::kFailIO;
+  fault::Arm("io.alignment.load", spec);
+  EXPECT_TRUE(LoadAlignmentMatrix(Path("s.tsv")).ok());
+  EXPECT_GE(fault::CallCount("io.alignment.load"), 2)
+      << "loader did not retry";
+
+  // Persistent: outlasts every retry, surfaces as a clean typed IOError.
+  spec.repeat = 1000;
+  fault::Arm("io.alignment.load", spec);
+  auto failed = LoadAlignmentMatrix(Path("s.tsv"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+  ExpectErrorMentioning(failed, "injected fault");
+}
+
+TEST_F(IoHardeningTest, AttributesLoadFaultSiteRetriesThenFails) {
+  auto attrs = Matrix::TryCreate(4, 3).MoveValueOrDie();
+  for (int64_t r = 0; r < 4; ++r)
+    for (int64_t c = 0; c < 3; ++c) attrs(r, c) = (r + c) % 2 ? 1.0 : 0.0;
+  ASSERT_TRUE(SaveAttributes(attrs, Path("a.tsv")).ok());
+
+  fault::Spec spec;
+  spec.kind = fault::Kind::kFailIO;
+  fault::Arm("io.attrs.load", spec);
+  EXPECT_TRUE(LoadAttributes(Path("a.tsv")).ok());
+  EXPECT_GE(fault::CallCount("io.attrs.load"), 2) << "loader did not retry";
+
+  spec.repeat = 1000;
+  fault::Arm("io.attrs.load", spec);
+  auto failed = LoadAttributes(Path("a.tsv"));
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kIOError);
+  ExpectErrorMentioning(failed, "injected fault");
+}
+
 }  // namespace
 }  // namespace galign

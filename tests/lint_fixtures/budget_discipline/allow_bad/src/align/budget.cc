@@ -1,0 +1,7 @@
+#include "budget.h"
+namespace demo {
+int Leaky(Budget* b) {
+  if (!b->TryReserve(64, "scratch").ok()) return 0;  // galign-lint: allow(budget-discipline)
+  return 1;
+}
+}  // namespace demo

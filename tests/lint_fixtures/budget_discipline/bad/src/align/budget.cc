@@ -1,0 +1,12 @@
+#include "budget.h"
+namespace demo {
+int Leaky(Budget* b) {
+  if (!b->TryReserve(64, "scratch").ok()) return 0;
+  return 1;
+}
+int Unchecked() {
+  auto r = Matrix::TryCreate(4, 4);
+  return r.ValueOrDie();
+}
+int InPlace() { return Matrix::TryCreate(2, 2).ValueOrDie(); }
+}  // namespace demo

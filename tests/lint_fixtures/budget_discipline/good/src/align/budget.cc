@@ -1,0 +1,14 @@
+#include "budget.h"
+namespace demo {
+int Paired(Budget* b) {
+  if (!b->TryReserve(64, "scratch").ok()) return 0;
+  int v = 1;
+  b->Release(64);
+  return v;
+}
+int Checked() {
+  auto r = Matrix::TryCreate(4, 4);
+  if (!r.ok()) return 0;
+  return r.ValueOrDie();
+}
+}  // namespace demo

@@ -1,0 +1,19 @@
+// Fixture: budget primitives for the budget-discipline rule.
+#pragma once
+namespace demo {
+struct Status {
+  bool ok() const { return true; }
+};
+struct MatrixResult {
+  bool ok() const { return true; }
+  Status status() const { return Status{}; }
+  int ValueOrDie() const { return 1; }
+};
+struct Budget {
+  Status TryReserve(long bytes, const char* what);
+  void Release(long bytes);
+};
+struct Matrix {
+  static MatrixResult TryCreate(long rows, long cols);
+};
+}  // namespace demo

@@ -1,0 +1,10 @@
+// Fixture: deadline-aware callees for the context-dropped rule.
+#pragma once
+namespace demo {
+struct RunContext {
+  int deadline_ms = 0;
+};
+struct Matrix {};
+int Solve(const Matrix& a, const RunContext& ctx);
+void Refine(const Matrix& a, const RunContext& run_ctx);
+}  // namespace demo

@@ -1,0 +1,14 @@
+#include "pipeline.h"
+namespace demo {
+int Align(const Matrix& a, const RunContext& ctx) {
+  RunContext fresh;
+  int total = Solve(a, fresh);
+  total += Solve(a, ctx);
+  return total;
+}
+int Stranded(const Matrix& a, const RunContext& ctx) {
+  int total = 0;
+  for (int i = 0; i < 3; ++i) total += i;
+  return total + 1;
+}
+}  // namespace demo

@@ -1,0 +1,13 @@
+#include "pipeline.h"
+namespace demo {
+int Align(const Matrix& a, const RunContext& ctx) {
+  int total = Solve(a, ctx);
+  total += Solve(a, ctx);
+  return total;
+}
+int Quick(const Matrix& a, const RunContext&) {
+  int total = 0;
+  for (int i = 0; i < 2; ++i) total += i;
+  return total;
+}
+}  // namespace demo

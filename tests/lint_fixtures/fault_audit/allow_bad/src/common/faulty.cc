@@ -1,0 +1,4 @@
+namespace demo {
+bool ShouldFailIO(const char* site);
+bool Read() { return ShouldFailIO("io.fixture.load"); }  // galign-lint: allow(fault-site-audit)
+}  // namespace demo

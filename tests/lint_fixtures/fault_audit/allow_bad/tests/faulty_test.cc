@@ -1,0 +1,1 @@
+// No arming tests: io.fixture.load stays uncovered.

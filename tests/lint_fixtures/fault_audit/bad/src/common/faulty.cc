@@ -1,0 +1,7 @@
+// Fixture: one unarmed site, one armed pair that is a one-edit typo apart.
+namespace demo {
+bool ShouldFailIO(const char* site);
+bool Read() { return ShouldFailIO("io.fixture.load"); }
+bool Write() { return ShouldFailIO("io.fixture.save"); }
+bool WriteTwo() { return ShouldFailIO("io.fixture.sava"); }
+}  // namespace demo

@@ -1,0 +1,8 @@
+namespace demo {
+void Arm(const char* site);
+}
+void TestAll() {
+  demo::Arm("io.fixture.save");
+  demo::Arm("io.fixture.sava");
+  demo::Arm("io.fixture.saev");
+}

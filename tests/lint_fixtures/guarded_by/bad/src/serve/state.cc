@@ -1,0 +1,10 @@
+#include "state.h"
+namespace demo {
+void Counter::Bump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++value_;
+}
+int Counter::Peek() const {
+  return value_;
+}
+}  // namespace demo

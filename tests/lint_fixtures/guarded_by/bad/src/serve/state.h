@@ -1,0 +1,14 @@
+// Fixture: annotated shared state for the guarded-by rule.
+#pragma once
+#include <mutex>
+namespace demo {
+class Counter {
+ public:
+  void Bump();
+  int Peek() const;
+
+ private:
+  mutable std::mutex mu_;
+  int value_ = 0;  // galign: guarded_by(mu_)
+};
+}  // namespace demo

@@ -1,0 +1,18 @@
+#include "state.h"
+namespace demo {
+void Counter::Bump() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++value_;
+}
+int Counter::Peek() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return value_;
+}
+int Counter::PeekLocked() const {
+  return value_;
+}
+// galign: requires_lock(mu_)
+int Counter::Sum() const {
+  return value_ + 1;
+}
+}  // namespace demo

@@ -7,6 +7,7 @@
 // relies on, kept inside the test suite so plain ctest enforces it too.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <string>
@@ -204,6 +205,183 @@ TEST(LintAllow, ReasonlessAllowIsItselfAViolation) {
   // ...and the underlying rule still fires.
   EXPECT_NE(run.output.find("reasonless.cc:7: no-naked-throw:"),
             std::string::npos)
+      << run.output;
+}
+
+TEST(LintContextDropped, FreshContextAndStrandedParamFire) {
+  LintRun run = RunLint(Fixture("context_dropped/bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // Line 5 passes a freshly-constructed context instead of forwarding the
+  // caller's; line 9 declares a named context it never consults.
+  EXPECT_NE(run.output.find("pipeline.cc:5: context-dropped:"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("pipeline.cc:9: context-dropped:"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'Stranded'"), std::string::npos) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "context-dropped"), 2)
+      << run.output;
+}
+
+TEST(LintContextDropped, ForwardedAndUnnamedContextsStayQuiet) {
+  LintRun run = RunLint(Fixture("context_dropped/good"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "context-dropped"), 0)
+      << run.output;
+}
+
+TEST(LintContextDropped, ReasonlessAllowIsItselfAViolation) {
+  LintRun run = RunLint(Fixture("context_dropped/allow_bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("pipeline.cc:5: bad-allow:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("pipeline.cc:5: context-dropped:"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintFaultAudit, UnarmedPhantomAndNearDuplicateFire) {
+  LintRun run = RunLint(Fixture("fault_audit/bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // An instrumented-but-never-armed site (the "arming test was removed"
+  // scenario the audit exists for)...
+  EXPECT_NE(run.output.find("faulty.cc:4: fault-site-audit:"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("no test arms"), std::string::npos)
+      << run.output;
+  // ...a pair of src sites one edit apart...
+  EXPECT_NE(run.output.find("one edit apart"), std::string::npos)
+      << run.output;
+  // ...and a test arming a site that exists nowhere, with a suggestion.
+  EXPECT_NE(run.output.find("faulty_test.cc:7: fault-site-audit:"),
+            std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("did you mean"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "fault-site-audit"), 3)
+      << run.output;
+}
+
+TEST(LintFaultAudit, DirectAndTableDrivenArmingBothCount) {
+  LintRun run = RunLint(Fixture("fault_audit/good"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "fault-site-audit"), 0)
+      << run.output;
+}
+
+TEST(LintFaultAudit, ReasonlessAllowIsItselfAViolation) {
+  LintRun run = RunLint(Fixture("fault_audit/allow_bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("faulty.cc:3: bad-allow:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("faulty.cc:3: fault-site-audit:"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintBudgetDiscipline, LeakedReserveAndUncheckedTryCreateFire) {
+  LintRun run = RunLint(Fixture("budget_discipline/bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  // TryReserve with no Release/MemoryScope anywhere in the function...
+  EXPECT_NE(run.output.find("budget.cc:4: budget-discipline:"),
+            std::string::npos)
+      << run.output;
+  // ...ValueOrDie without a prior ok() check...
+  EXPECT_NE(run.output.find("budget.cc:9: budget-discipline:"),
+            std::string::npos)
+      << run.output;
+  // ...and the in-place TryCreate(...).ValueOrDie() chain.
+  EXPECT_NE(run.output.find("budget.cc:11: budget-discipline:"),
+            std::string::npos)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "budget-discipline"), 3)
+      << run.output;
+}
+
+TEST(LintBudgetDiscipline, PairedReleaseAndCheckedResultStayQuiet) {
+  LintRun run = RunLint(Fixture("budget_discipline/good"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintBudgetDiscipline, ReasonlessAllowIsItselfAViolation) {
+  LintRun run = RunLint(Fixture("budget_discipline/allow_bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("budget.cc:4: bad-allow:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("budget.cc:4: budget-discipline:"),
+            std::string::npos)
+      << run.output;
+}
+
+TEST(LintGuardedBy, UnlockedTouchFires) {
+  LintRun run = RunLint(Fixture("guarded_by/bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("state.cc:8: guarded-by:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("'Peek' touches 'value_'"), std::string::npos)
+      << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, ": guarded-by:"), 1) << run.output;
+}
+
+TEST(LintGuardedBy, LockSuffixAndRequiresLockStayQuiet) {
+  LintRun run = RunLint(Fixture("guarded_by/good"));
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+}
+
+TEST(LintGuardedBy, ReasonlessAllowIsItselfAViolation) {
+  LintRun run = RunLint(Fixture("guarded_by/allow_bad"));
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_NE(run.output.find("state.cc:8: bad-allow:"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("state.cc:8: guarded-by:"), std::string::npos)
+      << run.output;
+}
+
+TEST(LintBaseline, WriteThenReadSuppressesGrandfatheredViolations) {
+  const std::string bl =
+      "/tmp/galign_lint_baseline_" + std::to_string(::getpid()) + ".json";
+  LintRun wrote = RunLint(Fixture("budget_discipline/bad") +
+                          " --write-baseline=" + bl);
+  EXPECT_EQ(wrote.exit_code, 0) << wrote.output;
+  EXPECT_NE(wrote.output.find("baselined 3 violation(s)"), std::string::npos)
+      << wrote.output;
+  LintRun masked =
+      RunLint(Fixture("budget_discipline/bad") + " --baseline=" + bl);
+  EXPECT_EQ(masked.exit_code, 0) << masked.output;
+  EXPECT_NE(masked.output.find("galign_lint: clean"), std::string::npos)
+      << masked.output;
+  // A missing baseline file is a usage error, not a silent pass.
+  LintRun missing = RunLint(Fixture("budget_discipline/bad") +
+                            " --baseline=/nonexistent/bl.json");
+  EXPECT_EQ(missing.exit_code, 2) << missing.output;
+  std::remove(bl.c_str());
+}
+
+TEST(LintJson, RepositoryTreeEmitsMachineReadableReport) {
+  // JSON mode over the real tree: clean, and the fault-site coverage table
+  // enumerates the src-instrumented sites with their arming-test counts.
+  LintRun run =
+      RunLint(std::string("--root ") + GALIGN_REPO_ROOT + " --format=json");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_NE(run.output.find("\"clean\": true"), std::string::npos)
+      << run.output;
+  EXPECT_NE(run.output.find("\"violations\": []"), std::string::npos)
+      << run.output;
+  EXPECT_GE(CountOccurrences(run.output, "\"arming_tests\": "), 10)
+      << "fault-site audit should enumerate the src-instrumented sites: "
+      << run.output;
+}
+
+TEST(LintGate, FaultSiteAuditCoversEveryRepositorySite) {
+  // The audit's own self-test: every site in the JSON table must report at
+  // least one arming test file, so removing a site's arming test flips the
+  // repository gate to exit 1 (proven live by the fault_audit/bad fixture).
+  LintRun run = RunLint(std::string("--root ") + GALIGN_REPO_ROOT +
+                        " --format=json");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_EQ(CountOccurrences(run.output, "\"arming_tests\": 0"), 0)
       << run.output;
 }
 
